@@ -1,0 +1,78 @@
+// Ablation study: which of Shrink's ingredients carries the win?
+//
+// Variants on the overloaded STMBench7 write-dominated workload (TinySTM
+// backend, the paper's most scheduler-sensitive configuration):
+//   full         -- Shrink as shipped
+//   no-read-pred -- write-set prediction only
+//   no-write-pred-- read-set prediction only
+//   no-affinity  -- check prediction on every low-success start (no
+//                   serialization-affinity coin)
+//   base         -- no scheduler
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/shrink.hpp"
+#include "stm/tiny.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/stmbench7.hpp"
+
+using namespace shrinktm;
+using namespace shrinktm::bench;
+using namespace shrinktm::workloads;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool read_pred, write_pred, affinity, enabled;
+};
+
+double run_variant(const BenchArgs& args, const Variant& v, int threads) {
+  return mean_throughput(args, [&](int run) {
+    stm::StmConfig scfg;
+    scfg.wait_policy = util::WaitPolicy::kBusy;
+    stm::TinyBackend backend(scfg);
+    core::ShrinkConfig cfg;
+    cfg.use_read_prediction = v.read_pred;
+    cfg.use_write_prediction = v.write_pred;
+    cfg.use_affinity = v.affinity;
+    cfg.seed = args.seed + static_cast<std::uint64_t>(run);
+    core::ShrinkScheduler shrink(backend, cfg);
+    Sb7Config wcfg;
+    wcfg.mix = Sb7Mix::kWriteDominated;
+    StmBench7 w(wcfg);
+    DriverConfig dcfg;
+    dcfg.threads = threads;
+    dcfg.duration_ms = args.duration_ms;
+    dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
+    return run_workload(backend, v.enabled ? &shrink : nullptr, w, dcfg)
+        .throughput;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_args(argc, argv, {8, 16, 24}, {8, 16, 24, 32});
+  if (args.runs == 1) args.runs = 3;  // this study needs variance damping
+
+  const Variant variants[] = {
+      {"base", false, false, false, false},
+      {"full", true, true, true, true},
+      {"no-read-pred", false, true, true, true},
+      {"no-write-pred", true, false, true, true},
+      {"no-affinity", true, true, false, true},
+  };
+
+  std::cout << "== Ablation: Shrink ingredients on STMBench7 write-dominated "
+               "(tiny backend, busy waiting; committed tx/s) ==\n";
+  std::vector<std::string> header{"threads"};
+  for (const auto& v : variants) header.emplace_back(v.name);
+  util::TextTable t(header);
+  for (int threads : args.threads) {
+    t.row().cell(threads);
+    for (const auto& v : variants) t.cell(run_variant(args, v, threads), 0);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every fig* binary accepts:
+//   --threads 1,2,4,...   thread counts to sweep
+//   --duration-ms N       measurement window per data point
+//   --runs N              repetitions averaged per data point (paper: 20)
+//   --full                use the paper's full thread grid and durations
+// and prints its series as an aligned text table -- the textual analogue of
+// the paper's plots.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/driver.hpp"
+
+namespace shrinktm::bench {
+
+struct BenchArgs {
+  std::vector<int> threads;
+  int duration_ms = 120;
+  int runs = 3;  // single-run cells are too noisy on oversubscribed boxes
+  bool full = false;
+  std::uint64_t seed = 42;
+};
+
+inline std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+/// Parses common flags.  `quick_threads` is the default sweep;
+/// `paper_threads` is selected by --full (the grid from the paper's plots).
+inline BenchArgs parse_args(int argc, char** argv, std::vector<int> quick_threads,
+                            std::vector<int> paper_threads) {
+  BenchArgs args;
+  args.threads = std::move(quick_threads);
+  bool threads_overridden = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--threads") {
+      args.threads = parse_int_list(next());
+      threads_overridden = true;
+    } else if (a == "--duration-ms") {
+      args.duration_ms = std::stoi(next());
+    } else if (a == "--runs") {
+      args.runs = std::stoi(next());
+    } else if (a == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (a == "--full") {
+      args.full = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "flags: --threads a,b,c  --duration-ms N  --runs N  "
+                   "--seed N  --full\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      std::exit(2);
+    }
+  }
+  if (args.full && !threads_overridden) {
+    args.threads = std::move(paper_threads);
+    if (args.duration_ms == 120) args.duration_ms = 300;
+    if (args.runs == 3) args.runs = 5;
+  }
+  return args;
+}
+
+/// Paper grids.
+inline std::vector<int> paper_thread_grid() {
+  return {1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24};
+}
+inline std::vector<int> quick_thread_grid() { return {1, 2, 4, 8, 16, 24}; }
+inline std::vector<int> stamp_paper_grid() { return {2, 4, 8, 16, 32, 64}; }
+inline std::vector<int> stamp_quick_grid() { return {2, 8, 32}; }
+
+/// Average committed-tx/s of `make_and_run()` over args.runs repetitions.
+/// make_and_run must build a FRESH backend+scheduler+workload per call.
+template <typename F>
+double mean_throughput(const BenchArgs& args, F&& make_and_run) {
+  util::OnlineStats s;
+  for (int r = 0; r < args.runs; ++r) s.add(make_and_run(r));
+  return s.mean();
+}
+
+inline std::string fmt_speedup(double base, double variant) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << (base > 0 ? variant / base : 0.0) << "x";
+  return os.str();
+}
+
+}  // namespace shrinktm::bench

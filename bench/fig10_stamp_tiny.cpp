@@ -1,0 +1,15 @@
+// Figure 10 (appendix): speedup of Shrink-TinySTM over base TinySTM on
+// STAMP-mini.  The base collapses on intruder/vacation/yada when
+// overloaded, so speedups get very large.
+#include "bench/sweeps.hpp"
+#include "stm/tiny.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, stamp_quick_grid(), stamp_paper_grid());
+  stamp_speedup_sweep<stm::TinyBackend>(args, util::WaitPolicy::kBusy,
+                                        "Figure 10");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 11 (appendix): red-black tree on the TinySTM-style backend --
+// base throughput collapses past the core count; Shrink-TinySTM stays an
+// order of magnitude higher.
+#include "bench/sweeps.hpp"
+#include "stm/tiny.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  rbtree_throughput_sweep<stm::TinyBackend>(
+      args, util::WaitPolicy::kBusy,
+      {core::SchedulerKind::kNone, core::SchedulerKind::kShrink},
+      "Figure 11");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 2 + Theorems 1-3: competitive ratios of simulated TM schedulers.
+//
+// Prints, for growing n:
+//   (a) the Serializer chain family  -- Serializer makespan n vs OPT 2,
+//   (b) the ATS star family          -- ATS k+n-1 vs OPT k+1,
+//   (c) Restart on adversarial release chains -- ratio <= 2 (Theorem 2),
+//   (d) Inaccurate on disjoint jobs  -- ratio n (Theorem 3),
+// plus a random-instance sweep showing how prediction inaccuracy degrades
+// the clairvoyant scheduler.
+#include <iostream>
+
+#include "sim/scenarios.hpp"
+#include "sim/schedulers.hpp"
+#include "util/table.hpp"
+
+using namespace shrinktm;
+using namespace shrinktm::sim;
+
+int main() {
+  std::cout << "== Figure 2(a) / Theorem 1: Serializer lower-bound family ==\n";
+  {
+    util::TextTable t({"n", "serializer", "opt", "ratio"});
+    for (int n : {4, 8, 16, 32, 64, 128}) {
+      const Instance inst = make_serializer_chain(n);
+      const double ser = simulate_serializer(inst).makespan;
+      const double opt = simulate_offline_opt(inst).makespan;
+      t.row().cell(n).cell(ser, 0).cell(opt, 0).cell(ser / opt, 1);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Figure 2(b) / Theorem 1: ATS lower-bound family (k=4) ==\n";
+  {
+    constexpr int k = 4;
+    util::TextTable t({"n", "ats", "opt", "ratio", "aborts", "queued"});
+    for (int n : {4, 8, 16, 32, 64, 128}) {
+      const Instance inst = make_ats_star(n, k);
+      const SimResult ats = simulate_ats(inst, k);
+      const double opt = simulate_offline_opt(inst).makespan;
+      t.row()
+          .cell(n)
+          .cell(ats.makespan, 0)
+          .cell(opt, 0)
+          .cell(ats.makespan / opt, 1)
+          .cell(ats.aborts)
+          .cell(ats.serializations);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Theorem 2: Restart is 2-competitive (release chains) ==\n";
+  {
+    util::TextTable t({"n", "restart", "opt", "ratio"});
+    for (int n : {4, 8, 16, 32, 64}) {
+      const Instance inst = make_release_chain(n);
+      const double rs = simulate_restart(inst).makespan;
+      const double opt = simulate_offline_opt(inst).makespan;
+      t.row().cell(n).cell(rs, 0).cell(opt, 0).cell(rs / opt, 2);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Theorem 3: Inaccurate prediction on disjoint jobs ==\n";
+  {
+    util::TextTable t({"n", "accurate", "inaccurate", "opt", "ratio"});
+    for (int n : {4, 8, 16, 32, 64}) {
+      const Instance inst = make_disjoint(n);
+      const double acc = simulate_inaccurate(inst, inst.conflicts).makespan;
+      const double inac =
+          simulate_inaccurate(inst, make_thm3_predicted(n)).makespan;
+      const double opt = simulate_offline_opt(inst).makespan;
+      t.row().cell(n).cell(acc, 0).cell(inac, 0).cell(opt, 0).cell(inac / opt, 1);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Prediction-inaccuracy sensitivity (random instances, n=32) ==\n";
+  {
+    util::TextTable t({"false-conflict p", "restart-with-noise", "opt", "ratio"});
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+      double noisy = 0, opt = 0;
+      constexpr int kSeeds = 8;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Instance inst = make_random(32, 0.05, 3, 0, seed);
+        noisy += simulate_inaccurate(
+                     inst, add_false_conflicts(inst.conflicts, q, seed + 99))
+                     .makespan;
+        opt += simulate_offline_opt(inst).makespan;
+      }
+      t.row().cell(q, 2).cell(noisy / kSeeds, 1).cell(opt / kSeeds, 1)
+          .cell(noisy / opt, 2);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 3: accuracy of Shrink's access-set predictions on STMBench7.
+//
+// Runs STMBench7-mini on the SwissTM-style backend with Shrink's accuracy
+// instrumentation enabled and prints, per workload mix and thread count,
+// the mean per-transaction read- and write-prediction accuracy.  The paper
+// reports roughly 70% on average, higher for read-dominated mixes.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/shrink.hpp"
+#include "stm/swiss.hpp"
+#include "workloads/stmbench7.hpp"
+
+using namespace shrinktm;
+using namespace shrinktm::bench;
+using namespace shrinktm::workloads;
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_args(argc, argv, {2, 4, 8, 16, 24},
+                              {2, 3, 4, 6, 8, 10, 12, 16, 20, 24});
+
+  for (auto mix : {Sb7Mix::kReadDominated, Sb7Mix::kReadWrite,
+                   Sb7Mix::kWriteDominated}) {
+    std::cout << "== Figure 3: prediction accuracy, STMBench7 "
+              << sb7_mix_name(mix) << " ==\n";
+    util::TextTable t({"threads", "read-acc %", "retry-read-acc %", "write-acc %",
+                       "commits", "aborts"});
+    for (int threads : args.threads) {
+      double read_acc = 0, write_acc = 0, retry_acc = 0;
+      int retry_samples = 0;
+      std::uint64_t commits = 0, aborts = 0;
+      int samples = 0;
+      for (int r = 0; r < args.runs; ++r) {
+        stm::SwissBackend backend;
+        core::ShrinkConfig cfg;
+        cfg.track_accuracy = true;
+        cfg.seed = args.seed + r;
+        core::ShrinkScheduler shrink(backend, cfg);
+        Sb7Config wcfg;
+        wcfg.mix = mix;
+        StmBench7 w(wcfg);
+        DriverConfig dcfg;
+        dcfg.threads = threads;
+        dcfg.duration_ms = args.duration_ms;
+        dcfg.seed = args.seed + r;
+        const RunResult res = run_workload(backend, &shrink, w, dcfg);
+        if (res.read_accuracy >= 0) {
+          read_acc += res.read_accuracy;
+          write_acc += res.write_accuracy >= 0 ? res.write_accuracy : 0;
+          ++samples;
+        }
+        if (res.retry_read_accuracy >= 0) {
+          retry_acc += res.retry_read_accuracy;
+          ++retry_samples;
+        }
+        commits += res.stm.commits;
+        aborts += res.stm.aborts;
+      }
+      t.row()
+          .cell(threads)
+          .cell(samples ? 100.0 * read_acc / samples : 0.0, 1)
+          .cell(retry_samples ? 100.0 * retry_acc / retry_samples : 0.0, 1)
+          .cell(samples ? 100.0 * write_acc / samples : 0.0, 1)
+          .cell(commits / static_cast<std::uint64_t>(args.runs))
+          .cell(aborts / static_cast<std::uint64_t>(args.runs));
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5: SwissTM-style throughput on STMBench7 under base / Pool /
+// Shrink / ATS with preemptive waiting.
+#include "bench/sweeps.hpp"
+#include "stm/swiss.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  sb7_throughput_sweep<stm::SwissBackend>(
+      args, util::WaitPolicy::kPreemptive,
+      {core::SchedulerKind::kNone, core::SchedulerKind::kPool,
+       core::SchedulerKind::kShrink, core::SchedulerKind::kAts},
+      "Figure 5");
+  return 0;
+}

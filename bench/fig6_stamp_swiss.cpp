@@ -1,0 +1,14 @@
+// Figure 6: speedup of Shrink-SwissTM over base SwissTM on STAMP-mini,
+// underloaded (<= cores) and overloaded thread counts.
+#include "bench/sweeps.hpp"
+#include "stm/swiss.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, stamp_quick_grid(), stamp_paper_grid());
+  stamp_speedup_sweep<stm::SwissBackend>(args, util::WaitPolicy::kPreemptive,
+                                         "Figure 6");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 7: red-black tree microbenchmark on the SwissTM-style backend --
+// quantifies Shrink's overhead at low thread counts and ATS's much larger
+// overhead.
+#include "bench/sweeps.hpp"
+#include "stm/swiss.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  rbtree_throughput_sweep<stm::SwissBackend>(
+      args, util::WaitPolicy::kPreemptive,
+      {core::SchedulerKind::kNone, core::SchedulerKind::kShrink,
+       core::SchedulerKind::kAts},
+      "Figure 7");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8: TinySTM-style throughput on STMBench7 (busy waiting): the base
+// system collapses when overloaded; Shrink rescues it.
+#include "bench/sweeps.hpp"
+#include "stm/tiny.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  sb7_throughput_sweep<stm::TinyBackend>(
+      args, util::WaitPolicy::kBusy,
+      {core::SchedulerKind::kNone, core::SchedulerKind::kShrink},
+      "Figure 8");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 9 (appendix): SwissTM-style backend with BUSY waiting on
+// STMBench7 -- base throughput drops steeply when overloaded, Shrink keeps
+// it up.
+#include "bench/sweeps.hpp"
+#include "stm/swiss.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  sb7_throughput_sweep<stm::SwissBackend>(
+      args, util::WaitPolicy::kBusy,
+      {core::SchedulerKind::kNone, core::SchedulerKind::kShrink},
+      "Figure 9");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Primitive-cost microbenchmarks (google-benchmark): the building blocks
+// whose costs bound Shrink's overhead -- Bloom filter ops, the prediction
+// tracker's read path, orec hashing, raw STM read/write/commit cycles.
+#include <benchmark/benchmark.h>
+
+#include "core/prediction.hpp"
+#include "stm/runner.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "txstruct/tvar.hpp"
+#include "util/bloom.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace shrinktm;
+
+void BM_BloomInsert(benchmark::State& state) {
+  util::BloomFilter bf(12, 3);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    bf.insert(k += 977);
+    if ((k & 0xfff) == 0) bf.clear();
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+  util::BloomFilter bf(12, 3);
+  for (std::uint64_t i = 0; i < 200; ++i) bf.insert(i * 31);
+  std::uint64_t k = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(bf.maybe_contains(k += 13));
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_PredictionOnRead(benchmark::State& state) {
+  core::PredictionTracker p;
+  p.begin_tx(false);
+  static int pool[4096];
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    p.on_read(&pool[(i += 7) & 4095]);
+    if ((i & 0x3ff) == 0) {
+      p.note_commit();
+      p.begin_tx(false);
+    }
+  }
+}
+BENCHMARK(BM_PredictionOnRead);
+
+template <typename Backend>
+void BM_ReadOnlyTx(benchmark::State& state) {
+  Backend backend;
+  txs::TVar<std::int64_t> vars[16];
+  stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
+  for (auto _ : state) {
+    r.run([&](auto& tx) {
+      std::int64_t acc = 0;
+      for (auto& v : vars) acc += v.read(tx);
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_ReadOnlyTx<stm::TinyBackend>)->Name("BM_ReadOnlyTx/tiny");
+BENCHMARK(BM_ReadOnlyTx<stm::SwissBackend>)->Name("BM_ReadOnlyTx/swiss");
+
+template <typename Backend>
+void BM_WriteTx(benchmark::State& state) {
+  Backend backend;
+  txs::TVar<std::int64_t> vars[8];
+  stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    r.run([&](auto& tx) {
+      for (auto& v : vars) v.write(tx, i);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_WriteTx<stm::TinyBackend>)->Name("BM_WriteTx/tiny");
+BENCHMARK(BM_WriteTx<stm::SwissBackend>)->Name("BM_WriteTx/swiss");
+
+template <typename Backend>
+void BM_WriteOracle(benchmark::State& state) {
+  Backend backend;
+  txs::TVar<std::int64_t> v(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.is_write_locked_by_other(v.address(), 0));
+  }
+}
+BENCHMARK(BM_WriteOracle<stm::TinyBackend>)->Name("BM_WriteOracle/tiny");
+BENCHMARK(BM_WriteOracle<stm::SwissBackend>)->Name("BM_WriteOracle/swiss");
+
+}  // namespace
+
+BENCHMARK_MAIN();

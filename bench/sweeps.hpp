@@ -1,0 +1,140 @@
+// Reusable sweep drivers behind the figure benches (5/7/8/9/11 share their
+// shape and differ only in backend, waiting policy and scheduler set).
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/factory.hpp"
+#include "stm/config.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/rbtree_bench.hpp"
+#include "workloads/stamp/registry.hpp"
+#include "workloads/stmbench7.hpp"
+
+namespace shrinktm::bench {
+
+/// STMBench7 throughput sweep: one table per workload mix, one column per
+/// scheduler, one row per thread count.  Figures 5, 8 and 9.
+template <typename Backend>
+void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
+                          const std::vector<core::SchedulerKind>& kinds,
+                          const char* figure_label) {
+  for (auto mix : {workloads::Sb7Mix::kReadDominated, workloads::Sb7Mix::kReadWrite,
+                   workloads::Sb7Mix::kWriteDominated}) {
+    std::cout << "== " << figure_label << ": STMBench7 "
+              << workloads::sb7_mix_name(mix) << " (" << Backend::kName << ", "
+              << (wait == util::WaitPolicy::kBusy ? "busy" : "preemptive")
+              << " waiting; committed tx/s) ==\n";
+    std::vector<std::string> header{"threads"};
+    for (auto k : kinds) header.emplace_back(core::scheduler_kind_name(k));
+    util::TextTable t(header);
+    for (int threads : args.threads) {
+      t.row().cell(threads);
+      for (auto kind : kinds) {
+        const double thr = mean_throughput(args, [&](int run) {
+          stm::StmConfig scfg;
+          scfg.wait_policy = wait;
+          Backend backend(scfg);
+          core::SchedulerOptions opts;
+          opts.wait_policy = wait;
+          opts.seed = args.seed + static_cast<std::uint64_t>(run);
+          auto sched = core::make_scheduler(kind, backend, opts);
+          workloads::Sb7Config wcfg;
+          wcfg.mix = mix;
+          workloads::StmBench7 w(wcfg);
+          workloads::DriverConfig dcfg;
+          dcfg.threads = threads;
+          dcfg.duration_ms = args.duration_ms;
+          dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
+          return workloads::run_workload(backend, sched.get(), w, dcfg).throughput;
+        });
+        t.cell(thr, 0);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+/// Red-black-tree microbenchmark sweep (Figures 7 and 11).
+template <typename Backend>
+void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
+                             const std::vector<core::SchedulerKind>& kinds,
+                             const char* figure_label) {
+  for (int update_pct : {20, 70}) {
+    std::cout << "== " << figure_label << ": red-black tree, " << update_pct
+              << "% updates (" << Backend::kName << "; committed tx/s) ==\n";
+    std::vector<std::string> header{"threads"};
+    for (auto k : kinds) header.emplace_back(core::scheduler_kind_name(k));
+    util::TextTable t(header);
+    for (int threads : args.threads) {
+      t.row().cell(threads);
+      for (auto kind : kinds) {
+        const double thr = mean_throughput(args, [&](int run) {
+          stm::StmConfig scfg;
+          scfg.wait_policy = wait;
+          Backend backend(scfg);
+          core::SchedulerOptions opts;
+          opts.wait_policy = wait;
+          opts.seed = args.seed + static_cast<std::uint64_t>(run);
+          auto sched = core::make_scheduler(kind, backend, opts);
+          workloads::RBTreeBench w(workloads::RBTreeBenchConfig{
+              .key_range = 16384, .update_percent = update_pct});
+          workloads::DriverConfig dcfg;
+          dcfg.threads = threads;
+          dcfg.duration_ms = args.duration_ms;
+          dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
+          return workloads::run_workload(backend, sched.get(), w, dcfg).throughput;
+        });
+        t.cell(thr, 0);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+/// STAMP speedup sweep (Figures 6 and 10): Shrink-X over base X per app and
+/// thread count.  Prints throughput pairs and the speedup.
+template <typename Backend>
+void stamp_speedup_sweep(const BenchArgs& args, util::WaitPolicy wait,
+                         const char* figure_label) {
+  std::cout << "== " << figure_label << ": STAMP speedup of shrink-"
+            << Backend::kName << " over base " << Backend::kName << " ==\n";
+  std::vector<std::string> header{"app"};
+  for (int th : args.threads) header.push_back(std::to_string(th) + "thr");
+  util::TextTable t(header);
+  for (const auto app : workloads::stamp::kAllApps) {
+    t.row().cell(workloads::stamp::app_name(app));
+    for (int threads : args.threads) {
+      auto run_one = [&](core::SchedulerKind kind) {
+        return mean_throughput(args, [&](int run) {
+          stm::StmConfig scfg;
+          scfg.wait_policy = wait;
+          Backend backend(scfg);
+          core::SchedulerOptions opts;
+          opts.wait_policy = wait;
+          opts.seed = args.seed + static_cast<std::uint64_t>(run);
+          auto sched = core::make_scheduler(kind, backend, opts);
+          workloads::DriverConfig dcfg;
+          dcfg.threads = threads;
+          dcfg.duration_ms = args.duration_ms;
+          dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
+          return workloads::stamp::run_stamp(app, backend, sched.get(), dcfg)
+              .throughput;
+        });
+      };
+      const double base = run_one(core::SchedulerKind::kNone);
+      const double shrink = run_one(core::SchedulerKind::kShrink);
+      t.cell(fmt_speedup(base, shrink));
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace shrinktm::bench

@@ -1,0 +1,56 @@
+// scheduler_theory: explore the paper's Section-2 competitive analysis
+// interactively -- build conflict-graph instances and compare simulated
+// schedulers, including how prediction inaccuracy degrades Restart.
+//
+//   $ ./examples/scheduler_theory [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/scenarios.hpp"
+#include "sim/schedulers.hpp"
+
+using namespace shrinktm::sim;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+
+  std::printf("scheduler_theory with n = %d transactions\n\n", n);
+
+  {
+    const Instance inst = make_serializer_chain(n);
+    std::printf("Figure 2(a) chain : Serializer %.0f vs OPT %.0f (Theorem 1: n vs 2)\n",
+                simulate_serializer(inst).makespan,
+                simulate_offline_opt(inst).makespan);
+  }
+  {
+    constexpr int k = 4;
+    const Instance inst = make_ats_star(n, k);
+    std::printf("Figure 2(b) star  : ATS %.0f vs OPT %.0f (Theorem 1: k+n-1 vs k+1)\n",
+                simulate_ats(inst, k).makespan,
+                simulate_offline_opt(inst).makespan);
+  }
+  {
+    const Instance inst = make_release_chain(n);
+    std::printf("release chain     : Restart %.0f vs OPT %.0f (Theorem 2: ratio <= 2)\n",
+                simulate_restart(inst).makespan,
+                simulate_offline_opt(inst).makespan);
+  }
+  {
+    const Instance inst = make_disjoint(n);
+    std::printf("disjoint jobs     : Inaccurate %.0f vs OPT %.0f (Theorem 3: n vs 1)\n",
+                simulate_inaccurate(inst, make_thm3_predicted(n)).makespan,
+                simulate_offline_opt(inst).makespan);
+  }
+
+  std::printf("\nprediction-noise sweep on a random instance (n=%d):\n", n);
+  const Instance inst = make_random(n, 0.1, 3, 0, 7);
+  const double opt = simulate_offline_opt(inst).makespan;
+  for (double q : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const double m =
+        simulate_inaccurate(inst, add_false_conflicts(inst.conflicts, q, 11))
+            .makespan;
+    std::printf("  false-conflict probability %.1f -> makespan %5.1f (%.2fx OPT)\n",
+                q, m, m / opt);
+  }
+  return 0;
+}

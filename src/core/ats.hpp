@@ -1,0 +1,88 @@
+// ATS: Adaptive Transaction Scheduling (Yoo & Lee, SPAA'08), the paper's
+// representative for coarse serialization schemes (§4.1: "We consider ATS to
+// be the representative for the various coarse serialization schemes in the
+// literature, like CAR-STM and Steal-on-abort").
+//
+// Each thread maintains a contention intensity CI, exponentially averaged
+// over outcomes (abort -> 1, commit -> 0).  When CI exceeds a threshold the
+// thread's transactions are dispatched through a central queue -- here a
+// global mutex, which std::mutex serves FIFO-ish enough for the purpose --
+// regardless of what the transaction is about to access.  That coarseness is
+// precisely what Figure 5/7 penalize.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "util/align.hpp"
+
+namespace shrinktm::core {
+
+struct AtsConfig {
+  double alpha = 0.75;       ///< CI smoothing weight (Yoo & Lee use 0.3..0.9)
+  double threshold = 0.5;    ///< serialize when CI exceeds this
+  std::size_t max_threads = 128;
+};
+
+class AtsScheduler final : public Scheduler {
+ public:
+  explicit AtsScheduler(AtsConfig cfg = {})
+      : Scheduler("ats"), cfg_(cfg), threads_(cfg.max_threads) {}
+
+  void before_start(int tid) override {
+    ThreadState& ts = state(tid);
+    if (ts.ci > cfg_.threshold) {
+      stats_.waits.add(1);
+      queue_.lock();
+      ts.owns_queue = true;
+      stats_.serialized_txs.add(1);
+    }
+  }
+
+  void on_commit(int tid) override {
+    ThreadState& ts = state(tid);
+    ts.ci = cfg_.alpha * ts.ci;  // CC = 0
+    release(ts);
+  }
+
+  void on_abort(int tid, std::span<void* const>, int) override {
+    ThreadState& ts = state(tid);
+    ts.ci = cfg_.alpha * ts.ci + (1.0 - cfg_.alpha);  // CC = 1
+    release(ts);
+  }
+
+  double contention_intensity(int tid) const {
+    return threads_[tid] ? threads_[tid]->ci : 0.0;
+  }
+
+ private:
+  struct alignas(util::kCacheLine) ThreadState {
+    double ci = 0.0;
+    bool owns_queue = false;
+  };
+
+  ThreadState& state(int tid) {
+    if (!threads_[tid]) {
+      std::lock_guard<std::mutex> g(reg_mutex_);
+      if (!threads_[tid]) threads_[tid] = std::make_unique<ThreadState>();
+    }
+    return *threads_[tid];
+  }
+
+  void release(ThreadState& ts) {
+    if (ts.owns_queue) {
+      ts.owns_queue = false;
+      queue_.unlock();
+    }
+  }
+
+  AtsConfig cfg_;
+  std::mutex queue_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::mutex reg_mutex_;
+};
+
+}  // namespace shrinktm::core

@@ -1,0 +1,54 @@
+#include "core/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/ats.hpp"
+#include "core/pool.hpp"
+#include "core/serializer.hpp"
+#include "core/shrink.hpp"
+
+namespace shrinktm::core {
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNone: return "base";
+    case SchedulerKind::kShrink: return "shrink";
+    case SchedulerKind::kAts: return "ats";
+    case SchedulerKind::kPool: return "pool";
+    case SchedulerKind::kSerializer: return "serializer";
+  }
+  return "?";
+}
+
+SchedulerKind parse_scheduler_kind(const std::string& name) {
+  if (name == "none" || name == "base") return SchedulerKind::kNone;
+  if (name == "shrink") return SchedulerKind::kShrink;
+  if (name == "ats") return SchedulerKind::kAts;
+  if (name == "pool") return SchedulerKind::kPool;
+  if (name == "serializer") return SchedulerKind::kSerializer;
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const stm::WriteOracle& oracle,
+                                          const SchedulerOptions& opts) {
+  switch (kind) {
+    case SchedulerKind::kNone:
+      return nullptr;
+    case SchedulerKind::kShrink: {
+      ShrinkConfig cfg;
+      cfg.track_accuracy = opts.track_accuracy;
+      cfg.seed = opts.seed;
+      return std::make_unique<ShrinkScheduler>(oracle, cfg);
+    }
+    case SchedulerKind::kAts:
+      return std::make_unique<AtsScheduler>();
+    case SchedulerKind::kPool:
+      return std::make_unique<PoolScheduler>();
+    case SchedulerKind::kSerializer:
+      return std::make_unique<SerializerScheduler>(opts.wait_policy);
+  }
+  throw std::invalid_argument("unknown scheduler kind");
+}
+
+}  // namespace shrinktm::core

@@ -1,0 +1,39 @@
+// Scheduler factory used by the workload driver, examples and benches.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "stm/hooks.hpp"
+#include "util/spin.hpp"
+
+namespace shrinktm::core {
+
+enum class SchedulerKind {
+  kNone,        ///< base STM, no scheduling
+  kShrink,      ///< the paper's contribution
+  kAts,         ///< Yoo & Lee adaptive transaction scheduling
+  kPool,        ///< serialize-on-any-contention strawman
+  kSerializer,  ///< CAR-STM-style reactive serializer
+};
+
+const char* scheduler_kind_name(SchedulerKind kind);
+
+/// Parse "none"/"base", "shrink", "ats", "pool", "serializer"; throws
+/// std::invalid_argument otherwise.
+SchedulerKind parse_scheduler_kind(const std::string& name);
+
+struct SchedulerOptions {
+  util::WaitPolicy wait_policy = util::WaitPolicy::kPreemptive;
+  bool track_accuracy = false;
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Builds a scheduler (nullptr for kNone: the runner treats a null scheduler
+/// as the unscheduled base STM).  `oracle` must outlive the scheduler.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const stm::WriteOracle& oracle,
+                                          const SchedulerOptions& opts = {});
+
+}  // namespace shrinktm::core

@@ -1,0 +1,71 @@
+// Pool: the paper's strawman scheduler (§3, "Serialization affinity"):
+// serialize every thread that faces contention, i.e. every transaction
+// attempt that follows an abort runs under the global mutex.  It motivates
+// serialization affinity: Pool helps in heavily overloaded runs and hurts
+// everywhere else.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "util/align.hpp"
+
+namespace shrinktm::core {
+
+class PoolScheduler final : public Scheduler {
+ public:
+  explicit PoolScheduler(std::size_t max_threads = 128)
+      : Scheduler("pool"), threads_(max_threads) {}
+
+  void before_start(int tid) override {
+    ThreadState& ts = state(tid);
+    if (ts.contended) {
+      stats_.waits.add(1);
+      lock_.lock();
+      ts.owns_lock = true;
+      stats_.serialized_txs.add(1);
+    }
+  }
+
+  void on_commit(int tid) override {
+    ThreadState& ts = state(tid);
+    ts.contended = false;
+    release(ts);
+  }
+
+  void on_abort(int tid, std::span<void* const>, int) override {
+    ThreadState& ts = state(tid);
+    ts.contended = true;  // retry will be serialized
+    release(ts);
+  }
+
+ private:
+  struct alignas(util::kCacheLine) ThreadState {
+    bool contended = false;
+    bool owns_lock = false;
+  };
+
+  ThreadState& state(int tid) {
+    if (!threads_[tid]) {
+      std::lock_guard<std::mutex> g(reg_mutex_);
+      if (!threads_[tid]) threads_[tid] = std::make_unique<ThreadState>();
+    }
+    return *threads_[tid];
+  }
+
+  void release(ThreadState& ts) {
+    if (ts.owns_lock) {
+      ts.owns_lock = false;
+      lock_.unlock();
+    }
+  }
+
+  std::mutex lock_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::mutex reg_mutex_;
+};
+
+}  // namespace shrinktm::core

@@ -1,0 +1,116 @@
+#include "core/prediction.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace shrinktm::core {
+
+PredictionTracker::PredictionTracker(const PredictionConfig& cfg)
+    : cfg_(cfg),
+      pred_reads_(cfg.pred_set_log2_slots),
+      pred_writes_(cfg.pred_set_log2_slots),
+      read_hits_(cfg.pred_set_log2_slots),
+      write_hits_(cfg.pred_set_log2_slots),
+      active_read_pred_(cfg.pred_set_log2_slots) {
+  window_.reserve(cfg_.locality_window);
+  for (unsigned i = 0; i < cfg_.locality_window; ++i)
+    window_.emplace_back(cfg_.bloom_log2_bits, cfg_.bloom_hashes);
+}
+
+int PredictionTracker::confidence_for(util::BloomFilter::Hashed h) const {
+  int confidence = 0;
+  for (std::size_t i = 1; i < window_.size(); ++i) {
+    if (window_[i].maybe_contains(h)) {
+      const std::size_t w = i - 1;  // weight index: bf1 -> c1, ...
+      confidence += w < cfg_.confidence_weights.size() ? cfg_.confidence_weights[w] : 0;
+    }
+  }
+  return confidence;
+}
+
+void PredictionTracker::on_read(const void* addr) {
+  // Hash the address exactly once; the same probe pair serves bf0 and the
+  // whole locality window (this sits on the transactional read path).
+  const auto h = util::BloomFilter::hash(reinterpret_cast<std::uintptr_t>(addr));
+  if (window_[0].maybe_contains(h)) return;  // repeated read in this tx
+
+  // Accuracy first: was this (unique) read predicted before this tx started?
+  if (tracking_ && active_read_pred_.contains(addr)) read_hits_.insert(addr);
+
+  window_[0].insert(h);
+  if (active_ && confidence_for(h) >= cfg_.confidence_threshold)
+    pred_reads_.insert(addr);
+}
+
+void PredictionTracker::on_write(const void* addr) {
+  if (tracking_ && pred_writes_.contains(addr)) write_hits_.insert(addr);
+}
+
+void PredictionTracker::begin_tx(bool track_accuracy) {
+  tracking_ = track_accuracy;
+  this_tx_is_retry_ = !last_committed_;
+  if (tracking_) {
+    active_read_pred_.clear();
+    for (const void* p : pred_reads_.items()) active_read_pred_.insert(p);
+    active_read_pred_size_ = active_read_pred_.size();
+    active_write_pred_size_ = pred_writes_.size();
+    read_hits_.clear();
+    write_hits_.clear();
+  }
+  // Algorithm 1 (tx start, after the serialization check): predictions
+  // accumulated by a *committed* transaction were consumed by the check
+  // above and are now stale; a retry after an abort keeps them.
+  if (last_committed_) {
+    pred_reads_.clear();
+    pred_writes_.clear();
+  }
+}
+
+void PredictionTracker::rotate_window() {
+  // The oldest filter is recycled as the new current filter (constant-time
+  // swap, no reallocation).
+  window_.back().clear();
+  std::rotate(window_.begin(), window_.end() - 1, window_.end());
+}
+
+void PredictionTracker::set_active(bool active) {
+  if (active && !active_) {
+    // Re-activation after an idle stretch: the window contents are stale
+    // (no reads were recorded while inactive), so start from scratch.
+    for (auto& bf : window_) bf.clear();
+  }
+  active_ = active;
+}
+
+void PredictionTracker::note_commit() {
+  if (tracking_) {
+    if (active_read_pred_size_ > 0) {
+      const double acc = static_cast<double>(read_hits_.size()) /
+                         static_cast<double>(active_read_pred_size_);
+      read_acc_.add(acc);
+      if (this_tx_is_retry_) retry_read_acc_.add(acc);
+    }
+    if (active_write_pred_size_ > 0)
+      write_acc_.add(static_cast<double>(write_hits_.size()) /
+                     static_cast<double>(active_write_pred_size_));
+  }
+  // While inactive no reads were recorded, so there is nothing to rotate --
+  // this keeps the healthy-thread commit path to a couple of stores.
+  if (active_) rotate_window();
+  last_committed_ = true;
+}
+
+void PredictionTracker::note_abort(std::span<void* const> write_addrs) {
+  pred_writes_.clear();
+  for (void* p : write_addrs) pred_writes_.insert(p);
+  last_committed_ = false;
+  // Rotate here as well: "temporal locality allows read set prediction to
+  // work across committed and aborted transactions" (paper §3).  The
+  // aborted attempt's reads become bf1, so a retry storm predicts its own
+  // read set from the second attempt on -- exactly the reads that will
+  // collide with the still-running enemy.
+  if (active_) rotate_window();
+}
+
+}  // namespace shrinktm::core

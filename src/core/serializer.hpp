@@ -1,0 +1,84 @@
+// Serializer: CAR-STM-style reactive serialization (Dolev, Hendler, Suissa,
+// PODC'08), analysed in the paper's §2 (Theorem 1: O(n)-competitive).
+//
+// CAR-STM moves a conflicting transaction to the queue of the core running
+// its enemy, guaranteeing the two never conflict again.  Our threads own
+// their transactions, so the equivalent discipline is: after losing a
+// conflict to enemy E, wait until E's *current* transaction completes before
+// retrying.  Completion is observed through a per-thread completion counter;
+// the wait is bounded to stay robust if E never runs again.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "util/align.hpp"
+#include "util/spin.hpp"
+
+namespace shrinktm::core {
+
+class SerializerScheduler final : public Scheduler {
+ public:
+  explicit SerializerScheduler(util::WaitPolicy wait = util::WaitPolicy::kPreemptive,
+                               std::size_t max_threads = 128,
+                               std::uint64_t max_wait_pauses = 1u << 14)
+      : Scheduler("serializer"), wait_policy_(wait),
+        max_wait_pauses_(max_wait_pauses), threads_(max_threads) {}
+
+  void before_start(int tid) override {
+    ThreadState& ts = state(tid);
+    if (ts.waiting_for < 0) return;
+    ThreadState& enemy = state(ts.waiting_for);
+    ts.waiting_for = -1;
+    stats_.waits.add(1);
+    util::Backoff backoff(wait_policy_);
+    for (std::uint64_t i = 0; i < max_wait_pauses_; ++i) {
+      if (enemy.completions.load(std::memory_order_acquire) != ts.enemy_epoch) {
+        stats_.serialized_txs.add(1);
+        return;
+      }
+      backoff.pause();
+    }
+    // Enemy never completed (idle or descheduled); give up waiting.
+  }
+
+  void on_commit(int tid) override {
+    state(tid).completions.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void on_abort(int tid, std::span<void* const>, int enemy_tid) override {
+    ThreadState& ts = state(tid);
+    ts.completions.fetch_add(1, std::memory_order_acq_rel);
+    if (enemy_tid >= 0 && enemy_tid != tid &&
+        static_cast<std::size_t>(enemy_tid) < threads_.size()) {
+      ts.waiting_for = enemy_tid;
+      ts.enemy_epoch = state(enemy_tid).completions.load(std::memory_order_acquire);
+    }
+  }
+
+ private:
+  struct alignas(util::kCacheLine) ThreadState {
+    std::atomic<std::uint64_t> completions{0};
+    int waiting_for = -1;
+    std::uint64_t enemy_epoch = 0;
+  };
+
+  ThreadState& state(int tid) {
+    if (!threads_[tid]) {
+      std::lock_guard<std::mutex> g(reg_mutex_);
+      if (!threads_[tid]) threads_[tid] = std::make_unique<ThreadState>();
+    }
+    return *threads_[tid];
+  }
+
+  util::WaitPolicy wait_policy_;
+  std::uint64_t max_wait_pauses_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::mutex reg_mutex_;
+};
+
+}  // namespace shrinktm::core

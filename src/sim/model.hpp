@@ -1,0 +1,77 @@
+// Job model for the scheduling-theory results (paper §2).
+//
+// Following Motwani et al.'s non-clairvoyant scheduling framework as adapted
+// by the paper: n transactions (jobs), each with a release time R_i and an
+// execution time E_i; a symmetric conflict graph; infinitely many
+// processors; preemption/abort take zero time; two conflicting transactions
+// may not commit from overlapping executions.  The performance measure is
+// makespan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shrinktm::sim {
+
+struct Job {
+  int id = 0;
+  double release = 0.0;  ///< R_i
+  double exec = 1.0;     ///< E_i
+};
+
+/// Symmetric conflict relation over job ids 0..n-1.
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(int n) : n_(n), adj_(static_cast<std::size_t>(n) * n, 0) {}
+
+  int size() const { return n_; }
+
+  void add_conflict(int a, int b) {
+    adj_[index(a, b)] = 1;
+    adj_[index(b, a)] = 1;
+  }
+
+  bool conflict(int a, int b) const { return a != b && adj_[index(a, b)] != 0; }
+
+  int degree(int a) const {
+    int d = 0;
+    for (int b = 0; b < n_; ++b) d += conflict(a, b) ? 1 : 0;
+    return d;
+  }
+
+ private:
+  std::size_t index(int a, int b) const {
+    return static_cast<std::size_t>(a) * n_ + b;
+  }
+  int n_;
+  std::vector<std::uint8_t> adj_;
+};
+
+struct Instance {
+  std::string name;
+  std::vector<Job> jobs;
+  ConflictGraph conflicts{0};
+
+  double max_release() const {  // R_m
+    double r = 0;
+    for (const auto& j : jobs) r = std::max(r, j.release);
+    return r;
+  }
+  double max_exec() const {  // E_m
+    double e = 0;
+    for (const auto& j : jobs) e = std::max(e, j.exec);
+    return e;
+  }
+  /// Trivial lower bound on OPT (paper: OPT >= R_m and OPT >= E_m).
+  double opt_lower_bound() const { return std::max(max_release(), max_exec()); }
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  std::uint64_t aborts = 0;
+  std::uint64_t serializations = 0;  ///< jobs that went through a serial queue
+};
+
+}  // namespace shrinktm::sim

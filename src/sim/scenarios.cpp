@@ -1,0 +1,87 @@
+#include "sim/scenarios.hpp"
+
+#include "util/rng.hpp"
+
+namespace shrinktm::sim {
+
+Instance make_serializer_chain(int n) {
+  Instance inst;
+  inst.name = "fig2a-serializer-chain";
+  inst.conflicts = ConflictGraph(n);
+  inst.jobs.resize(n);
+  for (int i = 0; i < n; ++i) {
+    inst.jobs[i] = {i, i <= 1 ? 0.0 : 1.0, 1.0};
+  }
+  inst.conflicts.add_conflict(0, 1);          // T1 - T2
+  for (int i = 2; i < n; ++i) inst.conflicts.add_conflict(1, i);  // T2 - Ti
+  return inst;
+}
+
+Instance make_ats_star(int n, int k) {
+  Instance inst;
+  inst.name = "fig2b-ats-star";
+  inst.conflicts = ConflictGraph(n);
+  inst.jobs.resize(n);
+  for (int i = 0; i < n; ++i) {
+    inst.jobs[i] = {i, 0.0, i == 0 ? static_cast<double>(k) : 1.0};
+  }
+  for (int i = 1; i < n; ++i) inst.conflicts.add_conflict(0, i);
+  return inst;
+}
+
+Instance make_disjoint(int n) {
+  Instance inst;
+  inst.name = "thm3-disjoint";
+  inst.conflicts = ConflictGraph(n);
+  inst.jobs.resize(n);
+  for (int i = 0; i < n; ++i) inst.jobs[i] = {i, 0.0, 1.0};
+  return inst;
+}
+
+ConflictGraph make_thm3_predicted(int n) {
+  // Believing T_i touches {R_i, R_1} makes every pair share R_1.
+  ConflictGraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) g.add_conflict(i, j);
+  return g;
+}
+
+Instance make_release_chain(int n) {
+  Instance inst;
+  inst.name = "release-chain";
+  inst.conflicts = ConflictGraph(n);
+  inst.jobs.resize(n);
+  for (int i = 0; i < n; ++i) inst.jobs[i] = {i, static_cast<double>(i), 1.0};
+  for (int i = 0; i + 1 < n; ++i) inst.conflicts.add_conflict(i, i + 1);
+  return inst;
+}
+
+Instance make_random(int n, double p, int max_exec, int max_release,
+                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Instance inst;
+  inst.name = "random";
+  inst.conflicts = ConflictGraph(n);
+  inst.jobs.resize(n);
+  for (int i = 0; i < n; ++i) {
+    inst.jobs[i] = {i,
+                    static_cast<double>(rng.next_in(0, max_release)),
+                    static_cast<double>(rng.next_in(1, max_exec))};
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.next_bool(p)) inst.conflicts.add_conflict(i, j);
+  return inst;
+}
+
+ConflictGraph add_false_conflicts(const ConflictGraph& real, double q,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  ConflictGraph g(real.size());
+  for (int i = 0; i < real.size(); ++i)
+    for (int j = i + 1; j < real.size(); ++j)
+      if (real.conflict(i, j) || rng.next_bool(q)) g.add_conflict(i, j);
+  return g;
+}
+
+}  // namespace shrinktm::sim

@@ -1,0 +1,45 @@
+// Instance builders for the paper's §2 proofs and for randomized checks.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/model.hpp"
+
+namespace shrinktm::sim {
+
+/// Figure 2(a): the Serializer lower-bound family.  T1, T2 released at 0;
+/// T3..Tn at 1; unit executions; T1-T2 conflict and T2 conflicts with all of
+/// T3..Tn, which are mutually independent.  Serializer achieves makespan n,
+/// OPT = 2.
+Instance make_serializer_chain(int n);
+
+/// Figure 2(b): the ATS lower-bound family.  All released at 0; E1 = k,
+/// E2..En = 1; T1 conflicts with everyone else; T2..Tn mutually independent.
+/// ATS achieves k + n - 1, OPT = k + 1.
+Instance make_ats_star(int n, int k);
+
+/// Theorem 3: n unit jobs, all released at 0, pairwise independent (each
+/// touches only its own resource).  OPT = 1.
+Instance make_disjoint(int n);
+
+/// Theorem 3's inaccurate prediction for make_disjoint: the scheduler
+/// believes every T_i also accesses resource R_1, making the predicted
+/// conflict graph complete -- so a trusting scheduler serializes everything.
+ConflictGraph make_thm3_predicted(int n);
+
+/// Theorem 2 adversarial releases: job i released at time i, unit
+/// executions, conflict chain (i, i+1).  Exercises Restart's abort-on-
+/// release behaviour; Restart stays within 2x OPT.
+Instance make_release_chain(int n);
+
+/// Random instance: n jobs, conflict probability p, execution times in
+/// [1, max_exec], release times in [0, max_release] (integers).
+Instance make_random(int n, double p, int max_exec, int max_release,
+                     std::uint64_t seed);
+
+/// A predicted graph that adds spurious edges to `real` with probability q
+/// (prediction inaccuracy knob for the Theorem-3-style sensitivity sweep).
+ConflictGraph add_false_conflicts(const ConflictGraph& real, double q,
+                                  std::uint64_t seed);
+
+}  // namespace shrinktm::sim

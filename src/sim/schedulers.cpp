@@ -1,0 +1,315 @@
+#include "sim/schedulers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace shrinktm::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+struct JobState {
+  bool committed = false;
+  bool running = false;
+  double start = 0.0;       ///< start of the current attempt
+  double remaining = 0.0;   ///< work left in the current attempt
+  double commit_time = -1.0;
+  int aborts = 0;
+};
+
+/// Priority used by the planner: descending conflict degree, then longer
+/// execution, then lower id.  Exact for the proof instance families (see
+/// header note).
+std::vector<int> planner_order(const Instance& inst, const ConflictGraph& g) {
+  std::vector<int> order(inst.jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = g.degree(a), db = g.degree(b);
+    if (da != db) return da > db;
+    if (inst.jobs[a].exec != inst.jobs[b].exec)
+      return inst.jobs[a].exec > inst.jobs[b].exec;
+    return a < b;
+  });
+  return order;
+}
+
+double next_release_after(const Instance& inst, double t) {
+  double next = kInf;
+  for (const auto& j : inst.jobs)
+    if (j.release > t + kEps) next = std::min(next, j.release);
+  return next;
+}
+
+}  // namespace
+
+SimResult simulate_serializer(const Instance& inst) {
+  const int n = static_cast<int>(inst.jobs.size());
+  const ConflictGraph& g = inst.conflicts;
+  SimResult res;
+
+  std::vector<JobState> st(n);
+  // Each job starts on its own core; a conflict loser is appended to the
+  // winner's core queue (CAR-STM's serializing contention manager).
+  std::vector<std::deque<int>> core_queue(n);
+  std::vector<int> core_of(n);
+  for (int i = 0; i < n; ++i) core_of[i] = i;
+
+  // try_start: job i wants to run at time t.  Returns true if started;
+  // otherwise it was queued behind the earliest-started conflicting runner.
+  auto try_start = [&](int i, double t) {
+    int winner = -1;
+    for (int j = 0; j < n; ++j) {
+      if (st[j].running && g.conflict(i, j)) {
+        if (winner == -1 || st[j].start < st[winner].start ||
+            (st[j].start == st[winner].start && j < winner))
+          winner = j;
+      }
+    }
+    if (winner >= 0) {
+      ++res.aborts;
+      ++st[i].aborts;
+      core_queue[core_of[winner]].push_back(i);
+      core_of[i] = core_of[winner];
+      return false;
+    }
+    st[i].running = true;
+    st[i].start = t;
+    st[i].remaining = inst.jobs[i].exec;
+    return true;
+  };
+
+  std::vector<char> arrived(n, 0);
+  double t = 0.0;
+  int done = 0;
+  while (done < n) {
+    // Admit newly released jobs (in id order, matching the paper's traces).
+    for (int i = 0; i < n; ++i) {
+      if (!arrived[i] && inst.jobs[i].release <= t + kEps) {
+        arrived[i] = 1;
+        try_start(i, t);
+      }
+    }
+    // Next event: earliest completion or next release.
+    double next = next_release_after(inst, t);
+    for (int i = 0; i < n; ++i)
+      if (st[i].running) next = std::min(next, st[i].start + st[i].remaining);
+    assert(next < kInf);
+    t = next;
+    // Completions at time t.
+    for (int i = 0; i < n; ++i) {
+      if (st[i].running && st[i].start + st[i].remaining <= t + kEps) {
+        st[i].running = false;
+        st[i].committed = true;
+        st[i].commit_time = t;
+        ++done;
+        res.makespan = std::max(res.makespan, t);
+        // Wake the next queued job on this core (it may immediately lose a
+        // conflict and requeue elsewhere).
+        auto& q = core_queue[core_of[i]];
+        while (!q.empty()) {
+          const int nxt = q.front();
+          q.pop_front();
+          if (try_start(nxt, t)) break;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+SimResult simulate_ats(const Instance& inst, int k) {
+  const int n = static_cast<int>(inst.jobs.size());
+  const ConflictGraph& g = inst.conflicts;
+  SimResult res;
+
+  std::vector<JobState> st(n);
+  std::vector<char> arrived(n, 0);
+  std::vector<char> in_q(n, 0);
+  std::deque<int> q;          // the global serial queue
+  int q_running = -1;         // job currently executing from Q
+
+  auto start_attempt = [&](int i, double t) {
+    st[i].running = true;
+    st[i].start = t;
+    st[i].remaining = inst.jobs[i].exec;
+  };
+
+  // A completing attempt commits unless a conflicting job committed during
+  // the attempt window, or a conflicting attempt that started earlier (or
+  // same time with lower id) is still running.
+  auto attempt_commits = [&](int i, double t) {
+    for (int j = 0; j < n; ++j) {
+      if (!g.conflict(i, j)) continue;
+      if (st[j].committed && st[j].commit_time > st[i].start + kEps &&
+          st[j].commit_time <= t + kEps)
+        return false;
+      if (st[j].running &&
+          (st[j].start < st[i].start - kEps ||
+           (std::abs(st[j].start - st[i].start) <= kEps && j < i)))
+        return false;
+    }
+    return true;
+  };
+
+  auto pump_queue = [&](double t) {
+    while (q_running < 0 && !q.empty()) {
+      q_running = q.front();
+      q.pop_front();
+      start_attempt(q_running, t);
+    }
+  };
+
+  double t = 0.0;
+  int done = 0;
+  while (done < n) {
+    for (int i = 0; i < n; ++i) {
+      if (!arrived[i] && inst.jobs[i].release <= t + kEps) {
+        arrived[i] = 1;
+        start_attempt(i, t);
+      }
+    }
+    pump_queue(t);
+
+    double next = next_release_after(inst, t);
+    for (int i = 0; i < n; ++i)
+      if (st[i].running) next = std::min(next, st[i].start + st[i].remaining);
+    assert(next < kInf);
+    t = next;
+
+    // Process completions in id order (deterministic tie-break).
+    for (int i = 0; i < n; ++i) {
+      if (!st[i].running || st[i].start + st[i].remaining > t + kEps) continue;
+      if (attempt_commits(i, t)) {
+        st[i].running = false;
+        st[i].committed = true;
+        st[i].commit_time = t;
+        ++done;
+        res.makespan = std::max(res.makespan, t);
+        if (q_running == i) q_running = -1;
+      } else {
+        ++res.aborts;
+        ++st[i].aborts;
+        st[i].running = false;
+        if (!in_q[i] && st[i].aborts >= k) {
+          in_q[i] = 1;
+          ++res.serializations;
+          q.push_back(i);
+        } else {
+          start_attempt(i, t);  // immediate retry
+        }
+      }
+    }
+    pump_queue(t);
+  }
+  return res;
+}
+
+namespace {
+
+/// Shared planned-execution engine for Restart / Inaccurate / offline OPT.
+///
+/// @param planned_graph   graph the planner believes in (no two jobs it
+///                        considers conflicting ever run together)
+/// @param real_graph      graph that governs actual commit legality
+/// @param restart_on_release  abort all running work at each release (the
+///                        Restart policy); offline OPT keeps running.
+SimResult run_planned(const Instance& inst, const ConflictGraph& planned_graph,
+                      const ConflictGraph& real_graph, bool restart_on_release) {
+  const int n = static_cast<int>(inst.jobs.size());
+  SimResult res;
+  std::vector<JobState> st(n);
+  const std::vector<int> order = planner_order(inst, planned_graph);
+
+  double t = 0.0;
+  int done = 0;
+  while (done < n) {
+    // Start available jobs in planner priority order, never pairing jobs
+    // the planner believes conflict.
+    for (int idx : order) {
+      const int i = idx;
+      if (st[i].committed || st[i].running) continue;
+      if (inst.jobs[i].release > t + kEps) continue;
+      bool blocked = false;
+      for (int j = 0; j < n && !blocked; ++j)
+        if (st[j].running && planned_graph.conflict(i, j)) blocked = true;
+      if (!blocked) {
+        st[i].running = true;
+        st[i].start = t;
+        if (st[i].remaining <= 0) st[i].remaining = inst.jobs[i].exec;
+      }
+    }
+
+    const double release = next_release_after(inst, t);
+    double completion = kInf;
+    for (int i = 0; i < n; ++i)
+      if (st[i].running) completion = std::min(completion, st[i].start + st[i].remaining);
+    const double next = std::min(release, completion);
+    assert(next < kInf);
+    t = next;
+    const bool release_event = release <= t + kEps;
+
+    // Completions: a job commits unless a real-conflicting job committed
+    // inside its window or an earlier-started real-conflicting job still
+    // runs (pending-commit: the earliest starter always commits).
+    for (int i = 0; i < n; ++i) {
+      if (!st[i].running || st[i].start + st[i].remaining > t + kEps) continue;
+      bool commits = true;
+      for (int j = 0; j < n && commits; ++j) {
+        if (!real_graph.conflict(i, j)) continue;
+        if (st[j].committed && st[j].commit_time > st[i].start + kEps &&
+            st[j].commit_time <= t + kEps)
+          commits = false;
+        if (st[j].running &&
+            (st[j].start < st[i].start - kEps ||
+             (std::abs(st[j].start - st[i].start) <= kEps && j < i)))
+          commits = false;
+      }
+      st[i].running = false;
+      if (commits) {
+        st[i].committed = true;
+        st[i].commit_time = t;
+        ++done;
+        res.makespan = std::max(res.makespan, t);
+      } else {
+        ++res.aborts;
+        st[i].remaining = 0;  // restart from scratch on next planner slot
+      }
+    }
+
+    if (restart_on_release && release_event) {
+      // Restart policy: a new job arrived; abort everything still running
+      // (zero cost, but progress is lost -- transactions restart from the
+      // beginning) and re-plan over all released unfinished jobs.
+      for (int i = 0; i < n; ++i) {
+        if (st[i].running) {
+          st[i].running = false;
+          st[i].remaining = 0;
+          ++res.aborts;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+SimResult simulate_restart(const Instance& inst) {
+  return run_planned(inst, inst.conflicts, inst.conflicts,
+                     /*restart_on_release=*/true);
+}
+
+SimResult simulate_inaccurate(const Instance& inst, const ConflictGraph& predicted) {
+  return run_planned(inst, predicted, inst.conflicts, /*restart_on_release=*/true);
+}
+
+SimResult simulate_offline_opt(const Instance& inst) {
+  return run_planned(inst, inst.conflicts, inst.conflicts,
+                     /*restart_on_release=*/false);
+}
+
+}  // namespace shrinktm::sim

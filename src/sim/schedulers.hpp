@@ -1,0 +1,36 @@
+// Simulated TM schedulers for the competitive-analysis results (paper §2).
+//
+// Each function runs one scheduling policy over an Instance and returns the
+// makespan (plus abort counts).  Event-driven, exact arithmetic on the small
+// integral times the scenarios use.
+//
+//  * simulate_serializer  -- CAR-STM's Serializer (Theorem 1): a conflict
+//    loser is moved to the winner's core queue.
+//  * simulate_ats         -- ATS (Theorem 1): after k aborts a job enters a
+//    single global serial queue.
+//  * simulate_restart     -- the paper's 2-competitive online clairvoyant
+//    scheduler (Theorem 2): on every release, abort everything running and
+//    re-plan the released unfinished jobs.
+//  * simulate_inaccurate  -- Restart driven by a *predicted* conflict graph
+//    (Theorem 3); real conflicts still cause aborts (pending-commit holds).
+//  * simulate_offline_opt -- an offline planner with complete information.
+//
+// Planner note: optimal scheduling with conflicts is graph-coloring-hard in
+// general.  The planner used for Restart/Inaccurate/OPT is greedy by
+// descending conflict degree (ties: longer execution, then lower id), which
+// is exact for the instance families of the paper's proofs (stars, chains,
+// independent sets) and a feasible -- hence upper-bounding -- schedule
+// elsewhere.  Tests pin the closed forms.
+#pragma once
+
+#include "sim/model.hpp"
+
+namespace shrinktm::sim {
+
+SimResult simulate_serializer(const Instance& inst);
+SimResult simulate_ats(const Instance& inst, int k);
+SimResult simulate_restart(const Instance& inst);
+SimResult simulate_inaccurate(const Instance& inst, const ConflictGraph& predicted);
+SimResult simulate_offline_opt(const Instance& inst);
+
+}  // namespace shrinktm::sim

@@ -1,0 +1,25 @@
+// Global version clock (TL2/LSA style).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/align.hpp"
+
+namespace shrinktm::stm {
+
+/// Monotone commit-timestamp source shared by all transactions of a backend.
+/// A single fetch_add per writer commit; read-only transactions never touch
+/// it after their initial load.
+class GlobalClock {
+ public:
+  std::uint64_t now() const { return time_.load(std::memory_order_acquire); }
+
+  /// Returns the new (post-increment) timestamp for a committing writer.
+  std::uint64_t tick() { return time_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+ private:
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> time_{0};
+};
+
+}  // namespace shrinktm::stm

@@ -1,0 +1,33 @@
+// Runtime configuration shared by both STM backends.
+#pragma once
+
+#include <cstddef>
+
+#include "util/spin.hpp"
+
+namespace shrinktm::stm {
+
+struct StmConfig {
+  /// log2 of the ownership-record table size.  2^18 orecs keeps false
+  /// conflicts rare for the benchmark working sets while staying cache
+  /// friendly on small machines.
+  unsigned log2_orecs = 18;
+
+  /// Waiting flavour: kPreemptive reproduces SwissTM's default (§4.1),
+  /// kBusy reproduces TinySTM 0.9.5 and the appendix SwissTM runs.
+  util::WaitPolicy wait_policy = util::WaitPolicy::kPreemptive;
+
+  /// SwissBackend only: number of writes after which a transaction stops
+  /// being "timid" and acquires a greedy ticket (two-phase CM).
+  std::size_t greedy_write_threshold = 10;
+
+  /// Bounded wait (in backoff pauses) for a killed enemy to release a write
+  /// lock before the winner gives up and aborts itself; prevents unbounded
+  /// waiting on a descheduled enemy.
+  unsigned kill_wait_pauses = 256;
+
+  /// Maximum threads a backend instance supports.
+  std::size_t max_threads = 128;
+};
+
+}  // namespace shrinktm::stm

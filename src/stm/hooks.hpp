@@ -1,0 +1,58 @@
+// Interfaces that tie the scheduler layer (src/core) to the STM layer.
+//
+// The dependency is one-way: STM backends call out through SchedulerHooks at
+// the four points of the paper's flowchart (Figure 4) and expose the
+// visible-writes oracle schedulers need; they know nothing about concrete
+// scheduler policies.
+#pragma once
+
+#include <span>
+
+namespace shrinktm::stm {
+
+/// Callbacks a TM scheduler registers around/inside transactions.
+/// before_start may block -- that is how serialization is implemented.
+class SchedulerHooks {
+ public:
+  virtual ~SchedulerHooks() = default;
+
+  /// Called before each transaction *attempt* begins (TxStart in Figure 4).
+  virtual void before_start(int tid) = 0;
+
+  /// Called from the STM read path on every transactional load.  Only
+  /// invoked when wants_read_hook() is true, so null schedulers pay nothing.
+  virtual void on_read(int /*tid*/, const void* /*addr*/) {}
+
+  /// Called from the STM write path; only when wants_write_hook() is true.
+  /// Used solely by prediction-accuracy instrumentation (Figure 3).
+  virtual void on_write(int /*tid*/, const void* /*addr*/) {}
+
+  /// Called after a successful commit (TxCommit).
+  virtual void on_commit(int tid) = 0;
+
+  /// Called after an abort (TxAbort) with the aborted attempt's write-set
+  /// addresses (Shrink's write-set prediction source) and the conflicting
+  /// thread, -1 if unknown.
+  virtual void on_abort(int tid, std::span<void* const> write_addrs,
+                        int enemy_tid) = 0;
+
+  virtual bool wants_read_hook() const { return false; }
+  virtual bool wants_write_hook() const { return false; }
+
+  /// Re-evaluated at each transaction start: lets a scheduler switch its
+  /// per-read instrumentation off for healthy threads so the hot path pays
+  /// nothing when no prediction will be consumed (Shrink is "activated"
+  /// only below its success-rate threshold -- paper §3).
+  virtual bool read_hook_active(int /*tid*/) const { return true; }
+};
+
+/// "Visible writes" oracle (paper §3: Shrink can be integrated with any TM
+/// that uses visible writes).  Both backends expose whether an address is
+/// currently write-locked by some other thread.
+class WriteOracle {
+ public:
+  virtual ~WriteOracle() = default;
+  virtual bool is_write_locked_by_other(const void* addr, int self_tid) const = 0;
+};
+
+}  // namespace shrinktm::stm

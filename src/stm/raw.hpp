@@ -1,0 +1,25 @@
+// Race-free raw access to transactional memory words.
+//
+// The data words managed by the STM are concurrently read by transactions
+// and written by committers; accessing them through std::atomic_ref keeps
+// the program free of C++ data races while compiling to plain loads/stores
+// on x86.  Consistency is enforced by the orec protocols, not by these
+// accesses.
+#pragma once
+
+#include <atomic>
+
+#include "stm/word.hpp"
+
+namespace shrinktm::stm {
+
+inline Word raw_load(const Word* addr) {
+  return std::atomic_ref<Word>(*const_cast<Word*>(addr))
+      .load(std::memory_order_acquire);
+}
+
+inline void raw_store(Word* addr, Word value) {
+  std::atomic_ref<Word>(*addr).store(value, std::memory_order_release);
+}
+
+}  // namespace shrinktm::stm

@@ -1,0 +1,86 @@
+// TxRunner: the retry loop around a transaction body.
+//
+// This is where the scheduler of Figure 4 wraps the STM: before_start may
+// serialize the attempt, on_commit/on_abort feed the success-rate and
+// prediction machinery, and the waiting policy decides whether aborted
+// threads spin or yield between retries.
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+#include <utility>
+
+#include "stm/hooks.hpp"
+#include "stm/word.hpp"
+#include "util/spin.hpp"
+
+namespace shrinktm::stm {
+
+/// Runs transaction bodies to commit over a backend transaction descriptor
+/// (TinyTx or SwissTx).  The body receives the descriptor and performs all
+/// shared accesses through it; on conflict the body is re-executed.
+///
+/// Non-TxConflict exceptions thrown by the body cancel the transaction and
+/// propagate to the caller (the attempt has already been rolled back).
+template <typename Tx>
+class TxRunner {
+ public:
+  /// @param sched may be null (no scheduling: the base STM behaviour).
+  TxRunner(Tx& tx, SchedulerHooks* sched)
+      : tx_(tx), sched_(sched), backoff_(tx.wait_policy()) {
+    tx_.set_scheduler(sched);
+  }
+
+  int tid() const { return tx_.tid(); }
+  Tx& tx() { return tx_; }
+
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run(Body&& body) {
+    using R = std::invoke_result_t<Body&, Tx&>;
+    for (;;) {
+      if (sched_ != nullptr) sched_->before_start(tx_.tid());
+      tx_.start();
+      try {
+        if constexpr (std::is_void_v<R>) {
+          body(tx_);
+          tx_.commit();
+          if (sched_ != nullptr) sched_->on_commit(tx_.tid());
+          backoff_.reset();
+          return;
+        } else {
+          R result = body(tx_);
+          tx_.commit();
+          if (sched_ != nullptr) sched_->on_commit(tx_.tid());
+          backoff_.reset();
+          return result;
+        }
+      } catch (const TxConflict& c) {
+        // The descriptor rolled itself back before throwing.
+        if (sched_ != nullptr)
+          sched_->on_abort(tx_.tid(), tx_.last_write_addrs(), c.enemy_tid());
+        backoff_.pause();
+      } catch (...) {
+        // User exception: cancel the transaction and let it propagate.
+        if (tx_.in_tx()) cancel();
+        throw;
+      }
+    }
+  }
+
+ private:
+  void cancel() {
+    try {
+      tx_.restart();  // rolls back and throws TxConflict
+    } catch (const TxConflict&) {
+    }
+    if (sched_ != nullptr)
+      sched_->on_abort(tx_.tid(), tx_.last_write_addrs(), -1);
+  }
+
+  Tx& tx_;
+  SchedulerHooks* sched_;
+  util::Backoff backoff_;
+};
+
+}  // namespace shrinktm::stm

@@ -1,0 +1,51 @@
+// Per-thread and aggregate transaction statistics.
+//
+// The experiment harness reports committed-transactions-per-second (the
+// paper's throughput metric) plus abort breakdowns; everything here is
+// plain counters on thread-private cache lines, so collection does not
+// perturb the measured system.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stm/word.hpp"
+#include "util/align.hpp"
+
+namespace shrinktm::stm {
+
+struct ThreadStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t extensions = 0;        ///< successful snapshot extensions
+  std::uint64_t kills_issued = 0;      ///< CM remote aborts we caused
+  std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kNumReasons)>
+      aborts_by_reason{};
+
+  void record_abort(AbortReason r) {
+    ++aborts;
+    ++aborts_by_reason[static_cast<std::size_t>(r)];
+  }
+
+  ThreadStats& operator+=(const ThreadStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    reads += o.reads;
+    writes += o.writes;
+    extensions += o.extensions;
+    kills_issued += o.kills_issued;
+    for (std::size_t i = 0; i < aborts_by_reason.size(); ++i)
+      aborts_by_reason[i] += o.aborts_by_reason[i];
+    return *this;
+  }
+
+  double abort_ratio() const {
+    const auto total = commits + aborts;
+    return total == 0 ? 0.0 : static_cast<double>(aborts) / static_cast<double>(total);
+  }
+};
+
+}  // namespace shrinktm::stm

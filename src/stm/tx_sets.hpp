@@ -1,0 +1,99 @@
+// Read-set and write-set (redo log) containers used by both backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stm/word.hpp"
+#include "util/hash.hpp"
+
+namespace shrinktm::stm {
+
+/// One read-set entry: which ownership record was read and the version it
+/// carried at the time.  Validation re-checks the version.
+template <typename OrecT>
+struct ReadEntry {
+  OrecT* orec;
+  std::uint64_t version;
+};
+
+/// Redo log with O(1) expected lookup by address.
+///
+/// Both backends buffer writes (write-back) so the log is consulted on every
+/// read-after-write.  Entries are stored in insertion order (needed for
+/// deterministic write-back and lock release); a small open-addressing index
+/// maps addresses to entry positions.
+template <typename OrecT>
+class WriteLog {
+ public:
+  struct Entry {
+    Word* addr;
+    Word value;
+    OrecT* orec;
+    std::uint64_t old_version;  ///< orec version observed when first locked
+  };
+
+  WriteLog() { rebuild_index(16); }
+
+  void clear() {
+    entries_.clear();
+    if (index_.size() > 64) rebuild_index(64);
+    else std::fill(index_.begin(), index_.end(), kEmpty);
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  Entry* find(const Word* addr) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = util::hash_ptr(addr) & mask;
+    while (index_[i] != kEmpty) {
+      Entry& e = entries_[index_[i]];
+      if (e.addr == addr) return &e;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  /// Insert a new entry (caller must have checked find() first).
+  Entry& append(Word* addr, Word value, OrecT* orec, std::uint64_t old_version) {
+    entries_.push_back({addr, value, orec, old_version});
+    if ((entries_.size() + 1) * 2 > index_.size()) {
+      rebuild_index(index_.size() * 2);
+    } else {
+      index_insert(entries_.size() - 1);
+    }
+    return entries_.back();
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The raw list of written addresses, handed to SchedulerHooks::on_abort.
+  void collect_addrs(std::vector<void*>& out) const {
+    out.clear();
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.addr);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = ~std::uint32_t{0};
+
+  void index_insert(std::size_t pos) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = util::hash_ptr(entries_[pos].addr) & mask;
+    while (index_[i] != kEmpty) i = (i + 1) & mask;
+    index_[i] = static_cast<std::uint32_t>(pos);
+  }
+
+  void rebuild_index(std::size_t n) {
+    index_.assign(n, kEmpty);
+    for (std::size_t p = 0; p < entries_.size(); ++p) index_insert(p);
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> index_;
+};
+
+}  // namespace shrinktm::stm

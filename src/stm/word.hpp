@@ -1,0 +1,48 @@
+// Fundamental types of the word-based STM runtimes.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+namespace shrinktm::stm {
+
+/// The unit of transactional access.  Both backends are word-based (the
+/// paper integrates with word-based TinySTM and SwissTM); larger objects are
+/// accessed word by word via txstruct::TVar.
+using Word = std::uintptr_t;
+
+/// Why a transaction attempt died.  Kept per-abort for the statistics the
+/// experiment harness reports.
+enum class AbortReason : std::uint8_t {
+  kReadConflict = 0,   ///< read found an address write-locked by another tx
+  kWriteConflict = 1,  ///< write/write conflict lost to another tx
+  kValidation = 2,     ///< snapshot extension or commit-time validation failed
+  kKilled = 3,         ///< a contention manager aborted this tx remotely
+  kExplicit = 4,       ///< user-requested restart
+  kNumReasons = 5,
+};
+
+const char* abort_reason_name(AbortReason r);
+
+/// Control-flow exception that unwinds a doomed transaction attempt back to
+/// the retry loop in TxRunner.  The C STMs the paper uses restart via
+/// sigsetjmp/longjmp; an exception is the idiomatic C++ equivalent.  The
+/// transaction has already been rolled back (locks released, allocations
+/// freed) by the time this is in flight.
+class TxConflict : public std::exception {
+ public:
+  TxConflict(AbortReason reason, int enemy_tid)
+      : reason_(reason), enemy_tid_(enemy_tid) {}
+
+  AbortReason reason() const { return reason_; }
+  /// Thread id of the transaction we conflicted with, or -1 if unknown.
+  int enemy_tid() const { return enemy_tid_; }
+
+  const char* what() const noexcept override { return "TxConflict"; }
+
+ private:
+  AbortReason reason_;
+  int enemy_tid_;
+};
+
+}  // namespace shrinktm::stm

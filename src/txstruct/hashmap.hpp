@@ -1,0 +1,134 @@
+// Transactional chained hash map with a fixed bucket array.
+//
+// Used by genome (segment dedup), intruder (flow reassembly) and vacation
+// (customer table).  The bucket array is immutable; only chain links and
+// values are transactional, so independent buckets never conflict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "txstruct/tvar.hpp"
+#include "util/hash.hpp"
+
+namespace shrinktm::txs {
+
+template <WordSized K, WordSized V>
+class TxHashMap {
+ public:
+  explicit TxHashMap(std::size_t buckets = 1024)
+      : buckets_(round_up_pow2(buckets)), mask_(buckets_.size() - 1) {}
+
+  TxHashMap(const TxHashMap&) = delete;
+  TxHashMap& operator=(const TxHashMap&) = delete;
+
+  ~TxHashMap() {
+    for (auto& b : buckets_) {
+      Node* n = b.unsafe_read();
+      while (n != nullptr) {
+        Node* next = n->next.unsafe_read();
+        ::operator delete(n);
+        n = next;
+      }
+    }
+  }
+
+  template <typename Tx>
+  std::optional<V> lookup(Tx& tx, K key) const {
+    for (Node* n = bucket(key).read(tx); n != nullptr; n = n->next.read(tx)) {
+      if (n->key == key) return n->value.read(tx);
+    }
+    return std::nullopt;
+  }
+
+  template <typename Tx>
+  bool contains(Tx& tx, K key) const {
+    return lookup(tx, key).has_value();
+  }
+
+  /// Returns false if key already present (map unchanged).
+  template <typename Tx>
+  bool insert(Tx& tx, K key, V value) {
+    TVar<Node*>& head = bucket(key);
+    Node* first = head.read(tx);
+    for (Node* n = first; n != nullptr; n = n->next.read(tx)) {
+      if (n->key == key) return false;
+    }
+    Node* fresh = new (tx.tx_alloc(sizeof(Node))) Node(key, value);
+    fresh->next.unsafe_write(first);  // fresh is tx-private until published
+    head.write(tx, fresh);
+    return true;
+  }
+
+  template <typename Tx>
+  void insert_or_assign(Tx& tx, K key, V value) {
+    TVar<Node*>& head = bucket(key);
+    for (Node* n = head.read(tx); n != nullptr; n = n->next.read(tx)) {
+      if (n->key == key) {
+        n->value.write(tx, value);
+        return;
+      }
+    }
+    Node* first = head.read(tx);
+    Node* fresh = new (tx.tx_alloc(sizeof(Node))) Node(key, value);
+    fresh->next.unsafe_write(first);
+    head.write(tx, fresh);
+  }
+
+  template <typename Tx>
+  bool erase(Tx& tx, K key) {
+    TVar<Node*>& head = bucket(key);
+    Node* prev = nullptr;
+    for (Node* n = head.read(tx); n != nullptr; n = n->next.read(tx)) {
+      if (n->key == key) {
+        Node* next = n->next.read(tx);
+        if (prev == nullptr) {
+          head.write(tx, next);
+        } else {
+          prev->next.write(tx, next);
+        }
+        tx.tx_free(n);
+        return true;
+      }
+      prev = n;
+    }
+    return false;
+  }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  std::size_t unsafe_size() const {
+    std::size_t c = 0;
+    for (const auto& b : buckets_)
+      for (Node* n = b.unsafe_read(); n != nullptr; n = n->next.unsafe_read()) ++c;
+    return c;
+  }
+
+ private:
+  struct Node {
+    Node(K k, V v) : key(k), value(v) {}
+    const K key;
+    TVar<V> value;
+    TVar<Node*> next{nullptr};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  TVar<Node*>& bucket(K key) {
+    return buckets_[util::mix64(static_cast<std::uint64_t>(key)) & mask_];
+  }
+  const TVar<Node*>& bucket(K key) const {
+    return buckets_[util::mix64(static_cast<std::uint64_t>(key)) & mask_];
+  }
+
+  std::vector<TVar<Node*>> buckets_;
+  std::size_t mask_;
+};
+
+}  // namespace shrinktm::txs

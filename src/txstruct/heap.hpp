@@ -1,0 +1,87 @@
+// Transactional binary min-heap with fixed capacity.
+//
+// yada's work queue of bad triangles is a shared priority queue; every
+// insert/extract touches the root region, producing the cascading conflicts
+// the paper exploits (§4.1, yada gains the most from Shrink).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "txstruct/tvar.hpp"
+
+namespace shrinktm::txs {
+
+template <WordSized T>
+class TxHeap {
+ public:
+  explicit TxHeap(std::size_t capacity) : slots_(capacity), size_(0) {}
+  TxHeap(const TxHeap&) = delete;
+  TxHeap& operator=(const TxHeap&) = delete;
+
+  template <typename Tx>
+  bool push(Tx& tx, T v) {
+    std::size_t n = size_.read(tx);
+    if (n >= slots_.size()) return false;  // full
+    // sift up
+    std::size_t i = n;
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 2;
+      const T pv = slots_[p].read(tx);
+      if (!(v < pv)) break;
+      slots_[i].write(tx, pv);
+      i = p;
+    }
+    slots_[i].write(tx, v);
+    size_.write(tx, n + 1);
+    return true;
+  }
+
+  template <typename Tx>
+  std::optional<T> pop(Tx& tx) {
+    std::size_t n = size_.read(tx);
+    if (n == 0) return std::nullopt;
+    const T top = slots_[0].read(tx);
+    const T last = slots_[n - 1].read(tx);
+    --n;
+    size_.write(tx, n);
+    if (n > 0) {
+      // sift down `last` from the root
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = l + 1;
+        if (l >= n) break;
+        std::size_t c = l;
+        T cv = slots_[l].read(tx);
+        if (r < n) {
+          const T rv = slots_[r].read(tx);
+          if (rv < cv) {
+            c = r;
+            cv = rv;
+          }
+        }
+        if (!(cv < last)) break;
+        slots_[i].write(tx, cv);
+        i = c;
+      }
+      slots_[i].write(tx, last);
+    }
+    return top;
+  }
+
+  template <typename Tx>
+  std::size_t size(Tx& tx) const {
+    return size_.read(tx);
+  }
+
+  std::size_t unsafe_size() const { return size_.unsafe_read(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<TVar<T>> slots_;
+  TVar<std::size_t> size_;
+};
+
+}  // namespace shrinktm::txs

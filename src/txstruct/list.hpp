@@ -1,0 +1,98 @@
+// Transactional sorted singly-linked list (integer set).
+//
+// The simplest transactional set; long prefix read chains make it a good
+// stress for read-set prediction (every traversal re-reads the same prefix,
+// the paper's temporal locality in its purest form).
+#pragma once
+
+#include <optional>
+
+#include "txstruct/tvar.hpp"
+
+namespace shrinktm::txs {
+
+template <WordSized K>
+class TxList {
+ public:
+  TxList() = default;
+  TxList(const TxList&) = delete;
+  TxList& operator=(const TxList&) = delete;
+
+  ~TxList() {
+    Node* n = head_.unsafe_read();
+    while (n != nullptr) {
+      Node* next = n->next.unsafe_read();
+      ::operator delete(n);
+      n = next;
+    }
+  }
+
+  template <typename Tx>
+  bool contains(Tx& tx, K key) const {
+    Node* n = head_.read(tx);
+    while (n != nullptr && n->key < key) n = n->next.read(tx);
+    return n != nullptr && n->key == key;
+  }
+
+  template <typename Tx>
+  bool insert(Tx& tx, K key) {
+    Node* prev = nullptr;
+    Node* n = head_.read(tx);
+    while (n != nullptr && n->key < key) {
+      prev = n;
+      n = n->next.read(tx);
+    }
+    if (n != nullptr && n->key == key) return false;
+    Node* fresh = new (tx.tx_alloc(sizeof(Node))) Node(key);
+    fresh->next.unsafe_write(n);
+    if (prev == nullptr) {
+      head_.write(tx, fresh);
+    } else {
+      prev->next.write(tx, fresh);
+    }
+    return true;
+  }
+
+  template <typename Tx>
+  bool erase(Tx& tx, K key) {
+    Node* prev = nullptr;
+    Node* n = head_.read(tx);
+    while (n != nullptr && n->key < key) {
+      prev = n;
+      n = n->next.read(tx);
+    }
+    if (n == nullptr || n->key != key) return false;
+    Node* next = n->next.read(tx);
+    if (prev == nullptr) {
+      head_.write(tx, next);
+    } else {
+      prev->next.write(tx, next);
+    }
+    tx.tx_free(n);
+    return true;
+  }
+
+  template <typename Tx>
+  std::size_t size(Tx& tx) const {
+    std::size_t c = 0;
+    for (Node* n = head_.read(tx); n != nullptr; n = n->next.read(tx)) ++c;
+    return c;
+  }
+
+  std::size_t unsafe_size() const {
+    std::size_t c = 0;
+    for (Node* n = head_.unsafe_read(); n != nullptr; n = n->next.unsafe_read()) ++c;
+    return c;
+  }
+
+ private:
+  struct Node {
+    explicit Node(K k) : key(k) {}
+    const K key;
+    TVar<Node*> next{nullptr};
+  };
+
+  TVar<Node*> head_{nullptr};
+};
+
+}  // namespace shrinktm::txs

@@ -1,0 +1,432 @@
+// Transactional red-black tree (ordered map / integer set).
+//
+// This is the workhorse shared structure of the evaluation: the paper's
+// red-black-tree microbenchmark (Figures 7 and 11), the tables of
+// vacation, and the STMBench7-mini indices are all instances.  The
+// algorithm is the classic CLRS insert/delete with rebalancing; every
+// pointer, color and value access goes through the transaction, so the STM
+// sees exactly the root-to-leaf read chains and localized rebalancing
+// writes the paper's workloads produce.
+//
+// No sentinel nil node is used (a shared mutable sentinel would be an
+// artificial conflict hot spot); null children are represented by nullptr
+// and delete-fixup threads the (node, parent) pair explicitly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "txstruct/tvar.hpp"
+
+namespace shrinktm::txs {
+
+template <WordSized K, WordSized V>
+class TxRBTree {
+ public:
+  TxRBTree() = default;
+  TxRBTree(const TxRBTree&) = delete;
+  TxRBTree& operator=(const TxRBTree&) = delete;
+
+  /// Frees all nodes; single-threaded teardown only.
+  ~TxRBTree() { destroy(root_.unsafe_read()); }
+
+  /// Returns the value mapped to `key`, if present.
+  template <typename Tx>
+  std::optional<V> lookup(Tx& tx, K key) const {
+    Node* n = root_.read(tx);
+    while (n != nullptr) {
+      const K nk = n->key;
+      if (key == nk) return n->value.read(tx);
+      n = key < nk ? n->left.read(tx) : n->right.read(tx);
+    }
+    return std::nullopt;
+  }
+
+  template <typename Tx>
+  bool contains(Tx& tx, K key) const {
+    return lookup(tx, key).has_value();
+  }
+
+  /// Inserts (key, value); returns false (and leaves the tree unchanged) if
+  /// the key is already present.
+  template <typename Tx>
+  bool insert(Tx& tx, K key, V value) {
+    Node* parent = nullptr;
+    Node* n = root_.read(tx);
+    while (n != nullptr) {
+      const K nk = n->key;
+      if (key == nk) return false;
+      parent = n;
+      n = key < nk ? n->left.read(tx) : n->right.read(tx);
+    }
+    Node* fresh = new (tx.tx_alloc(sizeof(Node))) Node(key, value);
+    fresh->parent.write(tx, parent);
+    if (parent == nullptr) {
+      root_.write(tx, fresh);
+    } else if (key < parent->key) {
+      parent->left.write(tx, fresh);
+    } else {
+      parent->right.write(tx, fresh);
+    }
+    insert_fixup(tx, fresh);
+    return true;
+  }
+
+  /// Updates the value of an existing key or inserts it; returns true if a
+  /// new key was inserted.
+  template <typename Tx>
+  bool insert_or_assign(Tx& tx, K key, V value) {
+    Node* n = root_.read(tx);
+    while (n != nullptr) {
+      const K nk = n->key;
+      if (key == nk) {
+        n->value.write(tx, value);
+        return false;
+      }
+      n = key < nk ? n->left.read(tx) : n->right.read(tx);
+    }
+    return insert(tx, key, value);
+  }
+
+  /// Removes `key`; returns false if it was not present.
+  template <typename Tx>
+  bool erase(Tx& tx, K key) {
+    Node* z = root_.read(tx);
+    while (z != nullptr) {
+      const K zk = z->key;
+      if (key == zk) break;
+      z = key < zk ? z->left.read(tx) : z->right.read(tx);
+    }
+    if (z == nullptr) return false;
+    erase_node(tx, z);
+    return true;
+  }
+
+  /// Smallest key >= `key`, if any (used by STMBench7-mini range scans).
+  template <typename Tx>
+  std::optional<K> lower_bound_key(Tx& tx, K key) const {
+    Node* n = root_.read(tx);
+    std::optional<K> best;
+    while (n != nullptr) {
+      const K nk = n->key;
+      if (nk == key) return nk;
+      if (key < nk) {
+        best = nk;
+        n = n->left.read(tx);
+      } else {
+        n = n->right.read(tx);
+      }
+    }
+    return best;
+  }
+
+  /// In-order traversal calling fn(key, value); returns visited count.
+  template <typename Tx, typename Fn>
+  std::size_t for_each(Tx& tx, Fn&& fn) const {
+    return walk(tx, root_.read(tx), fn);
+  }
+
+  /// Transactional node count (O(n) reads -- a deliberate long traversal).
+  template <typename Tx>
+  std::size_t size(Tx& tx) const {
+    return for_each(tx, [](K, V) {});
+  }
+
+  // --- non-transactional verification helpers (quiescent state only) ---
+
+  /// Checks the red-black invariants; returns black height, or -1 on
+  /// violation.  Call only while no transactions run.
+  int unsafe_check_invariants() const {
+    bool first = true;
+    Node* r = root_.unsafe_read();
+    if (r != nullptr && r->color.unsafe_read() == kRed) return -1;
+    return check(r, first);
+  }
+
+  std::size_t unsafe_size() const { return count(root_.unsafe_read()); }
+
+  /// Quiescent-state in-order traversal calling fn(key, value).
+  template <typename Fn>
+  void unsafe_for_each(Fn&& fn) const {
+    unsafe_walk(root_.unsafe_read(), fn);
+  }
+
+ private:
+  static constexpr std::uint8_t kRed = 0;
+  static constexpr std::uint8_t kBlack = 1;
+
+  struct Node {
+    Node(K k, V v) : key(k), value(v), color(kRed) {}
+    const K key;
+    TVar<V> value;
+    TVar<std::uint8_t> color;
+    TVar<Node*> left{nullptr};
+    TVar<Node*> right{nullptr};
+    TVar<Node*> parent{nullptr};
+  };
+
+  template <typename Tx>
+  static std::uint8_t color_of(Tx& tx, Node* n) {
+    return n == nullptr ? kBlack : n->color.read(tx);
+  }
+
+  template <typename Tx>
+  void rotate_left(Tx& tx, Node* x) {
+    Node* y = x->right.read(tx);
+    Node* yl = y->left.read(tx);
+    x->right.write(tx, yl);
+    if (yl != nullptr) yl->parent.write(tx, x);
+    Node* xp = x->parent.read(tx);
+    y->parent.write(tx, xp);
+    if (xp == nullptr) {
+      root_.write(tx, y);
+    } else if (xp->left.read(tx) == x) {
+      xp->left.write(tx, y);
+    } else {
+      xp->right.write(tx, y);
+    }
+    y->left.write(tx, x);
+    x->parent.write(tx, y);
+  }
+
+  template <typename Tx>
+  void rotate_right(Tx& tx, Node* x) {
+    Node* y = x->left.read(tx);
+    Node* yr = y->right.read(tx);
+    x->left.write(tx, yr);
+    if (yr != nullptr) yr->parent.write(tx, x);
+    Node* xp = x->parent.read(tx);
+    y->parent.write(tx, xp);
+    if (xp == nullptr) {
+      root_.write(tx, y);
+    } else if (xp->right.read(tx) == x) {
+      xp->right.write(tx, y);
+    } else {
+      xp->left.write(tx, y);
+    }
+    y->right.write(tx, x);
+    x->parent.write(tx, y);
+  }
+
+  template <typename Tx>
+  void insert_fixup(Tx& tx, Node* z) {
+    while (true) {
+      Node* zp = z->parent.read(tx);
+      if (zp == nullptr || zp->color.read(tx) == kBlack) break;
+      Node* zpp = zp->parent.read(tx);  // grandparent exists: zp is red
+      if (zp == zpp->left.read(tx)) {
+        Node* uncle = zpp->right.read(tx);
+        if (color_of(tx, uncle) == kRed) {
+          zp->color.write(tx, kBlack);
+          uncle->color.write(tx, kBlack);
+          zpp->color.write(tx, kRed);
+          z = zpp;
+        } else {
+          if (z == zp->right.read(tx)) {
+            z = zp;
+            rotate_left(tx, z);
+            zp = z->parent.read(tx);
+            zpp = zp->parent.read(tx);
+          }
+          zp->color.write(tx, kBlack);
+          zpp->color.write(tx, kRed);
+          rotate_right(tx, zpp);
+        }
+      } else {
+        Node* uncle = zpp->left.read(tx);
+        if (color_of(tx, uncle) == kRed) {
+          zp->color.write(tx, kBlack);
+          uncle->color.write(tx, kBlack);
+          zpp->color.write(tx, kRed);
+          z = zpp;
+        } else {
+          if (z == zp->left.read(tx)) {
+            z = zp;
+            rotate_right(tx, z);
+            zp = z->parent.read(tx);
+            zpp = zp->parent.read(tx);
+          }
+          zp->color.write(tx, kBlack);
+          zpp->color.write(tx, kRed);
+          rotate_left(tx, zpp);
+        }
+      }
+    }
+    Node* r = root_.read(tx);
+    if (r->color.read(tx) != kBlack) r->color.write(tx, kBlack);
+  }
+
+  /// Replace subtree rooted at u with subtree rooted at v (v may be null).
+  template <typename Tx>
+  void transplant(Tx& tx, Node* u, Node* v) {
+    Node* up = u->parent.read(tx);
+    if (up == nullptr) {
+      root_.write(tx, v);
+    } else if (up->left.read(tx) == u) {
+      up->left.write(tx, v);
+    } else {
+      up->right.write(tx, v);
+    }
+    if (v != nullptr) v->parent.write(tx, up);
+  }
+
+  template <typename Tx>
+  void erase_node(Tx& tx, Node* z) {
+    Node* y = z;
+    std::uint8_t y_original_color = y->color.read(tx);
+    Node* x = nullptr;        // node that moves into y's place (may be null)
+    Node* x_parent = nullptr; // x's parent after the splice
+
+    Node* zl = z->left.read(tx);
+    Node* zr = z->right.read(tx);
+    if (zl == nullptr) {
+      x = zr;
+      x_parent = z->parent.read(tx);
+      transplant(tx, z, zr);
+    } else if (zr == nullptr) {
+      x = zl;
+      x_parent = z->parent.read(tx);
+      transplant(tx, z, zl);
+    } else {
+      // y = minimum of right subtree (z's in-order successor)
+      y = zr;
+      for (Node* n = y->left.read(tx); n != nullptr; n = n->left.read(tx)) y = n;
+      y_original_color = y->color.read(tx);
+      x = y->right.read(tx);
+      if (y->parent.read(tx) == z) {
+        x_parent = y;
+      } else {
+        x_parent = y->parent.read(tx);
+        transplant(tx, y, x);
+        y->right.write(tx, zr);
+        zr->parent.write(tx, y);
+      }
+      transplant(tx, z, y);
+      y->left.write(tx, zl);
+      zl->parent.write(tx, y);
+      y->color.write(tx, z->color.read(tx));
+    }
+    if (y_original_color == kBlack) erase_fixup(tx, x, x_parent);
+    tx.tx_free(z);
+  }
+
+  template <typename Tx>
+  void erase_fixup(Tx& tx, Node* x, Node* x_parent) {
+    while (x != root_.read(tx) && color_of(tx, x) == kBlack) {
+      if (x_parent == nullptr) break;  // x is the root
+      if (x == x_parent->left.read(tx)) {
+        Node* w = x_parent->right.read(tx);
+        if (color_of(tx, w) == kRed) {
+          w->color.write(tx, kBlack);
+          x_parent->color.write(tx, kRed);
+          rotate_left(tx, x_parent);
+          w = x_parent->right.read(tx);
+        }
+        if (color_of(tx, w == nullptr ? nullptr : w->left.read(tx)) == kBlack &&
+            color_of(tx, w == nullptr ? nullptr : w->right.read(tx)) == kBlack) {
+          if (w != nullptr) w->color.write(tx, kRed);
+          x = x_parent;
+          x_parent = x->parent.read(tx);
+        } else {
+          if (color_of(tx, w->right.read(tx)) == kBlack) {
+            Node* wl = w->left.read(tx);
+            if (wl != nullptr) wl->color.write(tx, kBlack);
+            w->color.write(tx, kRed);
+            rotate_right(tx, w);
+            w = x_parent->right.read(tx);
+          }
+          w->color.write(tx, x_parent->color.read(tx));
+          x_parent->color.write(tx, kBlack);
+          Node* wr = w->right.read(tx);
+          if (wr != nullptr) wr->color.write(tx, kBlack);
+          rotate_left(tx, x_parent);
+          x = root_.read(tx);
+          x_parent = nullptr;
+        }
+      } else {
+        Node* w = x_parent->left.read(tx);
+        if (color_of(tx, w) == kRed) {
+          w->color.write(tx, kBlack);
+          x_parent->color.write(tx, kRed);
+          rotate_right(tx, x_parent);
+          w = x_parent->left.read(tx);
+        }
+        if (color_of(tx, w == nullptr ? nullptr : w->right.read(tx)) == kBlack &&
+            color_of(tx, w == nullptr ? nullptr : w->left.read(tx)) == kBlack) {
+          if (w != nullptr) w->color.write(tx, kRed);
+          x = x_parent;
+          x_parent = x->parent.read(tx);
+        } else {
+          if (color_of(tx, w->left.read(tx)) == kBlack) {
+            Node* wr = w->right.read(tx);
+            if (wr != nullptr) wr->color.write(tx, kBlack);
+            w->color.write(tx, kRed);
+            rotate_left(tx, w);
+            w = x_parent->left.read(tx);
+          }
+          w->color.write(tx, x_parent->color.read(tx));
+          x_parent->color.write(tx, kBlack);
+          Node* wl = w->left.read(tx);
+          if (wl != nullptr) wl->color.write(tx, kBlack);
+          rotate_right(tx, x_parent);
+          x = root_.read(tx);
+          x_parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) x->color.write(tx, kBlack);
+  }
+
+  template <typename Tx, typename Fn>
+  std::size_t walk(Tx& tx, Node* n, Fn& fn) const {
+    if (n == nullptr) return 0;
+    std::size_t c = walk(tx, n->left.read(tx), fn);
+    fn(n->key, n->value.read(tx));
+    c += 1 + walk(tx, n->right.read(tx), fn);
+    return c;
+  }
+
+  int check(Node* n, bool& /*unused*/) const {
+    if (n == nullptr) return 0;
+    Node* l = n->left.unsafe_read();
+    Node* r = n->right.unsafe_read();
+    if (l != nullptr && !(l->key < n->key)) return -1;
+    if (r != nullptr && !(n->key < r->key)) return -1;
+    if (n->color.unsafe_read() == kRed) {
+      if ((l != nullptr && l->color.unsafe_read() == kRed) ||
+          (r != nullptr && r->color.unsafe_read() == kRed))
+        return -1;
+    }
+    bool b = true;
+    const int hl = check(l, b);
+    const int hr = check(r, b);
+    if (hl < 0 || hr < 0 || hl != hr) return -1;
+    return hl + (n->color.unsafe_read() == kBlack ? 1 : 0);
+  }
+
+  template <typename Fn>
+  void unsafe_walk(Node* n, Fn& fn) const {
+    if (n == nullptr) return;
+    unsafe_walk(n->left.unsafe_read(), fn);
+    fn(n->key, n->value.unsafe_read());
+    unsafe_walk(n->right.unsafe_read(), fn);
+  }
+
+  std::size_t count(Node* n) const {
+    if (n == nullptr) return 0;
+    return 1 + count(n->left.unsafe_read()) + count(n->right.unsafe_read());
+  }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left.unsafe_read());
+    destroy(n->right.unsafe_read());
+    n->~Node();
+    ::operator delete(n);
+  }
+
+  TVar<Node*> root_{nullptr};
+};
+
+}  // namespace shrinktm::txs

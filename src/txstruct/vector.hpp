@@ -1,0 +1,66 @@
+// Fixed-capacity transactional array and a striped counter.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "txstruct/tvar.hpp"
+#include "util/align.hpp"
+
+namespace shrinktm::txs {
+
+/// A fixed-size array of transactional cells (kmeans centroids, labyrinth
+/// grid, ssca2 adjacency slots).  The size is immutable; elements are
+/// transactional.
+template <WordSized T>
+class TxArray {
+ public:
+  explicit TxArray(std::size_t n, T init = T{}) : cells_(n) {
+    for (auto& c : cells_) c.unsafe_write(init);
+  }
+  TxArray(const TxArray&) = delete;
+  TxArray& operator=(const TxArray&) = delete;
+
+  std::size_t size() const { return cells_.size(); }
+
+  template <typename Tx>
+  T get(Tx& tx, std::size_t i) const {
+    assert(i < cells_.size());
+    return cells_[i].read(tx);
+  }
+
+  template <typename Tx>
+  void set(Tx& tx, std::size_t i, T v) {
+    assert(i < cells_.size());
+    cells_[i].write(tx, v);
+  }
+
+  T unsafe_get(std::size_t i) const { return cells_[i].unsafe_read(); }
+  void unsafe_set(std::size_t i, T v) { cells_[i].unsafe_write(v); }
+  const void* address_of(std::size_t i) const { return cells_[i].address(); }
+
+ private:
+  std::vector<TVar<T>> cells_;
+};
+
+/// A transactional counter on its own cache line.
+class TxCounter {
+ public:
+  explicit TxCounter(std::uint64_t init = 0) : v_(init) {}
+
+  template <typename Tx>
+  std::uint64_t get(Tx& tx) const {
+    return v_.read(tx);
+  }
+  template <typename Tx>
+  void add(Tx& tx, std::uint64_t d) {
+    v_.write(tx, v_.read(tx) + d);
+  }
+  std::uint64_t unsafe_get() const { return v_.unsafe_read(); }
+
+ private:
+  alignas(util::kCacheLine) TVar<std::uint64_t> v_;
+};
+
+}  // namespace shrinktm::txs

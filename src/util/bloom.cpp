@@ -1,0 +1,51 @@
+#include "util/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace shrinktm::util {
+
+BloomFilter::BloomFilter(unsigned log2_bits, unsigned num_hashes)
+    : log2_bits_(log2_bits),
+      num_hashes_(num_hashes == 0 ? 1 : num_hashes),
+      mask_((std::uint64_t{1} << log2_bits) - 1),
+      bits_((std::size_t{1} << log2_bits) / 64, 0) {}
+
+void BloomFilter::insert(Hashed h) {
+  for (unsigned i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = probe(h.h1, h.h2, i);
+    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  ++population_;
+}
+
+bool BloomFilter::maybe_contains(Hashed h) const {
+  for (unsigned i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = probe(h.h1, h.h2, i);
+    if ((bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  population_ = 0;
+}
+
+void BloomFilter::swap(BloomFilter& other) noexcept {
+  std::swap(log2_bits_, other.log2_bits_);
+  std::swap(num_hashes_, other.num_hashes_);
+  std::swap(mask_, other.mask_);
+  std::swap(population_, other.population_);
+  bits_.swap(other.bits_);
+}
+
+double BloomFilter::false_positive_rate() const {
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(num_hashes_);
+  const double n = static_cast<double>(population_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace shrinktm::util

@@ -1,0 +1,74 @@
+// Bloom filters for transactional read-set summaries.
+//
+// Shrink (Algorithm 1 of the paper) keeps, per thread, the read sets of the
+// last `locality_window` transactions as Bloom filters.  The filters must be
+// cheap to insert into and query (they sit on the transactional read path)
+// and cheap to clear (one per committed transaction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace shrinktm::util {
+
+/// A fixed-size Bloom filter over pointer-sized keys.
+///
+/// Uses Kirsch-Mitzenmacher double hashing: k probe positions are derived
+/// from two independent 64-bit hashes, so each insert/query computes exactly
+/// two multiplicative hashes regardless of k.
+class BloomFilter {
+ public:
+  /// @param log2_bits  log2 of the number of bits (e.g. 12 -> 4096 bits = 512B).
+  /// @param num_hashes number of probe positions per key.
+  explicit BloomFilter(unsigned log2_bits = 12, unsigned num_hashes = 3);
+
+  /// Pre-mixed probe bases, so one key hashed once can be tested against a
+  /// whole window of filters (the Shrink read path does exactly that).
+  struct Hashed {
+    std::uint64_t h1;
+    std::uint64_t h2;
+  };
+  static Hashed hash(std::uint64_t key) {
+    return {mix64(key), mix64_alt(key) | 1};
+  }
+
+  void insert(std::uint64_t key) { insert(hash(key)); }
+  bool maybe_contains(std::uint64_t key) const { return maybe_contains(hash(key)); }
+
+  void insert(Hashed h);
+  bool maybe_contains(Hashed h) const;
+
+  void insert_ptr(const void* p) { insert(hash_ptr(p)); }
+  bool maybe_contains_ptr(const void* p) const { return maybe_contains(hash_ptr(p)); }
+
+  /// Remove all elements.  O(bits/64).
+  void clear();
+
+  /// Adopt the contents of `other` (used to rotate the locality window
+  /// without copying).
+  void swap(BloomFilter& other) noexcept;
+
+  bool empty() const { return population_ == 0; }
+  std::size_t population() const { return population_; }
+  std::size_t bit_count() const { return std::size_t{1} << log2_bits_; }
+  unsigned num_hashes() const { return num_hashes_; }
+
+  /// Expected false-positive rate at the current population.
+  double false_positive_rate() const;
+
+ private:
+  std::uint64_t probe(std::uint64_t h1, std::uint64_t h2, unsigned i) const {
+    return (h1 + i * h2) & mask_;
+  }
+
+  unsigned log2_bits_;
+  unsigned num_hashes_;
+  std::uint64_t mask_;
+  std::size_t population_ = 0;  // number of inserts since last clear
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace shrinktm::util

@@ -1,0 +1,76 @@
+#include "util/epoch.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace shrinktm::util {
+
+EpochReclaimer::~EpochReclaimer() { drain_all(); }
+
+int EpochReclaimer::register_thread() {
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (used_[i].value.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+      slots_[i].value.store(kQuiescent, std::memory_order_release);
+      return static_cast<int>(i);
+    }
+  }
+  throw std::runtime_error("EpochReclaimer: too many threads");
+}
+
+void EpochReclaimer::unregister_thread(int slot) {
+  slots_[slot].value.store(kQuiescent, std::memory_order_release);
+  // Limbo entries stay until another thread (or drain_all) reclaims; keep the
+  // slot marked used so the limbo list is not overwritten by a new thread.
+}
+
+void EpochReclaimer::retire(int slot, void* p, std::function<void(void*)> deleter) {
+  auto& limbo = limbo_[slot].value.items;
+  limbo.push_back({p, global_epoch_.load(std::memory_order_relaxed), std::move(deleter)});
+  if (limbo.size() % reclaim_batch_ == 0) try_reclaim(slot);
+}
+
+std::uint64_t EpochReclaimer::min_pinned_epoch() const {
+  std::uint64_t min_e = kQuiescent;
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    if (!used_[i].value.load(std::memory_order_acquire)) continue;
+    const std::uint64_t e = slots_[i].value.load(std::memory_order_acquire);
+    if (e < min_e) min_e = e;
+  }
+  return min_e;
+}
+
+void EpochReclaimer::try_reclaim(int slot) {
+  // Advance the global epoch if every pinned thread has caught up with it.
+  const std::uint64_t ge = global_epoch_.load(std::memory_order_relaxed);
+  const std::uint64_t min_e = min_pinned_epoch();
+  if (min_e >= ge) {
+    std::uint64_t expected = ge;
+    global_epoch_.compare_exchange_strong(expected, ge + 1, std::memory_order_acq_rel);
+  }
+
+  // A block retired in epoch E is safe once no thread is pinned at <= E:
+  // every later pin starts from a snapshot taken after the free committed.
+  const std::uint64_t horizon = min_pinned_epoch();
+  auto& limbo = limbo_[slot].value.items;
+  std::size_t kept = 0;
+  for (auto& r : limbo) {
+    if (r.epoch < horizon) {
+      r.deleter(r.ptr);
+    } else {
+      limbo[kept++] = std::move(r);
+    }
+  }
+  limbo.resize(kept);
+}
+
+void EpochReclaimer::drain_all() {
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    auto& limbo = limbo_[i].value.items;
+    for (auto& r : limbo) r.deleter(r.ptr);
+    limbo.clear();
+  }
+}
+
+}  // namespace shrinktm::util

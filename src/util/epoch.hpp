@@ -1,0 +1,95 @@
+// Epoch-based memory reclamation for transactional frees.
+//
+// An STM with invisible readers cannot free memory the instant a transaction
+// commits a delete: a concurrent doomed transaction may still be about to
+// read the dead node (it will abort at validation, but it must not touch
+// unmapped memory before that).  The classic fix -- used by TL2, TinySTM and
+// SwissTM alike -- is quiescence/epoch-based reclamation: a freed block is
+// held in a limbo list until every thread has passed through a transaction
+// boundary, after which no live snapshot can reference it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/align.hpp"
+
+namespace shrinktm::util {
+
+/// Global epoch manager.  Threads register once, pin the current epoch for
+/// the duration of each critical region (transaction attempt), and route
+/// frees through retire().  Retired blocks are reclaimed once the global
+/// epoch has advanced two steps past their retirement epoch, which is only
+/// possible when no thread still holds a pin from that era.
+class EpochReclaimer {
+ public:
+  static constexpr std::size_t kMaxThreads = 128;
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  explicit EpochReclaimer(std::size_t reclaim_batch = 64)
+      : reclaim_batch_(reclaim_batch) {}
+  ~EpochReclaimer();
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  /// Returns a slot id for the calling thread.  At most kMaxThreads slots.
+  int register_thread();
+  void unregister_thread(int slot);
+
+  /// Enter a critical region: the thread promises not to hold references
+  /// across unpinned periods.
+  void pin(int slot) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    slots_[slot].value.store(e, std::memory_order_seq_cst);
+  }
+
+  void unpin(int slot) {
+    slots_[slot].value.store(kQuiescent, std::memory_order_release);
+  }
+
+  /// Retire a block; deleter runs once the block is provably unreachable.
+  void retire(int slot, void* p, std::function<void(void*)> deleter);
+
+  /// Convenience: retire a block allocated with ::operator new.
+  void retire_delete(int slot, void* p) {
+    retire(slot, p, [](void* q) { ::operator delete(q); });
+  }
+
+  /// Attempt an epoch advance + reclamation sweep for this thread's limbo
+  /// list.  Called automatically every reclaim_batch retirements.
+  void try_reclaim(int slot);
+
+  /// Drain everything (single-threaded teardown only).
+  void drain_all();
+
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+  std::size_t limbo_size(int slot) const { return limbo_[slot].value.items.size(); }
+
+ private:
+  struct Retired {
+    void* ptr;
+    std::uint64_t epoch;
+    std::function<void(void*)> deleter;
+  };
+  struct LimboList {
+    std::vector<Retired> items;
+  };
+
+  /// Smallest epoch currently pinned by any registered thread, or
+  /// kQuiescent if none is pinned.
+  std::uint64_t min_pinned_epoch() const;
+
+  std::size_t reclaim_batch_;
+  std::atomic<std::uint64_t> global_epoch_{2};
+  Padded<std::atomic<std::uint64_t>> slots_[kMaxThreads];
+  Padded<std::atomic<bool>> used_[kMaxThreads];
+  Padded<LimboList> limbo_[kMaxThreads];
+};
+
+}  // namespace shrinktm::util

@@ -1,0 +1,80 @@
+// FlatPtrSet: a small open-addressing pointer set with O(1) clear.
+//
+// The Shrink read path inserts into / queries predicted-address sets on
+// every unique transactional read; node-based containers would pay a malloc
+// per insert.  This set uses a fixed probe table with version-stamped slots
+// (clear = bump the version) and keeps an insertion-ordered item list for
+// iteration.  When full it rejects inserts -- a saturated prediction set is
+// acceptable, a slow one is not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace shrinktm::util {
+
+class FlatPtrSet {
+ public:
+  explicit FlatPtrSet(unsigned log2_slots = 10)
+      : mask_((std::size_t{1} << log2_slots) - 1),
+        max_items_(std::size_t{1} << (log2_slots - 1)),
+        slots_(std::size_t{1} << log2_slots) {
+    items_.reserve(max_items_);
+  }
+
+  /// Returns true if newly inserted; false if present or the set is full.
+  bool insert(const void* p) {
+    std::size_t i = hash_ptr(p) & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.version != version_) {
+        if (items_.size() >= max_items_) return false;  // saturated
+        s.version = version_;
+        s.ptr = p;
+        items_.push_back(p);
+        return true;
+      }
+      if (s.ptr == p) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool contains(const void* p) const {
+    std::size_t i = hash_ptr(p) & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.version != version_) return false;
+      if (s.ptr == p) return true;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void clear() {
+    ++version_;
+    items_.clear();
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return max_items_; }
+
+  /// Insertion-ordered elements (valid until the next clear()).
+  const std::vector<const void*>& items() const { return items_; }
+
+ private:
+  struct Slot {
+    const void* ptr = nullptr;
+    std::uint64_t version = 0;
+  };
+
+  std::size_t mask_;
+  std::size_t max_items_;
+  std::uint64_t version_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<const void*> items_;
+};
+
+}  // namespace shrinktm::util

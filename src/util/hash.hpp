@@ -1,0 +1,38 @@
+// Cheap mixing functions for addresses.
+//
+// Both the ownership-record table and the Bloom filters hash raw memory
+// addresses.  Addresses are highly structured (word-aligned, clustered), so
+// a strong finalizer is needed to spread them over tables.
+#pragma once
+
+#include <cstdint>
+
+namespace shrinktm::util {
+
+/// MurmurHash3 64-bit finalizer.  Bijective, so distinct addresses never
+/// collide before the final table-size reduction.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash of a pointer value.
+inline std::uint64_t hash_ptr(const void* p) {
+  return mix64(reinterpret_cast<std::uintptr_t>(p));
+}
+
+/// Second independent hash for double hashing (Kirsch-Mitzenmacher).
+constexpr std::uint64_t mix64_alt(std::uint64_t x) {
+  x ^= x >> 31;
+  x *= 0x7fb5d329728ea185ULL;
+  x ^= x >> 27;
+  x *= 0x81dadef4bc2dd44dULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace shrinktm::util

@@ -1,0 +1,83 @@
+// Fast per-thread pseudo-random number generation.
+//
+// Schedulers and workload drivers draw random numbers on the critical path
+// (e.g. Shrink's serialization-affinity coin), so we use xoshiro-style
+// generators rather than <random> engines.  All generators here are
+// deterministic given their seed, which keeps tests and experiments
+// reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace shrinktm::util {
+
+/// SplitMix64: used to expand a single seed into generator state.
+/// Reference: Steele, Lea, Flood - "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 64-bit generator with 256-bit state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    // A zero state would be a fixed point; SplitMix64 cannot produce four
+    // zeros from any seed, so no further check is needed.
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free reduction; the tiny modulo bias
+    // is irrelevant for scheduling/workload purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability `p`.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace shrinktm::util

@@ -1,0 +1,77 @@
+// Waiting policies and a tiny spinlock.
+//
+// The paper evaluates two waiting flavours: "busy waiting" (spin without
+// yielding -- TinySTM 0.9.5 and SwissTM's non-default mode, Figures 8-11)
+// and "preemptive waiting" (yield the processor -- SwissTM's default in
+// Figure 5).  Both STM backends and all schedulers take the policy as a
+// parameter so every experiment can flip it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace shrinktm::util {
+
+enum class WaitPolicy {
+  kBusy,        ///< spin; never yield the core (TinySTM-style)
+  kPreemptive,  ///< yield to the OS scheduler while waiting (SwissTM default)
+};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Truncated exponential backoff honoring a WaitPolicy.
+///
+/// Under kBusy the waiter spins with cpu_relax only.  Under kPreemptive the
+/// waiter yields once the spin budget is exhausted, modelling the
+/// futex/sched_yield paths of the real systems.
+class Backoff {
+ public:
+  explicit Backoff(WaitPolicy policy, std::uint32_t min_spins = 16,
+                   std::uint32_t max_spins = 4096)
+      : policy_(policy), limit_(min_spins), max_spins_(max_spins) {}
+
+  void pause() {
+    if (policy_ == WaitPolicy::kPreemptive && limit_ >= max_spins_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    if (limit_ < max_spins_) limit_ *= 2;
+  }
+
+  void reset(std::uint32_t min_spins = 16) { limit_ = min_spins; }
+
+ private:
+  WaitPolicy policy_;
+  std::uint32_t limit_;
+  std::uint32_t max_spins_;
+};
+
+/// Minimal test-and-test-and-set spinlock for short critical sections.
+class SpinLock {
+ public:
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace shrinktm::util

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace shrinktm::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Log2Histogram::add(std::uint64_t v) {
+  const unsigned bucket =
+      v == 0 ? 0 : std::min<unsigned>(static_cast<unsigned>(std::bit_width(v)),
+                                      static_cast<unsigned>(counts_.size() - 1));
+  ++counts_[bucket];
+}
+
+std::uint64_t Log2Histogram::total() const {
+  std::uint64_t t = 0;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+std::uint64_t Log2Histogram::quantile_bound(double p) const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(t));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+  return std::uint64_t{1} << (counts_.size() - 1);
+}
+
+}  // namespace shrinktm::util

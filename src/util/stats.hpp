@@ -1,0 +1,65 @@
+// Online statistics and timing helpers used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shrinktm::util {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator into this one (Chan's parallel update).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Fixed-bucket histogram with power-of-two buckets, for abort-streak and
+/// latency distributions in reports.
+class Log2Histogram {
+ public:
+  explicit Log2Histogram(unsigned buckets = 32) : counts_(buckets, 0) {}
+
+  void add(std::uint64_t v);
+  std::uint64_t total() const;
+  /// p in [0,1]; returns an upper bound of the bucket containing quantile p.
+  std::uint64_t quantile_bound(double p) const;
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace shrinktm::util

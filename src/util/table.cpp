@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace shrinktm::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& s) {
+  rows_.back().push_back(s);
+  return *this;
+}
+
+TextTable& TextTable::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+TextTable& TextTable::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(int v) { return cell(std::to_string(v)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string{};
+      os << std::setw(static_cast<int>(widths[c]) + 2) << s;
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace shrinktm::util

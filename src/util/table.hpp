@@ -1,0 +1,32 @@
+// Aligned text-table printer.
+//
+// Every figure-reproduction bench prints its series as a plain text table
+// (the analogue of the paper's gnuplot figures).  Keeping the format in one
+// place keeps bench output uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace shrinktm::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(const std::string& s);
+  TextTable& cell(double v, int precision = 1);
+  TextTable& cell(std::uint64_t v);
+  TextTable& cell(int v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace shrinktm::util

@@ -1,0 +1,117 @@
+// Multithreaded throughput driver.
+//
+// Runs a workload's per-thread operation in a timed loop across N threads
+// (which may exceed the core count -- the paper's "overloaded" regime is the
+// interesting one) and reports committed transactions per second, the
+// paper's throughput metric.
+//
+// A Workload W provides:
+//   void setup(Runner&)                -- single-threaded population
+//   void op(Runner&, int tid, Rng&)    -- one application operation (runs
+//                                         one or more transactions)
+//   bool verify(Runner&)               -- post-run invariant check
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/shrink.hpp"
+#include "stm/runner.hpp"
+#include "stm/stats.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace shrinktm::workloads {
+
+struct DriverConfig {
+  int threads = 1;
+  int duration_ms = 100;
+  std::uint64_t seed = 42;
+  /// Cap on operations (0 = unlimited); lets tests bound runtimes exactly.
+  std::uint64_t max_ops_per_thread = 0;
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t ops = 0;
+  stm::ThreadStats stm;               ///< aggregated across threads
+  double throughput = 0.0;            ///< commits per second
+  std::uint64_t serialized = 0;       ///< scheduler-serialized transactions
+  std::uint64_t wait_count_peak = 0;
+  double read_accuracy = -1.0;        ///< Shrink accuracy if tracked, else -1
+  double write_accuracy = -1.0;
+  double retry_read_accuracy = -1.0;  ///< read accuracy over retries only
+  bool verified = false;              ///< workload invariants held after run
+};
+
+/// Runs `workload` on `backend` under `sched` (nullptr = base STM).
+template <typename Backend, typename Workload>
+RunResult run_workload(Backend& backend, core::Scheduler* sched,
+                       Workload& workload, const DriverConfig& cfg) {
+  using Tx = typename Backend::Tx;
+
+  {  // setup on thread slot 0
+    stm::TxRunner<Tx> r0(backend.tx(0), sched);
+    workload.setup(r0);
+  }
+  backend.reset_stats();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::barrier start_barrier(cfg.threads + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxRunner<Tx> runner(backend.tx(t), sched);
+      util::Xoshiro256 rng(cfg.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
+      start_barrier.arrive_and_wait();
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        workload.op(runner, t, rng);
+        ++ops;
+        if (cfg.max_ops_per_thread != 0 && ops >= cfg.max_ops_per_thread) break;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+
+  start_barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.ops = total_ops.load();
+  res.stm = backend.aggregate_stats();
+  res.throughput = res.seconds > 0
+                       ? static_cast<double>(res.stm.commits) / res.seconds
+                       : 0.0;
+  if (sched != nullptr) {
+    res.serialized = sched->sched_stats().serialized();
+    if (auto* shrink = dynamic_cast<core::ShrinkScheduler*>(sched)) {
+      const auto ra = shrink->aggregate_read_accuracy();
+      const auto wa = shrink->aggregate_write_accuracy();
+      const auto rra = shrink->aggregate_retry_read_accuracy();
+      if (ra.count() > 0) res.read_accuracy = ra.mean();
+      if (wa.count() > 0) res.write_accuracy = wa.mean();
+      if (rra.count() > 0) res.retry_read_accuracy = rra.mean();
+    }
+  }
+  {  // post-run verification on slot 0
+    stm::TxRunner<Tx> r0(backend.tx(0), sched);
+    res.verified = workload.verify(r0);
+  }
+  return res;
+}
+
+}  // namespace shrinktm::workloads

@@ -1,0 +1,71 @@
+// Red-black tree microbenchmark (paper Figures 7 and 11).
+//
+// An integer-set over a transactional red-black tree: range 16384, an
+// update percentage (paper: 20% and 70%), lookups otherwise.  Initially
+// populated to half the range, so inserts and removes roughly balance.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "txstruct/rbtree.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads {
+
+struct RBTreeBenchConfig {
+  std::uint64_t key_range = 16384;  ///< paper's "integer set range of 16384"
+  int update_percent = 20;          ///< 20 or 70 in the paper
+  std::uint64_t init_seed = 7;
+};
+
+class RBTreeBench {
+ public:
+  explicit RBTreeBench(RBTreeBenchConfig cfg = {}) : cfg_(cfg) {}
+
+  template <typename Runner>
+  void setup(Runner& r) {
+    // Insert ~range/2 distinct keys, batched to keep setup transactions
+    // reasonably sized.
+    util::Xoshiro256 rng(cfg_.init_seed);
+    const std::uint64_t target = cfg_.key_range / 2;
+    std::uint64_t inserted = 0;
+    while (inserted < target) {
+      r.run([&](auto& tx) {
+        for (int i = 0; i < 64 && inserted < target; ++i) {
+          if (set_.insert(tx, static_cast<std::int64_t>(rng.next_below(cfg_.key_range)),
+                          std::int64_t{1}))
+            ++inserted;
+        }
+      });
+    }
+  }
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    const auto key = static_cast<std::int64_t>(rng.next_below(cfg_.key_range));
+    const bool update = rng.next_below(100) < static_cast<std::uint64_t>(cfg_.update_percent);
+    if (!update) {
+      r.run([&](auto& tx) { (void)set_.contains(tx, key); });
+    } else if (rng.next_bool(0.5)) {
+      r.run([&](auto& tx) { (void)set_.insert(tx, key, 1); });
+    } else {
+      r.run([&](auto& tx) { (void)set_.erase(tx, key); });
+    }
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    if (set_.unsafe_check_invariants() < 0)
+      throw std::runtime_error("rbtree: red-black invariants violated");
+    return true;
+  }
+
+  std::size_t unsafe_size() const { return set_.unsafe_size(); }
+
+ private:
+  RBTreeBenchConfig cfg_;
+  txs::TxRBTree<std::int64_t, std::int64_t> set_;
+};
+
+}  // namespace shrinktm::workloads

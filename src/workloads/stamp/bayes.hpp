@@ -1,0 +1,135 @@
+// bayes-mini: STAMP's Bayesian network structure learner.
+//
+// Access pattern preserved: threads propose adding/removing a dependency
+// edge; a transaction reads the adjacency rows needed for an acyclicity
+// check (a bounded reachability walk over shared state), evaluates a score
+// delta, and commits the structural change plus the score update.  Bursty,
+// medium-length transactions over an irregular shared graph.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct BayesConfig {
+  std::size_t variables = 48;  ///< network nodes (adjacency rows are bitmasks)
+  std::size_t max_parents = 4;
+};
+
+class Bayes {
+ public:
+  explicit Bayes(BayesConfig cfg = {})
+      : cfg_(cfg), adj_(cfg.variables, 0), score_(cfg.variables, 0) {}
+
+  static_assert(sizeof(std::uint64_t) * 8 >= 64, "rows are 64-bit masks");
+
+  template <typename Runner>
+  void setup(Runner&) {
+    if (cfg_.variables > 64)
+      throw std::invalid_argument("bayes-mini supports <= 64 variables");
+  }
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    const auto u = rng.next_below(cfg_.variables);
+    const auto v = rng.next_below(cfg_.variables);
+    if (u == v) return;
+    const bool remove = rng.next_bool(0.3);
+    bool changed = false;
+    r.run([&](auto& tx) {
+      changed = false;
+      const std::uint64_t row_u = static_cast<std::uint64_t>(adj_.get(tx, u));
+      if (remove) {
+        if ((row_u >> v) & 1) {
+          adj_.set(tx, u, static_cast<std::int64_t>(row_u & ~(1ULL << v)));
+          score_.set(tx, v, score_.get(tx, v) - 1);
+          changed = true;
+        }
+        return;
+      }
+      if ((row_u >> v) & 1) return;              // already present
+      if (parent_count(tx, v) >= cfg_.max_parents) return;
+      if (reaches(tx, v, u)) return;             // u->v would close a cycle
+      adj_.set(tx, u, static_cast<std::int64_t>(row_u | (1ULL << v)));
+      score_.set(tx, v, score_.get(tx, v) + 1);
+      changed = true;
+    });
+    if (changed) moves_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // The committed graph must be acyclic and scores must equal in-degrees.
+    std::vector<std::uint64_t> rows(cfg_.variables);
+    for (std::size_t i = 0; i < cfg_.variables; ++i)
+      rows[i] = static_cast<std::uint64_t>(adj_.unsafe_get(i));
+    // in-degree == score
+    for (std::size_t v = 0; v < cfg_.variables; ++v) {
+      std::int64_t indeg = 0;
+      for (std::size_t u = 0; u < cfg_.variables; ++u)
+        indeg += (rows[u] >> v) & 1;
+      if (indeg != score_.unsafe_get(v))
+        throw std::runtime_error("bayes: score out of sync with in-degree");
+    }
+    // Kahn's algorithm: the graph must topologically sort completely.
+    std::vector<int> indeg(cfg_.variables, 0);
+    for (std::size_t u = 0; u < cfg_.variables; ++u)
+      for (std::size_t v = 0; v < cfg_.variables; ++v)
+        if ((rows[u] >> v) & 1) ++indeg[v];
+    std::vector<std::size_t> ready;
+    for (std::size_t v = 0; v < cfg_.variables; ++v)
+      if (indeg[v] == 0) ready.push_back(v);
+    std::size_t removed = 0;
+    while (!ready.empty()) {
+      const auto u = ready.back();
+      ready.pop_back();
+      ++removed;
+      for (std::size_t v = 0; v < cfg_.variables; ++v) {
+        if ((rows[u] >> v) & 1 && --indeg[v] == 0) ready.push_back(v);
+      }
+    }
+    if (removed != cfg_.variables)
+      throw std::runtime_error("bayes: committed graph contains a cycle");
+    return true;
+  }
+
+ private:
+  /// Transactional DFS: does `from` reach `to` in the current structure?
+  template <typename Tx>
+  bool reaches(Tx& tx, std::size_t from, std::size_t to) {
+    std::uint64_t visited = 0;
+    std::vector<std::size_t> stack{from};
+    while (!stack.empty()) {
+      const auto n = stack.back();
+      stack.pop_back();
+      if (n == to) return true;
+      if ((visited >> n) & 1) continue;
+      visited |= 1ULL << n;
+      const auto row = static_cast<std::uint64_t>(adj_.get(tx, n));
+      for (std::size_t v = 0; v < cfg_.variables; ++v)
+        if ((row >> v) & 1 && !((visited >> v) & 1)) stack.push_back(v);
+    }
+    return false;
+  }
+
+  template <typename Tx>
+  std::size_t parent_count(Tx& tx, std::size_t v) {
+    std::size_t c = 0;
+    for (std::size_t u = 0; u < cfg_.variables; ++u)
+      c += (static_cast<std::uint64_t>(adj_.get(tx, u)) >> v) & 1;
+    return c;
+  }
+
+  BayesConfig cfg_;
+  txs::TxArray<std::int64_t> adj_;    ///< row u: bitmask of u's children
+  txs::TxArray<std::int64_t> score_;  ///< per-node synthetic score (== in-degree)
+  std::atomic<std::uint64_t> moves_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

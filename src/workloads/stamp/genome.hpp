@@ -1,0 +1,86 @@
+// genome-mini: STAMP's gene sequencing kernel.
+//
+// Access pattern preserved: phase-1 deduplicates segments by inserting into
+// a shared hash set (insert-if-absent; duplicate inserts are the common
+// case and read-only); phase-2 chains unique segments by overlap, each link
+// being a small read-check-write transaction on shared next/prev pointers.
+// Threads interleave both phases so the conflict mix stays stationary over
+// a timed run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "txstruct/hashmap.hpp"
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct GenomeConfig {
+  std::uint64_t segment_pool = 8192;  ///< distinct segment ids
+  std::size_t chain_slots = 8192;
+};
+
+class Genome {
+ public:
+  explicit Genome(GenomeConfig cfg = {})
+      : cfg_(cfg), next_(cfg.chain_slots, -1), linked_(cfg.chain_slots, 0) {}
+
+  template <typename Runner>
+  void setup(Runner&) {}
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    if (rng.next_bool(0.7)) {
+      // Phase 1: segment dedup -- most inserts find the key already there.
+      const auto seg = static_cast<std::int64_t>(rng.next_below(cfg_.segment_pool));
+      r.run([&](auto& tx) {
+        if (segments_.insert(tx, seg, 1)) {
+          // first sighting: nothing else to do (value==1 marks presence)
+        }
+      });
+    } else {
+      // Phase 2: chain segment a before segment b if both are unlinked.
+      const auto a = rng.next_below(cfg_.chain_slots);
+      const auto b = rng.next_below(cfg_.chain_slots);
+      if (a == b) return;
+      r.run([&](auto& tx) {
+        if (next_.get(tx, a) == -1 && linked_.get(tx, b) == 0) {
+          next_.set(tx, a, static_cast<std::int64_t>(b));
+          linked_.set(tx, b, 1);
+        }
+      });
+    }
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // Each slot has at most one predecessor, and next/linked agree.
+    std::vector<int> preds(cfg_.chain_slots, 0);
+    for (std::size_t i = 0; i < cfg_.chain_slots; ++i) {
+      const auto nxt = next_.unsafe_get(i);
+      if (nxt >= 0) {
+        if (static_cast<std::size_t>(nxt) >= cfg_.chain_slots)
+          throw std::runtime_error("genome: dangling link");
+        ++preds[static_cast<std::size_t>(nxt)];
+      }
+    }
+    for (std::size_t i = 0; i < cfg_.chain_slots; ++i) {
+      if (preds[i] > 1) throw std::runtime_error("genome: double-linked segment");
+      if (preds[i] != linked_.unsafe_get(i))
+        throw std::runtime_error("genome: linked flag out of sync");
+    }
+    return true;
+  }
+
+ private:
+  GenomeConfig cfg_;
+  txs::TxHashMap<std::int64_t, std::int64_t> segments_;
+  txs::TxArray<std::int64_t> next_;    ///< -1 = unchained
+  txs::TxArray<std::int64_t> linked_;  ///< has a predecessor
+};
+
+}  // namespace shrinktm::workloads::stamp

@@ -1,0 +1,108 @@
+// intruder-mini: STAMP's network intrusion detection pipeline.
+//
+// Access pattern preserved: all threads dequeue packet fragments from ONE
+// shared queue (the hot spot the paper highlights for Shrink's win on
+// intruder), reassemble flows in a shared map, and, when a flow completes,
+// retire it and bump the detector counter.  Producers occasionally refill
+// the queue in bursts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "txstruct/hashmap.hpp"
+#include "txstruct/queue.hpp"
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct IntruderConfig {
+  int fragments_per_flow = 4;
+  std::uint64_t flow_space = 1024;
+  int burst = 32;  ///< fragments enqueued per refill
+};
+
+class Intruder {
+ public:
+  explicit Intruder(IntruderConfig cfg = {}) : cfg_(cfg) {}
+
+  template <typename Runner>
+  void setup(Runner& r) {
+    util::Xoshiro256 rng(31);
+    refill(r, rng);
+  }
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    bool processed_one = false;
+    r.run([&](auto& tx) {
+      processed_one = false;  // reset on retry: only the committed attempt counts
+      auto frag = queue_.dequeue(tx);
+      if (!frag) return;
+      processed_one = true;
+      const std::int64_t flow = *frag;
+      const auto seen = flows_.lookup(tx, flow);
+      const std::int64_t cnt = seen ? *seen + 1 : 1;
+      if (cnt >= cfg_.fragments_per_flow) {
+        if (seen) flows_.erase(tx, flow);
+        detected_.add(tx, 1);
+      } else {
+        flows_.insert_or_assign(tx, flow, cnt);
+      }
+    });
+    if (processed_one) {
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      refill(r, rng);
+    }
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // Fragment conservation: everything enqueued was processed or is still
+    // queued / partially assembled.
+    std::int64_t assembling = 0;
+    // flows_ values sum = fragments held in partial flows
+    assembling = flows_sum();
+    const auto queued = static_cast<std::int64_t>(queue_.unsafe_size());
+    const auto processed = static_cast<std::int64_t>(processed_.load());
+    const auto enqueued = static_cast<std::int64_t>(enqueued_.load());
+    if (processed + queued != enqueued)
+      throw std::runtime_error("intruder: fragment conservation violated");
+    if (assembling > processed)
+      throw std::runtime_error("intruder: more held fragments than processed");
+    return true;
+  }
+
+  std::uint64_t detected() const { return detected_.unsafe_get(); }
+
+ private:
+  template <typename Runner>
+  void refill(Runner& r, util::Xoshiro256& rng) {
+    r.run([&](auto& tx) {
+      for (int i = 0; i < cfg_.burst; ++i) {
+        queue_.enqueue(tx,
+                       static_cast<std::int64_t>(rng.next_below(cfg_.flow_space)));
+      }
+    });
+    enqueued_.fetch_add(static_cast<std::uint64_t>(cfg_.burst),
+                        std::memory_order_relaxed);
+  }
+
+  std::int64_t flows_sum() const {
+    // TxHashMap lacks an unsafe fold; approximate by size (each partial flow
+    // holds >= 1 fragment).  Conservative check only.
+    return static_cast<std::int64_t>(flows_.unsafe_size());
+  }
+
+  IntruderConfig cfg_;
+  txs::TxQueue<std::int64_t> queue_;
+  txs::TxHashMap<std::int64_t, std::int64_t> flows_;
+  txs::TxCounter detected_;
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

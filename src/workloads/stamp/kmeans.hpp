@@ -1,0 +1,109 @@
+// kmeans-mini: STAMP's k-means clustering kernel.
+//
+// Access pattern preserved: threads process private points, find the nearest
+// centroid by reading the shared centroid coordinates, then transactionally
+// fold the point into that centroid's accumulator (sum_x, sum_y, count).
+// Contention is set by the number of clusters: "high" = few clusters (every
+// update hits the same few accumulators), "low" = many.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct KmeansConfig {
+  bool high_contention = false;
+  std::size_t clusters() const { return high_contention ? 4 : 32; }
+  std::size_t points = 4096;
+  std::int64_t coord_range = 1024;
+};
+
+class Kmeans {
+ public:
+  explicit Kmeans(KmeansConfig cfg = {})
+      : cfg_(cfg),
+        sum_x_(cfg.clusters(), 0),
+        sum_y_(cfg.clusters(), 0),
+        count_(cfg.clusters(), 0),
+        mean_x_(cfg.clusters(), 0),
+        mean_y_(cfg.clusters(), 0) {}
+
+  template <typename Runner>
+  void setup(Runner& r) {
+    util::Xoshiro256 rng(23);
+    points_.reserve(cfg_.points);
+    for (std::size_t i = 0; i < cfg_.points; ++i) {
+      points_.push_back({static_cast<std::int64_t>(rng.next_below(cfg_.coord_range)),
+                         static_cast<std::int64_t>(rng.next_below(cfg_.coord_range))});
+    }
+    // Seed centroid means spread over the range.
+    r.run([&](auto& tx) {
+      for (std::size_t c = 0; c < cfg_.clusters(); ++c) {
+        mean_x_.set(tx, c,
+                    static_cast<std::int64_t>((c + 1) * cfg_.coord_range /
+                                              (cfg_.clusters() + 1)));
+        mean_y_.set(tx, c,
+                    static_cast<std::int64_t>((c + 1) * cfg_.coord_range /
+                                              (cfg_.clusters() + 1)));
+      }
+    });
+  }
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    const auto& p = points_[rng.next_below(points_.size())];
+    r.run([&](auto& tx) {
+      // Nearest centroid by current means (reads spread over all clusters).
+      std::size_t best = 0;
+      std::int64_t best_d = -1;
+      for (std::size_t c = 0; c < cfg_.clusters(); ++c) {
+        const auto dx = mean_x_.get(tx, c) - p.x;
+        const auto dy = mean_y_.get(tx, c) - p.y;
+        const auto d = dx * dx + dy * dy;
+        if (best_d < 0 || d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      // Fold into the accumulator (the conflict hot spot).
+      sum_x_.set(tx, best, sum_x_.get(tx, best) + p.x);
+      sum_y_.set(tx, best, sum_y_.get(tx, best) + p.y);
+      count_.set(tx, best, count_.get(tx, best) + 1);
+      // Occasionally refresh the published mean from the accumulator.
+      const auto n = count_.get(tx, best);
+      if (n % 64 == 0) {
+        mean_x_.set(tx, best, sum_x_.get(tx, best) / n);
+        mean_y_.set(tx, best, sum_y_.get(tx, best) / n);
+      }
+    });
+    folds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // Conservation: total folded point mass equals the accumulator totals.
+    std::int64_t total = 0;
+    for (std::size_t c = 0; c < cfg_.clusters(); ++c)
+      total += count_.unsafe_get(c);
+    if (static_cast<std::uint64_t>(total) != folds_.load())
+      throw std::runtime_error("kmeans: folded point count mismatch");
+    return true;
+  }
+
+ private:
+  struct Point {
+    std::int64_t x, y;
+  };
+
+  KmeansConfig cfg_;
+  std::vector<Point> points_;  // thread-private input data (read-only)
+  txs::TxArray<std::int64_t> sum_x_, sum_y_, count_, mean_x_, mean_y_;
+  std::atomic<std::uint64_t> folds_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

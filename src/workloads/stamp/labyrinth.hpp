@@ -1,0 +1,116 @@
+// labyrinth-mini: STAMP's maze router (Lee's algorithm).
+//
+// Access pattern preserved: each transaction reads a swath of the shared
+// grid while planning a route, then claims every cell on the path with
+// writes.  Transactions are long, and two routes that cross conflict on the
+// shared cells -- the long-transaction/partial-overlap pattern that makes
+// labyrinth a classic STM stress.  Routing is rectilinear (x-leg then
+// y-leg), which keeps planning cheap without changing the conflict shape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct LabyrinthConfig {
+  std::size_t width = 48;
+  std::size_t height = 48;
+  std::size_t max_path = 40;  ///< skip absurdly long route requests
+};
+
+class Labyrinth {
+ public:
+  explicit Labyrinth(LabyrinthConfig cfg = {})
+      : cfg_(cfg), grid_(cfg.width * cfg.height, 0) {}
+
+  template <typename Runner>
+  void setup(Runner&) {}
+
+  template <typename Runner>
+  void op(Runner& r, int tid, util::Xoshiro256& rng) {
+    const std::size_t x0 = rng.next_below(cfg_.width);
+    const std::size_t y0 = rng.next_below(cfg_.height);
+    const std::size_t x1 = rng.next_below(cfg_.width);
+    const std::size_t y1 = rng.next_below(cfg_.height);
+    if (manhattan(x0, y0, x1, y1) > cfg_.max_path || (x0 == x1 && y0 == y1))
+      return;
+    const std::int64_t path_id =
+        1 + static_cast<std::int64_t>(tid) * 1'000'000 +
+        static_cast<std::int64_t>(routed_by_me_counter_bump());
+
+    bool routed = false;
+    r.run([&](auto& tx) {
+      routed = false;
+      // Plan: walk the L-shaped route, reading each cell; abort the *route*
+      // (not the transaction) if any cell is already claimed.
+      std::vector<std::size_t> cells = l_route(x0, y0, x1, y1);
+      for (const auto c : cells) {
+        if (grid_.get(tx, c) != 0) return;  // blocked: commit empty
+      }
+      for (const auto c : cells) grid_.set(tx, c, path_id);
+      routed = true;
+    });
+    if (routed) {
+      routed_.fetch_add(1, std::memory_order_relaxed);
+      claimed_.fetch_add(manhattan(x0, y0, x1, y1) + 1, std::memory_order_relaxed);
+    }
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // Every claimed cell carries a single non-zero path id, and the total
+    // claimed-cell count matches what committed routes claimed.
+    std::uint64_t nonzero = 0;
+    for (std::size_t i = 0; i < grid_.size(); ++i)
+      if (grid_.unsafe_get(i) != 0) ++nonzero;
+    if (nonzero != claimed_.load())
+      throw std::runtime_error("labyrinth: claimed-cell count mismatch");
+    return true;
+  }
+
+  std::uint64_t routed() const { return routed_.load(); }
+
+ private:
+  static std::size_t manhattan(std::size_t x0, std::size_t y0, std::size_t x1,
+                               std::size_t y1) {
+    const auto dx = x0 > x1 ? x0 - x1 : x1 - x0;
+    const auto dy = y0 > y1 ? y0 - y1 : y1 - y0;
+    return dx + dy;
+  }
+
+  std::size_t cell(std::size_t x, std::size_t y) const { return y * cfg_.width + x; }
+
+  std::vector<std::size_t> l_route(std::size_t x0, std::size_t y0, std::size_t x1,
+                                   std::size_t y1) const {
+    std::vector<std::size_t> cells;
+    std::size_t x = x0, y = y0;
+    cells.push_back(cell(x, y));
+    while (x != x1) {
+      x += x < x1 ? 1 : -1;
+      cells.push_back(cell(x, y));
+    }
+    while (y != y1) {
+      y += y < y1 ? 1 : -1;
+      cells.push_back(cell(x, y));
+    }
+    return cells;
+  }
+
+  std::uint64_t routed_by_me_counter_bump() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  LabyrinthConfig cfg_;
+  txs::TxArray<std::int64_t> grid_;
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> claimed_{0};
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

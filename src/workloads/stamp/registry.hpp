@@ -1,0 +1,106 @@
+// The ten STAMP-mini workload configurations the paper sweeps
+// (Figures 6 and 10): eight applications, kmeans and vacation in both
+// contention flavours.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "workloads/driver.hpp"
+#include "workloads/stamp/bayes.hpp"
+#include "workloads/stamp/genome.hpp"
+#include "workloads/stamp/intruder.hpp"
+#include "workloads/stamp/kmeans.hpp"
+#include "workloads/stamp/labyrinth.hpp"
+#include "workloads/stamp/ssca2.hpp"
+#include "workloads/stamp/vacation.hpp"
+#include "workloads/stamp/yada.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+enum class App {
+  kBayes,
+  kGenome,
+  kIntruder,
+  kKmeansHigh,
+  kKmeansLow,
+  kLabyrinth,
+  kSsca2,
+  kVacationHigh,
+  kVacationLow,
+  kYada,
+};
+
+inline constexpr std::array<App, 10> kAllApps = {
+    App::kBayes,        App::kGenome,     App::kIntruder, App::kKmeansHigh,
+    App::kKmeansLow,    App::kLabyrinth,  App::kSsca2,    App::kVacationHigh,
+    App::kVacationLow,  App::kYada,
+};
+
+inline const char* app_name(App a) {
+  switch (a) {
+    case App::kBayes: return "bayes";
+    case App::kGenome: return "genome";
+    case App::kIntruder: return "intruder";
+    case App::kKmeansHigh: return "kmeans-high";
+    case App::kKmeansLow: return "kmeans-low";
+    case App::kLabyrinth: return "labyrinth";
+    case App::kSsca2: return "ssca2";
+    case App::kVacationHigh: return "vacation-high";
+    case App::kVacationLow: return "vacation-low";
+    case App::kYada: return "yada";
+  }
+  return "?";
+}
+
+/// Runs one STAMP-mini app on a fresh workload instance.
+template <typename Backend>
+RunResult run_stamp(App app, Backend& backend, core::Scheduler* sched,
+                    const DriverConfig& cfg) {
+  switch (app) {
+    case App::kBayes: {
+      Bayes w;
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kGenome: {
+      Genome w;
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kIntruder: {
+      Intruder w;
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kKmeansHigh: {
+      Kmeans w(KmeansConfig{.high_contention = true});
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kKmeansLow: {
+      Kmeans w(KmeansConfig{.high_contention = false});
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kLabyrinth: {
+      Labyrinth w;
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kSsca2: {
+      Ssca2 w;
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kVacationHigh: {
+      Vacation w(VacationConfig{.high_contention = true});
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kVacationLow: {
+      Vacation w(VacationConfig{.high_contention = false});
+      return run_workload(backend, sched, w, cfg);
+    }
+    case App::kYada: {
+      Yada w;
+      return run_workload(backend, sched, w, cfg);
+    }
+  }
+  throw std::invalid_argument("unknown STAMP app");
+}
+
+}  // namespace shrinktm::workloads::stamp

@@ -1,0 +1,76 @@
+// ssca2-mini: STAMP's scalable graph kernel (kernel 1: graph construction).
+//
+// Access pattern preserved: threads insert directed edges into per-node
+// adjacency arrays guarded by per-node degree counters.  Transactions are
+// tiny and conflicts are rare (two threads must pick the same source node),
+// which is why ssca2 barely moves under any scheduler -- a useful negative
+// control for Shrink.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct Ssca2Config {
+  std::size_t nodes = 2048;
+  std::size_t max_degree = 32;
+};
+
+class Ssca2 {
+ public:
+  explicit Ssca2(Ssca2Config cfg = {})
+      : cfg_(cfg),
+        adjacency_(cfg.nodes * cfg.max_degree, -1),
+        degree_(cfg.nodes, 0) {}
+
+  template <typename Runner>
+  void setup(Runner&) {}
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    const auto u = rng.next_below(cfg_.nodes);
+    const auto v = static_cast<std::int64_t>(rng.next_below(cfg_.nodes));
+    bool added = false;
+    r.run([&](auto& tx) {
+      added = false;
+      const auto d = degree_.get(tx, u);
+      if (d >= static_cast<std::int64_t>(cfg_.max_degree)) return;  // saturated
+      adjacency_.set(tx, u * cfg_.max_degree + static_cast<std::size_t>(d), v);
+      degree_.set(tx, u, d + 1);
+      added = true;
+    });
+    if (added) edges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    std::int64_t total = 0;
+    for (std::size_t u = 0; u < cfg_.nodes; ++u) {
+      const auto d = degree_.unsafe_get(u);
+      total += d;
+      // All slots below the degree are filled, all above are virgin.
+      for (std::size_t s = 0; s < cfg_.max_degree; ++s) {
+        const auto val = adjacency_.unsafe_get(u * cfg_.max_degree + s);
+        const bool filled = val >= 0;
+        if (filled != (s < static_cast<std::size_t>(d)))
+          throw std::runtime_error("ssca2: adjacency slots out of sync with degree");
+      }
+    }
+    if (static_cast<std::uint64_t>(total) != edges_.load())
+      throw std::runtime_error("ssca2: edge count mismatch");
+    return true;
+  }
+
+ private:
+  Ssca2Config cfg_;
+  txs::TxArray<std::int64_t> adjacency_;
+  txs::TxArray<std::int64_t> degree_;
+  std::atomic<std::uint64_t> edges_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

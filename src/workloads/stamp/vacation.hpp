@@ -1,0 +1,140 @@
+// vacation-mini: STAMP's travel reservation system.
+//
+// Access pattern preserved: a client transaction queries several random
+// rows across the car/flight/room relations (red-black trees), reserves the
+// cheapest available one, and records it with the customer; manager
+// transactions add/remove availability and delete customers.  "high"
+// contention = smaller relations and a larger fraction of update
+// transactions, exactly STAMP's -n/-q/-u knobs in spirit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "txstruct/rbtree.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct VacationConfig {
+  bool high_contention = false;
+  std::uint64_t relations() const { return high_contention ? 256 : 4096; }
+  int queries_per_tx() const { return high_contention ? 8 : 4; }
+  double user_fraction() const { return high_contention ? 0.60 : 0.90; }
+};
+
+class Vacation {
+ public:
+  explicit Vacation(VacationConfig cfg = {}) : cfg_(cfg) {}
+
+  template <typename Runner>
+  void setup(Runner& r) {
+    const std::uint64_t n = cfg_.relations();
+    for (std::uint64_t base = 0; base < n; base += 128) {
+      r.run([&](auto& tx) {
+        for (std::uint64_t i = base; i < std::min(base + 128, n); ++i) {
+          const auto id = static_cast<std::int64_t>(i);
+          cars_.insert(tx, id, kInitialStock);
+          flights_.insert(tx, id, kInitialStock);
+          rooms_.insert(tx, id, kInitialStock);
+        }
+      });
+    }
+  }
+
+  template <typename Runner>
+  void op(Runner& r, int tid, util::Xoshiro256& rng) {
+    if (rng.next_bool(cfg_.user_fraction())) {
+      make_reservation(r, tid, rng);
+    } else if (rng.next_bool(0.5)) {
+      update_tables(r, rng, /*add=*/true);
+    } else {
+      update_tables(r, rng, /*add=*/false);
+    }
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // Conservation: stock removed from relations equals stock recorded with
+    // customers plus stock retired by managers.
+    const std::int64_t remaining = table_total(cars_) + table_total(flights_) +
+                                   table_total(rooms_);
+    const std::int64_t reserved = customer_total();
+    const std::int64_t initial =
+        static_cast<std::int64_t>(cfg_.relations()) * kInitialStock * 3;
+    if (remaining + reserved + retired_.unsafe_read() != initial)
+      throw std::runtime_error("vacation: stock conservation violated");
+    if (cars_.unsafe_check_invariants() < 0 ||
+        flights_.unsafe_check_invariants() < 0 ||
+        rooms_.unsafe_check_invariants() < 0 ||
+        customers_.unsafe_check_invariants() < 0)
+      throw std::runtime_error("vacation: rbtree invariants violated");
+    return true;
+  }
+
+ private:
+  static constexpr std::int64_t kInitialStock = 100;
+  using Table = txs::TxRBTree<std::int64_t, std::int64_t>;
+
+  template <typename Runner>
+  void make_reservation(Runner& r, int tid, util::Xoshiro256& rng) {
+    const int queries = cfg_.queries_per_tx();
+    const auto customer =
+        static_cast<std::int64_t>(tid) * 1'000'000 +
+        static_cast<std::int64_t>(rng.next_below(1024));
+    r.run([&](auto& tx) {
+      Table* tables[3] = {&cars_, &flights_, &rooms_};
+      Table* best_table = nullptr;
+      std::int64_t best_id = -1, best_stock = 0;
+      for (int q = 0; q < queries; ++q) {
+        Table* t = tables[rng.next_below(3)];
+        const auto id = static_cast<std::int64_t>(rng.next_below(cfg_.relations()));
+        const auto stock = t->lookup(tx, id);
+        if (stock && *stock > best_stock) {
+          best_table = t;
+          best_id = id;
+          best_stock = *stock;
+        }
+      }
+      if (best_table != nullptr) {
+        best_table->insert_or_assign(tx, best_id, best_stock - 1);
+        const auto held = customers_.lookup(tx, customer);
+        customers_.insert_or_assign(tx, customer, held ? *held + 1 : 1);
+      }
+    });
+  }
+
+  template <typename Runner>
+  void update_tables(Runner& r, util::Xoshiro256& rng, bool add) {
+    r.run([&](auto& tx) {
+      Table* tables[3] = {&cars_, &flights_, &rooms_};
+      Table* t = tables[rng.next_below(3)];
+      const auto id = static_cast<std::int64_t>(rng.next_below(cfg_.relations()));
+      const auto stock = t->lookup(tx, id);
+      if (!stock) return;
+      if (add) {
+        t->insert_or_assign(tx, id, *stock + 1);
+        retired_.write(tx, retired_.read(tx) - 1);
+      } else if (*stock > 0) {
+        t->insert_or_assign(tx, id, *stock - 1);
+        retired_.write(tx, retired_.read(tx) + 1);
+      }
+    });
+  }
+
+  static std::int64_t unsafe_sum(const Table& t) {
+    std::int64_t total = 0;
+    t.unsafe_for_each([&](std::int64_t, std::int64_t v) { total += v; });
+    return total;
+  }
+
+  std::int64_t table_total(const Table& t) const { return unsafe_sum(t); }
+  std::int64_t customer_total() const { return unsafe_sum(customers_); }
+
+  VacationConfig cfg_;
+  Table cars_, flights_, rooms_, customers_;
+  txs::TVar<std::int64_t> retired_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

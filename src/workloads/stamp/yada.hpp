@@ -1,0 +1,109 @@
+// yada-mini: STAMP's Delaunay mesh refinement.
+//
+// Access pattern preserved: a shared priority queue of "bad" elements feeds
+// all threads; refining an element reads its neighborhood in the shared
+// mesh, rewrites the region (retriangulation becomes a quality rewrite over
+// the cavity), and pushes newly-bad neighbors back onto the queue --
+// cascading, queue-centric contention.  The paper reports yada as Shrink's
+// biggest STAMP win; the hot queue plus overlapping cavities is why.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "txstruct/heap.hpp"
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::workloads::stamp {
+
+struct YadaConfig {
+  std::size_t elements = 4096;
+  std::size_t neighbors = 4;          ///< cavity fan-out
+  std::int64_t quality_goal = 12;     ///< refined elements reach this
+  std::size_t queue_capacity = 16384;
+};
+
+class Yada {
+ public:
+  explicit Yada(YadaConfig cfg = {})
+      : cfg_(cfg),
+        quality_(cfg.elements, 0),
+        work_(cfg.queue_capacity) {}
+
+  template <typename Runner>
+  void setup(Runner& r) {
+    util::Xoshiro256 rng(37);
+    // Seed qualities and enqueue the initially-bad elements.
+    for (std::size_t base = 0; base < cfg_.elements; base += 256) {
+      r.run([&](auto& tx) {
+        for (std::size_t e = base; e < std::min(base + 256, cfg_.elements); ++e) {
+          const auto q = static_cast<std::int64_t>(rng.next_below(
+              static_cast<std::uint64_t>(cfg_.quality_goal)));
+          quality_.set(tx, e, q);
+          if (q < cfg_.quality_goal / 2)
+            work_.push(tx, static_cast<std::int64_t>(e));
+        }
+      });
+    }
+  }
+
+  template <typename Runner>
+  void op(Runner& r, int /*tid*/, util::Xoshiro256& rng) {
+    bool refined = false;
+    r.run([&](auto& tx) {
+      refined = false;
+      auto bad = work_.pop(tx);
+      if (!bad) {
+        // Work queue drained: re-seed by roughening a random element, the
+        // timed-run analogue of yada's continuous input stream.
+        const auto e = rng.next_below(cfg_.elements);
+        quality_.set(tx, e, 0);
+        work_.push(tx, static_cast<std::int64_t>(e));
+        return;
+      }
+      const auto e = static_cast<std::size_t>(*bad);
+      // Read the cavity: the element and its ring neighbors.
+      const auto q = quality_.get(tx, e);
+      if (q >= cfg_.quality_goal) return;  // already refined by someone else
+      // Retriangulate: improve this element, disturb part of the cavity.
+      quality_.set(tx, e, cfg_.quality_goal);
+      for (std::size_t k = 1; k <= cfg_.neighbors; ++k) {
+        const std::size_t n = (e + k) % cfg_.elements;
+        const auto nq = quality_.get(tx, n);
+        if (nq > 0 && nq < cfg_.quality_goal) {
+          // Disturbed: degrade and mark bad (cascade).
+          quality_.set(tx, n, nq - 1);
+          work_.push(tx, static_cast<std::int64_t>(n));
+        }
+      }
+      refined = true;
+    });
+    if (refined) refinements_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  template <typename Runner>
+  bool verify(Runner&) {
+    // Quality values stay within [0, goal].
+    for (std::size_t e = 0; e < cfg_.elements; ++e) {
+      const auto q = quality_.unsafe_get(e);
+      if (q < 0 || q > cfg_.quality_goal)
+        throw std::runtime_error("yada: quality out of range");
+    }
+    if (work_.unsafe_size() > work_.capacity())
+      throw std::runtime_error("yada: queue overflow");
+    return true;
+  }
+
+  std::uint64_t refinements() const { return refinements_.load(); }
+
+ private:
+  YadaConfig cfg_;
+  txs::TxArray<std::int64_t> quality_;
+  txs::TxHeap<std::int64_t> work_;
+  std::atomic<std::uint64_t> refinements_{0};
+};
+
+}  // namespace shrinktm::workloads::stamp

@@ -1,0 +1,78 @@
+// FlatPtrSet unit tests (the Shrink read path depends on its exactness).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/flatset.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::util {
+namespace {
+
+const void* key(std::uintptr_t i) { return reinterpret_cast<const void*>(i * 8 + 8); }
+
+TEST(FlatPtrSet, InsertContainsBasics) {
+  FlatPtrSet s(4);  // 16 slots, 8 items max
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(key(1)));
+  EXPECT_FALSE(s.insert(key(1))) << "duplicate insert must report false";
+  EXPECT_TRUE(s.contains(key(1)));
+  EXPECT_FALSE(s.contains(key(2)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatPtrSet, ClearIsConstantTimeAndComplete) {
+  FlatPtrSet s(6);
+  for (std::uintptr_t i = 0; i < 20; ++i) s.insert(key(i));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  for (std::uintptr_t i = 0; i < 20; ++i) EXPECT_FALSE(s.contains(key(i)));
+  // Reuse after clear works (version stamping, not memset).
+  EXPECT_TRUE(s.insert(key(3)));
+  EXPECT_TRUE(s.contains(key(3)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatPtrSet, SaturationRejectsGracefully) {
+  FlatPtrSet s(3);  // 8 slots, 4 items max
+  for (std::uintptr_t i = 0; i < 4; ++i) EXPECT_TRUE(s.insert(key(i)));
+  EXPECT_FALSE(s.insert(key(99))) << "full set must reject, not grow or crash";
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.contains(key(99)));
+}
+
+TEST(FlatPtrSet, ItemsPreserveInsertionOrder) {
+  FlatPtrSet s(8);
+  for (std::uintptr_t i = 10; i < 20; ++i) s.insert(key(i));
+  ASSERT_EQ(s.items().size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s.items()[i], key(10 + i));
+}
+
+TEST(FlatPtrSet, AgreesWithStdSetUnderRandomOps) {
+  FlatPtrSet s(10);
+  std::unordered_set<const void*> model;
+  Xoshiro256 rng(17);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      const void* k = key(rng.next_below(400));
+      if (model.size() < s.capacity()) {
+        EXPECT_EQ(s.insert(k), model.insert(k).second);
+      }
+      EXPECT_EQ(s.contains(k), model.contains(k));
+    }
+    s.clear();
+    model.clear();
+  }
+}
+
+TEST(FlatPtrSet, VersionsSurviveManyClears) {
+  FlatPtrSet s(4);
+  for (int round = 0; round < 10000; ++round) {
+    ASSERT_TRUE(s.insert(key(static_cast<std::uintptr_t>(round % 7) + 1)));
+    s.clear();
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace shrinktm::util

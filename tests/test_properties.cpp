@@ -1,0 +1,225 @@
+// Property-style parameterized sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// the same invariants checked across a grid of backends, schedulers, thread
+// counts and contention levels.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/schedulers.hpp"
+#include "stm/runner.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "txstruct/rbtree.hpp"
+#include "txstruct/tvar.hpp"
+#include "util/bloom.hpp"
+#include "util/rng.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/rbtree_bench.hpp"
+
+namespace shrinktm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// STM serializability across (backend, threads, contention) grid
+// ---------------------------------------------------------------------------
+
+enum class BackendKind { kTiny, kSwiss };
+
+struct StmGridParam {
+  BackendKind backend;
+  int threads;
+  int cells;  // fewer cells = more contention
+};
+
+class StmSerializability : public ::testing::TestWithParam<StmGridParam> {};
+
+template <typename Backend>
+void run_transfer_mix(int threads, int cells) {
+  Backend backend;
+  std::vector<txs::TVar<std::int64_t>> accounts(cells);
+  for (auto& a : accounts) a.unsafe_write(100);
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      stm::TxRunner<typename Backend::Tx> r(backend.tx(t), nullptr);
+      util::Xoshiro256 rng(900 + t);
+      for (int i = 0; i < 1000; ++i) {
+        const auto a = rng.next_below(accounts.size());
+        const auto b = rng.next_below(accounts.size());
+        r.run([&](auto& tx) {
+          const auto va = accounts[a].read(tx);
+          accounts[a].write(tx, va - 1);
+          accounts[b].write(tx, accounts[b].read(tx) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  std::int64_t total = 0;
+  for (auto& a : accounts) total += a.unsafe_read();
+  EXPECT_EQ(total, static_cast<std::int64_t>(cells) * 100)
+      << "money conservation violated";
+}
+
+TEST_P(StmSerializability, TransfersConserveTotal) {
+  const auto p = GetParam();
+  if (p.backend == BackendKind::kTiny) {
+    run_transfer_mix<stm::TinyBackend>(p.threads, p.cells);
+  } else {
+    run_transfer_mix<stm::SwissBackend>(p.threads, p.cells);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StmSerializability,
+    ::testing::Values(StmGridParam{BackendKind::kTiny, 2, 64},
+                      StmGridParam{BackendKind::kTiny, 4, 8},
+                      StmGridParam{BackendKind::kTiny, 8, 2},
+                      StmGridParam{BackendKind::kTiny, 8, 256},
+                      StmGridParam{BackendKind::kSwiss, 2, 64},
+                      StmGridParam{BackendKind::kSwiss, 4, 8},
+                      StmGridParam{BackendKind::kSwiss, 8, 2},
+                      StmGridParam{BackendKind::kSwiss, 8, 256}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(p.backend == BackendKind::kTiny ? "tiny" : "swiss") +
+             "_t" + std::to_string(p.threads) + "_c" + std::to_string(p.cells);
+    });
+
+// ---------------------------------------------------------------------------
+// Red-black tree invariants under every scheduler and both backends
+// ---------------------------------------------------------------------------
+
+struct RbParam {
+  BackendKind backend;
+  core::SchedulerKind sched;
+  int update_percent;
+};
+
+class RbTreeUnderScheduler : public ::testing::TestWithParam<RbParam> {};
+
+template <typename Backend>
+void run_rb(core::SchedulerKind kind, int update_percent) {
+  Backend backend;
+  auto sched = core::make_scheduler(kind, backend);
+  workloads::RBTreeBench w(workloads::RBTreeBenchConfig{
+      .key_range = 512, .update_percent = update_percent});
+  workloads::DriverConfig cfg;
+  cfg.threads = 6;
+  cfg.duration_ms = 50;
+  const auto res = workloads::run_workload(backend, sched.get(), w, cfg);
+  EXPECT_TRUE(res.verified);
+  EXPECT_GT(res.stm.commits, 0u);
+  if (sched) {
+    EXPECT_EQ(sched->wait_count(), 0u) << "serialization lock leaked";
+  }
+}
+
+TEST_P(RbTreeUnderScheduler, InvariantsHold) {
+  const auto p = GetParam();
+  if (p.backend == BackendKind::kTiny) {
+    run_rb<stm::TinyBackend>(p.sched, p.update_percent);
+  } else {
+    run_rb<stm::SwissBackend>(p.sched, p.update_percent);
+  }
+}
+
+std::vector<RbParam> rb_grid() {
+  std::vector<RbParam> g;
+  for (auto b : {BackendKind::kTiny, BackendKind::kSwiss})
+    for (auto s : {core::SchedulerKind::kNone, core::SchedulerKind::kShrink,
+                   core::SchedulerKind::kAts, core::SchedulerKind::kPool,
+                   core::SchedulerKind::kSerializer})
+      for (int u : {20, 70, 100}) g.push_back({b, s, u});
+  return g;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RbTreeUnderScheduler, ::testing::ValuesIn(rb_grid()),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(p.backend == BackendKind::kTiny ? "tiny" : "swiss") +
+             "_" + core::scheduler_kind_name(p.sched) + "_u" +
+             std::to_string(p.update_percent);
+    });
+
+// ---------------------------------------------------------------------------
+// Simulator properties over random instances
+// ---------------------------------------------------------------------------
+
+class SimProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimProperties, FeasibilityAndBounds) {
+  const std::uint64_t seed = GetParam();
+  const sim::Instance inst = sim::make_random(20, 0.2, 4, 5, seed);
+  const auto opt = sim::simulate_offline_opt(inst);
+  const auto restart = sim::simulate_restart(inst);
+  const auto ser = sim::simulate_serializer(inst);
+  const auto ats = sim::simulate_ats(inst, 3);
+
+  // Every schedule is feasible: no makespan below the trivial lower bound.
+  for (double m : {opt.makespan, restart.makespan, ser.makespan, ats.makespan})
+    EXPECT_GE(m, inst.opt_lower_bound() - 1e-9) << "seed=" << seed;
+  // The planner never aborts offline.
+  EXPECT_EQ(opt.aborts, 0u);
+  // Theorem 2 bound: Restart <= Rm + OPT(planner).
+  EXPECT_LE(restart.makespan, inst.max_release() + opt.makespan + 1e-9)
+      << "seed=" << seed;
+}
+
+TEST_P(SimProperties, SerializerChainExactness) {
+  const int n = 4 + static_cast<int>(GetParam() % 60);
+  const auto inst = sim::make_serializer_chain(n);
+  EXPECT_DOUBLE_EQ(sim::simulate_serializer(inst).makespan, n);
+  EXPECT_DOUBLE_EQ(sim::simulate_offline_opt(inst).makespan, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperties,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------------------------------------------------------------------------
+// Bloom filter false-positive property across geometry grid
+// ---------------------------------------------------------------------------
+
+struct BloomParam {
+  unsigned log2_bits;
+  unsigned hashes;
+  std::size_t population;
+};
+
+class BloomGeometry : public ::testing::TestWithParam<BloomParam> {};
+
+TEST_P(BloomGeometry, NoFalseNegativesAndBoundedFalsePositives) {
+  const auto p = GetParam();
+  util::BloomFilter bf(p.log2_bits, p.hashes);
+  for (std::size_t i = 0; i < p.population; ++i) bf.insert(i * 7919);
+  for (std::size_t i = 0; i < p.population; ++i)
+    ASSERT_TRUE(bf.maybe_contains(i * 7919));
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 20000;
+  for (std::size_t i = 0; i < kProbes; ++i)
+    if (bf.maybe_contains(0xdead0000 + i)) ++fp;
+  const double measured = static_cast<double>(fp) / kProbes;
+  // Allow 3x the analytic estimate as slack.
+  EXPECT_LE(measured, 3.0 * bf.false_positive_rate() + 0.01)
+      << "bits=2^" << p.log2_bits << " k=" << p.hashes << " n=" << p.population;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, BloomGeometry,
+    ::testing::Values(BloomParam{10, 2, 50}, BloomParam{10, 3, 50},
+                      BloomParam{12, 2, 200}, BloomParam{12, 3, 200},
+                      BloomParam{12, 2, 800}, BloomParam{14, 3, 800}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "b" + std::to_string(p.log2_bits) + "_k" + std::to_string(p.hashes) +
+             "_n" + std::to_string(p.population);
+    });
+
+}  // namespace
+}  // namespace shrinktm

@@ -1,0 +1,399 @@
+// Scheduler-layer tests: the prediction tracker, Shrink's Algorithm-1
+// mechanics, and the comparison schedulers (ATS, Pool, Serializer).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/ats.hpp"
+#include "core/factory.hpp"
+#include "core/pool.hpp"
+#include "core/prediction.hpp"
+#include "core/serializer.hpp"
+#include "core/shrink.hpp"
+#include "stm/runner.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "txstruct/tvar.hpp"
+
+namespace shrinktm {
+namespace {
+
+int w(int i) { return i; }  // address tokens
+const void* addr(int i) {
+  static int pool[1024];
+  return &pool[w(i)];
+}
+
+TEST(PredictionTracker, ConfidenceWeightsMatchPaper) {
+  // c1=3, c2=2, c3=1, threshold=3: an address is predicted if it was read in
+  // the immediately previous transaction (bf1, weight 3), or in both bf2 and
+  // bf3 (2+1).
+  core::PredictionTracker p;
+  auto tx_reading = [&](std::initializer_list<int> reads) {
+    p.begin_tx(false);
+    for (int a : reads) p.on_read(addr(a));
+    p.note_commit();
+  };
+  tx_reading({1, 2});   // becomes bf1 after commit
+  p.begin_tx(false);    // clears stale predictions (previous tx committed)
+  p.on_read(addr(1));   // bf1 contains 1 -> confidence 3 >= 3 -> predicted
+  p.on_read(addr(9));   // nowhere -> not predicted
+  EXPECT_TRUE(p.predicted_reads().contains(addr(1)));
+  EXPECT_FALSE(p.predicted_reads().contains(addr(9)));
+}
+
+TEST(PredictionTracker, TwoOldWindowsSumToThreshold) {
+  core::PredictionTracker p;
+  auto commit_reading = [&](std::initializer_list<int> reads) {
+    p.begin_tx(false);
+    for (int a : reads) p.on_read(addr(a));
+    p.note_commit();
+  };
+  // Address 5 read three and two transactions ago (bf3 + bf2: 1 + 2 = 3),
+  // but NOT in the last transaction.
+  commit_reading({5});      // -> will end up in bf3
+  commit_reading({5});      // -> bf2
+  commit_reading({77});     // -> bf1 (no 5)
+  p.begin_tx(false);
+  p.on_read(addr(5));
+  EXPECT_TRUE(p.predicted_reads().contains(addr(5)));
+  // Address read only three txs ago (bf3 alone: weight 1 < 3): not predicted.
+  core::PredictionTracker q;
+  auto qcommit = [&](std::initializer_list<int> reads) {
+    q.begin_tx(false);
+    for (int a : reads) q.on_read(addr(a));
+    q.note_commit();
+  };
+  qcommit({6});
+  qcommit({70});
+  qcommit({71});
+  q.begin_tx(false);
+  q.on_read(addr(6));
+  EXPECT_FALSE(q.predicted_reads().contains(addr(6)));
+}
+
+TEST(PredictionTracker, CommitClearsPredictionsAtNextStart) {
+  core::PredictionTracker p;
+  p.begin_tx(false);
+  p.on_read(addr(1));
+  p.note_commit();
+  p.begin_tx(false);
+  p.on_read(addr(1));  // predicted via bf1
+  ASSERT_TRUE(p.predicted_reads().contains(addr(1)));
+  p.note_commit();
+  // Predictions survive until the NEXT begin_tx (the serialization check
+  // consumes them there), then are dropped because the tx committed.
+  EXPECT_TRUE(p.predicted_reads().contains(addr(1)));
+  p.begin_tx(false);
+  EXPECT_FALSE(p.predicted_reads().contains(addr(1)));
+}
+
+TEST(PredictionTracker, AbortInstallsWritePrediction) {
+  core::PredictionTracker p;
+  p.begin_tx(false);
+  std::vector<void*> writes{const_cast<void*>(addr(3)), const_cast<void*>(addr(4))};
+  p.note_abort(writes);
+  EXPECT_EQ(p.predicted_writes().size(), 2u);
+  // A retry keeps the prediction (no clearing after abort).
+  p.begin_tx(false);
+  EXPECT_EQ(p.predicted_writes().size(), 2u);
+  // After a commit the next begin_tx clears it.
+  p.note_commit();
+  p.begin_tx(false);
+  EXPECT_TRUE(p.predicted_writes().empty());
+}
+
+TEST(PredictionTracker, ReadAccuracyMeasured) {
+  core::PredictionTracker p;
+  // tx1 reads {1,2}: no history yet, so nothing is predicted.
+  p.begin_tx(true);
+  p.on_read(addr(1));
+  p.on_read(addr(2));
+  p.note_commit();
+  // tx2 re-reads {1,2}: bf1 confidence promotes both into the predicted
+  // set *for tx3*; tx2 itself started with an empty prediction, so no
+  // accuracy sample yet.
+  p.begin_tx(true);
+  p.on_read(addr(1));
+  p.on_read(addr(2));
+  p.note_commit();
+  EXPECT_EQ(p.read_accuracy().count(), 0u);
+  // tx3 reads both predicted addresses -> accuracy sample 1.0.
+  p.begin_tx(true);
+  p.on_read(addr(1));
+  p.on_read(addr(2));
+  p.note_commit();
+  ASSERT_EQ(p.read_accuracy().count(), 1u);
+  EXPECT_DOUBLE_EQ(p.read_accuracy().mean(), 1.0);
+  // tx4 reads neither -> sample 0, mean drops to 0.5.
+  p.begin_tx(true);
+  p.on_read(addr(50));
+  p.note_commit();
+  EXPECT_EQ(p.read_accuracy().count(), 2u);
+  EXPECT_DOUBLE_EQ(p.read_accuracy().mean(), 0.5);
+}
+
+TEST(Shrink, SuccessRateFollowsAlgorithmOne) {
+  stm::TinyBackend backend;
+  core::ShrinkScheduler shrink(backend);
+  shrink.before_start(0);
+  shrink.on_commit(0);
+  EXPECT_DOUBLE_EQ(shrink.success_rate(0), 1.0);  // (1+1)/2
+  shrink.before_start(0);
+  shrink.on_abort(0, {}, -1);
+  EXPECT_DOUBLE_EQ(shrink.success_rate(0), 0.5);  // 1/2
+  shrink.before_start(0);
+  shrink.on_abort(0, {}, -1);
+  EXPECT_DOUBLE_EQ(shrink.success_rate(0), 0.25);
+  shrink.before_start(0);
+  shrink.on_commit(0);
+  EXPECT_DOUBLE_EQ(shrink.success_rate(0), 0.625);  // (0.25+1)/2
+}
+
+TEST(Shrink, WaitCountReturnsToZero) {
+  stm::SwissBackend backend;
+  core::ShrinkConfig cfg;
+  cfg.affinity_scale = 1;  // always engage prediction when success is low
+  core::ShrinkScheduler shrink(backend, cfg);
+
+  // Drive thread 0's success rate below threshold.
+  for (int i = 0; i < 4; ++i) {
+    shrink.before_start(0);
+    shrink.on_abort(0, {}, -1);
+  }
+  ASSERT_LT(shrink.success_rate(0), 0.5);
+
+  // Predicted write set points at an address another tx write-locks.
+  txs::TVar<std::int64_t> hot(0);
+  std::vector<void*> writes{const_cast<void*>(hot.address())};
+  shrink.before_start(0);
+  shrink.on_abort(0, writes, 1);  // installs write prediction
+
+  auto& enemy = backend.tx(1);
+  enemy.set_scheduler(nullptr);
+  enemy.start();
+  enemy.store(
+      const_cast<stm::Word*>(static_cast<const stm::Word*>(hot.address())), 7);
+  ASSERT_TRUE(backend.is_write_locked_by_other(hot.address(), 0));
+
+  // Thread 0 starts: prediction hits -> serialized under the global lock.
+  shrink.before_start(0);
+  EXPECT_EQ(shrink.wait_count(), 1u);
+  EXPECT_EQ(shrink.sched_stats().serialized(), 1u);
+  shrink.on_commit(0);
+  EXPECT_EQ(shrink.wait_count(), 0u);
+
+  enemy.commit();
+}
+
+TEST(Shrink, InertWhileSuccessRateHealthy) {
+  stm::TinyBackend backend;
+  core::ShrinkConfig cfg;
+  cfg.affinity_scale = 1;
+  core::ShrinkScheduler shrink(backend, cfg);
+  for (int i = 0; i < 100; ++i) {
+    shrink.before_start(0);
+    shrink.on_commit(0);
+  }
+  EXPECT_EQ(shrink.sched_stats().prediction_uses.load(), 0u)
+      << "healthy threads must never pay for prediction checks";
+  EXPECT_EQ(shrink.sched_stats().serialized(), 0u);
+}
+
+TEST(Shrink, SerializationNeedsPredictedConflict) {
+  stm::TinyBackend backend;
+  core::ShrinkConfig cfg;
+  cfg.affinity_scale = 1;
+  core::ShrinkScheduler shrink(backend, cfg);
+  for (int i = 0; i < 4; ++i) {
+    shrink.before_start(0);
+    shrink.on_abort(0, {}, -1);  // low success, but no predictions installed
+  }
+  shrink.before_start(0);
+  EXPECT_GT(shrink.sched_stats().prediction_uses.load(), 0u);
+  EXPECT_EQ(shrink.sched_stats().serialized(), 0u)
+      << "empty predicted sets must not serialize";
+  shrink.on_commit(0);
+}
+
+TEST(Ats, ContentionIntensityEvolves) {
+  core::AtsScheduler ats;
+  ats.before_start(0);
+  ats.on_abort(0, {}, -1);
+  EXPECT_NEAR(ats.contention_intensity(0), 0.25, 1e-12);  // 0.75*0 + 0.25
+  ats.before_start(0);
+  ats.on_abort(0, {}, -1);
+  EXPECT_NEAR(ats.contention_intensity(0), 0.4375, 1e-12);
+  ats.before_start(0);
+  ats.on_commit(0);
+  EXPECT_NEAR(ats.contention_intensity(0), 0.328125, 1e-12);
+}
+
+TEST(Ats, SerializesAboveThreshold) {
+  core::AtsScheduler ats;
+  for (int i = 0; i < 6; ++i) {
+    ats.before_start(0);
+    ats.on_abort(0, {}, -1);
+  }
+  ASSERT_GT(ats.contention_intensity(0), 0.5);
+  const auto before = ats.sched_stats().serialized();
+  ats.before_start(0);  // must acquire the queue
+  EXPECT_EQ(ats.sched_stats().serialized(), before + 1);
+  ats.on_commit(0);  // releases
+  // CI decays below threshold after enough commits -> no serialization.
+  while (ats.contention_intensity(0) > 0.5) {
+    ats.before_start(0);
+    ats.on_commit(0);
+  }
+  const auto settled = ats.sched_stats().serialized();
+  ats.before_start(0);
+  EXPECT_EQ(ats.sched_stats().serialized(), settled);
+  ats.on_commit(0);
+}
+
+TEST(Pool, SerializesEveryRetry) {
+  core::PoolScheduler pool;
+  pool.before_start(0);
+  EXPECT_EQ(pool.sched_stats().serialized(), 0u);
+  pool.on_abort(0, {}, -1);
+  pool.before_start(0);  // retry after contention -> serialized
+  EXPECT_EQ(pool.sched_stats().serialized(), 1u);
+  pool.on_commit(0);
+  pool.before_start(0);  // commit cleared the flag
+  EXPECT_EQ(pool.sched_stats().serialized(), 1u);
+  pool.on_commit(0);
+}
+
+TEST(Serializer, WaitsForEnemyCompletion) {
+  core::SerializerScheduler ser(util::WaitPolicy::kPreemptive, 128,
+                                /*max_wait_pauses=*/1u << 22);
+  // Thread 0 loses a conflict against thread 1.
+  ser.before_start(0);
+  ser.before_start(1);
+  ser.on_abort(0, {}, 1);
+  std::atomic<bool> resumed{false};
+  std::thread waiter([&] {
+    ser.before_start(0);  // blocks until thread 1 completes a transaction
+    resumed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(resumed.load());
+  ser.on_commit(1);  // enemy completes
+  waiter.join();
+  EXPECT_TRUE(resumed.load());
+  EXPECT_EQ(ser.sched_stats().serialized(), 1u);
+}
+
+TEST(Shrink, AblationFlagsDisableIngredients) {
+  stm::SwissBackend backend;
+  txs::TVar<std::int64_t> hot(0);
+  std::vector<void*> writes{const_cast<void*>(hot.address())};
+
+  auto drive_low_success = [](core::ShrinkScheduler& s) {
+    for (int i = 0; i < 4; ++i) {
+      s.before_start(0);
+      s.on_abort(0, {}, -1);
+    }
+  };
+
+  // Write-locked enemy that both variants observe.
+  auto& enemy = backend.tx(1);
+  enemy.set_scheduler(nullptr);
+  enemy.start();
+  enemy.store(
+      const_cast<stm::Word*>(static_cast<const stm::Word*>(hot.address())), 1);
+
+  {  // write prediction disabled: the same setup must NOT serialize
+    core::ShrinkConfig cfg;
+    cfg.affinity_scale = 1;
+    cfg.use_write_prediction = false;
+    core::ShrinkScheduler s(backend, cfg);
+    drive_low_success(s);
+    s.before_start(0);
+    s.on_abort(0, writes, 1);
+    s.before_start(0);
+    EXPECT_EQ(s.sched_stats().serialized(), 0u);
+    s.on_commit(0);
+  }
+  {  // write prediction enabled: serializes
+    core::ShrinkConfig cfg;
+    cfg.affinity_scale = 1;
+    core::ShrinkScheduler s(backend, cfg);
+    drive_low_success(s);
+    s.before_start(0);
+    s.on_abort(0, writes, 1);
+    s.before_start(0);
+    EXPECT_EQ(s.sched_stats().serialized(), 1u);
+    s.on_commit(0);
+  }
+  {  // affinity disabled: prediction checked on EVERY low-success start
+    core::ShrinkConfig cfg;
+    cfg.affinity_scale = 1u << 30;  // coin would essentially never pass...
+    cfg.use_affinity = false;       // ...but affinity is off
+    core::ShrinkScheduler s(backend, cfg);
+    drive_low_success(s);
+    s.before_start(0);
+    EXPECT_GT(s.sched_stats().prediction_uses.load(), 0u);
+    s.on_commit(0);
+  }
+  enemy.commit();
+}
+
+TEST(Shrink, ReadHookGatedBySuccessRate) {
+  stm::TinyBackend backend;
+  core::ShrinkScheduler shrink(backend);
+  // Healthy thread: hook reports inactive after the first before_start.
+  shrink.before_start(0);
+  EXPECT_FALSE(shrink.read_hook_active(0));
+  shrink.on_commit(0);
+  // After an abort the thread enters the hysteresis band: hook active.
+  shrink.before_start(0);
+  shrink.on_abort(0, {}, -1);
+  shrink.before_start(0);
+  EXPECT_TRUE(shrink.read_hook_active(0));
+  shrink.on_commit(0);
+  // Enough consecutive commits push it back out of the band.
+  for (int i = 0; i < 12; ++i) {
+    shrink.before_start(0);
+    shrink.on_commit(0);
+  }
+  shrink.before_start(0);
+  EXPECT_FALSE(shrink.read_hook_active(0));
+  shrink.on_commit(0);
+}
+
+TEST(PredictionTracker, SaturationIsGraceful) {
+  // More confident addresses than the flat set holds: inserts are dropped,
+  // nothing breaks, and the set never exceeds capacity.
+  core::PredictionConfig cfg;
+  cfg.pred_set_log2_slots = 4;  // capacity 8
+  core::PredictionTracker p(cfg);
+  static int pool[64];
+  auto read_all = [&] {
+    for (auto& v : pool) p.on_read(&v);
+  };
+  p.begin_tx(false);
+  read_all();
+  p.note_commit();
+  p.begin_tx(false);
+  read_all();  // every address confident now; only 8 fit
+  EXPECT_LE(p.predicted_reads().size(), 8u);
+}
+
+TEST(Factory, BuildsEveryKindAndParsesNames) {
+  stm::TinyBackend backend;
+  EXPECT_EQ(core::make_scheduler(core::SchedulerKind::kNone, backend), nullptr);
+  for (auto kind : {core::SchedulerKind::kShrink, core::SchedulerKind::kAts,
+                    core::SchedulerKind::kPool, core::SchedulerKind::kSerializer}) {
+    auto s = core::make_scheduler(kind, backend);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), core::scheduler_kind_name(kind));
+    EXPECT_EQ(core::parse_scheduler_kind(s->name()), kind);
+  }
+  EXPECT_THROW(core::parse_scheduler_kind("bogus"), std::invalid_argument);
+  EXPECT_EQ(core::parse_scheduler_kind("none"), core::SchedulerKind::kNone);
+}
+
+}  // namespace
+}  // namespace shrinktm

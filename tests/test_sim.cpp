@@ -1,0 +1,137 @@
+// Scheduling-theory simulator tests: the closed forms of Theorems 1-3 and
+// Figure 2, plus randomized competitive-ratio sanity checks.
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.hpp"
+#include "sim/schedulers.hpp"
+
+namespace shrinktm::sim {
+namespace {
+
+TEST(Theorem1Serializer, Figure2aLowerBound) {
+  // Serializer achieves makespan n while OPT = 2 (paper, Theorem 1 proof).
+  for (int n : {4, 8, 16, 50}) {
+    const Instance inst = make_serializer_chain(n);
+    const SimResult ser = simulate_serializer(inst);
+    const SimResult opt = simulate_offline_opt(inst);
+    EXPECT_DOUBLE_EQ(ser.makespan, static_cast<double>(n)) << "n=" << n;
+    EXPECT_DOUBLE_EQ(opt.makespan, 2.0) << "n=" << n;
+    EXPECT_EQ(opt.aborts, 0u);
+  }
+}
+
+TEST(Theorem1Serializer, RatioGrowsLinearly) {
+  const Instance small = make_serializer_chain(10);
+  const Instance large = make_serializer_chain(100);
+  const double r_small =
+      simulate_serializer(small).makespan / simulate_offline_opt(small).makespan;
+  const double r_large =
+      simulate_serializer(large).makespan / simulate_offline_opt(large).makespan;
+  EXPECT_NEAR(r_large / r_small, 10.0, 0.01);  // Theta(n)
+}
+
+TEST(Theorem1Ats, Figure2bLowerBound) {
+  // ATS achieves k + n - 1 while OPT = k + 1.
+  for (int n : {4, 8, 32}) {
+    for (int k : {2, 5}) {
+      const Instance inst = make_ats_star(n, k);
+      const SimResult ats = simulate_ats(inst, k);
+      const SimResult opt = simulate_offline_opt(inst);
+      EXPECT_DOUBLE_EQ(ats.makespan, static_cast<double>(k + n - 1))
+          << "n=" << n << " k=" << k;
+      EXPECT_DOUBLE_EQ(opt.makespan, static_cast<double>(k + 1));
+      // T2..Tn each abort k times before entering the queue.
+      EXPECT_EQ(ats.aborts, static_cast<std::uint64_t>((n - 1) * k));
+      EXPECT_EQ(ats.serializations, static_cast<std::uint64_t>(n - 1));
+    }
+  }
+}
+
+TEST(Theorem2Restart, TwoCompetitiveOnReleaseChain) {
+  for (int n : {4, 8, 20}) {
+    const Instance inst = make_release_chain(n);
+    const SimResult restart = simulate_restart(inst);
+    const SimResult opt = simulate_offline_opt(inst);
+    EXPECT_LE(restart.makespan, 2.0 * opt.makespan + 1e-9) << "n=" << n;
+    EXPECT_GE(opt.makespan, inst.opt_lower_bound());
+  }
+}
+
+TEST(Theorem2Restart, MatchesOptWhenAllReleasedTogether) {
+  // With a single release instant there is nothing to re-plan: Restart IS
+  // the planned schedule.
+  const Instance inst = make_ats_star(8, 3);
+  EXPECT_DOUBLE_EQ(simulate_restart(inst).makespan,
+                   simulate_offline_opt(inst).makespan);
+}
+
+TEST(Theorem3Inaccurate, DisjointJobsSerializedByFalsePrediction) {
+  // Real conflicts: none -> OPT = 1.  Predicted: complete graph -> a
+  // trusting scheduler runs the n jobs one at a time.
+  for (int n : {4, 16, 64}) {
+    const Instance inst = make_disjoint(n);
+    const SimResult opt = simulate_offline_opt(inst);
+    const SimResult inac = simulate_inaccurate(inst, make_thm3_predicted(n));
+    EXPECT_DOUBLE_EQ(opt.makespan, 1.0);
+    EXPECT_DOUBLE_EQ(inac.makespan, static_cast<double>(n)) << "n=" << n;
+    EXPECT_EQ(inac.aborts, 0u) << "no real conflicts, so no aborts";
+  }
+}
+
+TEST(Theorem3Inaccurate, AccuratePredictionRecoversOpt) {
+  const Instance inst = make_disjoint(16);
+  const SimResult inac = simulate_inaccurate(inst, inst.conflicts);
+  EXPECT_DOUBLE_EQ(inac.makespan, 1.0);
+}
+
+TEST(RandomInstances, CompetitiveOrderingHolds) {
+  // On random instances: every scheduler's makespan is feasible (>= the
+  // trivial lower bound) and Restart stays within 2x of the planner OPT.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance inst = make_random(24, 0.15, 4, 6, seed);
+    const SimResult opt = simulate_offline_opt(inst);
+    const SimResult restart = simulate_restart(inst);
+    const SimResult ser = simulate_serializer(inst);
+    const SimResult ats = simulate_ats(inst, 3);
+    EXPECT_GE(opt.makespan, inst.opt_lower_bound() - 1e-9) << "seed=" << seed;
+    EXPECT_GE(restart.makespan, opt.makespan - 1e-9);
+    EXPECT_LE(restart.makespan,
+              2.0 * (inst.max_release() + opt.makespan) + 1e-9)
+        << "seed=" << seed;
+    EXPECT_GE(ser.makespan, inst.opt_lower_bound() - 1e-9);
+    EXPECT_GE(ats.makespan, inst.opt_lower_bound() - 1e-9);
+  }
+}
+
+TEST(RandomInstances, FalseConflictsOnlyHurt) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Instance inst = make_random(16, 0.1, 3, 0, seed);
+    const double accurate =
+        simulate_inaccurate(inst, inst.conflicts).makespan;
+    const double noisy =
+        simulate_inaccurate(inst, add_false_conflicts(inst.conflicts, 0.5, seed))
+            .makespan;
+    EXPECT_GE(noisy, accurate - 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(ConflictGraph, DegreeAndSymmetry) {
+  ConflictGraph g(4);
+  g.add_conflict(0, 1);
+  g.add_conflict(0, 2);
+  EXPECT_TRUE(g.conflict(1, 0));
+  EXPECT_FALSE(g.conflict(0, 0));
+  EXPECT_FALSE(g.conflict(1, 2));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Scenarios, LowerBoundsRespectPaperInequalities) {
+  const Instance inst = make_ats_star(10, 4);
+  EXPECT_EQ(inst.max_exec(), 4.0);
+  EXPECT_EQ(inst.max_release(), 0.0);
+  EXPECT_EQ(inst.opt_lower_bound(), 4.0);
+}
+
+}  // namespace
+}  // namespace shrinktm::sim

@@ -1,0 +1,249 @@
+// Advanced STM semantics: remote kills, greedy tickets, write-log behavior,
+// orec collisions, clock discipline, and epoch-reclamation integration.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stm/runner.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "stm/tx_sets.hpp"
+#include "txstruct/list.hpp"
+#include "txstruct/tvar.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm {
+namespace {
+
+template <typename T>
+stm::Word* waddr(const txs::TVar<T>& v) {
+  return const_cast<stm::Word*>(static_cast<const stm::Word*>(v.address()));
+}
+
+// ---------------------------------------------------------------------------
+// WriteLog
+// ---------------------------------------------------------------------------
+
+TEST(WriteLog, FindAppendUpdate) {
+  struct FakeOrec {};
+  stm::WriteLog<FakeOrec> log;
+  FakeOrec o;
+  stm::Word a = 0, b = 0;
+  EXPECT_EQ(log.find(&a), nullptr);
+  log.append(&a, 1, &o, 0);
+  ASSERT_NE(log.find(&a), nullptr);
+  EXPECT_EQ(log.find(&a)->value, 1u);
+  log.find(&a)->value = 2;
+  EXPECT_EQ(log.find(&a)->value, 2u);
+  EXPECT_EQ(log.find(&b), nullptr);
+}
+
+TEST(WriteLog, SurvivesIndexGrowth) {
+  struct FakeOrec {};
+  stm::WriteLog<FakeOrec> log;
+  FakeOrec o;
+  std::vector<stm::Word> words(500, 0);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    log.append(&words[i], i, &o, 0);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    auto* e = log.find(&words[i]);
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->value, i);
+  }
+  log.clear();
+  for (std::size_t i = 0; i < words.size(); ++i)
+    EXPECT_EQ(log.find(&words[i]), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Remote kill (the cooperative abort used by SwissTM's two-phase CM)
+// ---------------------------------------------------------------------------
+
+template <typename Backend>
+class KillTest : public ::testing::Test {};
+using Backends = ::testing::Types<stm::TinyBackend, stm::SwissBackend>;
+TYPED_TEST_SUITE(KillTest, Backends);
+
+TYPED_TEST(KillTest, KilledTransactionAbortsAtNextAccess) {
+  TypeParam backend;
+  txs::TVar<std::int64_t> v(0);
+  auto& tx = backend.tx(0);
+  tx.set_scheduler(nullptr);
+  tx.start();
+  (void)tx.load(waddr(v));
+  tx.request_kill(/*killer=*/7);
+  EXPECT_THROW((void)tx.load(waddr(v)), stm::TxConflict);
+  EXPECT_FALSE(tx.in_tx());
+  EXPECT_EQ(tx.stats().aborts_by_reason[static_cast<int>(stm::AbortReason::kKilled)],
+            1u);
+}
+
+TYPED_TEST(KillTest, KillAfterFinishIsHarmless) {
+  TypeParam backend;
+  txs::TVar<std::int64_t> v(0);
+  auto& tx = backend.tx(0);
+  tx.set_scheduler(nullptr);
+  tx.start();
+  tx.store(waddr(v), 1);
+  tx.commit();
+  tx.request_kill(3);  // too late: must be a no-op
+  stm::TxRunner<typename TypeParam::Tx> r(tx, nullptr);
+  r.run([&](auto& t) { v.write(t, 2); });
+  EXPECT_EQ(v.unsafe_read(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Swiss two-phase CM: greedy tickets
+// ---------------------------------------------------------------------------
+
+TEST(SwissGreedy, TicketAcquiredPastWriteThreshold) {
+  stm::StmConfig cfg;
+  cfg.greedy_write_threshold = 4;
+  stm::SwissBackend backend(cfg);
+  std::vector<txs::TVar<std::int64_t>> vars(8);
+  auto& tx = backend.tx(0);
+  tx.set_scheduler(nullptr);
+  tx.start();
+  for (int i = 0; i < 3; ++i) tx.store(waddr(vars[i]), i);
+  EXPECT_EQ(tx.greedy_ticket(), stm::SwissTx::kNoTicket) << "still timid";
+  tx.store(waddr(vars[3]), 3);
+  EXPECT_NE(tx.greedy_ticket(), stm::SwissTx::kNoTicket) << "now greedy";
+  tx.commit();
+  EXPECT_EQ(tx.greedy_ticket(), stm::SwissTx::kNoTicket)
+      << "commit must surrender the ticket";
+}
+
+TEST(SwissGreedy, TicketedWriterKillsTimidLockHolder) {
+  stm::StmConfig cfg;
+  cfg.greedy_write_threshold = 2;
+  stm::SwissBackend backend(cfg);
+  std::vector<txs::TVar<std::int64_t>> vars(8);
+  txs::TVar<std::int64_t> contested(0);
+
+  auto& timid = backend.tx(0);
+  timid.set_scheduler(nullptr);
+  timid.start();
+  timid.store(waddr(contested), 1);  // timid holds the contested lock
+
+  auto& greedy = backend.tx(1);
+  greedy.set_scheduler(nullptr);
+  greedy.start();
+  greedy.store(waddr(vars[0]), 1);
+  greedy.store(waddr(vars[1]), 1);  // crosses the threshold -> ticketed
+  ASSERT_NE(greedy.greedy_ticket(), stm::SwissTx::kNoTicket);
+
+  // The timid enemy is not running (same thread here), so it cannot notice
+  // the kill; the greedy tx gives up after its bounded wait and self-aborts
+  // -- but the enemy must be marked killed either way.
+  EXPECT_THROW(greedy.store(waddr(contested), 2), stm::TxConflict);
+  EXPECT_THROW((void)timid.load(waddr(vars[2])), stm::TxConflict);
+  EXPECT_EQ(timid.stats().aborts_by_reason[static_cast<int>(stm::AbortReason::kKilled)],
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Orec collisions: distinct addresses mapping to one ownership record
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KillTest, OrecCollisionsAreSafe) {
+  // A tiny orec table forces many collisions; semantics must survive
+  // (collisions may cost false conflicts, never lost updates).
+  stm::StmConfig cfg;
+  cfg.log2_orecs = 4;  // 16 orecs
+  TypeParam backend(cfg);
+  std::vector<txs::TVar<std::int64_t>> vars(256);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxRunner<typename TypeParam::Tx> r(backend.tx(t), nullptr);
+      util::Xoshiro256 rng(55 + t);
+      for (int i = 0; i < 1500; ++i) {
+        const auto a = rng.next_below(vars.size());
+        const auto b = rng.next_below(vars.size());
+        r.run([&](auto& tx) {
+          vars[a].write(tx, vars[a].read(tx) + 1);
+          vars[b].write(tx, vars[b].read(tx) - 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::int64_t total = 0;
+  for (auto& v : vars) total += v.unsafe_read();
+  EXPECT_EQ(total, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Clock discipline
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KillTest, ReadOnlyCommitsDoNotTickClock) {
+  TypeParam backend;
+  txs::TVar<std::int64_t> v(1);
+  const auto before = backend.clock().now();
+  stm::TxRunner<typename TypeParam::Tx> r(backend.tx(0), nullptr);
+  for (int i = 0; i < 100; ++i) r.run([&](auto& tx) { (void)v.read(tx); });
+  EXPECT_EQ(backend.clock().now(), before)
+      << "read-only transactions must not advance the global clock";
+  r.run([&](auto& tx) { v.write(tx, 2); });
+  EXPECT_EQ(backend.clock().now(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch reclamation integration: erased nodes are reclaimed, not leaked,
+// and never freed while a transaction could still reach them.
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KillTest, ErasedNodesAreReclaimedEventually) {
+  TypeParam backend;
+  txs::TxList<std::int64_t> list;
+  stm::TxRunner<typename TypeParam::Tx> r(backend.tx(0), nullptr);
+  for (int round = 0; round < 50; ++round) {
+    r.run([&](auto& tx) {
+      for (std::int64_t k = 0; k < 20; ++k) list.insert(tx, k);
+    });
+    r.run([&](auto& tx) {
+      for (std::int64_t k = 0; k < 20; ++k) list.erase(tx, k);
+    });
+  }
+  EXPECT_EQ(list.unsafe_size(), 0u);
+  // Deferred frees drain through the reclaimer without crashing.
+  backend.reclaimer().drain_all();
+}
+
+TYPED_TEST(KillTest, ConcurrentEraseAndTraverse) {
+  // Readers traverse while writers erase/insert: epoch reclamation must keep
+  // every reachable node mapped (a use-after-free here crashes the test).
+  TypeParam backend;
+  txs::TxList<std::int64_t> list;
+  {
+    stm::TxRunner<typename TypeParam::Tx> r(backend.tx(0), nullptr);
+    r.run([&](auto& tx) {
+      for (std::int64_t k = 0; k < 64; ++k) list.insert(tx, k);
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    stm::TxRunner<typename TypeParam::Tx> r(backend.tx(1), nullptr);
+    util::Xoshiro256 rng(3);
+    while (!stop.load()) {
+      const auto k = static_cast<std::int64_t>(rng.next_below(64));
+      r.run([&](auto& tx) { list.erase(tx, k); });
+      r.run([&](auto& tx) { list.insert(tx, k); });
+    }
+  });
+  std::thread reader([&] {
+    stm::TxRunner<typename TypeParam::Tx> r(backend.tx(2), nullptr);
+    for (int i = 0; i < 3000; ++i) {
+      r.run([&](auto& tx) { (void)list.size(tx); });
+    }
+    stop.store(true);
+  });
+  writer.join();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace shrinktm

@@ -1,0 +1,261 @@
+// Transactional container tests: sequential semantics plus concurrent
+// invariant checks, typed over both STM backends.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "stm/runner.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "txstruct/hashmap.hpp"
+#include "txstruct/heap.hpp"
+#include "txstruct/list.hpp"
+#include "txstruct/queue.hpp"
+#include "txstruct/rbtree.hpp"
+#include "txstruct/vector.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm {
+namespace {
+
+template <typename Backend>
+class TxStructTest : public ::testing::Test {
+ protected:
+  Backend backend;
+  template <typename F>
+  auto atomically(int tid, F&& f) {
+    stm::TxRunner<typename Backend::Tx> r(backend.tx(tid), nullptr);
+    return r.run(std::forward<F>(f));
+  }
+};
+
+using Backends = ::testing::Types<stm::TinyBackend, stm::SwissBackend>;
+TYPED_TEST_SUITE(TxStructTest, Backends);
+
+TYPED_TEST(TxStructTest, RBTreeMatchesStdMapSequentially) {
+  txs::TxRBTree<std::int64_t, std::int64_t> tree;
+  std::map<std::int64_t, std::int64_t> model;
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.next_below(500));
+    const auto op = rng.next_below(3);
+    this->atomically(0, [&](auto& tx) {
+      if (op == 0) {
+        const bool inserted = tree.insert(tx, key, key * 2);
+        const bool expected = model.emplace(key, key * 2).second;
+        if (inserted != expected) std::abort();
+      } else if (op == 1) {
+        const bool erased = tree.erase(tx, key);
+        const bool expected = model.erase(key) > 0;
+        if (erased != expected) std::abort();
+      } else {
+        const auto got = tree.lookup(tx, key);
+        const auto it = model.find(key);
+        if (got.has_value() != (it != model.end())) std::abort();
+        if (got && *got != it->second) std::abort();
+      }
+    });
+    if (i % 256 == 0) ASSERT_GE(tree.unsafe_check_invariants(), 0) << "at op " << i;
+  }
+  ASSERT_GE(tree.unsafe_check_invariants(), 0);
+  EXPECT_EQ(tree.unsafe_size(), model.size());
+  // In-order traversal agrees with the model.
+  std::vector<std::int64_t> keys;
+  this->atomically(0, [&](auto& tx) {
+    keys.clear();
+    tree.for_each(tx, [&](std::int64_t k, std::int64_t) { keys.push_back(k); });
+  });
+  std::vector<std::int64_t> expect;
+  for (const auto& [k, v] : model) expect.push_back(k);
+  EXPECT_EQ(keys, expect);
+}
+
+TYPED_TEST(TxStructTest, RBTreeLowerBound) {
+  txs::TxRBTree<std::int64_t, std::int64_t> tree;
+  this->atomically(0, [&](auto& tx) {
+    for (std::int64_t k : {10, 20, 30, 40}) tree.insert(tx, k, k);
+  });
+  this->atomically(0, [&](auto& tx) {
+    EXPECT_EQ(tree.lower_bound_key(tx, 5).value(), 10);
+    EXPECT_EQ(tree.lower_bound_key(tx, 10).value(), 10);
+    EXPECT_EQ(tree.lower_bound_key(tx, 11).value(), 20);
+    EXPECT_EQ(tree.lower_bound_key(tx, 35).value(), 40);
+    EXPECT_FALSE(tree.lower_bound_key(tx, 41).has_value());
+  });
+}
+
+TYPED_TEST(TxStructTest, RBTreeConcurrentInvariants) {
+  txs::TxRBTree<std::int64_t, std::int64_t> tree;
+  constexpr int kThreads = 4, kOps = 1200, kRange = 256;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxRunner<typename TypeParam::Tx> r(this->backend.tx(t), nullptr);
+      util::Xoshiro256 rng(77 + t);
+      for (int i = 0; i < kOps; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.next_below(kRange));
+        const auto op = rng.next_below(3);
+        r.run([&](auto& tx) {
+          if (op == 0) {
+            tree.insert(tx, key, key);
+          } else if (op == 1) {
+            tree.erase(tx, key);
+          } else {
+            (void)tree.contains(tx, key);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(tree.unsafe_check_invariants(), 0)
+      << "red-black invariants violated after concurrent mix";
+}
+
+TYPED_TEST(TxStructTest, HashMapBasics) {
+  txs::TxHashMap<std::int64_t, std::int64_t> map(64);
+  this->atomically(0, [&](auto& tx) {
+    EXPECT_TRUE(map.insert(tx, 1, 100));
+    EXPECT_FALSE(map.insert(tx, 1, 200));
+    EXPECT_EQ(map.lookup(tx, 1).value(), 100);
+    map.insert_or_assign(tx, 1, 300);
+    EXPECT_EQ(map.lookup(tx, 1).value(), 300);
+    EXPECT_TRUE(map.erase(tx, 1));
+    EXPECT_FALSE(map.erase(tx, 1));
+    EXPECT_FALSE(map.lookup(tx, 1).has_value());
+  });
+}
+
+TYPED_TEST(TxStructTest, HashMapManyKeysAcrossBuckets) {
+  txs::TxHashMap<std::int64_t, std::int64_t> map(16);  // force chaining
+  std::set<std::int64_t> model;
+  util::Xoshiro256 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.next_below(200));
+    this->atomically(0, [&](auto& tx) {
+      if (rng.next_bool(0.6)) {
+        map.insert(tx, k, k);
+        model.insert(k);
+      } else {
+        map.erase(tx, k);
+        model.erase(k);
+      }
+    });
+  }
+  EXPECT_EQ(map.unsafe_size(), model.size());
+  for (const auto k : model) {
+    this->atomically(0, [&](auto& tx) {
+      if (!map.contains(tx, k)) std::abort();
+    });
+  }
+}
+
+TYPED_TEST(TxStructTest, SortedListSetSemantics) {
+  txs::TxList<std::int64_t> list;
+  this->atomically(0, [&](auto& tx) {
+    EXPECT_TRUE(list.insert(tx, 5));
+    EXPECT_TRUE(list.insert(tx, 1));
+    EXPECT_TRUE(list.insert(tx, 9));
+    EXPECT_FALSE(list.insert(tx, 5));
+    EXPECT_TRUE(list.contains(tx, 1));
+    EXPECT_FALSE(list.contains(tx, 2));
+    EXPECT_TRUE(list.erase(tx, 5));
+    EXPECT_FALSE(list.erase(tx, 5));
+    EXPECT_EQ(list.size(tx), 2u);
+  });
+}
+
+TYPED_TEST(TxStructTest, QueueFifoOrder) {
+  txs::TxQueue<std::int64_t> q;
+  this->atomically(0, [&](auto& tx) {
+    EXPECT_TRUE(q.empty(tx));
+    for (std::int64_t i = 0; i < 10; ++i) q.enqueue(tx, i);
+  });
+  this->atomically(0, [&](auto& tx) {
+    for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(q.dequeue(tx).value(), i);
+    EXPECT_FALSE(q.dequeue(tx).has_value());
+  });
+}
+
+TYPED_TEST(TxStructTest, QueueConservesElementsConcurrently) {
+  txs::TxQueue<std::int64_t> q;
+  constexpr int kThreads = 4, kPerThread = 800;
+  std::atomic<std::int64_t> dequeued_sum{0};
+  std::atomic<std::uint64_t> dequeued_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      stm::TxRunner<typename TypeParam::Tx> r(this->backend.tx(t), nullptr);
+      util::Xoshiro256 rng(t + 100);
+      for (int i = 0; i < kPerThread; ++i) {
+        if (rng.next_bool(0.5)) {
+          r.run([&](auto& tx) { q.enqueue(tx, 1); });
+        } else {
+          std::optional<std::int64_t> got;
+          r.run([&](auto& tx) { got = q.dequeue(tx); });
+          if (got) {
+            dequeued_sum.fetch_add(*got);
+            dequeued_count.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // enqueues - dequeues == remaining
+  const auto enq = this->backend.aggregate_stats();  // not used for count; recompute
+  (void)enq;
+  std::uint64_t remaining = q.unsafe_size();
+  // Every dequeued element was a 1 someone enqueued.
+  EXPECT_EQ(dequeued_sum.load(), static_cast<std::int64_t>(dequeued_count.load()));
+  EXPECT_LE(remaining + dequeued_count.load(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TYPED_TEST(TxStructTest, HeapOrdersElements) {
+  txs::TxHeap<std::int64_t> h(64);
+  util::Xoshiro256 rng(19);
+  std::multiset<std::int64_t> model;
+  this->atomically(0, [&](auto& tx) {
+    for (int i = 0; i < 40; ++i) {
+      const auto v = static_cast<std::int64_t>(rng.next_below(1000));
+      ASSERT_TRUE(h.push(tx, v));
+      model.insert(v);
+    }
+  });
+  this->atomically(0, [&](auto& tx) {
+    std::int64_t prev = -1;
+    while (auto top = h.pop(tx)) {
+      EXPECT_GE(*top, prev);
+      prev = *top;
+      model.erase(model.find(*top));
+    }
+  });
+  EXPECT_TRUE(model.empty());
+}
+
+TYPED_TEST(TxStructTest, HeapRejectsOverflow) {
+  txs::TxHeap<std::int64_t> h(4);
+  this->atomically(0, [&](auto& tx) {
+    for (std::int64_t i = 0; i < 4; ++i) EXPECT_TRUE(h.push(tx, i));
+    EXPECT_FALSE(h.push(tx, 99));
+  });
+}
+
+TYPED_TEST(TxStructTest, ArrayAndCounter) {
+  txs::TxArray<std::int64_t> arr(8, 7);
+  txs::TxCounter ctr(5);
+  this->atomically(0, [&](auto& tx) {
+    EXPECT_EQ(arr.get(tx, 3), 7);
+    arr.set(tx, 3, 9);
+    EXPECT_EQ(arr.get(tx, 3), 9);
+    ctr.add(tx, 10);
+    EXPECT_EQ(ctr.get(tx), 15u);
+  });
+}
+
+}  // namespace
+}  // namespace shrinktm

@@ -1,0 +1,196 @@
+// Unit tests for the util substrate: RNG, Bloom filters, stats, epochs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/bloom.hpp"
+#include "util/epoch.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace shrinktm::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 8 * 0.9);
+    EXPECT_LT(c, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Hash, Mix64IsInjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i * 8));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bf(12, 3);
+  for (std::uint64_t k = 0; k < 500; ++k) bf.insert(k * 977);
+  for (std::uint64_t k = 0; k < 500; ++k) EXPECT_TRUE(bf.maybe_contains(k * 977));
+}
+
+TEST(Bloom, LowFalsePositiveRateWhenSparse) {
+  BloomFilter bf(14, 3);  // 16384 bits
+  for (std::uint64_t k = 0; k < 200; ++k) bf.insert(k);
+  int fp = 0;
+  for (std::uint64_t k = 1000000; k < 1010000; ++k)
+    if (bf.maybe_contains(k)) ++fp;
+  EXPECT_LT(fp, 100);  // < 1%
+  EXPECT_LT(bf.false_positive_rate(), 0.01);
+}
+
+TEST(Bloom, ClearEmpties) {
+  BloomFilter bf(10, 2);
+  bf.insert(42);
+  EXPECT_TRUE(bf.maybe_contains(42));
+  bf.clear();
+  EXPECT_FALSE(bf.maybe_contains(42));
+  EXPECT_TRUE(bf.empty());
+}
+
+TEST(Bloom, SwapExchangesContents) {
+  BloomFilter a(10, 2), b(10, 2);
+  a.insert(1);
+  b.insert(2);
+  a.swap(b);
+  EXPECT_TRUE(a.maybe_contains(2));
+  EXPECT_TRUE(b.maybe_contains(1));
+  EXPECT_FALSE(a.maybe_contains(1));
+}
+
+TEST(Stats, MeanVarMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesConcatenation) {
+  OnlineStats a, b, all;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_double() * 10;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 37; ++i) {
+    const double x = rng.next_double() * 3 - 5;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Histogram, QuantileBounds) {
+  Log2Histogram h;
+  for (std::uint64_t i = 0; i < 1000; ++i) h.add(1);
+  h.add(1000000);
+  EXPECT_EQ(h.total(), 1001u);
+  EXPECT_LE(h.quantile_bound(0.5), 1u);
+  EXPECT_GE(h.quantile_bound(0.9999), 1000u);
+}
+
+TEST(Epoch, RetiredBlockSurvivesPinnedReader) {
+  EpochReclaimer er(1);  // reclaim aggressively
+  const int w = er.register_thread();
+  const int r = er.register_thread();
+
+  er.pin(r);  // reader holds the current epoch
+  bool freed = false;
+  er.pin(w);
+  er.retire(w, &freed, [&freed](void*) { freed = true; });
+  er.unpin(w);
+  for (int i = 0; i < 10; ++i) er.try_reclaim(w);
+  EXPECT_FALSE(freed) << "block freed while a reader could still see it";
+
+  er.unpin(r);
+  // After the reader unpins, new epochs can advance and the block drains.
+  for (int i = 0; i < 10; ++i) {
+    er.pin(w);
+    er.unpin(w);
+    er.try_reclaim(w);
+  }
+  EXPECT_TRUE(freed);
+}
+
+TEST(Epoch, DrainAllFreesEverything) {
+  int freed = 0;
+  {
+    EpochReclaimer er;
+    const int t = er.register_thread();
+    for (int i = 0; i < 10; ++i)
+      er.retire(t, &freed, [&freed](void*) { ++freed; });
+  }  // destructor drains
+  EXPECT_EQ(freed, 10);
+}
+
+TEST(Epoch, ConcurrentRetireStress) {
+  EpochReclaimer er(16);
+  std::atomic<int> freed{0};
+  constexpr int kThreads = 4, kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const int slot = er.register_thread();
+      for (int i = 0; i < kOps; ++i) {
+        er.pin(slot);
+        int* p = new int(i);
+        er.retire(slot, p, [&freed](void* q) {
+          delete static_cast<int*>(q);
+          freed.fetch_add(1);
+        });
+        er.unpin(slot);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  er.drain_all();
+  EXPECT_EQ(freed.load(), kThreads * kOps);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.row().cell("x").cell(3.14159, 2);
+  t.row().cell(std::uint64_t{123456}).cell("y");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shrinktm::util

@@ -1,0 +1,122 @@
+// Integration tests: every workload runs on both backends under several
+// schedulers, commits work, and passes its own invariant verification.
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/rbtree_bench.hpp"
+#include "workloads/stamp/registry.hpp"
+#include "workloads/stmbench7.hpp"
+
+namespace shrinktm::workloads {
+namespace {
+
+template <typename Backend>
+class WorkloadTest : public ::testing::Test {};
+
+using Backends = ::testing::Types<stm::TinyBackend, stm::SwissBackend>;
+TYPED_TEST_SUITE(WorkloadTest, Backends);
+
+DriverConfig quick(int threads) {
+  DriverConfig cfg;
+  cfg.threads = threads;
+  cfg.duration_ms = 60;
+  return cfg;
+}
+
+TYPED_TEST(WorkloadTest, RBTreeBenchRunsAndVerifies) {
+  for (int threads : {1, 4}) {
+    TypeParam backend;
+    RBTreeBench w(RBTreeBenchConfig{.key_range = 2048, .update_percent = 20});
+    const RunResult res = run_workload(backend, nullptr, w, quick(threads));
+    EXPECT_TRUE(res.verified);
+    EXPECT_GT(res.stm.commits, 0u) << "threads=" << threads;
+  }
+}
+
+TYPED_TEST(WorkloadTest, RBTreeBenchUnderEveryScheduler) {
+  for (auto kind : {core::SchedulerKind::kShrink, core::SchedulerKind::kAts,
+                    core::SchedulerKind::kPool, core::SchedulerKind::kSerializer}) {
+    TypeParam backend;
+    auto sched = core::make_scheduler(kind, backend);
+    RBTreeBench w(RBTreeBenchConfig{.key_range = 512, .update_percent = 70});
+    const RunResult res = run_workload(backend, sched.get(), w, quick(4));
+    EXPECT_TRUE(res.verified) << core::scheduler_kind_name(kind);
+    EXPECT_GT(res.stm.commits, 0u) << core::scheduler_kind_name(kind);
+    if (sched) {
+      EXPECT_EQ(sched->wait_count(), 0u) << "serialization lock leaked";
+    }
+  }
+}
+
+TYPED_TEST(WorkloadTest, StmBench7AllMixesVerify) {
+  for (auto mix : {Sb7Mix::kReadDominated, Sb7Mix::kReadWrite,
+                   Sb7Mix::kWriteDominated}) {
+    TypeParam backend;
+    Sb7Config cfg;
+    cfg.mix = mix;
+    StmBench7 w(cfg);
+    const RunResult res = run_workload(backend, nullptr, w, quick(4));
+    EXPECT_TRUE(res.verified) << sb7_mix_name(mix);
+    EXPECT_GT(res.stm.commits, 0u) << sb7_mix_name(mix);
+  }
+}
+
+TYPED_TEST(WorkloadTest, StmBench7UnderShrink) {
+  TypeParam backend;
+  core::SchedulerOptions opts;
+  opts.track_accuracy = true;
+  auto sched = core::make_scheduler(core::SchedulerKind::kShrink, backend, opts);
+  Sb7Config cfg;
+  cfg.mix = Sb7Mix::kWriteDominated;
+  StmBench7 w(cfg);
+  const RunResult res = run_workload(backend, sched.get(), w, quick(6));
+  EXPECT_TRUE(res.verified);
+  EXPECT_GT(res.stm.commits, 0u);
+  EXPECT_EQ(sched->wait_count(), 0u);
+}
+
+TYPED_TEST(WorkloadTest, EveryStampAppVerifiesUnderBaseAndShrink) {
+  for (const auto app : stamp::kAllApps) {
+    {
+      TypeParam backend;
+      const RunResult res = stamp::run_stamp(app, backend, nullptr, quick(2));
+      EXPECT_TRUE(res.verified) << stamp::app_name(app) << " base";
+      EXPECT_GT(res.stm.commits, 0u) << stamp::app_name(app) << " base";
+    }
+    {
+      TypeParam backend;
+      auto sched = core::make_scheduler(core::SchedulerKind::kShrink, backend);
+      const RunResult res = stamp::run_stamp(app, backend, sched.get(), quick(4));
+      EXPECT_TRUE(res.verified) << stamp::app_name(app) << " shrink";
+      EXPECT_GT(res.stm.commits, 0u) << stamp::app_name(app) << " shrink";
+      EXPECT_EQ(sched->wait_count(), 0u) << stamp::app_name(app);
+    }
+  }
+}
+
+TYPED_TEST(WorkloadTest, OverloadedRunStillVerifies) {
+  // Far more threads than cores: the paper's overloaded regime.
+  TypeParam backend;
+  auto sched = core::make_scheduler(core::SchedulerKind::kShrink, backend);
+  RBTreeBench w(RBTreeBenchConfig{.key_range = 256, .update_percent = 70});
+  const RunResult res = run_workload(backend, sched.get(), w, quick(16));
+  EXPECT_TRUE(res.verified);
+  EXPECT_GT(res.stm.commits, 0u);
+}
+
+TEST(Driver, MaxOpsBoundsWork) {
+  stm::TinyBackend backend;
+  RBTreeBench w(RBTreeBenchConfig{.key_range = 128, .update_percent = 0});
+  DriverConfig cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 200;  // threads finish their op budget well before this
+  cfg.max_ops_per_thread = 50;
+  const RunResult res = run_workload(backend, nullptr, w, cfg);
+  EXPECT_EQ(res.ops, 100u);
+}
+
+}  // namespace
+}  // namespace shrinktm::workloads
