@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/factory.hpp"
+#include "runtime/metrics_export.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workloads/driver.hpp"
@@ -105,6 +106,16 @@ inline std::string fmt_speedup(double base, double variant) {
   os.precision(2);
   os << std::fixed << (base > 0 ? variant / base : 0.0) << "x";
   return os.str();
+}
+
+/// Write a BENCH_*.json artifact (runtime aggregates, sweep results, ...)
+/// and note the path on stdout so CI logs link data to runs.  Failures are
+/// reported, never fatal.
+inline void emit_bench_json(const std::string& path, const std::string& json) {
+  if (runtime::write_json_file(path, json))
+    std::cout << "wrote " << path << "\n";
+  else
+    std::cerr << "WARNING: could not write " << path << "\n";
 }
 
 }  // namespace shrinktm::bench

@@ -1,0 +1,87 @@
+// Adaptive runtime in ~70 lines: the scheduler watches the workload and
+// picks its own policy.
+//
+//   $ ./examples/example_adaptive_quickstart
+//
+// Phase 1: threads transfer between thousands of accounts -- conflicts are
+// rare, the runtime stays on the base policy (zero scheduling overhead).
+// Phase 2: everyone hammers the same four accounts with long transactions --
+// aborts spike, the runtime switches to Shrink.  Phase 3 widens the account
+// range again and the runtime drops back to base.  The printed timeline is
+// the regime classifier's view of the run.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "runtime/adaptive.hpp"
+#include "runtime/metrics_export.hpp"
+#include "stm/runner.hpp"
+#include "stm/swiss.hpp"
+#include "txstruct/tvar.hpp"
+#include "util/rng.hpp"
+
+using namespace shrinktm;
+
+int main() {
+  stm::SwissBackend stm;
+  runtime::AdaptiveConfig cfg;
+  cfg.window_ms = 5.0;
+  cfg.sampler_interval_ms = 2.5;
+  runtime::AdaptiveScheduler sched(stm, cfg);  // no policy chosen by a human
+
+  constexpr int kAccounts = 4096;
+  constexpr std::int64_t kInitial = 1000;
+  static txs::TVar<std::int64_t> accounts[kAccounts];
+  for (auto& a : accounts) a.unsafe_write(kInitial);
+
+  std::atomic<std::uint64_t> span{kAccounts};  // phase knob: hot-set size
+  std::atomic<bool> stop{false};
+
+  auto worker = [&](int tid) {
+    stm::TxRunner<stm::SwissTx> atomically(stm.tx(tid), &sched);
+    util::Xoshiro256 rng(7000 + tid);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto s = span.load(std::memory_order_relaxed);
+      const bool hot = s < 64;
+      const auto from = rng.next_below(s);
+      auto to = rng.next_below(s);
+      if (to == from) to = (to + 1) % s;
+      const auto amount = static_cast<std::int64_t>(rng.next_below(5));
+      atomically.run([&](stm::SwissTx& tx) {
+        const auto bal = accounts[from].read(tx);
+        if (bal < amount) return;
+        accounts[from].write(tx, bal - amount);
+        if (hot) std::this_thread::yield();  // long tx: conflicts guaranteed
+        accounts[to].write(tx, accounts[to].read(tx) + amount);
+      });
+    }
+  };
+
+  std::thread t1(worker, 0), t2(worker, 1), t3(worker, 2), t4(worker, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  span.store(4, std::memory_order_relaxed);  // contention spike
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  span.store(kAccounts, std::memory_order_relaxed);  // drain
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+  sched.tick(true);
+
+  std::int64_t total = 0;
+  for (auto& a : accounts) total += a.unsafe_read();
+  const auto stats = stm.aggregate_stats();
+  std::printf("adaptive quickstart: %llu commits, %llu aborts, final regime "
+              "%s -- total %s\n",
+              static_cast<unsigned long long>(stats.commits),
+              static_cast<unsigned long long>(stats.aborts),
+              runtime::regime_name(sched.regime()),
+              total == kAccounts * kInitial ? "conserved" : "BROKEN");
+  for (const auto& s : sched.switches())
+    std::printf("  switch @%.3fs: %s -> %s (%s)\n", s.at_seconds,
+                runtime::regime_name(s.from), runtime::regime_name(s.to),
+                s.policy.c_str());
+  return total == kAccounts * kInitial ? 0 : 1;
+}

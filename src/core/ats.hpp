@@ -58,6 +58,10 @@ class AtsScheduler final : public Scheduler {
     return threads_[tid] ? threads_[tid]->ci : 0.0;
   }
 
+  bool serialized_now(int tid) const override {
+    return threads_[tid] && threads_[tid]->owns_queue;
+  }
+
  private:
   struct alignas(util::kCacheLine) ThreadState {
     double ci = 0.0;

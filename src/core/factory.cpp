@@ -6,6 +6,7 @@
 #include "core/pool.hpp"
 #include "core/serializer.hpp"
 #include "core/shrink.hpp"
+#include "runtime/adaptive.hpp"
 
 namespace shrinktm::core {
 
@@ -16,6 +17,7 @@ const char* scheduler_kind_name(SchedulerKind kind) {
     case SchedulerKind::kAts: return "ats";
     case SchedulerKind::kPool: return "pool";
     case SchedulerKind::kSerializer: return "serializer";
+    case SchedulerKind::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -26,6 +28,7 @@ SchedulerKind parse_scheduler_kind(const std::string& name) {
   if (name == "ats") return SchedulerKind::kAts;
   if (name == "pool") return SchedulerKind::kPool;
   if (name == "serializer") return SchedulerKind::kSerializer;
+  if (name == "adaptive") return SchedulerKind::kAdaptive;
   throw std::invalid_argument("unknown scheduler: " + name);
 }
 
@@ -47,6 +50,13 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
       return std::make_unique<PoolScheduler>();
     case SchedulerKind::kSerializer:
       return std::make_unique<SerializerScheduler>(opts.wait_policy);
+    case SchedulerKind::kAdaptive: {
+      runtime::AdaptiveConfig cfg;
+      cfg.seed = opts.seed;
+      cfg.shrink_high.track_accuracy = opts.track_accuracy;
+      cfg.shrink_pathological.track_accuracy = opts.track_accuracy;
+      return std::make_unique<runtime::AdaptiveScheduler>(oracle, cfg);
+    }
   }
   throw std::invalid_argument("unknown scheduler kind");
 }

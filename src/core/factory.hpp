@@ -16,12 +16,13 @@ enum class SchedulerKind {
   kAts,         ///< Yoo & Lee adaptive transaction scheduling
   kPool,        ///< serialize-on-any-contention strawman
   kSerializer,  ///< CAR-STM-style reactive serializer
+  kAdaptive,    ///< runtime regime detection + online policy switching
 };
 
 const char* scheduler_kind_name(SchedulerKind kind);
 
-/// Parse "none"/"base", "shrink", "ats", "pool", "serializer"; throws
-/// std::invalid_argument otherwise.
+/// Parse "none"/"base", "shrink", "ats", "pool", "serializer", "adaptive";
+/// throws std::invalid_argument otherwise.
 SchedulerKind parse_scheduler_kind(const std::string& name);
 
 struct SchedulerOptions {

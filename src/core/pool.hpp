@@ -42,6 +42,10 @@ class PoolScheduler final : public Scheduler {
     release(ts);
   }
 
+  bool serialized_now(int tid) const override {
+    return threads_[tid] && threads_[tid]->owns_lock;
+  }
+
  private:
   struct alignas(util::kCacheLine) ThreadState {
     bool contended = false;

@@ -81,8 +81,26 @@ class ShrinkScheduler final : public Scheduler {
     return wait_count_.load(std::memory_order_relaxed);
   }
 
-  double success_rate(int tid) const { return threads_[tid]->succ_rate; }
-  const PredictionTracker& predictor(int tid) const { return threads_[tid]->pred; }
+  bool serialized_now(int tid) const override {
+    const auto& t = threads_[tid];
+    return t != nullptr && t->owns_global;
+  }
+
+  /// Success rate of `tid`, or the optimistic initial rate if the thread
+  /// never registered (threads register lazily on their first hook call, so
+  /// observers may probe unseen tids -- cf. the guard in read_hook_active).
+  double success_rate(int tid) const {
+    const auto& t = threads_[tid];
+    return t != nullptr ? t->succ_rate : cfg_.success;
+  }
+
+  /// Predictor of `tid`; a shared empty tracker for unregistered threads.
+  const PredictionTracker& predictor(int tid) const {
+    const auto& t = threads_[tid];
+    if (t != nullptr) return t->pred;
+    static const PredictionTracker kEmpty{};
+    return kEmpty;
+  }
 
   /// Aggregate Figure-3 accuracy over all threads (mean of per-transaction
   /// accuracies).

@@ -1,0 +1,311 @@
+#include "runtime/adaptive.hpp"
+
+#include <chrono>
+
+namespace shrinktm::runtime {
+
+namespace {
+constexpr std::size_t kWindowHistory = 256;
+
+const char* policy_for(Regime r) {
+  switch (r) {
+    case Regime::kLow: return "base";
+    case Regime::kModerate: return "ats";
+    case Regime::kHigh: return "shrink";
+    case Regime::kPathological: return "shrink-aggressive";
+  }
+  return "?";
+}
+}  // namespace
+
+AdaptiveScheduler::AdaptiveScheduler(const stm::WriteOracle& oracle,
+                                     AdaptiveConfig cfg)
+    : Scheduler("adaptive"),
+      oracle_(oracle),
+      cfg_(cfg),
+      hub_(cfg.max_threads, cfg.ring_log2_slots),
+      sampler_(hub_, cfg.window_ms / 1e3),
+      classifier_(cfg.thresholds, Regime::kLow),
+      base_(std::make_unique<core::NullScheduler>()),
+      ats_(std::make_unique<core::AtsScheduler>([&] {
+        core::AtsConfig a = cfg.ats;
+        a.max_threads = cfg.max_threads;
+        return a;
+      }())),
+      current_(base_.get()),
+      pinned_(cfg.max_threads),
+      epoch_(cfg.max_threads),
+      registered_(cfg.max_threads),
+      policy_label_("base"),
+      born_(std::chrono::steady_clock::now()) {
+  for (auto& p : pinned_) p.value.store(nullptr, std::memory_order_relaxed);
+  for (auto& e : epoch_) e.value.store(0, std::memory_order_relaxed);
+  for (auto& r : registered_) r.value.store(false, std::memory_order_relaxed);
+  if (cfg_.sampler_interval_ms > 0.0) {
+    sampler_thread_ = std::thread([this] {
+      const auto interval = std::chrono::duration<double, std::milli>(
+          cfg_.sampler_interval_ms);
+      while (!stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(interval);
+        tick(false);
+      }
+    });
+  }
+}
+
+AdaptiveScheduler::~AdaptiveScheduler() {
+  stop_.store(true, std::memory_order_release);
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+  // Destruction is a quiescent point by contract (no attempts in flight);
+  // retired_ / live policies are freed by member destructors.
+}
+
+// ---------------------------------------------------------------- fast path
+
+void AdaptiveScheduler::before_start(int tid) {
+  const auto t = static_cast<std::size_t>(tid);
+  if (!registered_[t].value.load(std::memory_order_relaxed)) {
+    registered_[t].value.store(true, std::memory_order_relaxed);
+    // High-water mark bounds the sampler's drain loop to live rings.
+    int hw = tid_high_water_.load(std::memory_order_relaxed);
+    while (tid > hw && !tid_high_water_.compare_exchange_weak(
+                           hw, tid, std::memory_order_relaxed)) {
+    }
+    // Dekker handshake with try_reclaim(): either the scan sees this thread
+    // or this thread's pin below sees the post-swap policy.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  // Quiescent announce: no policy is held here.  Reading the bumped global
+  // epoch orders the pin load after the matching retirement's swap.  The
+  // store is skipped while the epoch is unchanged (no retirement pending):
+  // a stale announce only delays reclamation, never unblocks it early.
+  const std::uint64_t ge = global_epoch_.load(std::memory_order_seq_cst);
+  if (epoch_[t].value.load(std::memory_order_relaxed) != ge)
+    epoch_[t].value.store(ge, std::memory_order_release);
+
+  // Pin-and-revalidate (hazard-pointer style): publish the pin, then
+  // re-check current_.  The grace-window reclaim fallback scans pins at
+  // least kReclaimGraceWindows after a swap, so for it to miss this attempt
+  // the revalidating load below would have to return a pointer whose
+  // replacement has been globally visible for tens of milliseconds --
+  // not merely for this thread to be preempted between load and store.
+  core::Scheduler* p = current_.load(std::memory_order_acquire);
+  for (;;) {
+    pinned_[t].value.store(p, std::memory_order_release);
+    core::Scheduler* q = current_.load(std::memory_order_acquire);
+    if (q == p) break;
+    p = q;
+  }
+
+  // The base policy's hooks are no-ops and it never serializes: skip the
+  // virtual calls AND the TSC read on the idle fast path.  Events recorded
+  // under LOW then carry the last stamped (stale) coarse timestamp, which is
+  // fine: aggregates never consult per-event timestamps, and trace mode
+  // (record_starts) keeps stamping every attempt.
+  if (p == base_.get() && !cfg_.record_starts) return;
+  hub_.stamp(tid);  // one TSC read; this attempt's events share it
+  if (cfg_.record_starts) hub_.record(tid, EventType::kStart);
+  if (p == base_.get()) return;
+  p->before_start(tid);
+  if (p->serialized_now(tid)) hub_.record(tid, EventType::kSerialize);
+}
+
+void AdaptiveScheduler::on_read(int tid, const void* addr) {
+  core::Scheduler* p = pinned(tid);
+  if (p != nullptr) p->on_read(tid, addr);
+}
+
+void AdaptiveScheduler::on_write(int tid, const void* addr) {
+  core::Scheduler* p = pinned(tid);
+  if (p != nullptr && p != base_.get()) p->on_write(tid, addr);
+}
+
+void AdaptiveScheduler::on_commit(int tid) {
+  hub_.record(tid, EventType::kCommit);
+  core::Scheduler* p = pinned(tid);
+  if (p != nullptr && p != base_.get()) p->on_commit(tid);
+}
+
+void AdaptiveScheduler::on_abort(int tid, std::span<void* const> write_addrs,
+                                 int enemy_tid) {
+  hub_.record(tid, EventType::kAbort, enemy_tid);
+  core::Scheduler* p = pinned(tid);
+  if (p != nullptr) p->on_abort(tid, write_addrs, enemy_tid);
+}
+
+bool AdaptiveScheduler::read_hook_active(int tid) const {
+  core::Scheduler* p = pinned(tid);
+  // Backends query this every transaction start; the base-policy compare
+  // avoids two virtual calls on the idle fast path.
+  return p != nullptr && p != base_.get() && p->wants_read_hook() &&
+         p->read_hook_active(tid);
+}
+
+std::uint64_t AdaptiveScheduler::wait_count() const {
+  return current_.load(std::memory_order_acquire)->wait_count();
+}
+
+bool AdaptiveScheduler::serialized_now(int tid) const {
+  core::Scheduler* p = pinned(tid);
+  return p != nullptr && p->serialized_now(tid);
+}
+
+// ------------------------------------------------------------ control plane
+
+bool AdaptiveScheduler::tick(bool force) {
+  std::lock_guard<std::mutex> g(control_mutex_);
+  WindowAggregate win;
+  const auto hw = tid_high_water_.load(std::memory_order_acquire);
+  if (!sampler_.poll(&win, force, static_cast<std::size_t>(hw + 1)))
+    return false;
+
+  win.wait_count = current_.load(std::memory_order_acquire)->wait_count();
+  const std::uint64_t idx = window_index_++;
+  const double at = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - born_)
+                        .count();
+
+  const Regime before = classifier_.current();
+  const Regime after = classifier_.update(win);
+  if (after != before) switch_policy(before, after, idx, at);
+
+  WindowSummary s;
+  s.index = idx;
+  s.seconds = win.window_seconds;
+  s.starts = win.starts;
+  s.commits = win.commits;
+  s.aborts = win.aborts;
+  s.serializes = win.serializes;
+  s.dropped = win.dropped;
+  s.wait_count = win.wait_count;
+  s.abort_ratio = win.abort_ratio();
+  s.pressure = win.contention_pressure();
+  s.throughput = win.commit_throughput();
+  s.hot_count = win.hottest_conflict(&s.hot_victim, &s.hot_enemy);
+  s.regime_after = after;
+  s.policy = policy_label_;
+  windows_.push_back(std::move(s));
+  if (windows_.size() > kWindowHistory)
+    windows_.erase(windows_.begin(),
+                   windows_.begin() +
+                       static_cast<std::ptrdiff_t>(windows_.size() -
+                                                   kWindowHistory));
+
+  try_reclaim();
+  return true;
+}
+
+core::ShrinkConfig AdaptiveScheduler::tuned_shrink_config(Regime r) const {
+  core::ShrinkConfig c = r == Regime::kPathological ? cfg_.shrink_pathological
+                                                    : cfg_.shrink_high;
+  c.max_threads = cfg_.max_threads;
+  c.seed = cfg_.seed + 0x9e3779b97f4a7c15ULL * (shrink_builds_ + 1);
+  return c;
+}
+
+void AdaptiveScheduler::switch_policy(Regime from, Regime to,
+                                      std::uint64_t window_index,
+                                      double at_seconds) {
+  core::Scheduler* next = nullptr;
+  std::unique_ptr<core::Scheduler> outgoing_shrink;
+  switch (to) {
+    case Regime::kLow:
+      next = base_.get();
+      break;
+    case Regime::kModerate:
+      next = ats_.get();
+      break;
+    case Regime::kHigh:
+    case Regime::kPathological: {
+      // Fresh instance per entry: retuned thresholds take effect atomically
+      // and stale success-rate/prediction state is not carried across
+      // regime visits.  The previous instance is retired below.
+      auto shrink = std::make_unique<core::ShrinkScheduler>(
+          oracle_, tuned_shrink_config(to));
+      ++shrink_builds_;
+      outgoing_shrink = std::move(live_shrink_);
+      live_shrink_.reset(shrink.release());
+      next = live_shrink_.get();
+      break;
+    }
+  }
+
+  if (outgoing_shrink == nullptr && live_shrink_ != nullptr &&
+      next != live_shrink_.get()) {
+    // Leaving the Shrink regimes: retire the live instance.
+    outgoing_shrink = std::move(live_shrink_);
+  }
+  current_.store(next, std::memory_order_release);
+  if (outgoing_shrink != nullptr) {
+    // Epoch bump is sequenced after the swap: a thread announcing the new
+    // epoch can no longer pin the outgoing policy.
+    const std::uint64_t e =
+        global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    retired_.push_back({std::move(outgoing_shrink), e, window_index});
+  }
+
+  active_regime_.store(to, std::memory_order_release);
+  policy_label_ = policy_for(to);
+  switches_.push_back({window_index, from, to, policy_label_, at_seconds});
+}
+
+void AdaptiveScheduler::try_reclaim() {
+  if (retired_.empty()) return;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Primary (sound) condition: every registered thread has announced an
+  // epoch past the retirement, proving no pre-swap attempt is in flight.
+  auto quiescent_past = [&](std::uint64_t e) {
+    for (std::size_t t = 0; t < cfg_.max_threads; ++t) {
+      if (!registered_[t].value.load(std::memory_order_acquire)) continue;
+      if (epoch_[t].value.load(std::memory_order_acquire) < e) return false;
+    }
+    return true;
+  };
+  // Fallback for threads that stopped running (their epoch never advances,
+  // which would leak one retired policy per regime flip forever): after a
+  // generous grace period, a policy no pinned slot references is freed.  A
+  // truly idle thread's pin still names the policy of its *last* attempt,
+  // so at most one retired instance per idle thread survives; the grace
+  // window (>= kReclaimGraceWindows sampling windows, i.e. tens of ms)
+  // dwarfs the pin-publish window of a live thread.
+  auto unpinned_after_grace = [&](const RetiredPolicy& r) {
+    if (window_index_ < r.window + kReclaimGraceWindows) return false;
+    for (std::size_t t = 0; t < cfg_.max_threads; ++t) {
+      if (pinned_[t].value.load(std::memory_order_acquire) == r.policy.get())
+        return false;
+    }
+    return true;
+  };
+  std::erase_if(retired_, [&](const RetiredPolicy& r) {
+    return quiescent_past(r.epoch) || unpinned_after_grace(r);
+  });
+}
+
+// ------------------------------------------------------------------ export
+
+std::string AdaptiveScheduler::policy_label() const {
+  std::lock_guard<std::mutex> g(control_mutex_);
+  return policy_label_;
+}
+
+std::uint64_t AdaptiveScheduler::windows_closed() const {
+  std::lock_guard<std::mutex> g(control_mutex_);
+  return window_index_;
+}
+
+std::vector<PolicySwitch> AdaptiveScheduler::switches() const {
+  std::lock_guard<std::mutex> g(control_mutex_);
+  return switches_;
+}
+
+std::vector<WindowSummary> AdaptiveScheduler::recent_windows() const {
+  std::lock_guard<std::mutex> g(control_mutex_);
+  return windows_;
+}
+
+std::size_t AdaptiveScheduler::retired_pending() const {
+  std::lock_guard<std::mutex> g(control_mutex_);
+  return retired_.size();
+}
+
+}  // namespace shrinktm::runtime

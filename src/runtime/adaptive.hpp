@@ -1,0 +1,208 @@
+// AdaptiveScheduler: online policy selection over the contention regime.
+//
+// The paper's conclusion is a table, not a winner: the base STM wins when
+// conflicts are rare, coarse throttling (ATS) wins in the middle, and
+// Shrink's prediction+serialization wins when contention is high.  This
+// scheduler closes the loop: telemetry rings feed a windowed sampler, the
+// regime classifier bands the abort ratio, and on a regime change the inner
+// policy is hot-swapped (base <-> ATS <-> Shrink, with Shrink retuned
+// between the HIGH and PATHOLOGICAL regimes).
+//
+// Policy handoff protocol (no torn policies, no stop-the-world):
+//   * `current_` is an atomic pointer to the policy new attempts use;
+//   * before_start pins current_ into a per-thread slot; every later hook of
+//     that attempt (on_read, read_hook_active, on_commit/on_abort) routes
+//     through the pinned pointer, so one attempt always sees one policy --
+//     even if the controller swaps mid-attempt;
+//   * retired policies are reclaimed by quiescence (QSBR): each thread
+//     announces the global policy epoch at every attempt boundary (a plain
+//     load + store on x86); a retired policy is freed only after every
+//     registered thread has announced an epoch newer than the retirement,
+//     which proves no attempt begun before the swap is still in flight.
+//     A thread's first attempt publishes its registration with a full fence
+//     so a concurrent reclaim scan either sees the thread or the thread
+//     sees the new policy.
+//
+// Fast-path budget (LOW regime, inner = base/no-op): one epoch announce, one
+// pin, two ring pushes and two virtual calls per transaction -- measured
+// within a few percent of the raw NullScheduler (bench/adaptive_regimes.cpp
+// --overhead).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ats.hpp"
+#include "core/scheduler.hpp"
+#include "core/shrink.hpp"
+#include "runtime/regime.hpp"
+#include "runtime/telemetry.hpp"
+#include "stm/hooks.hpp"
+#include "util/align.hpp"
+
+namespace shrinktm::runtime {
+
+struct AdaptiveConfig {
+  std::size_t max_threads = 128;
+  unsigned ring_log2_slots = EventRing::kDefaultLog2Slots;
+  /// Telemetry window length; also the minimum interval between policy
+  /// decisions (a regime change needs confirm_up/confirm_down windows).
+  double window_ms = 5.0;
+  /// Background sampler cadence.  <= 0 disables the thread: the owner must
+  /// call tick() manually (tests, single-threaded harnesses).  One window
+  /// keeps decisions fresh without context-switch pressure on small boxes.
+  double sampler_interval_ms = 5.0;
+  /// Record kStart events.  Off by default: commits+aborts alone determine
+  /// every aggregate (starts = commits + aborts + in-flight), and the extra
+  /// per-attempt ring push is measurable on fine-grained transactions.
+  /// Enable for self-describing traces (bench/adaptive_regimes.cpp does).
+  bool record_starts = false;
+  RegimeThresholds thresholds;
+  core::AtsConfig ats;
+  /// Shrink tuning per regime: HIGH uses the paper's defaults, PATHOLOGICAL
+  /// activates earlier and serializes more eagerly.
+  core::ShrinkConfig shrink_high;
+  core::ShrinkConfig shrink_pathological;
+  std::uint64_t seed = 0x5eed5eedULL;
+
+  AdaptiveConfig() {
+    shrink_pathological.succ_threshold = 0.7;
+    shrink_pathological.affinity_scale = 8;
+    shrink_pathological.affinity_bootstrap = 8;
+  }
+};
+
+/// One policy switch, as recorded for benches/tests/metrics export.
+struct PolicySwitch {
+  std::uint64_t window_index;  ///< window whose close triggered the switch
+  Regime from;
+  Regime to;
+  std::string policy;  ///< label of the newly installed policy
+  double at_seconds;   ///< seconds since scheduler construction
+};
+
+/// Compact per-window record kept for export (the full conflict matrix is
+/// dropped after classification; only the hottest edge survives).
+struct WindowSummary {
+  std::uint64_t index;
+  double seconds;
+  std::uint64_t starts, commits, aborts, serializes, dropped, wait_count;
+  double abort_ratio;
+  double pressure;  ///< classifier input, see contention_pressure()
+  double throughput;
+  int hot_victim, hot_enemy;
+  std::uint32_t hot_count;
+  Regime regime_after;
+  std::string policy;
+};
+
+class AdaptiveScheduler final : public core::Scheduler {
+ public:
+  explicit AdaptiveScheduler(const stm::WriteOracle& oracle,
+                             AdaptiveConfig cfg = {});
+  ~AdaptiveScheduler() override;
+
+  // ---- SchedulerHooks (worker fast path) ----
+  void before_start(int tid) override;
+  void on_read(int tid, const void* addr) override;
+  void on_write(int tid, const void* addr) override;
+  void on_commit(int tid) override;
+  void on_abort(int tid, std::span<void* const> write_addrs,
+                int enemy_tid) override;
+  bool wants_read_hook() const override { return true; }
+  /// Backends cache this once at set_scheduler: it must be true whenever an
+  /// inner Shrink could consume on_write (accuracy instrumentation).
+  bool wants_write_hook() const override {
+    return cfg_.shrink_high.track_accuracy ||
+           cfg_.shrink_pathological.track_accuracy;
+  }
+  bool read_hook_active(int tid) const override;
+  std::uint64_t wait_count() const override;
+  bool serialized_now(int tid) const override;
+
+  // ---- control plane ----
+  /// Drain telemetry; on window close classify and maybe swap the policy.
+  /// Thread-safe; the background sampler calls this on its cadence.  With
+  /// force=true the current window is closed regardless of elapsed time
+  /// (tests drive regimes deterministically this way).  Returns true if a
+  /// window was closed.
+  bool tick(bool force = false);
+
+  Regime regime() const { return active_regime_.load(std::memory_order_acquire); }
+  std::string policy_label() const;
+  std::uint64_t windows_closed() const;
+  std::vector<PolicySwitch> switches() const;
+  std::vector<WindowSummary> recent_windows() const;
+  /// Retired-but-unreclaimed policy count (quiescence lag; tests).
+  std::size_t retired_pending() const;
+
+  const AdaptiveConfig& config() const { return cfg_; }
+  TelemetryHub& telemetry() { return hub_; }
+
+ private:
+  struct RetiredPolicy {
+    std::unique_ptr<core::Scheduler> policy;
+    std::uint64_t epoch;   ///< freeable once all threads announce >= this
+    std::uint64_t window;  ///< window_index_ at retirement (grace fallback)
+  };
+
+  /// Windows a retired policy must age before the pinned-slot fallback may
+  /// free it despite a stale (idle-thread) epoch -- see try_reclaim().
+  static constexpr std::uint64_t kReclaimGraceWindows = 8;
+
+  core::Scheduler* pinned(int tid) const {
+    return pinned_[static_cast<std::size_t>(tid)].value.load(
+        std::memory_order_relaxed);
+  }
+
+  // Control plane, callers hold control_mutex_.
+  void switch_policy(Regime from, Regime to, std::uint64_t window_index,
+                     double at_seconds);
+  void try_reclaim();
+  core::ShrinkConfig tuned_shrink_config(Regime r) const;
+
+  const stm::WriteOracle& oracle_;
+  AdaptiveConfig cfg_;
+
+  TelemetryHub hub_;
+  TelemetrySampler sampler_;
+  RegimeClassifier classifier_;
+
+  // Fixed policies (reused across regime visits) and the live Shrink
+  // instance (rebuilt with fresh tuning on each HIGH/PATHOLOGICAL entry).
+  std::unique_ptr<core::Scheduler> base_;
+  std::unique_ptr<core::AtsScheduler> ats_;
+  std::unique_ptr<core::ShrinkScheduler> live_shrink_;
+
+  std::atomic<core::Scheduler*> current_;
+  std::atomic<Regime> active_regime_{Regime::kLow};
+
+  // Per-thread fast-path state, one cache line each.
+  std::vector<util::Padded<std::atomic<core::Scheduler*>>> pinned_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> epoch_;
+  std::vector<util::Padded<std::atomic<bool>>> registered_;
+
+  // Quiescence machinery.
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<int> tid_high_water_{-1};  ///< highest tid ever seen in a hook
+  std::vector<RetiredPolicy> retired_;  // guarded by control_mutex_
+
+  mutable std::mutex control_mutex_;
+  std::string policy_label_;  // guarded by control_mutex_
+  std::uint64_t window_index_ = 0;
+  std::uint64_t shrink_builds_ = 0;
+  std::vector<PolicySwitch> switches_;
+  std::vector<WindowSummary> windows_;  // bounded history
+  std::chrono::steady_clock::time_point born_;
+
+  std::thread sampler_thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace shrinktm::runtime

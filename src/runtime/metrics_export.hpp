@@ -1,0 +1,118 @@
+// JSON export of runtime telemetry: window aggregates, regime timelines and
+// policy switches, consumed by bench/common.hpp (BENCH_*.json artifacts) and
+// by anything scraping the system in production.  Hand-rolled serialization:
+// the schema is flat and the repo takes no JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/adaptive.hpp"
+#include "runtime/regime.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace shrinktm::runtime {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// One window, full detail (per-tid arrays and the hottest conflict edge;
+/// the dense matrix is summarized, not dumped).
+inline std::string to_json(const WindowAggregate& w) {
+  std::ostringstream os;
+  os << "{\"window_seconds\":" << w.window_seconds << ",\"starts\":" << w.starts
+     << ",\"commits\":" << w.commits << ",\"aborts\":" << w.aborts
+     << ",\"serializes\":" << w.serializes << ",\"dropped\":" << w.dropped
+     << ",\"wait_count\":" << w.wait_count
+     << ",\"abort_ratio\":" << w.abort_ratio()
+     << ",\"pressure\":" << w.contention_pressure()
+     << ",\"commit_throughput\":" << w.commit_throughput()
+     << ",\"active_threads\":" << w.active_threads();
+  int v = -1, e = -1;
+  const auto c = w.hottest_conflict(&v, &e);
+  os << ",\"hottest_conflict\":{\"victim\":" << v << ",\"enemy\":" << e
+     << ",\"count\":" << c << "}";
+  os << ",\"commits_by_tid\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < w.max_threads; ++i) {
+    if (w.commits_by_tid[i] + w.aborts_by_tid[i] == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"tid\":" << i << ",\"commits\":" << w.commits_by_tid[i]
+       << ",\"aborts\":" << w.aborts_by_tid[i] << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+inline std::string to_json(const WindowSummary& s) {
+  std::ostringstream os;
+  os << "{\"index\":" << s.index << ",\"seconds\":" << s.seconds
+     << ",\"starts\":" << s.starts << ",\"commits\":" << s.commits
+     << ",\"aborts\":" << s.aborts << ",\"serializes\":" << s.serializes
+     << ",\"dropped\":" << s.dropped << ",\"wait_count\":" << s.wait_count
+     << ",\"abort_ratio\":" << s.abort_ratio << ",\"pressure\":" << s.pressure
+     << ",\"throughput\":" << s.throughput
+     << ",\"hot_victim\":" << s.hot_victim << ",\"hot_enemy\":" << s.hot_enemy
+     << ",\"hot_count\":" << s.hot_count << ",\"regime\":\""
+     << regime_name(s.regime_after) << "\",\"policy\":\""
+     << json_escape(s.policy) << "\"}";
+  return os.str();
+}
+
+inline std::string to_json(const PolicySwitch& s) {
+  std::ostringstream os;
+  os << "{\"window\":" << s.window_index << ",\"from\":\""
+     << regime_name(s.from) << "\",\"to\":\"" << regime_name(s.to)
+     << "\",\"policy\":\"" << json_escape(s.policy)
+     << "\",\"at_seconds\":" << s.at_seconds << "}";
+  return os.str();
+}
+
+/// Full adaptive-runtime snapshot: current regime/policy, the switch
+/// timeline and the recent window history.
+inline std::string to_json(const AdaptiveScheduler& sched) {
+  std::ostringstream os;
+  os << "{\"scheduler\":\"adaptive\",\"regime\":\""
+     << regime_name(sched.regime()) << "\",\"policy\":\""
+     << json_escape(sched.policy_label())
+     << "\",\"windows_closed\":" << sched.windows_closed()
+     << ",\"retired_pending\":" << sched.retired_pending();
+  os << ",\"switches\":[";
+  const auto sw = sched.switches();
+  for (std::size_t i = 0; i < sw.size(); ++i)
+    os << (i ? "," : "") << to_json(sw[i]);
+  os << "],\"windows\":[";
+  const auto wins = sched.recent_windows();
+  for (std::size_t i = 0; i < wins.size(); ++i)
+    os << (i ? "," : "") << to_json(wins[i]);
+  os << "]}";
+  return os.str();
+}
+
+/// Write a JSON document to `path` (BENCH_*.json convention).  Returns false
+/// on I/O failure instead of throwing: metrics export must never take down a
+/// measurement run.
+inline bool write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << json << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace shrinktm::runtime

@@ -1,0 +1,60 @@
+#include "runtime/regime.hpp"
+
+namespace shrinktm::runtime {
+
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::kLow: return "low";
+    case Regime::kModerate: return "moderate";
+    case Regime::kHigh: return "high";
+    case Regime::kPathological: return "pathological";
+  }
+  return "?";
+}
+
+Regime RegimeClassifier::raw_classify(double pressure) const {
+  if (pressure < t_.low_upper) return Regime::kLow;
+  if (pressure < t_.moderate_upper) return Regime::kModerate;
+  if (pressure < t_.high_upper) return Regime::kHigh;
+  return Regime::kPathological;
+}
+
+Regime RegimeClassifier::update(const WindowAggregate& w) {
+  if (w.samples() < t_.min_samples) return current_;  // no signal
+
+  // Schmitt trigger: shift the band edges by `margin` against the direction
+  // of travel, so the ratio must clear a boundary decisively to move.  The
+  // input is contention *pressure* (aborts + prevented conflicts), so a
+  // policy that successfully serializes away its aborts does not read as a
+  // calm workload -- see WindowAggregate::contention_pressure().
+  const double ratio = w.contention_pressure();
+  Regime raw = raw_classify(ratio);
+  if (raw > current_) {
+    // Escalating: edges effectively raised by margin.
+    raw = raw_classify(ratio - t_.margin);
+    if (raw <= current_) raw = current_;
+  } else if (raw < current_) {
+    // Relaxing: edges effectively lowered by margin.
+    raw = raw_classify(ratio + t_.margin);
+    if (raw >= current_) raw = current_;
+  }
+
+  if (raw == current_) {
+    streak_ = 0;
+    return current_;
+  }
+  if (raw != pending_) {
+    pending_ = raw;
+    streak_ = 0;
+  }
+  ++streak_;
+  const int needed = raw > current_ ? t_.confirm_up : t_.confirm_down;
+  if (streak_ >= needed) {
+    current_ = raw;
+    streak_ = 0;
+    ++transitions_;
+  }
+  return current_;
+}
+
+}  // namespace shrinktm::runtime

@@ -1,0 +1,78 @@
+// Contention-regime classification with hysteresis.
+//
+// The paper's result (Figures 5-11) is that no single scheduling policy wins
+// everywhere: prevention (Shrink) pays off under high contention and is pure
+// overhead when conflicts are rare; coarse throttling (ATS) sits in between.
+// The classifier maps one telemetry window onto a discrete regime; the
+// adaptive scheduler maps regimes onto policies.
+//
+// Flap resistance is two-layered:
+//   1. Schmitt-trigger thresholds -- leaving the current regime requires the
+//      abort ratio to clear the boundary by `margin`, so a workload sitting
+//      exactly on a threshold stays put;
+//   2. confirmation streaks -- a raw reclassification must repeat for
+//      `confirm_up` (escalating) or `confirm_down` (relaxing) consecutive
+//      windows before it takes effect.  Demotion is slower than promotion:
+//      missing a contention collapse costs throughput for a few windows,
+//      while thrashing policies costs much more.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/telemetry.hpp"
+
+namespace shrinktm::runtime {
+
+enum class Regime : std::uint8_t {
+  kLow = 0,          ///< conflicts rare: scheduling is pure overhead
+  kModerate = 1,     ///< occasional conflicts: coarse throttling suffices
+  kHigh = 2,         ///< frequent conflicts: prediction+serialization pays
+  kPathological = 3  ///< livelock territory: serialize aggressively
+};
+
+const char* regime_name(Regime r);
+
+struct RegimeThresholds {
+  // Contention-pressure band edges (fractions of finished attempts; the
+  // pressure counts aborts plus scheduler-serialized commits, see
+  // WindowAggregate::contention_pressure()).
+  double low_upper = 0.10;       ///< ratio below this: LOW
+  double moderate_upper = 0.40;  ///< ...below this: MODERATE
+  double high_upper = 0.75;      ///< ...below this: HIGH, above: PATHOLOGICAL
+  /// Schmitt margin: to leave the current regime the ratio must clear the
+  /// band edge by this much in the direction of travel.
+  double margin = 0.05;
+  /// Consecutive confirming windows required to escalate / relax.
+  int confirm_up = 2;
+  int confirm_down = 3;
+  /// Windows with fewer finished attempts than this carry no signal and
+  /// leave the regime (and streaks) untouched.
+  std::uint64_t min_samples = 16;
+};
+
+class RegimeClassifier {
+ public:
+  explicit RegimeClassifier(RegimeThresholds t = {}, Regime initial = Regime::kLow)
+      : t_(t), current_(initial) {}
+
+  /// Classify one window and fold it into the hysteresis state.  Returns the
+  /// (possibly unchanged) current regime.
+  Regime update(const WindowAggregate& w);
+
+  Regime current() const { return current_; }
+  std::uint64_t transitions() const { return transitions_; }
+  const RegimeThresholds& thresholds() const { return t_; }
+
+  /// Stateless banding of a contention-pressure ratio, no hysteresis
+  /// (exposed for tests and for the metrics exporter).
+  Regime raw_classify(double pressure) const;
+
+ private:
+  RegimeThresholds t_;
+  Regime current_;
+  Regime pending_ = Regime::kLow;
+  int streak_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace shrinktm::runtime

@@ -1,0 +1,86 @@
+#include "runtime/telemetry.hpp"
+
+namespace shrinktm::runtime {
+
+int WindowAggregate::active_threads() const {
+  int n = 0;
+  for (std::size_t i = 0; i < max_threads; ++i)
+    if (commits_by_tid[i] + aborts_by_tid[i] > 0) ++n;
+  return n;
+}
+
+std::uint32_t WindowAggregate::hottest_conflict(int* victim, int* enemy) const {
+  std::uint32_t best = 0;
+  int bv = -1, be = -1;
+  for (std::size_t v = 0; v < max_threads; ++v) {
+    for (std::size_t e = 0; e < max_threads; ++e) {
+      const auto c = conflicts[v * max_threads + e];
+      if (c > best) {
+        best = c;
+        bv = static_cast<int>(v);
+        be = static_cast<int>(e);
+      }
+    }
+  }
+  if (victim != nullptr) *victim = bv;
+  if (enemy != nullptr) *enemy = be;
+  return best;
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryHub& hub, double window_seconds)
+    : hub_(hub), window_seconds_(window_seconds) {
+  reset_window();
+  window_open_ = std::chrono::steady_clock::now();
+}
+
+void TelemetrySampler::reset_window() {
+  const std::size_t n = hub_.max_threads();
+  acc_ = WindowAggregate{};
+  acc_.max_threads = n;
+  acc_.commits_by_tid.assign(n, 0);
+  acc_.aborts_by_tid.assign(n, 0);
+  acc_.conflicts.assign(n * n, 0);
+}
+
+bool TelemetrySampler::poll(WindowAggregate* out, bool force,
+                            std::size_t limit_threads) {
+  const std::size_t n = hub_.max_threads();
+  const std::size_t drain_n = limit_threads < n ? limit_threads : n;
+  for (std::size_t tid = 0; tid < drain_n; ++tid) {
+    const auto r = hub_.ring(static_cast<int>(tid)).drain([&](const Event& e) {
+      switch (e.type) {
+        case EventType::kStart:
+          ++acc_.starts;
+          break;
+        case EventType::kCommit:
+          ++acc_.commits;
+          ++acc_.commits_by_tid[tid];
+          break;
+        case EventType::kAbort:
+          ++acc_.aborts;
+          ++acc_.aborts_by_tid[tid];
+          if (e.enemy_tid >= 0 &&
+              static_cast<std::size_t>(e.enemy_tid) < n)
+            ++acc_.conflicts[tid * n + static_cast<std::size_t>(e.enemy_tid)];
+          break;
+        case EventType::kSerialize:
+          ++acc_.serializes;
+          break;
+      }
+    });
+    acc_.dropped += r.dropped;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - window_open_).count();
+  if (!force && elapsed < window_seconds_) return false;
+
+  acc_.window_seconds = elapsed;
+  if (out != nullptr) *out = std::move(acc_);
+  reset_window();
+  window_open_ = now;
+  return true;
+}
+
+}  // namespace shrinktm::runtime

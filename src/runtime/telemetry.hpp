@@ -1,0 +1,270 @@
+// Telemetry: per-thread lock-free event rings and windowed aggregates.
+//
+// The adaptive runtime needs to observe the workload without perturbing it.
+// Each thread owns a single-producer ring of packed 64-bit events
+// (start/commit/abort/serialize, coarse timestamp, enemy tid); the producer
+// never blocks and overwrites the oldest entries when the sampler falls
+// behind.  A sampler (background thread or an explicit tick) drains all
+// rings into a WindowAggregate -- commit throughput, abort ratio, serialize
+// rate and the enemy-tid conflict matrix -- which the regime classifier
+// consumes.
+//
+// Ring protocol (single producer, single consumer, overwrite-oldest):
+//   * every slot is one std::atomic<uint64_t>, so reads are never torn;
+//   * the producer stores the slot (relaxed) then bumps `head` (release);
+//   * each packed event embeds the low bits of its own sequence number, and
+//     the consumer accepts a slot only if the embedded sequence matches the
+//     index it expects -- a mismatch means the producer lapped us and the
+//     entry is counted as dropped, independent of any cross-location
+//     memory-ordering subtleties.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/align.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace shrinktm::runtime {
+
+enum class EventType : std::uint8_t {
+  kStart = 0,      ///< transaction attempt began
+  kCommit = 1,     ///< attempt committed
+  kAbort = 2,      ///< attempt aborted (aux = enemy tid + 1, 0 unknown)
+  kSerialize = 3,  ///< attempt runs under the scheduler's global lock
+};
+
+/// Coarse timestamp: TSC (or steady_clock ns) >> 14 -- a few microseconds of
+/// granularity, one instruction on x86.  Only the low 26 bits travel in the
+/// packed event; windows are short enough that wraparound is harmless (the
+/// sampler timestamps windows with the real clock).
+inline std::uint64_t coarse_now() {
+#if defined(__x86_64__) || defined(__i386__)
+  return static_cast<std::uint64_t>(__rdtsc()) >> 14;
+#else
+  return static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count()) >>
+         14;
+#endif
+}
+
+/// Unpacked event, as seen by drain sinks.
+struct Event {
+  EventType type;
+  int enemy_tid;            ///< aborts only; -1 when unknown / n/a
+  std::uint64_t coarse_ts;  ///< low 26 bits of coarse_now()
+};
+
+// Packed layout (64 bits):
+//   [1:0]    type
+//   [17:2]   aux = enemy tid + 1 (0 = none/unknown)
+//   [43:18]  coarse timestamp (low 26 bits)
+//   [63:44]  sequence (low 20 bits) -- drain-time lap detection
+inline constexpr std::uint64_t kEventSeqBits = 20;
+inline constexpr std::uint64_t kEventSeqMask = (1ULL << kEventSeqBits) - 1;
+
+inline std::uint64_t pack_event(EventType t, int enemy_tid, std::uint64_t ts,
+                                std::uint64_t seq) {
+  const std::uint64_t aux =
+      enemy_tid >= 0 ? static_cast<std::uint64_t>(enemy_tid) + 1 : 0;
+  return static_cast<std::uint64_t>(t) | ((aux & 0xffffULL) << 2) |
+         ((ts & 0x3ffffffULL) << 18) | ((seq & kEventSeqMask) << 44);
+}
+
+inline Event unpack_event(std::uint64_t v) {
+  Event e;
+  e.type = static_cast<EventType>(v & 0x3u);
+  const auto aux = (v >> 2) & 0xffffULL;
+  e.enemy_tid = aux == 0 ? -1 : static_cast<int>(aux - 1);
+  e.coarse_ts = (v >> 18) & 0x3ffffffULL;
+  return e;
+}
+
+inline std::uint64_t packed_seq(std::uint64_t v) { return v >> 44; }
+
+/// Single-producer single-consumer overwrite-oldest ring of packed events.
+/// The producer is the owning worker thread; the consumer is the sampler.
+class EventRing {
+ public:
+  static constexpr unsigned kDefaultLog2Slots = 12;  // 4096 events, 32 KiB
+  /// Capacity must stay below the embedded sequence space: with
+  /// log2_slots >= kEventSeqBits a producer lapping the consumer exactly
+  /// once would write a slot whose truncated sequence matches the expected
+  /// index, defeating lap detection.  Oversized requests are clamped.
+  static constexpr unsigned kMaxLog2Slots =
+      static_cast<unsigned>(kEventSeqBits) - 1;
+
+  explicit EventRing(unsigned log2_slots = kDefaultLog2Slots)
+      : mask_((std::size_t{1} << (log2_slots < kMaxLog2Slots ? log2_slots
+                                                             : kMaxLog2Slots)) -
+              1),
+        slots_(mask_ + 1) {}
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side: never blocks, overwrites the oldest entry when full.
+  void push(EventType t, int enemy_tid, std::uint64_t ts) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slots_[h & mask_].store(pack_event(t, enemy_tid, ts, h),
+                            std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Refresh the producer-cached coarse timestamp.  Reading the TSC costs
+  /// more than the ring store itself, so the fast path stamps once per
+  /// transaction attempt and the attempt's events share that timestamp
+  /// (events within one attempt are closer together than the timestamp
+  /// granularity anyway).
+  void stamp() { cached_ts_ = coarse_now(); }
+
+  /// Push with the cached timestamp (see stamp()).
+  void push(EventType t, int enemy_tid = -1) { push(t, enemy_tid, cached_ts_); }
+
+  struct DrainResult {
+    std::uint64_t drained = 0;
+    std::uint64_t dropped = 0;  ///< overwritten before the consumer got there
+  };
+
+  /// Consumer side: feed every event since the last drain to `sink(Event)`.
+  /// Entries the producer lapped are counted as dropped, never misparsed.
+  template <typename Sink>
+  DrainResult drain(Sink&& sink) {
+    DrainResult r;
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    std::uint64_t t = tail_;
+    if (h - t > capacity()) {
+      r.dropped += (h - capacity()) - t;
+      t = h - capacity();
+    }
+    for (; t != h; ++t) {
+      const std::uint64_t v = slots_[t & mask_].load(std::memory_order_relaxed);
+      if (packed_seq(v) != (t & kEventSeqMask)) {
+        ++r.dropped;  // producer lapped this slot mid-drain
+        continue;
+      }
+      sink(unpack_event(v));
+      ++r.drained;
+    }
+    tail_ = h;
+    return r;
+  }
+
+  std::uint64_t produced() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // head_ and cached_ts_ share the producer's cache line.
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_ts_ = 0;
+  alignas(util::kCacheLine) std::uint64_t tail_{0};  // consumer-private
+  std::size_t mask_;
+  std::vector<std::atomic<std::uint64_t>> slots_;
+};
+
+/// One ring per thread slot.  Rings are allocated eagerly so the producer
+/// fast path is a single indexed call with no registration branch.
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(std::size_t max_threads = 128,
+                        unsigned log2_slots = EventRing::kDefaultLog2Slots) {
+    rings_.reserve(max_threads);
+    for (std::size_t i = 0; i < max_threads; ++i)
+      rings_.push_back(std::make_unique<EventRing>(log2_slots));
+  }
+
+  std::size_t max_threads() const { return rings_.size(); }
+  EventRing& ring(int tid) { return *rings_[static_cast<std::size_t>(tid)]; }
+  const EventRing& ring(int tid) const {
+    return *rings_[static_cast<std::size_t>(tid)];
+  }
+
+  /// Record with the ring's cached timestamp; call stamp(tid) once per
+  /// attempt (before_start) to refresh it.
+  void record(int tid, EventType t, int enemy_tid = -1) {
+    rings_[static_cast<std::size_t>(tid)]->push(t, enemy_tid);
+  }
+  void stamp(int tid) { rings_[static_cast<std::size_t>(tid)]->stamp(); }
+
+ private:
+  std::vector<std::unique_ptr<EventRing>> rings_;
+};
+
+/// Aggregates over one sampling window.
+struct WindowAggregate {
+  double window_seconds = 0.0;
+  std::uint64_t starts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t serializes = 0;
+  std::uint64_t dropped = 0;     ///< ring entries lost to overwrite
+  std::uint64_t wait_count = 0;  ///< scheduler wait_count at window close
+  std::vector<std::uint64_t> commits_by_tid;
+  std::vector<std::uint64_t> aborts_by_tid;
+  /// conflicts[victim * max_threads + enemy]: abort counts by enemy tid.
+  std::vector<std::uint32_t> conflicts;
+  std::size_t max_threads = 0;
+
+  double abort_ratio() const {
+    const auto total = commits + aborts;
+    return total == 0 ? 0.0
+                      : static_cast<double>(aborts) / static_cast<double>(total);
+  }
+  double commit_throughput() const {
+    return window_seconds > 0.0 ? static_cast<double>(commits) / window_seconds
+                                : 0.0;
+  }
+  std::uint64_t samples() const { return commits + aborts; }
+  /// Conflict pressure the *workload* exerts, independent of how well the
+  /// active policy copes: a serialized commit is a conflict the scheduler
+  /// prevented, so it counts like an abort.  Classifying on raw abort_ratio
+  /// alone would make a policy that cures the aborts immediately demote
+  /// itself and oscillate.  The serialize term is capped at the commit
+  /// count so an attempt that serialized AND still aborted is not counted
+  /// twice, and the result is clamped to [0, 1].
+  double contention_pressure() const {
+    const auto total = samples();
+    if (total == 0) return 0.0;
+    const auto serialized_commits = serializes < commits ? serializes : commits;
+    const double p = static_cast<double>(aborts + serialized_commits) /
+                     static_cast<double>(total);
+    return p < 1.0 ? p : 1.0;
+  }
+  /// Threads that committed or aborted at least once this window.
+  int active_threads() const;
+  /// (victim, enemy, count) of the hottest conflict edge, count 0 if none.
+  std::uint32_t hottest_conflict(int* victim, int* enemy) const;
+};
+
+/// Drains a TelemetryHub into consecutive WindowAggregates.  Not thread-safe:
+/// exactly one sampler (background thread or manual ticker) per hub.
+class TelemetrySampler {
+ public:
+  TelemetrySampler(TelemetryHub& hub, double window_seconds);
+
+  /// Drain rings [0, limit_threads) into the open window (SIZE_MAX = all;
+  /// pass the registered-tid high-water mark to keep the poll from touching
+  /// one cold cache line per unused ring).  Closes the window and returns
+  /// true (filling `out`) once window_seconds have elapsed, or on force.
+  bool poll(WindowAggregate* out, bool force = false,
+            std::size_t limit_threads = SIZE_MAX);
+
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  void reset_window();
+
+  TelemetryHub& hub_;
+  double window_seconds_;
+  std::chrono::steady_clock::time_point window_open_;
+  WindowAggregate acc_;
+};
+
+}  // namespace shrinktm::runtime

@@ -1,0 +1,404 @@
+// Adaptive-runtime tests: event-ring overwrite/drain correctness (including
+// under a concurrent writer), windowed aggregation, regime-classifier
+// hysteresis, and end-to-end policy switching in the AdaptiveScheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/adaptive.hpp"
+#include "runtime/metrics_export.hpp"
+#include "runtime/regime.hpp"
+#include "runtime/telemetry.hpp"
+#include "stm/runner.hpp"
+#include "stm/tiny.hpp"
+#include "workloads/driver.hpp"
+#include "workloads/rbtree_bench.hpp"
+
+namespace shrinktm {
+namespace {
+
+using runtime::Event;
+using runtime::EventRing;
+using runtime::EventType;
+using runtime::Regime;
+using runtime::RegimeClassifier;
+using runtime::RegimeThresholds;
+using runtime::TelemetryHub;
+using runtime::TelemetrySampler;
+using runtime::WindowAggregate;
+
+TEST(EventRing, PackUnpackRoundTrips) {
+  const auto v = runtime::pack_event(EventType::kAbort, 42, 0x123456, 77);
+  const Event e = runtime::unpack_event(v);
+  EXPECT_EQ(e.type, EventType::kAbort);
+  EXPECT_EQ(e.enemy_tid, 42);
+  EXPECT_EQ(e.coarse_ts, 0x123456u);
+  EXPECT_EQ(runtime::packed_seq(v), 77u);
+  // Unknown enemy round-trips as -1.
+  const Event none =
+      runtime::unpack_event(runtime::pack_event(EventType::kCommit, -1, 0, 0));
+  EXPECT_EQ(none.enemy_tid, -1);
+}
+
+TEST(EventRing, DrainReturnsEverythingWhenNotFull) {
+  EventRing ring(/*log2_slots=*/6);  // 64 slots
+  for (int i = 0; i < 50; ++i)
+    ring.push(EventType::kCommit, -1, static_cast<std::uint64_t>(i));
+  std::vector<Event> got;
+  const auto r = ring.drain([&](const Event& e) { got.push_back(e); });
+  EXPECT_EQ(r.drained, 50u);
+  EXPECT_EQ(r.dropped, 0u);
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].coarse_ts,
+              static_cast<std::uint64_t>(i));
+  // Second drain: nothing new.
+  const auto r2 = ring.drain([&](const Event&) { FAIL(); });
+  EXPECT_EQ(r2.drained, 0u);
+}
+
+TEST(EventRing, OverwriteDropsOldestAndAccountsForIt) {
+  EventRing ring(/*log2_slots=*/6);  // 64 slots
+  for (int i = 0; i < 200; ++i)
+    ring.push(EventType::kCommit, -1, static_cast<std::uint64_t>(i));
+  std::vector<Event> got;
+  const auto r = ring.drain([&](const Event& e) { got.push_back(e); });
+  EXPECT_EQ(r.drained, 64u);
+  EXPECT_EQ(r.dropped, 136u);
+  // The survivors are exactly the newest 64, in order.
+  ASSERT_EQ(got.size(), 64u);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].coarse_ts, 136 + i);
+}
+
+TEST(EventRing, ConcurrentWriterNeverCorruptsDrains) {
+  // One producer hammers a small ring while the consumer drains repeatedly.
+  // Every drained event must be well-formed and in production order; drained
+  // plus dropped must account for every push.
+  EventRing ring(/*log2_slots=*/8);  // 256 slots: guarantees laps
+  constexpr std::uint64_t kEvents = 200'000;
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kEvents; ++i)
+      ring.push(EventType::kAbort, static_cast<int>(i % 100),
+                /*ts=*/i & 0x3ffffffULL);
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t drained = 0, dropped = 0;
+  std::uint64_t last_ts = 0;
+  bool first = true;
+  auto drain_once = [&] {
+    const auto r = ring.drain([&](const Event& e) {
+      EXPECT_EQ(e.type, EventType::kAbort);
+      ASSERT_GE(e.enemy_tid, 0);
+      EXPECT_LT(e.enemy_tid, 100);
+      // Production order: timestamps were pushed strictly increasing.
+      if (!first) {
+        EXPECT_GT(e.coarse_ts, last_ts);
+      }
+      last_ts = e.coarse_ts;
+      first = false;
+      // Cross-check the payload: ts i carries enemy i % 100.
+      EXPECT_EQ(static_cast<int>(e.coarse_ts % 100), e.enemy_tid);
+    });
+    drained += r.drained;
+    dropped += r.dropped;
+  };
+  while (!done.load(std::memory_order_acquire)) drain_once();
+  producer.join();
+  drain_once();  // final sweep
+
+  EXPECT_EQ(drained + dropped, kEvents);
+  EXPECT_GT(drained, 0u);
+}
+
+TEST(EventRing, OversizedRingClampsBelowSequenceSpace) {
+  // log2_slots >= kEventSeqBits would let a one-lap overwrite collide with
+  // the expected sequence and defeat lap detection; the ctor clamps.
+  EventRing ring(/*log2_slots=*/25);
+  EXPECT_EQ(ring.capacity(), std::size_t{1} << EventRing::kMaxLog2Slots);
+  EXPECT_LT(EventRing::kMaxLog2Slots, runtime::kEventSeqBits);
+}
+
+TEST(WindowAggregate, PressureNeverDoubleCountsNorExceedsOne) {
+  WindowAggregate w;
+  w.commits = 10;
+  w.aborts = 10;
+  w.serializes = 50;  // more serializes than commits: cap at commit count
+  EXPECT_DOUBLE_EQ(w.contention_pressure(), 1.0);
+  w.serializes = 4;
+  EXPECT_DOUBLE_EQ(w.contention_pressure(), 14.0 / 20.0);
+}
+
+TEST(TelemetrySampler, AggregatesWindowsAcrossThreads) {
+  TelemetryHub hub(/*max_threads=*/8, /*log2_slots=*/8);
+  hub.stamp(0);
+  hub.stamp(1);
+  for (int i = 0; i < 30; ++i) hub.record(0, EventType::kCommit);
+  for (int i = 0; i < 10; ++i) hub.record(0, EventType::kAbort, /*enemy=*/1);
+  for (int i = 0; i < 20; ++i) hub.record(1, EventType::kCommit);
+  for (int i = 0; i < 5; ++i) hub.record(1, EventType::kSerialize);
+  for (int i = 0; i < 3; ++i) hub.record(1, EventType::kStart);
+
+  TelemetrySampler sampler(hub, /*window_seconds=*/3600.0);
+  WindowAggregate w;
+  ASSERT_TRUE(sampler.poll(&w, /*force=*/true));
+  EXPECT_EQ(w.commits, 50u);
+  EXPECT_EQ(w.aborts, 10u);
+  EXPECT_EQ(w.serializes, 5u);
+  EXPECT_EQ(w.starts, 3u);
+  EXPECT_EQ(w.commits_by_tid[0], 30u);
+  EXPECT_EQ(w.commits_by_tid[1], 20u);
+  EXPECT_EQ(w.aborts_by_tid[0], 10u);
+  EXPECT_EQ(w.active_threads(), 2);
+  EXPECT_NEAR(w.abort_ratio(), 10.0 / 60.0, 1e-12);
+  EXPECT_NEAR(w.contention_pressure(), 15.0 / 60.0, 1e-12);
+  int victim = -1, enemy = -1;
+  EXPECT_EQ(w.hottest_conflict(&victim, &enemy), 10u);
+  EXPECT_EQ(victim, 0);
+  EXPECT_EQ(enemy, 1);
+  // Windows reset: a forced second poll is empty.
+  ASSERT_TRUE(sampler.poll(&w, /*force=*/true));
+  EXPECT_EQ(w.samples(), 0u);
+}
+
+WindowAggregate window_with_ratio(double abort_ratio,
+                                  std::uint64_t samples = 100) {
+  WindowAggregate w;
+  w.max_threads = 1;
+  w.commits_by_tid.assign(1, 0);
+  w.aborts_by_tid.assign(1, 0);
+  w.conflicts.assign(1, 0);
+  w.aborts =
+      static_cast<std::uint64_t>(abort_ratio * static_cast<double>(samples));
+  w.commits = samples - w.aborts;
+  w.window_seconds = 0.005;
+  return w;
+}
+
+TEST(RegimeClassifier, BandsAndConfirmationStreaks) {
+  RegimeClassifier c;  // defaults: 0.10 / 0.40 / 0.75, confirm 2 up / 3 down
+  EXPECT_EQ(c.current(), Regime::kLow);
+  EXPECT_EQ(c.raw_classify(0.05), Regime::kLow);
+  EXPECT_EQ(c.raw_classify(0.2), Regime::kModerate);
+  EXPECT_EQ(c.raw_classify(0.5), Regime::kHigh);
+  EXPECT_EQ(c.raw_classify(0.9), Regime::kPathological);
+
+  // One hot window does not escalate (confirm_up = 2)...
+  c.update(window_with_ratio(0.9));
+  EXPECT_EQ(c.current(), Regime::kLow);
+  // ...an intervening calm window breaks the streak...
+  c.update(window_with_ratio(0.02));
+  c.update(window_with_ratio(0.9));
+  EXPECT_EQ(c.current(), Regime::kLow);
+  // ...two consecutive confirmations switch.
+  c.update(window_with_ratio(0.9));
+  EXPECT_EQ(c.current(), Regime::kPathological);
+  EXPECT_EQ(c.transitions(), 1u);
+
+  // Demotion needs three consecutive calm windows.
+  c.update(window_with_ratio(0.02));
+  c.update(window_with_ratio(0.02));
+  EXPECT_EQ(c.current(), Regime::kPathological);
+  c.update(window_with_ratio(0.02));
+  EXPECT_EQ(c.current(), Regime::kLow);
+  EXPECT_EQ(c.transitions(), 2u);
+}
+
+TEST(RegimeClassifier, NoFlappingOnBoundaryWorkload) {
+  RegimeClassifier c;
+  // Establish MODERATE.
+  c.update(window_with_ratio(0.30));
+  c.update(window_with_ratio(0.30));
+  ASSERT_EQ(c.current(), Regime::kModerate);
+  const auto baseline = c.transitions();
+  // A workload oscillating around the moderate/high boundary (0.40) inside
+  // the Schmitt margin (0.05) must not cause a single transition.
+  for (int i = 0; i < 50; ++i)
+    c.update(window_with_ratio(i % 2 == 0 ? 0.38 : 0.43));
+  EXPECT_EQ(c.current(), Regime::kModerate);
+  EXPECT_EQ(c.transitions(), baseline) << "classifier flapped on a boundary";
+}
+
+TEST(RegimeClassifier, TinyWindowsCarryNoSignal) {
+  RegimeThresholds t;
+  t.min_samples = 16;
+  RegimeClassifier c(t);
+  for (int i = 0; i < 10; ++i)
+    c.update(window_with_ratio(1.0, /*samples=*/4));  // all-abort but tiny
+  EXPECT_EQ(c.current(), Regime::kLow);
+}
+
+// Drives the AdaptiveScheduler's hooks directly (no real STM needed: the
+// scheduler only observes outcomes) with manual sampling ticks, so regime
+// trajectories are deterministic.
+class AdaptiveSwitchingTest : public ::testing::Test {
+ protected:
+  AdaptiveSwitchingTest() {
+    runtime::AdaptiveConfig cfg;
+    cfg.sampler_interval_ms = 0.0;  // manual ticks only
+    cfg.max_threads = 8;
+    cfg.record_starts = true;
+    sched_ = std::make_unique<runtime::AdaptiveScheduler>(backend_, cfg);
+  }
+
+  /// One window's worth of outcomes spread over `nthreads` tids, then a
+  /// forced tick.
+  void window(int commits, int aborts, int nthreads = 4) {
+    for (int i = 0; i < commits; ++i) {
+      const int tid = i % nthreads;
+      sched_->before_start(tid);
+      sched_->on_commit(tid);
+    }
+    for (int i = 0; i < aborts; ++i) {
+      const int tid = i % nthreads;
+      sched_->before_start(tid);
+      sched_->on_abort(tid, {}, /*enemy_tid=*/(tid + 1) % nthreads);
+    }
+    sched_->tick(/*force=*/true);
+  }
+
+  stm::TinyBackend backend_;
+  std::unique_ptr<runtime::AdaptiveScheduler> sched_;
+};
+
+TEST_F(AdaptiveSwitchingTest, SwitchesToShrinkOnAbortSpikeAndBack) {
+  // Calm traffic: stays on base.
+  for (int i = 0; i < 5; ++i) window(100, 2);
+  EXPECT_EQ(sched_->regime(), Regime::kLow);
+  EXPECT_EQ(sched_->policy_label(), "base");
+
+  // Abort spike at ~60% -> HIGH -> shrink (after confirm_up = 2 windows).
+  window(40, 60);
+  window(40, 60);
+  EXPECT_EQ(sched_->regime(), Regime::kHigh);
+  EXPECT_EQ(sched_->policy_label(), "shrink");
+
+  // Collapse at ~90% -> PATHOLOGICAL -> retuned shrink; the HIGH instance
+  // is retired and must await quiescence.
+  window(10, 90);
+  window(10, 90);
+  EXPECT_EQ(sched_->regime(), Regime::kPathological);
+  EXPECT_EQ(sched_->policy_label(), "shrink-aggressive");
+  EXPECT_GE(sched_->retired_pending(), 1u);
+
+  // Contention drains -> back to base after confirm_down = 3 windows.
+  for (int i = 0; i < 4; ++i) window(100, 0);
+  EXPECT_EQ(sched_->regime(), Regime::kLow);
+  EXPECT_EQ(sched_->policy_label(), "base");
+
+  // Every thread has since announced a newer epoch (the calm windows above
+  // ran attempts on all four tids), so retired policies are reclaimed.
+  window(100, 0);
+  EXPECT_EQ(sched_->retired_pending(), 0u);
+
+  // The full trajectory: base -> shrink -> shrink-aggressive -> base.
+  const auto sw = sched_->switches();
+  ASSERT_GE(sw.size(), 3u);
+  EXPECT_EQ(sw[0].from, Regime::kLow);
+  EXPECT_EQ(sw[0].to, Regime::kHigh);
+  EXPECT_EQ(sw[1].to, Regime::kPathological);
+  EXPECT_EQ(sw.back().to, Regime::kLow);
+
+  // Telemetry export is well-formed enough to contain the trajectory.
+  const std::string json = runtime::to_json(*sched_);
+  EXPECT_NE(json.find("\"scheduler\":\"adaptive\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\":\"pathological\""), std::string::npos);
+}
+
+TEST_F(AdaptiveSwitchingTest, InnerShrinkReceivesHooksAfterSwitch) {
+  window(40, 60);
+  window(40, 60);
+  ASSERT_EQ(sched_->regime(), Regime::kHigh);
+  EXPECT_EQ(sched_->wait_count(), 0u);
+  // The pinned inner policy keeps routing outcomes without upsetting the
+  // regime while traffic stays hot-but-committing.
+  for (int i = 0; i < 50; ++i) {
+    sched_->before_start(0);
+    sched_->on_commit(0);
+  }
+  EXPECT_EQ(sched_->policy_label(), "shrink");
+}
+
+TEST_F(AdaptiveSwitchingTest, IdleThreadDoesNotLeakRetiredPoliciesForever) {
+  // tid 3 runs once (registers), then goes idle forever; its epoch never
+  // advances, so the sound QSBR condition alone would pin every retired
+  // policy.  The grace-window fallback must still reclaim instances no pin
+  // references.
+  window(100, 2);  // all four tids run (and register) under base
+  // Escalate and retune using only tids 0-2: retires the HIGH instance.
+  window(40, 60, /*nthreads=*/3);
+  window(40, 60, /*nthreads=*/3);
+  ASSERT_EQ(sched_->regime(), Regime::kHigh);
+  window(10, 90, /*nthreads=*/3);
+  window(10, 90, /*nthreads=*/3);
+  ASSERT_EQ(sched_->regime(), Regime::kPathological);
+  ASSERT_GE(sched_->retired_pending(), 1u);
+  // tid 3 stays idle (pinned to base, epoch stale).  After the grace
+  // windows elapse the retired shrink -- which no pin references -- is
+  // freed anyway.
+  for (int i = 0; i < 12; ++i) window(10, 90, /*nthreads=*/3);
+  EXPECT_EQ(sched_->retired_pending(), 0u);
+}
+
+TEST(AdaptiveScheduler, WriteHookFollowsShrinkAccuracyConfig) {
+  stm::TinyBackend backend;
+  {
+    runtime::AdaptiveConfig cfg;
+    cfg.sampler_interval_ms = 0.0;
+    runtime::AdaptiveScheduler sched(backend, cfg);
+    EXPECT_FALSE(sched.wants_write_hook());
+  }
+  {
+    runtime::AdaptiveConfig cfg;
+    cfg.sampler_interval_ms = 0.0;
+    cfg.shrink_high.track_accuracy = true;
+    runtime::AdaptiveScheduler sched(backend, cfg);
+    // Backends cache this at set_scheduler; it must be on whenever an inner
+    // Shrink could consume on_write.
+    EXPECT_TRUE(sched.wants_write_hook());
+  }
+}
+
+TEST(AdaptiveScheduler, RunsARealWorkloadThroughTheFactory) {
+  stm::TinyBackend backend;
+  auto sched = core::make_scheduler(core::SchedulerKind::kAdaptive, backend);
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->name(), "adaptive");
+
+  workloads::RBTreeBench w(
+      workloads::RBTreeBenchConfig{.key_range = 512, .update_percent = 50});
+  workloads::DriverConfig dcfg;
+  dcfg.threads = 4;
+  dcfg.duration_ms = 100;
+  dcfg.max_ops_per_thread = 3000;
+  const auto res = workloads::run_workload(backend, sched.get(), w, dcfg);
+  EXPECT_TRUE(res.verified);
+  EXPECT_GT(res.stm.commits, 0u);
+}
+
+TEST(AdaptiveScheduler, ZeroContentionStaysOnBase) {
+  stm::TinyBackend backend;
+  runtime::AdaptiveConfig cfg;
+  cfg.sampler_interval_ms = 0.0;
+  runtime::AdaptiveScheduler sched(backend, cfg);
+  for (int i = 0; i < 2000; ++i) {
+    sched.before_start(0);
+    sched.on_commit(0);
+    if (i % 100 == 0) sched.tick(/*force=*/true);
+  }
+  EXPECT_EQ(sched.regime(), Regime::kLow);
+  EXPECT_EQ(sched.policy_label(), "base");
+  EXPECT_EQ(sched.retired_pending(), 0u);
+  // The read hook stays off on the idle fast path (the backend checks this
+  // every transaction start).
+  EXPECT_FALSE(sched.read_hook_active(0));
+}
+
+}  // namespace
+}  // namespace shrinktm

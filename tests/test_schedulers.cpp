@@ -381,11 +381,30 @@ TEST(PredictionTracker, SaturationIsGraceful) {
   EXPECT_LE(p.predicted_reads().size(), 8u);
 }
 
+TEST(Shrink, ObserversSafeForUnregisteredThreads) {
+  // Threads register lazily on their first hook call; success_rate() and
+  // predictor() used to null-deref when probed for a thread that never ran
+  // (the guard existed only in read_hook_active).  Observers now get safe
+  // defaults instead.
+  stm::TinyBackend backend;
+  core::ShrinkScheduler shrink(backend);
+  EXPECT_DOUBLE_EQ(shrink.success_rate(7), 1.0);  // optimistic initial rate
+  EXPECT_TRUE(shrink.predictor(7).predicted_reads().empty());
+  EXPECT_TRUE(shrink.predictor(7).predicted_writes().empty());
+  EXPECT_FALSE(shrink.serialized_now(7));
+  EXPECT_TRUE(shrink.read_hook_active(7));
+  // A registered thread still reports its live state.
+  shrink.before_start(0);
+  shrink.on_abort(0, {}, -1);
+  EXPECT_DOUBLE_EQ(shrink.success_rate(0), 0.5);
+}
+
 TEST(Factory, BuildsEveryKindAndParsesNames) {
   stm::TinyBackend backend;
   EXPECT_EQ(core::make_scheduler(core::SchedulerKind::kNone, backend), nullptr);
   for (auto kind : {core::SchedulerKind::kShrink, core::SchedulerKind::kAts,
-                    core::SchedulerKind::kPool, core::SchedulerKind::kSerializer}) {
+                    core::SchedulerKind::kPool, core::SchedulerKind::kSerializer,
+                    core::SchedulerKind::kAdaptive}) {
     auto s = core::make_scheduler(kind, backend);
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(s->name(), core::scheduler_kind_name(kind));
