@@ -66,13 +66,20 @@ int main(int argc, char** argv) {
 
   std::cout << "== Ablation: Shrink ingredients on STMBench7 write-dominated "
                "(tiny backend, busy waiting; committed tx/s) ==\n";
+  BenchReporter rep("ablation_shrink", args);
   std::vector<std::string> header{"threads"};
   for (const auto& v : variants) header.emplace_back(v.name);
   util::TextTable t(header);
   for (int threads : args.threads) {
     t.row().cell(threads);
-    for (const auto& v : variants) t.cell(run_variant(args, v, threads), 0);
+    for (const auto& v : variants) {
+      const double thr = run_variant(args, v, threads);
+      t.cell(thr, 0);
+      rep.add(v.name, {{"threads", static_cast<double>(threads)},
+                       {"throughput", thr}});
+    }
   }
   t.print(std::cout);
+  rep.write();
   return 0;
 }

@@ -114,7 +114,8 @@ int run_ramp(const RampArgs& args) {
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : workers) w.join();
-  sched.tick(true);  // close the trailing partial window
+  sched.quiesce_telemetry();  // workers joined: publish part-full batches
+  sched.tick(true);           // close the trailing partial window
 
   // Transfers must conserve the total.
   {

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/factory.hpp"
@@ -30,6 +32,7 @@ struct BenchArgs {
   int runs = 3;  // single-run cells are too noisy on oversubscribed boxes
   bool full = false;
   std::uint64_t seed = 42;
+  std::string json_path;  ///< --json override; "" = BENCH_<bench>.json
 };
 
 inline std::vector<int> parse_int_list(const std::string& s) {
@@ -67,9 +70,11 @@ inline BenchArgs parse_args(int argc, char** argv, std::vector<int> quick_thread
       args.seed = std::stoull(next());
     } else if (a == "--full") {
       args.full = true;
+    } else if (a == "--json") {
+      args.json_path = next();
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --threads a,b,c  --duration-ms N  --runs N  "
-                   "--seed N  --full\n";
+                   "--seed N  --full  --json PATH\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << a << "\n";
@@ -117,5 +122,84 @@ inline void emit_bench_json(const std::string& path, const std::string& json) {
   else
     std::cerr << "WARNING: could not write " << path << "\n";
 }
+
+/// Shared BENCH_*.json reporter: every bench binary accumulates its sweep
+/// results as named series of numeric points and writes one artifact per
+/// run, so the perf trajectory is machine-readable from day one (schema
+/// follows runtime/metrics_export.hpp: flat JSON, no dependency).
+///
+///   {"bench":"fig8_stmbench7_tiny","schema_version":1,
+///    "args":{"duration_ms":120,"runs":3,"full":false,"seed":42},
+///    "series":[{"name":"read-dominated/shrink",
+///               "points":[{"threads":2,"throughput":52100.0},...]},...]}
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench, const BenchArgs& args)
+      : bench_(std::move(bench)), args_(args) {}
+
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  /// Append one point to `series` (created on first use, emitted in first-
+  /// use order so the JSON mirrors the printed tables).
+  void add(const std::string& series, Fields fields) {
+    for (auto& s : series_) {
+      if (s.name == series) {
+        s.points.push_back(std::move(fields));
+        return;
+      }
+    }
+    series_.push_back({series, {std::move(fields)}});
+  }
+
+  std::string json() const {
+    std::ostringstream os;
+    // Full round-trip precision: the artifact exists to detect sub-percent
+    // perf drift, which 6-significant-digit default formatting would hide
+    // on million-scale throughputs.
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"bench\":\"" << runtime::json_escape(bench_)
+       << "\",\"schema_version\":1,\"args\":{\"duration_ms\":" << args_.duration_ms
+       << ",\"runs\":" << args_.runs << ",\"full\":" << (args_.full ? "true" : "false")
+       << ",\"seed\":" << args_.seed << ",\"threads\":[";
+    for (std::size_t i = 0; i < args_.threads.size(); ++i)
+      os << (i ? "," : "") << args_.threads[i];
+    os << "]},\"series\":[";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      if (s) os << ",";
+      os << "{\"name\":\"" << runtime::json_escape(series_[s].name)
+         << "\",\"points\":[";
+      for (std::size_t p = 0; p < series_[s].points.size(); ++p) {
+        if (p) os << ",";
+        os << "{";
+        const auto& fields = series_[s].points[p];
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+          if (f) os << ",";
+          os << "\"" << runtime::json_escape(fields[f].first)
+             << "\":" << fields[f].second;
+        }
+        os << "}";
+      }
+      os << "]}";
+    }
+    os << "]}";
+    return os.str();
+  }
+
+  /// Write BENCH_<bench>.json (or the --json override).
+  void write() const {
+    const std::string path =
+        args_.json_path.empty() ? "BENCH_" + bench_ + ".json" : args_.json_path;
+    emit_bench_json(path, json());
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<Fields> points;
+  };
+  std::string bench_;
+  BenchArgs args_;
+  std::vector<Series> series_;
+};
 
 }  // namespace shrinktm::bench

@@ -9,7 +9,9 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, stamp_quick_grid(), stamp_paper_grid());
+  BenchReporter rep("fig10_stamp_tiny", args);
   stamp_speedup_sweep<stm::TinyBackend>(args, util::WaitPolicy::kBusy,
-                                        "Figure 10");
+                                        "Figure 10", &rep);
+  rep.write();
   return 0;
 }

@@ -9,9 +9,11 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  BenchReporter rep("fig11_rbtree_tiny", args);
   rbtree_throughput_sweep<stm::TinyBackend>(
       args, util::WaitPolicy::kBusy,
       {core::SchedulerKind::kNone, core::SchedulerKind::kShrink},
-      "Figure 11");
+      "Figure 11", &rep);
+  rep.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 // the clairvoyant scheduler.
 #include <iostream>
 
+#include "bench/common.hpp"
 #include "sim/scenarios.hpp"
 #include "sim/schedulers.hpp"
 #include "util/table.hpp"
@@ -16,7 +17,9 @@
 using namespace shrinktm;
 using namespace shrinktm::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv, {}, {});
+  bench::BenchReporter rep("fig2_theory", args);
   std::cout << "== Figure 2(a) / Theorem 1: Serializer lower-bound family ==\n";
   {
     util::TextTable t({"n", "serializer", "opt", "ratio"});
@@ -25,6 +28,7 @@ int main() {
       const double ser = simulate_serializer(inst).makespan;
       const double opt = simulate_offline_opt(inst).makespan;
       t.row().cell(n).cell(ser, 0).cell(opt, 0).cell(ser / opt, 1);
+      rep.add("serializer-chain", {{"n", double(n)}, {"ratio", ser / opt}});
     }
     t.print(std::cout);
   }
@@ -44,6 +48,7 @@ int main() {
           .cell(ats.makespan / opt, 1)
           .cell(ats.aborts)
           .cell(ats.serializations);
+      rep.add("ats-star", {{"n", double(n)}, {"ratio", ats.makespan / opt}});
     }
     t.print(std::cout);
   }
@@ -56,6 +61,7 @@ int main() {
       const double rs = simulate_restart(inst).makespan;
       const double opt = simulate_offline_opt(inst).makespan;
       t.row().cell(n).cell(rs, 0).cell(opt, 0).cell(rs / opt, 2);
+      rep.add("restart-chain", {{"n", double(n)}, {"ratio", rs / opt}});
     }
     t.print(std::cout);
   }
@@ -70,6 +76,7 @@ int main() {
           simulate_inaccurate(inst, make_thm3_predicted(n)).makespan;
       const double opt = simulate_offline_opt(inst).makespan;
       t.row().cell(n).cell(acc, 0).cell(inac, 0).cell(opt, 0).cell(inac / opt, 1);
+      rep.add("inaccurate-disjoint", {{"n", double(n)}, {"ratio", inac / opt}});
     }
     t.print(std::cout);
   }
@@ -89,8 +96,10 @@ int main() {
       }
       t.row().cell(q, 2).cell(noisy / kSeeds, 1).cell(opt / kSeeds, 1)
           .cell(noisy / opt, 2);
+      rep.add("noise-sensitivity", {{"p", q}, {"ratio", noisy / opt}});
     }
     t.print(std::cout);
   }
+  rep.write();
   return 0;
 }

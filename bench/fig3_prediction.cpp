@@ -18,6 +18,7 @@ using namespace shrinktm::workloads;
 int main(int argc, char** argv) {
   BenchArgs args = parse_args(argc, argv, {2, 4, 8, 16, 24},
                               {2, 3, 4, 6, 8, 10, 12, 16, 20, 24});
+  BenchReporter rep("fig3_prediction", args);
 
   for (auto mix : {Sb7Mix::kReadDominated, Sb7Mix::kReadWrite,
                    Sb7Mix::kWriteDominated}) {
@@ -63,9 +64,18 @@ int main(int argc, char** argv) {
           .cell(samples ? 100.0 * write_acc / samples : 0.0, 1)
           .cell(commits / static_cast<std::uint64_t>(args.runs))
           .cell(aborts / static_cast<std::uint64_t>(args.runs));
+      rep.add(sb7_mix_name(mix),
+              {{"threads", static_cast<double>(threads)},
+               {"read_accuracy", samples ? read_acc / samples : 0.0},
+               {"retry_read_accuracy",
+                retry_samples ? retry_acc / retry_samples : 0.0},
+               {"write_accuracy", samples ? write_acc / samples : 0.0},
+               {"commits", static_cast<double>(commits) / args.runs},
+               {"aborts", static_cast<double>(aborts) / args.runs}});
     }
     t.print(std::cout);
     std::cout << "\n";
   }
+  rep.write();
   return 0;
 }

@@ -8,10 +8,12 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  BenchReporter rep("fig5_stmbench7_swiss", args);
   sb7_throughput_sweep<stm::SwissBackend>(
       args, util::WaitPolicy::kPreemptive,
       {core::SchedulerKind::kNone, core::SchedulerKind::kPool,
        core::SchedulerKind::kShrink, core::SchedulerKind::kAts},
-      "Figure 5");
+      "Figure 5", &rep);
+  rep.write();
   return 0;
 }

@@ -8,7 +8,9 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, stamp_quick_grid(), stamp_paper_grid());
+  BenchReporter rep("fig6_stamp_swiss", args);
   stamp_speedup_sweep<stm::SwissBackend>(args, util::WaitPolicy::kPreemptive,
-                                         "Figure 6");
+                                         "Figure 6", &rep);
+  rep.write();
   return 0;
 }

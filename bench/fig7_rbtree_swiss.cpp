@@ -9,10 +9,12 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  BenchReporter rep("fig7_rbtree_swiss", args);
   rbtree_throughput_sweep<stm::SwissBackend>(
       args, util::WaitPolicy::kPreemptive,
       {core::SchedulerKind::kNone, core::SchedulerKind::kShrink,
        core::SchedulerKind::kAts},
-      "Figure 7");
+      "Figure 7", &rep);
+  rep.write();
   return 0;
 }

@@ -8,9 +8,11 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  BenchReporter rep("fig8_stmbench7_tiny", args);
   sb7_throughput_sweep<stm::TinyBackend>(
       args, util::WaitPolicy::kBusy,
       {core::SchedulerKind::kNone, core::SchedulerKind::kShrink},
-      "Figure 8");
+      "Figure 8", &rep);
+  rep.write();
   return 0;
 }

@@ -9,9 +9,11 @@ int main(int argc, char** argv) {
   using namespace shrinktm::bench;
   const BenchArgs args =
       parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  BenchReporter rep("fig9_stmbench7_swiss_busy", args);
   sb7_throughput_sweep<stm::SwissBackend>(
       args, util::WaitPolicy::kBusy,
       {core::SchedulerKind::kNone, core::SchedulerKind::kShrink},
-      "Figure 9");
+      "Figure 9", &rep);
+  rep.write();
   return 0;
 }

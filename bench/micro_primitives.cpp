@@ -1,98 +1,394 @@
-// Primitive-cost microbenchmarks (google-benchmark): the building blocks
-// whose costs bound Shrink's overhead -- Bloom filter ops, the prediction
-// tracker's read path, orec hashing, raw STM read/write/commit cycles.
-#include <benchmark/benchmark.h>
+// Primitive-cost microbenchmarks: the building blocks whose costs bound
+// Shrink's overhead -- Bloom filter ops (standard vs cache-line-blocked),
+// the prediction tracker's read path (legacy vs blocked+digest, the
+// before/after of the hot-path overhaul), write-log lookup/append, orec
+// oracle probes and raw STM read/write cycles.
+//
+// Self-contained harness (no google-benchmark dependency): each primitive
+// runs in timed batches until a minimum measurement time elapses and the
+// best batch (min ns/op) is reported, which is robust against scheduler
+// noise on shared CI boxes.
+//
+// Flags:
+//   --tiny            short batches (CI smoke)
+//   --json PATH       artifact path (default BENCH_micro_primitives.json)
+//   --baseline PATH   compare against a checked-in baseline and exit
+//                     non-zero if the per-read predictor cost regressed
+//                     >25% (normalized by the standard-bloom-query cost so
+//                     the gate transfers across machines)
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/prediction.hpp"
+#include "runtime/metrics_export.hpp"
 #include "stm/runner.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
+#include "stm/tx_sets.hpp"
 #include "txstruct/tvar.hpp"
+#include "util/blocked_bloom.hpp"
 #include "util/bloom.hpp"
-#include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace shrinktm;
 
-void BM_BloomInsert(benchmark::State& state) {
-  util::BloomFilter bf(12, 3);
-  std::uint64_t k = 0;
-  for (auto _ : state) {
-    bf.insert(k += 977);
-    if ((k & 0xfff) == 0) bf.clear();
-  }
-}
-BENCHMARK(BM_BloomInsert);
+inline void keep(std::uint64_t v) { asm volatile("" : : "r"(v) : "memory"); }
+inline void keep_ptr(const void* p) { asm volatile("" : : "r"(p) : "memory"); }
 
-void BM_BloomQuery(benchmark::State& state) {
-  util::BloomFilter bf(12, 3);
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Run `batch` (performing `ops_per_batch` operations) repeatedly for at
+/// least `min_seconds`; return the best observed ns/op.
+template <typename F>
+double measure_ns(F&& batch, std::uint64_t ops_per_batch, double min_seconds) {
+  batch();  // warmup: faults, allocations, branch history
+  double best = 1e300;
+  double total = 0.0;
+  do {
+    const double t0 = now_seconds();
+    batch();
+    const double dt = now_seconds() - t0;
+    total += dt;
+    const double per_op = dt / static_cast<double>(ops_per_batch);
+    if (per_op < best) best = per_op;
+  } while (total < min_seconds);
+  return best * 1e9;
+}
+
+struct Result {
+  std::string name;
+  double ns_per_op;
+};
+
+// ---------------------------------------------------------------- primitives
+
+double bench_bloom_std_insert(double min_s) {
+  util::BloomFilter bf(12, 2);
+  std::uint64_t k = 0;
+  return measure_ns(
+      [&] {
+        for (int i = 0; i < 4096; ++i) {
+          bf.insert(k += 977);
+          if ((k & 0xfff) == 0) bf.clear();
+        }
+      },
+      4096, min_s);
+}
+
+double bench_bloom_std_query(double min_s) {
+  util::BloomFilter bf(12, 2);
   for (std::uint64_t i = 0; i < 200; ++i) bf.insert(i * 31);
   std::uint64_t k = 0;
-  for (auto _ : state) benchmark::DoNotOptimize(bf.maybe_contains(k += 13));
+  return measure_ns(
+      [&] {
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 4096; ++i) hits += bf.maybe_contains(k += 13);
+        keep(hits);
+      },
+      4096, min_s);
 }
-BENCHMARK(BM_BloomQuery);
 
-void BM_PredictionOnRead(benchmark::State& state) {
-  core::PredictionTracker p;
-  p.begin_tx(false);
-  static int pool[4096];
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    p.on_read(&pool[(i += 7) & 4095]);
-    if ((i & 0x3ff) == 0) {
-      p.note_commit();
-      p.begin_tx(false);
-    }
-  }
+double bench_bloom_blocked_insert(double min_s) {
+  util::BlockedBloomFilter bf(12, 2);
+  std::uint64_t k = 0;
+  return measure_ns(
+      [&] {
+        for (int i = 0; i < 4096; ++i) {
+          bf.insert(k += 977);
+          if ((k & 0xfff) == 0) bf.clear();
+        }
+      },
+      4096, min_s);
 }
-BENCHMARK(BM_PredictionOnRead);
+
+double bench_bloom_blocked_query(double min_s) {
+  util::BlockedBloomFilter bf(12, 2);
+  for (std::uint64_t i = 0; i < 200; ++i) bf.insert(i * 31);
+  std::uint64_t k = 0;
+  return measure_ns(
+      [&] {
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 4096; ++i) hits += bf.maybe_contains(k += 13);
+        keep(hits);
+      },
+      4096, min_s);
+}
+
+/// Per-read predictor cost, active tracking, mostly-fresh address stream
+/// (the common digest-miss path a long traversal produces).  `blocked`
+/// selects the post-overhaul implementation; false measures the pre-PR
+/// double-hash + full-window-walk path.
+double bench_predictor_read(bool blocked, double min_s) {
+  core::PredictionConfig cfg;
+  cfg.use_blocked_bloom = blocked;
+  core::PredictionTracker p(cfg);
+  static std::uint64_t pool[1 << 16];
+  std::uint64_t idx = 0;
+  unsigned in_tx = 0;
+  p.begin_tx(false);
+  return measure_ns(
+      [&] {
+        for (int i = 0; i < 4096; ++i) {
+          idx = (idx + 193) & ((1u << 16) - 1);
+          p.on_read(&pool[idx]);
+          if (++in_tx == 256) {
+            p.note_commit();
+            p.begin_tx(false);
+            in_tx = 0;
+          }
+        }
+      },
+      4096, min_s);
+}
+
+/// Per-read predictor cost on a high-locality stream (75% of each
+/// transaction's reads repeat the previous transaction's): the digest-hit
+/// path, where the confidence walk still runs.
+double bench_predictor_read_local(bool blocked, double min_s) {
+  core::PredictionConfig cfg;
+  cfg.use_blocked_bloom = blocked;
+  core::PredictionTracker p(cfg);
+  static std::uint64_t pool[4096];
+  std::uint64_t base = 0;
+  unsigned in_tx = 0;
+  p.begin_tx(false);
+  return measure_ns(
+      [&] {
+        for (int i = 0; i < 4096; ++i) {
+          const std::uint64_t a = (base + in_tx) & 4095;
+          p.on_read(&pool[a]);
+          if (++in_tx == 256) {
+            p.note_commit();
+            p.begin_tx(false);
+            in_tx = 0;
+            base = (base + 64) & 4095;  // 75% overlap with the previous tx
+          }
+        }
+      },
+      4096, min_s);
+}
+
+double bench_writelog_miss_append(double min_s) {
+  stm::WriteLog<stm::TinyBackend::Orec> log;
+  static stm::Word pool[256];
+  return measure_ns(
+      [&] {
+        for (int round = 0; round < 16; ++round) {
+          for (auto& w : pool) {
+            const auto l = log.find_or_slot(&w);
+            if (l.entry == nullptr) log.append_at(l.slot, &w, 1, nullptr, 0);
+          }
+          log.clear();
+        }
+      },
+      16 * 256, min_s);
+}
+
+double bench_writelog_hit(double min_s) {
+  stm::WriteLog<stm::TinyBackend::Orec> log;
+  static stm::Word pool[256];
+  for (auto& w : pool) {
+    const auto l = log.find_or_slot(&w);
+    log.append_at(l.slot, &w, 1, nullptr, 0);
+  }
+  return measure_ns(
+      [&] {
+        std::uint64_t sum = 0;
+        for (int round = 0; round < 16; ++round)
+          for (auto& w : pool) sum += static_cast<std::uint64_t>(log.find(&w)->value);
+        keep(sum);
+      },
+      16 * 256, min_s);
+}
 
 template <typename Backend>
-void BM_ReadOnlyTx(benchmark::State& state) {
+double bench_readonly_tx(double min_s) {
   Backend backend;
   txs::TVar<std::int64_t> vars[16];
   stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
-  for (auto _ : state) {
-    r.run([&](auto& tx) {
-      std::int64_t acc = 0;
-      for (auto& v : vars) acc += v.read(tx);
-      benchmark::DoNotOptimize(acc);
-    });
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+  return measure_ns(
+      [&] {
+        for (int i = 0; i < 256; ++i) {
+          r.run([&](auto& tx) {
+            std::int64_t acc = 0;
+            for (auto& v : vars) acc += v.read(tx);
+            keep(static_cast<std::uint64_t>(acc));
+          });
+        }
+      },
+      256 * 16, min_s);  // per transactional READ
 }
-BENCHMARK(BM_ReadOnlyTx<stm::TinyBackend>)->Name("BM_ReadOnlyTx/tiny");
-BENCHMARK(BM_ReadOnlyTx<stm::SwissBackend>)->Name("BM_ReadOnlyTx/swiss");
 
 template <typename Backend>
-void BM_WriteTx(benchmark::State& state) {
+double bench_write_tx(double min_s) {
   Backend backend;
   txs::TVar<std::int64_t> vars[8];
   stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
   std::int64_t i = 0;
-  for (auto _ : state) {
-    ++i;
-    r.run([&](auto& tx) {
-      for (auto& v : vars) v.write(tx, i);
-    });
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+  return measure_ns(
+      [&] {
+        for (int n = 0; n < 256; ++n) {
+          ++i;
+          r.run([&](auto& tx) {
+            for (auto& v : vars) v.write(tx, i);
+          });
+        }
+      },
+      256 * 8, min_s);  // per transactional WRITE
 }
-BENCHMARK(BM_WriteTx<stm::TinyBackend>)->Name("BM_WriteTx/tiny");
-BENCHMARK(BM_WriteTx<stm::SwissBackend>)->Name("BM_WriteTx/swiss");
 
 template <typename Backend>
-void BM_WriteOracle(benchmark::State& state) {
+double bench_oracle(double min_s) {
   Backend backend;
   txs::TVar<std::int64_t> v(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(backend.is_write_locked_by_other(v.address(), 0));
-  }
+  return measure_ns(
+      [&] {
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 4096; ++i)
+          hits += backend.is_write_locked_by_other(v.address(), 0);
+        keep(hits);
+      },
+      4096, min_s);
 }
-BENCHMARK(BM_WriteOracle<stm::TinyBackend>)->Name("BM_WriteOracle/tiny");
-BENCHMARK(BM_WriteOracle<stm::SwissBackend>)->Name("BM_WriteOracle/swiss");
+
+// ------------------------------------------------------------------ baseline
+
+/// Minimal flat-JSON number extraction ("key": <number>); good enough for
+/// the baseline files this binary writes itself.
+bool json_number(const std::string& text, const std::string& key, double* out) {
+  const auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+  return true;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool tiny = false;
+  std::string json_path = "BENCH_micro_primitives.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--tiny") tiny = true;
+    else if (a == "--json") json_path = next();
+    else if (a == "--baseline") baseline_path = next();
+    else if (a == "--help" || a == "-h") {
+      std::cout << "flags: --tiny  --json PATH  --baseline PATH\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      return 2;
+    }
+  }
+  const double min_s = tiny ? 0.02 : 0.1;
+
+  std::vector<Result> results;
+  auto run = [&](const char* name, double ns) {
+    results.push_back({name, ns});
+    std::printf("%-32s %10.2f ns/op\n", name, ns);
+    std::fflush(stdout);
+  };
+
+  run("bloom_std_insert", bench_bloom_std_insert(min_s));
+  run("bloom_std_query", bench_bloom_std_query(min_s));
+  run("bloom_blocked_insert", bench_bloom_blocked_insert(min_s));
+  run("bloom_blocked_query", bench_bloom_blocked_query(min_s));
+  run("predictor_read_active_legacy", bench_predictor_read(false, min_s));
+  run("predictor_read_active", bench_predictor_read(true, min_s));
+  run("predictor_read_local_legacy", bench_predictor_read_local(false, min_s));
+  run("predictor_read_local", bench_predictor_read_local(true, min_s));
+  run("writelog_miss_append", bench_writelog_miss_append(min_s));
+  run("writelog_hit", bench_writelog_hit(min_s));
+  run("stm_read_tiny", bench_readonly_tx<stm::TinyBackend>(min_s));
+  run("stm_read_swiss", bench_readonly_tx<stm::SwissBackend>(min_s));
+  run("stm_write_tiny", bench_write_tx<stm::TinyBackend>(min_s));
+  run("stm_write_swiss", bench_write_tx<stm::SwissBackend>(min_s));
+  run("oracle_tiny", bench_oracle<stm::TinyBackend>(min_s));
+  run("oracle_swiss", bench_oracle<stm::SwissBackend>(min_s));
+
+  auto find = [&](const std::string& name) {
+    for (const auto& r : results)
+      if (r.name == name) return r.ns_per_op;
+    return -1.0;
+  };
+  const double pred = find("predictor_read_active");
+  const double pred_legacy = find("predictor_read_active_legacy");
+  const double calib = find("bloom_std_query");
+  const double speedup = pred > 0 ? pred_legacy / pred : 0.0;
+  std::printf("\npredictor speedup (legacy / blocked+digest): %.2fx\n", speedup);
+
+  // The acceptance metric and both of its inputs land in the artifact; the
+  // summary keys are what --baseline reads back.
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"bench\":\"micro_primitives\",\"schema_version\":1,\"mode\":\""
+     << (tiny ? "tiny" : "full") << "\",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << (i ? "," : "") << "{\"name\":\"" << results[i].name
+       << "\",\"ns_per_op\":" << results[i].ns_per_op << "}";
+  }
+  os << "],\"summary\":{\"predictor_read_active_ns\":" << pred
+     << ",\"predictor_read_active_legacy_ns\":" << pred_legacy
+     << ",\"calibration_ns\":" << calib
+     << ",\"predictor_speedup_legacy_over_blocked\":" << speedup << "}}";
+  if (runtime::write_json_file(json_path, os.str()))
+    std::cout << "wrote " << json_path << "\n";
+  else
+    std::cerr << "WARNING: could not write " << json_path << "\n";
+
+  if (!baseline_path.empty()) {
+    std::ifstream f(baseline_path);
+    if (!f) {
+      std::cerr << "FAIL: cannot read baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+    double base_pred = 0, base_calib = 0;
+    if (!json_number(text, "predictor_read_active_ns", &base_pred) ||
+        !json_number(text, "calibration_ns", &base_calib) || base_calib <= 0) {
+      std::cerr << "FAIL: baseline missing predictor_read_active_ns / "
+                   "calibration_ns\n";
+      return 1;
+    }
+    // Normalize by the standard-bloom-query cost (code untouched by the
+    // hot-path work) so the gate measures the predictor, not the machine.
+    const double cur_norm = pred / calib;
+    const double base_norm = base_pred / base_calib;
+    std::printf("baseline gate: normalized predictor cost %.3f vs baseline "
+                "%.3f (limit %.3f)\n",
+                cur_norm, base_norm, base_norm * 1.25);
+    if (cur_norm > base_norm * 1.25) {
+      std::cerr << "FAIL: per-read predictor cost regressed >25% against "
+                << baseline_path << "\n";
+      return 1;
+    }
+    std::cout << "baseline gate passed\n";
+  }
+  return 0;
+}

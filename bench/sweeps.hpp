@@ -18,11 +18,13 @@
 namespace shrinktm::bench {
 
 /// STMBench7 throughput sweep: one table per workload mix, one column per
-/// scheduler, one row per thread count.  Figures 5, 8 and 9.
+/// scheduler, one row per thread count.  Figures 5, 8 and 9.  Each cell is
+/// also recorded as a reporter point ("<mix>/<scheduler>" series).
 template <typename Backend>
 void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
                           const std::vector<core::SchedulerKind>& kinds,
-                          const char* figure_label) {
+                          const char* figure_label,
+                          BenchReporter* rep = nullptr) {
   for (auto mix : {workloads::Sb7Mix::kReadDominated, workloads::Sb7Mix::kReadWrite,
                    workloads::Sb7Mix::kWriteDominated}) {
     std::cout << "== " << figure_label << ": STMBench7 "
@@ -53,6 +55,11 @@ void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
           return workloads::run_workload(backend, sched.get(), w, dcfg).throughput;
         });
         t.cell(thr, 0);
+        if (rep != nullptr)
+          rep->add(std::string(workloads::sb7_mix_name(mix)) + "/" +
+                       core::scheduler_kind_name(kind),
+                   {{"threads", static_cast<double>(threads)},
+                    {"throughput", thr}});
       }
     }
     t.print(std::cout);
@@ -64,7 +71,8 @@ void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
 template <typename Backend>
 void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
                              const std::vector<core::SchedulerKind>& kinds,
-                             const char* figure_label) {
+                             const char* figure_label,
+                             BenchReporter* rep = nullptr) {
   for (int update_pct : {20, 70}) {
     std::cout << "== " << figure_label << ": red-black tree, " << update_pct
               << "% updates (" << Backend::kName << "; committed tx/s) ==\n";
@@ -91,6 +99,11 @@ void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
           return workloads::run_workload(backend, sched.get(), w, dcfg).throughput;
         });
         t.cell(thr, 0);
+        if (rep != nullptr)
+          rep->add("rbtree-" + std::to_string(update_pct) + "pct/" +
+                       core::scheduler_kind_name(kind),
+                   {{"threads", static_cast<double>(threads)},
+                    {"throughput", thr}});
       }
     }
     t.print(std::cout);
@@ -102,7 +115,8 @@ void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
 /// thread count.  Prints throughput pairs and the speedup.
 template <typename Backend>
 void stamp_speedup_sweep(const BenchArgs& args, util::WaitPolicy wait,
-                         const char* figure_label) {
+                         const char* figure_label,
+                         BenchReporter* rep = nullptr) {
   std::cout << "== " << figure_label << ": STAMP speedup of shrink-"
             << Backend::kName << " over base " << Backend::kName << " ==\n";
   std::vector<std::string> header{"app"};
@@ -131,6 +145,12 @@ void stamp_speedup_sweep(const BenchArgs& args, util::WaitPolicy wait,
       const double base = run_one(core::SchedulerKind::kNone);
       const double shrink = run_one(core::SchedulerKind::kShrink);
       t.cell(fmt_speedup(base, shrink));
+      if (rep != nullptr)
+        rep->add(workloads::stamp::app_name(app),
+                 {{"threads", static_cast<double>(threads)},
+                  {"base_throughput", base},
+                  {"shrink_throughput", shrink},
+                  {"speedup", base > 0 ? shrink / base : 0.0}});
     }
   }
   t.print(std::cout);

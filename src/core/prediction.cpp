@@ -8,20 +8,27 @@ namespace shrinktm::core {
 
 PredictionTracker::PredictionTracker(const PredictionConfig& cfg)
     : cfg_(cfg),
+      digest_(cfg.bloom_log2_bits, cfg.bloom_hashes),
       pred_reads_(cfg.pred_set_log2_slots),
       pred_writes_(cfg.pred_set_log2_slots),
       read_hits_(cfg.pred_set_log2_slots),
       write_hits_(cfg.pred_set_log2_slots),
       active_read_pred_(cfg.pred_set_log2_slots) {
-  window_.reserve(cfg_.locality_window);
-  for (unsigned i = 0; i < cfg_.locality_window; ++i)
-    window_.emplace_back(cfg_.bloom_log2_bits, cfg_.bloom_hashes);
+  if (cfg_.use_blocked_bloom) {
+    window_.reserve(cfg_.locality_window);
+    for (unsigned i = 0; i < cfg_.locality_window; ++i)
+      window_.emplace_back(cfg_.bloom_log2_bits, cfg_.bloom_hashes);
+  } else {
+    legacy_window_.reserve(cfg_.locality_window);
+    for (unsigned i = 0; i < cfg_.locality_window; ++i)
+      legacy_window_.emplace_back(cfg_.bloom_log2_bits, cfg_.bloom_hashes);
+  }
 }
 
-int PredictionTracker::confidence_for(util::BloomFilter::Hashed h) const {
+int PredictionTracker::confidence_for(util::BlockedBloomFilter::Hashed h) const {
   int confidence = 0;
   for (std::size_t i = 1; i < window_.size(); ++i) {
-    if (window_[i].maybe_contains(h)) {
+    if (window_[i].maybe_contains_hashed(h)) {
       const std::size_t w = i - 1;  // weight index: bf1 -> c1, ...
       confidence += w < cfg_.confidence_weights.size() ? cfg_.confidence_weights[w] : 0;
     }
@@ -29,17 +36,43 @@ int PredictionTracker::confidence_for(util::BloomFilter::Hashed h) const {
   return confidence;
 }
 
-void PredictionTracker::on_read(const void* addr) {
-  // Hash the address exactly once; the same probe pair serves bf0 and the
-  // whole locality window (this sits on the transactional read path).
-  const auto h = util::BloomFilter::hash(reinterpret_cast<std::uintptr_t>(addr));
-  if (window_[0].maybe_contains(h)) return;  // repeated read in this tx
+int PredictionTracker::legacy_confidence_for(util::BloomFilter::Hashed h) const {
+  int confidence = 0;
+  for (std::size_t i = 1; i < legacy_window_.size(); ++i) {
+    if (legacy_window_[i].maybe_contains(h)) {
+      const std::size_t w = i - 1;
+      confidence += w < cfg_.confidence_weights.size() ? cfg_.confidence_weights[w] : 0;
+    }
+  }
+  return confidence;
+}
 
-  // Accuracy first: was this (unique) read predicted before this tx started?
+void PredictionTracker::on_read(const void* addr, std::uint64_t h) {
+  if (cfg_.use_blocked_bloom) {
+    // `h` doubles as the blocked-filter probe (BlockedBloomFilter::hash_ptr
+    // IS util::hash_ptr): one hash serves bf0, the digest, the window walk
+    // and the flat sets.  Common miss path: bf0's block (fused dup-check +
+    // insert, one pass) + the digest's block, two cache lines total.
+    if (window_[0].test_and_insert(h)) return;  // repeated read, 1 line
+    if (tracking_ && active_read_pred_.contains(addr, h))
+      read_hits_.insert(addr, h);
+    if (active_ && digest_.maybe_contains_hashed(h) &&
+        confidence_for(h) >= cfg_.confidence_threshold)
+      pred_reads_.insert(addr, h);
+    return;
+  }
+  legacy_on_read(addr);
+}
+
+void PredictionTracker::legacy_on_read(const void* addr) {
+  // Pre-overhaul path: double hashing, full window walk on every unique
+  // read.  Kept verbatim so parity tests and the before/after numbers in
+  // bench/micro_primitives measure exactly what shipped before.
+  const auto lh = util::BloomFilter::hash(reinterpret_cast<std::uintptr_t>(addr));
+  if (legacy_window_[0].maybe_contains(lh)) return;
   if (tracking_ && active_read_pred_.contains(addr)) read_hits_.insert(addr);
-
-  window_[0].insert(h);
-  if (active_ && confidence_for(h) >= cfg_.confidence_threshold)
+  legacy_window_[0].insert(lh);
+  if (active_ && legacy_confidence_for(lh) >= cfg_.confidence_threshold)
     pred_reads_.insert(addr);
 }
 
@@ -67,18 +100,48 @@ void PredictionTracker::begin_tx(bool track_accuracy) {
   }
 }
 
+void PredictionTracker::rebuild_digest() {
+  digest_.clear();
+  for (std::size_t i = 1; i < window_.size(); ++i) digest_.or_with(window_[i]);
+  rotations_since_rebuild_ = 0;
+}
+
 void PredictionTracker::rotate_window() {
-  // The oldest filter is recycled as the new current filter (constant-time
-  // swap, no reallocation).
-  window_.back().clear();
-  std::rotate(window_.begin(), window_.end() - 1, window_.end());
+  if (cfg_.use_blocked_bloom) {
+    // The oldest filter is recycled as the new current filter (constant-time
+    // swap, no reallocation).
+    window_.back().clear();
+    std::rotate(window_.begin(), window_.end() - 1, window_.end());
+    // Digest maintenance: the just-finished filter (now window_[1]) enters
+    // the consulted set.  OR-ing it in keeps the digest a superset of the
+    // window union; the filter that just dropped out leaves stale bits that
+    // only a rebuild removes, so rebuild periodically.  Staleness is safe:
+    // a spurious digest hit wastes one window walk, a missing bit is
+    // impossible (no false negatives by the superset invariant).
+    if (++rotations_since_rebuild_ >= cfg_.digest_rebuild_rotations)
+      rebuild_digest();
+    else if (window_.size() > 1)
+      digest_.or_with(window_[1]);
+  } else {
+    legacy_window_.back().clear();
+    std::rotate(legacy_window_.begin(), legacy_window_.end() - 1,
+                legacy_window_.end());
+  }
+}
+
+void PredictionTracker::clear_window() {
+  for (auto& bf : window_) bf.clear();
+  for (auto& bf : legacy_window_) bf.clear();
+  digest_.clear();
+  rotations_since_rebuild_ = 0;
 }
 
 void PredictionTracker::set_active(bool active) {
   if (active && !active_) {
     // Re-activation after an idle stretch: the window contents are stale
-    // (no reads were recorded while inactive), so start from scratch.
-    for (auto& bf : window_) bf.clear();
+    // (no reads were recorded while inactive), so start from scratch --
+    // including the digest, which must never outlive its window.
+    clear_window();
   }
   active_ = active;
 }
@@ -111,6 +174,17 @@ void PredictionTracker::note_abort(std::span<void* const> write_addrs) {
   // read set from the second attempt on -- exactly the reads that will
   // collide with the still-running enemy.
   if (active_) rotate_window();
+}
+
+bool PredictionTracker::digest_covers(const void* addr) const {
+  return cfg_.use_blocked_bloom &&
+         digest_.maybe_contains_hashed(util::hash_ptr(addr));
+}
+
+int PredictionTracker::confidence_of(const void* addr) const {
+  if (cfg_.use_blocked_bloom) return confidence_for(util::hash_ptr(addr));
+  return legacy_confidence_for(
+      util::BloomFilter::hash(reinterpret_cast<std::uintptr_t>(addr)));
 }
 
 }  // namespace shrinktm::core

@@ -63,8 +63,8 @@ void ShrinkScheduler::before_start(int tid) {
   ts.pred.begin_tx(cfg_.track_accuracy);
 }
 
-void ShrinkScheduler::on_read(int tid, const void* addr) {
-  state(tid).pred.on_read(addr);
+void ShrinkScheduler::on_read(int tid, const void* addr, std::uint64_t hash) {
+  state(tid).pred.on_read(addr, hash);
 }
 
 void ShrinkScheduler::on_write(int tid, const void* addr) {

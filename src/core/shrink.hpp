@@ -66,7 +66,7 @@ class ShrinkScheduler final : public Scheduler {
   ShrinkScheduler(const stm::WriteOracle& oracle, ShrinkConfig cfg = {});
 
   void before_start(int tid) override;
-  void on_read(int tid, const void* addr) override;
+  void on_read(int tid, const void* addr, std::uint64_t hash) override;
   void on_write(int tid, const void* addr) override;
   void on_commit(int tid) override;
   void on_abort(int tid, std::span<void* const> write_addrs, int enemy_tid) override;

@@ -36,11 +36,13 @@ AdaptiveScheduler::AdaptiveScheduler(const stm::WriteOracle& oracle,
       pinned_(cfg.max_threads),
       epoch_(cfg.max_threads),
       registered_(cfg.max_threads),
+      batch_(cfg.max_threads),
       policy_label_("base"),
       born_(std::chrono::steady_clock::now()) {
   for (auto& p : pinned_) p.value.store(nullptr, std::memory_order_relaxed);
   for (auto& e : epoch_) e.value.store(0, std::memory_order_relaxed);
   for (auto& r : registered_) r.value.store(false, std::memory_order_relaxed);
+  for (auto& b : batch_) b.value = TelemetryBatch(cfg_.telemetry_flush_every);
   if (cfg_.sampler_interval_ms > 0.0) {
     sampler_thread_ = std::thread([this] {
       const auto interval = std::chrono::duration<double, std::milli>(
@@ -57,7 +59,15 @@ AdaptiveScheduler::~AdaptiveScheduler() {
   stop_.store(true, std::memory_order_release);
   if (sampler_thread_.joinable()) sampler_thread_.join();
   // Destruction is a quiescent point by contract (no attempts in flight);
-  // retired_ / live policies are freed by member destructors.
+  // retired_ / live policies are freed by member destructors.  Flush batch
+  // residue for completeness (an owner that wants it in a window must call
+  // quiesce_telemetry + tick before destroying the scheduler).
+  quiesce_telemetry();
+}
+
+void AdaptiveScheduler::quiesce_telemetry() {
+  const int hw = tid_high_water_.load(std::memory_order_acquire);
+  for (int t = 0; t <= hw; ++t) batch_[static_cast<std::size_t>(t)].value.flush(hub_.ring(t));
 }
 
 // ---------------------------------------------------------------- fast path
@@ -104,15 +114,20 @@ void AdaptiveScheduler::before_start(int tid) {
   // (record_starts) keeps stamping every attempt.
   if (p == base_.get() && !cfg_.record_starts) return;
   hub_.stamp(tid);  // one TSC read; this attempt's events share it
-  if (cfg_.record_starts) hub_.record(tid, EventType::kStart);
-  if (p == base_.get()) return;
-  p->before_start(tid);
-  if (p->serialized_now(tid)) hub_.record(tid, EventType::kSerialize);
+  TelemetryBatch& b = batch_[t].value;
+  if (cfg_.record_starts) b.add(EventType::kStart);
+  if (p != base_.get()) {
+    p->before_start(tid);
+    if (p->serialized_now(tid)) b.add(EventType::kSerialize);
+  }
+  // Honor the flush threshold here too, so start/serialize events cannot
+  // ride pending past it (and flush_every == 1 really is per-event).
+  if (b.should_flush()) b.flush(hub_.ring(tid));
 }
 
-void AdaptiveScheduler::on_read(int tid, const void* addr) {
+void AdaptiveScheduler::on_read(int tid, const void* addr, std::uint64_t hash) {
   core::Scheduler* p = pinned(tid);
-  if (p != nullptr) p->on_read(tid, addr);
+  if (p != nullptr) p->on_read(tid, addr, hash);
 }
 
 void AdaptiveScheduler::on_write(int tid, const void* addr) {
@@ -121,13 +136,23 @@ void AdaptiveScheduler::on_write(int tid, const void* addr) {
 }
 
 void AdaptiveScheduler::on_commit(int tid) {
-  hub_.record(tid, EventType::kCommit);
+  // Attempt boundary: account the commit locally and publish the batch once
+  // it crosses the flush threshold (one counted ring push standing for up
+  // to flush_every events).
+  TelemetryBatch& b = batch_[static_cast<std::size_t>(tid)].value;
+  b.add(EventType::kCommit);
+  if (b.should_flush()) b.flush(hub_.ring(tid));
   core::Scheduler* p = pinned(tid);
   if (p != nullptr && p != base_.get()) p->on_commit(tid);
 }
 
 void AdaptiveScheduler::on_abort(int tid, std::span<void* const> write_addrs,
                                  int enemy_tid) {
+  // Flush-at-abort: everything the dying attempt accumulated reaches the
+  // ring before the abort event itself, so a mid-batch death loses nothing
+  // and abort-heavy phases -- exactly when the classifier must react --
+  // publish promptly.  The abort is pushed unbatched (enemy-tid payload).
+  batch_[static_cast<std::size_t>(tid)].value.flush(hub_.ring(tid));
   hub_.record(tid, EventType::kAbort, enemy_tid);
   core::Scheduler* p = pinned(tid);
   if (p != nullptr) p->on_abort(tid, write_addrs, enemy_tid);

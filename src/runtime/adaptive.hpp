@@ -63,6 +63,14 @@ struct AdaptiveConfig {
   /// per-attempt ring push is measurable on fine-grained transactions.
   /// Enable for self-describing traces (bench/adaptive_regimes.cpp does).
   bool record_starts = false;
+  /// Count-only events (start/commit/serialize) are coalesced per thread
+  /// and flushed to the ring as one counted event every this many events,
+  /// or immediately when an attempt aborts (aborts are never batched: they
+  /// carry the enemy tid and are the escalation signal).  1 = per-event
+  /// pushes; manual-tick tests use that for deterministic window contents.
+  /// Worst-case staleness is flush_every-1 commits per idle thread, well
+  /// under a sampling window at any realistic commit rate.
+  std::uint32_t telemetry_flush_every = 32;
   RegimeThresholds thresholds;
   core::AtsConfig ats;
   /// Shrink tuning per regime: HIGH uses the paper's defaults, PATHOLOGICAL
@@ -110,7 +118,7 @@ class AdaptiveScheduler final : public core::Scheduler {
 
   // ---- SchedulerHooks (worker fast path) ----
   void before_start(int tid) override;
-  void on_read(int tid, const void* addr) override;
+  void on_read(int tid, const void* addr, std::uint64_t hash) override;
   void on_write(int tid, const void* addr) override;
   void on_commit(int tid) override;
   void on_abort(int tid, std::span<void* const> write_addrs,
@@ -133,6 +141,15 @@ class AdaptiveScheduler final : public core::Scheduler {
   /// (tests drive regimes deterministically this way).  Returns true if a
   /// window was closed.
   bool tick(bool force = false);
+
+  /// Publish every thread's part-full telemetry batch to its ring.  MUST
+  /// only be called at a quiescent point (no attempts in flight -- e.g.
+  /// after joining worker threads, before the final tick/export): the
+  /// caller momentarily becomes each ring's producer, which is only sound
+  /// when the owning threads are not.  Without this, up to
+  /// telemetry_flush_every-1 events per thread would be lost, not merely
+  /// delayed, when a run ends mid-batch.
+  void quiesce_telemetry();
 
   Regime regime() const { return active_regime_.load(std::memory_order_acquire); }
   std::string policy_label() const;
@@ -187,6 +204,9 @@ class AdaptiveScheduler final : public core::Scheduler {
   std::vector<util::Padded<std::atomic<core::Scheduler*>>> pinned_;
   std::vector<util::Padded<std::atomic<std::uint64_t>>> epoch_;
   std::vector<util::Padded<std::atomic<bool>>> registered_;
+  /// Count-only telemetry accumulators; owner-thread-only (see
+  /// TelemetryBatch for the flush discipline).
+  std::vector<util::Padded<TelemetryBatch>> batch_;
 
   // Quiescence machinery.
   std::atomic<std::uint64_t> global_epoch_{1};

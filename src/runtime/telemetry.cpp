@@ -50,11 +50,11 @@ bool TelemetrySampler::poll(WindowAggregate* out, bool force,
     const auto r = hub_.ring(static_cast<int>(tid)).drain([&](const Event& e) {
       switch (e.type) {
         case EventType::kStart:
-          ++acc_.starts;
+          acc_.starts += e.count;
           break;
         case EventType::kCommit:
-          ++acc_.commits;
-          ++acc_.commits_by_tid[tid];
+          acc_.commits += e.count;
+          acc_.commits_by_tid[tid] += e.count;
           break;
         case EventType::kAbort:
           ++acc_.aborts;
@@ -64,7 +64,7 @@ bool TelemetrySampler::poll(WindowAggregate* out, bool force,
             ++acc_.conflicts[tid * n + static_cast<std::size_t>(e.enemy_tid)];
           break;
         case EventType::kSerialize:
-          ++acc_.serializes;
+          acc_.serializes += e.count;
           break;
       }
     });

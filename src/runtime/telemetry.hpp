@@ -55,34 +55,51 @@ inline std::uint64_t coarse_now() {
 #endif
 }
 
-/// Unpacked event, as seen by drain sinks.
+/// Unpacked event, as seen by drain sinks.  A non-abort event may carry a
+/// batched count > 1 (see TelemetryBatch): it stands for `count` identical
+/// events coalesced by the producer.
 struct Event {
   EventType type;
   int enemy_tid;            ///< aborts only; -1 when unknown / n/a
+  std::uint32_t count;      ///< batched multiplicity (1 for unbatched pushes)
   std::uint64_t coarse_ts;  ///< low 26 bits of coarse_now()
 };
 
 // Packed layout (64 bits):
 //   [1:0]    type
-//   [17:2]   aux = enemy tid + 1 (0 = none/unknown)
+//   [17:2]   aux: for kAbort, enemy tid + 1 (0 = none/unknown);
+//            otherwise a batched event count (0 and 1 both mean one event)
 //   [43:18]  coarse timestamp (low 26 bits)
 //   [63:44]  sequence (low 20 bits) -- drain-time lap detection
 inline constexpr std::uint64_t kEventSeqBits = 20;
 inline constexpr std::uint64_t kEventSeqMask = (1ULL << kEventSeqBits) - 1;
 
+/// Single source of truth for the packed layout; `aux` is the raw 16-bit
+/// field (enemy tid + 1 for aborts, batched count otherwise).
+inline std::uint64_t pack_aux_event(EventType t, std::uint64_t aux,
+                                    std::uint64_t ts, std::uint64_t seq) {
+  return static_cast<std::uint64_t>(t) | ((aux & 0xffffULL) << 2) |
+         ((ts & 0x3ffffffULL) << 18) | ((seq & kEventSeqMask) << 44);
+}
+
 inline std::uint64_t pack_event(EventType t, int enemy_tid, std::uint64_t ts,
                                 std::uint64_t seq) {
   const std::uint64_t aux =
       enemy_tid >= 0 ? static_cast<std::uint64_t>(enemy_tid) + 1 : 0;
-  return static_cast<std::uint64_t>(t) | ((aux & 0xffffULL) << 2) |
-         ((ts & 0x3ffffffULL) << 18) | ((seq & kEventSeqMask) << 44);
+  return pack_aux_event(t, aux, ts, seq);
 }
 
 inline Event unpack_event(std::uint64_t v) {
   Event e;
   e.type = static_cast<EventType>(v & 0x3u);
   const auto aux = (v >> 2) & 0xffffULL;
-  e.enemy_tid = aux == 0 ? -1 : static_cast<int>(aux - 1);
+  if (e.type == EventType::kAbort) {
+    e.enemy_tid = aux == 0 ? -1 : static_cast<int>(aux - 1);
+    e.count = 1;
+  } else {
+    e.enemy_tid = -1;
+    e.count = aux == 0 ? 1 : static_cast<std::uint32_t>(aux);
+  }
   e.coarse_ts = (v >> 18) & 0x3ffffffULL;
   return e;
 }
@@ -126,6 +143,21 @@ class EventRing {
 
   /// Push with the cached timestamp (see stamp()).
   void push(EventType t, int enemy_tid = -1) { push(t, enemy_tid, cached_ts_); }
+
+  /// Push slots standing for `count` coalesced events of type `t`
+  /// (non-abort types only: the aux field carries the count instead of an
+  /// enemy tid).  Counts beyond the 16-bit aux field are split over
+  /// multiple slots, never truncated.  Uses the cached timestamp.
+  void push_count(EventType t, std::uint32_t count) {
+    while (count > 0) {
+      const std::uint32_t chunk = count < 0xffffu ? count : 0xffffu;
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      slots_[h & mask_].store(pack_aux_event(t, chunk, cached_ts_, h),
+                              std::memory_order_relaxed);
+      head_.store(h + 1, std::memory_order_release);
+      count -= chunk;
+    }
+  }
 
   struct DrainResult {
     std::uint64_t drained = 0;
@@ -195,6 +227,50 @@ class TelemetryHub {
 
  private:
   std::vector<std::unique_ptr<EventRing>> rings_;
+};
+
+/// Per-thread accumulator that coalesces count-only telemetry (start /
+/// commit / serialize) into batched ring events, replacing one ring push per
+/// event with one per `flush_every` events.  Owned and driven by the
+/// producer thread only; the consumer never touches it.
+///
+/// Flush discipline (AdaptiveScheduler): the owner checks should_flush() at
+/// attempt boundaries and ALWAYS flushes on abort -- an attempt that dies
+/// mid-batch publishes everything it accumulated before the abort event is
+/// pushed, so no outcome is ever lost to a dead attempt (abort events
+/// themselves are never batched: they carry an enemy tid payload and are the
+/// signal regime escalation reacts to).  With flush_every == 1 the batch
+/// degenerates to per-event pushes, which manual-tick tests use to make
+/// window contents deterministic.
+class TelemetryBatch {
+ public:
+  explicit TelemetryBatch(std::uint32_t flush_every = 32)
+      : flush_every_(flush_every == 0 ? 1 : flush_every) {}
+
+  void add(EventType t) {
+    ++counts_[static_cast<std::size_t>(t)];
+    ++pending_;
+  }
+
+  bool should_flush() const { return pending_ >= flush_every_; }
+  std::uint32_t pending() const { return pending_; }
+
+  /// Emit one counted ring event per non-zero type and reset.  kAbort is
+  /// asserted empty by construction (add() is never called with it).
+  void flush(EventRing& ring) {
+    if (pending_ == 0) return;
+    for (std::size_t t = 0; t < 4; ++t) {
+      if (counts_[t] == 0) continue;
+      ring.push_count(static_cast<EventType>(t), counts_[t]);
+      counts_[t] = 0;
+    }
+    pending_ = 0;
+  }
+
+ private:
+  std::uint32_t counts_[4] = {0, 0, 0, 0};
+  std::uint32_t pending_ = 0;
+  std::uint32_t flush_every_;
 };
 
 /// Aggregates over one sampling window.

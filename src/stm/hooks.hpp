@@ -6,6 +6,7 @@
 // scheduler policies.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 namespace shrinktm::stm {
@@ -21,7 +22,13 @@ class SchedulerHooks {
 
   /// Called from the STM read path on every transactional load.  Only
   /// invoked when wants_read_hook() is true, so null schedulers pay nothing.
-  virtual void on_read(int /*tid*/, const void* /*addr*/) {}
+  ///
+  /// Hash-once invariant: `hash` is util::hash_ptr(addr), computed exactly
+  /// once per read event by the backend; every consumer downstream (the
+  /// prediction tracker's Bloom window and digest, the predicted-set flat
+  /// tables) probes with this value instead of re-hashing the address.
+  virtual void on_read(int /*tid*/, const void* /*addr*/,
+                       std::uint64_t /*hash*/) {}
 
   /// Called from the STM write path; only when wants_write_hook() is true.
   /// Used solely by prediction-accuracy instrumentation (Figure 3).

@@ -44,8 +44,13 @@ void SwissBackend::reset_stats() {
 
 SwissTx::SwissTx(SwissBackend& backend, int tid)
     : backend_(backend), tid_(tid), epoch_slot_(backend.reclaimer().register_thread()) {
-  read_set_.reserve(256);
-  locked_orecs_.reserve(64);
+  // Sized for steady-state STMBench7 transactions: once warm, an attempt
+  // never reallocates any of its sets (clear() keeps capacity).
+  read_set_.reserve(1024);
+  locked_orecs_.reserve(256);
+  last_write_addrs_.reserve(256);
+  allocs_.reserve(16);
+  frees_.reserve(16);
 }
 
 SwissTx::~SwissTx() { backend_.reclaimer().unregister_thread(epoch_slot_); }
@@ -124,7 +129,9 @@ void SwissTx::extend_or_die() {
 Word SwissTx::load(const Word* addr) {
   ++stats_.reads;
   check_killed();
-  if (read_hook_) sched_->on_read(tid_, addr);
+  // Hash-once invariant: the hook hash is computed here, exactly once per
+  // read event, and reused by every predictor probe downstream.
+  if (read_hook_) sched_->on_read(tid_, addr, util::hash_ptr(addr));
 
   if (const auto* e = wlog_.find(addr)) return e->value;  // read-after-write
 
@@ -184,8 +191,11 @@ void SwissTx::store(Word* addr, Word value) {
   check_killed();
   if (write_hook_) sched_->on_write(tid_, addr);
 
-  if (auto* e = wlog_.find(addr)) {
-    e->value = value;
+  // One index probe serves both the write-after-write hit and, via the slot
+  // hint, the subsequent append on a miss.
+  const auto hit = wlog_.find_or_slot(addr);
+  if (hit.entry != nullptr) {
+    hit.entry->value = value;
     return;
   }
   Orec& o = backend_.orec_of(addr);
@@ -204,7 +214,7 @@ void SwissTx::store(Word* addr, Word value) {
       break;
     }
   }
-  wlog_.append(addr, value, &o, 0);
+  wlog_.append_at(hit.slot, addr, value, &o, 0);
   // Phase 2 of the CM: past the write threshold, acquire a greedy ticket
   // (kept across retries, so starved transactions age and eventually win).
   if (ticket_.load(std::memory_order_relaxed) == kNoTicket &&

@@ -59,8 +59,13 @@ void TinyBackend::reset_stats() {
 
 TinyTx::TinyTx(TinyBackend& backend, int tid)
     : backend_(backend), tid_(tid), epoch_slot_(backend.reclaimer().register_thread()) {
-  read_set_.reserve(256);
-  locked_orecs_.reserve(64);
+  // Sized for steady-state STMBench7 transactions: once warm, an attempt
+  // never reallocates any of its sets (clear() keeps capacity).
+  read_set_.reserve(1024);
+  locked_orecs_.reserve(256);
+  last_write_addrs_.reserve(256);
+  allocs_.reserve(16);
+  frees_.reserve(16);
 }
 
 TinyTx::~TinyTx() { backend_.reclaimer().unregister_thread(epoch_slot_); }
@@ -120,7 +125,9 @@ void TinyTx::extend_or_die() {
 Word TinyTx::load(const Word* addr) {
   ++stats_.reads;
   check_killed();
-  if (read_hook_) sched_->on_read(tid_, addr);
+  // Hash-once invariant: the hook hash is computed here, exactly once per
+  // read event, and reused by every predictor probe downstream.
+  if (read_hook_) sched_->on_read(tid_, addr, util::hash_ptr(addr));
 
   Orec& o = backend_.orec_of(addr);
   std::uint64_t v = o.word.load(std::memory_order_acquire);
@@ -151,8 +158,11 @@ void TinyTx::store(Word* addr, Word value) {
   check_killed();
   if (write_hook_) sched_->on_write(tid_, addr);
 
-  if (auto* e = wlog_.find(addr)) {  // write-after-write: update the log
-    e->value = value;
+  // One index probe serves both the write-after-write hit and, via the slot
+  // hint, the subsequent append on a miss.
+  const auto hit = wlog_.find_or_slot(addr);
+  if (hit.entry != nullptr) {  // write-after-write: update the log
+    hit.entry->value = value;
     return;
   }
   Orec& o = backend_.orec_of(addr);
@@ -171,7 +181,7 @@ void TinyTx::store(Word* addr, Word value) {
       break;
     }
   }
-  wlog_.append(addr, value, &o, 0);
+  wlog_.append_at(hit.slot, addr, value, &o, 0);
 }
 
 void TinyTx::commit() {

@@ -34,29 +34,60 @@ class WriteLog {
     std::uint64_t old_version;  ///< orec version observed when first locked
   };
 
-  WriteLog() { rebuild_index(16); }
+  WriteLog() {
+    // Pre-size for a steady-state transaction so the first attempts never
+    // reallocate mid-flight.
+    entries_.reserve(64);
+    rebuild_index(128);
+  }
 
   void clear() {
     entries_.clear();
-    if (index_.size() > 64) rebuild_index(64);
+    if (index_.size() > 128) rebuild_index(128);
     else std::fill(index_.begin(), index_.end(), kEmpty);
   }
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
-  Entry* find(const Word* addr) {
+  /// Result of one index probe: the entry if present, else the empty slot
+  /// where the probe ended -- a hint append_at() reuses so the
+  /// read-after-write miss path hashes and walks the index exactly once.
+  struct Lookup {
+    Entry* entry;       ///< nullptr on miss
+    std::uint32_t slot; ///< valid only on miss, consumed by append_at()
+  };
+
+  Lookup find_or_slot(const Word* addr) {
     const std::size_t mask = index_.size() - 1;
     std::size_t i = util::hash_ptr(addr) & mask;
     while (index_[i] != kEmpty) {
       Entry& e = entries_[index_[i]];
-      if (e.addr == addr) return &e;
+      if (e.addr == addr) return {&e, 0};
       i = (i + 1) & mask;
     }
-    return nullptr;
+    return {nullptr, static_cast<std::uint32_t>(i)};
   }
 
-  /// Insert a new entry (caller must have checked find() first).
+  Entry* find(const Word* addr) { return find_or_slot(addr).entry; }
+
+  /// Insert a new entry at the slot a failed find_or_slot() returned.  The
+  /// hint is valid only if the log was not modified in between (the
+  /// single-owner STM write path guarantees that); when the insert triggers
+  /// an index resize the hint is superseded by the rebuild.
+  Entry& append_at(std::uint32_t slot_hint, Word* addr, Word value, OrecT* orec,
+                   std::uint64_t old_version) {
+    entries_.push_back({addr, value, orec, old_version});
+    if ((entries_.size() + 1) * 2 > index_.size()) {
+      rebuild_index(index_.size() * 2);
+    } else {
+      index_[slot_hint] = static_cast<std::uint32_t>(entries_.size() - 1);
+    }
+    return entries_.back();
+  }
+
+  /// Insert a new entry (caller must have checked find() first).  Re-walks
+  /// the index; prefer find_or_slot() + append_at() on hot paths.
   Entry& append(Word* addr, Word value, OrecT* orec, std::uint64_t old_version) {
     entries_.push_back({addr, value, orec, old_version});
     if ((entries_.size() + 1) * 2 > index_.size()) {

@@ -1,0 +1,83 @@
+#include "util/blocked_bloom.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace shrinktm::util {
+
+BlockedBloomFilter::BlockedBloomFilter(unsigned log2_bits, unsigned num_hashes)
+    : num_hashes_(std::clamp(num_hashes, 1u, kMaxHashes)) {
+  if (log2_bits < 9) log2_bits = 9;  // at least one block
+  const std::size_t blocks = (std::size_t{1} << log2_bits) / kBlockBits;
+  block_mask_ = blocks - 1;
+  bits_.assign(blocks * kBlockWords, 0);
+}
+
+// Probe i reads 9 bits of h starting at bit 9i: the top 3 select the word in
+// the block, the bottom 6 the bit in the word.  All probe words share one
+// cache line, so the query is evaluated branchlessly (AND of the probed
+// bits) instead of early-exiting: with L1-resident loads a data-dependent
+// branch mispredict costs far more than the extra load it might save.
+
+void BlockedBloomFilter::insert_hashed(Hashed h) {
+  std::uint64_t* block = bits_.data() + block_base(h);
+  std::uint64_t bits = h;
+  for (unsigned i = 0; i < num_hashes_; ++i, bits >>= 9) {
+    block[(bits >> 6) & (kBlockWords - 1)] |= std::uint64_t{1} << (bits & 63);
+  }
+  ++population_;
+}
+
+bool BlockedBloomFilter::test_and_insert(Hashed h) {
+  std::uint64_t* block = bits_.data() + block_base(h);
+  std::uint64_t bits = h;
+  std::uint64_t ok = 1;
+  for (unsigned i = 0; i < num_hashes_; ++i, bits >>= 9) {
+    std::uint64_t& w = block[(bits >> 6) & (kBlockWords - 1)];
+    ok &= w >> (bits & 63);
+    w |= std::uint64_t{1} << (bits & 63);
+  }
+  const bool present = (ok & 1) != 0;
+  population_ += present ? 0 : 1;
+  return present;
+}
+
+bool BlockedBloomFilter::maybe_contains_hashed(Hashed h) const {
+  const std::uint64_t* block = bits_.data() + block_base(h);
+  std::uint64_t bits = h;
+  std::uint64_t ok = 1;  // bit 0 accumulates the AND of every probed bit
+  for (unsigned i = 0; i < num_hashes_; ++i, bits >>= 9) {
+    ok &= block[(bits >> 6) & (kBlockWords - 1)] >> (bits & 63);
+  }
+  return (ok & 1) != 0;
+}
+
+void BlockedBloomFilter::clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  population_ = 0;
+}
+
+void BlockedBloomFilter::swap(BlockedBloomFilter& other) noexcept {
+  std::swap(num_hashes_, other.num_hashes_);
+  std::swap(block_mask_, other.block_mask_);
+  std::swap(population_, other.population_);
+  bits_.swap(other.bits_);
+}
+
+void BlockedBloomFilter::or_with(const BlockedBloomFilter& other) {
+  assert(bits_.size() == other.bits_.size() &&
+         "digest and window filters must share a geometry");
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  population_ += other.population_;
+}
+
+double BlockedBloomFilter::false_positive_rate() const {
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(num_hashes_);
+  const double n = static_cast<double>(population_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace shrinktm::util

@@ -1,0 +1,107 @@
+// Cache-line-blocked Bloom filter for the transactional read path.
+//
+// The standard BloomFilter (util/bloom.hpp) derives k probe positions from
+// two 64-bit hashes and scatters them over the whole bit array: every
+// insert/query touches up to k distinct cache lines and costs two
+// multiplicative hashes.  On Shrink's read path that cost is multiplied by
+// the locality window.  The blocked variant (Putze, Sanders, Singler,
+// "Cache-, hash- and space-efficient Bloom filters", WEA'07) spends ONE hash
+// per key: some bits select a 64-byte block, the rest select k bit positions
+// inside that block, so every insert/query touches exactly one cache line
+// and probes land word-parallel (probes falling in the same 64-bit word are
+// fused into a single mask test).
+//
+// The price is a slightly higher false-positive rate at equal size (block
+// load varies around the mean); tests/test_hotpath.cpp bounds the gap at the
+// populations the benchmarks produce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace shrinktm::util {
+
+/// Fixed-size blocked Bloom filter over pointer-sized keys.
+///
+/// Geometry: bit_count() bits in 512-bit (64-byte) blocks.  A single mixed
+/// hash feeds everything: bits [32..] pick the block, bits [9i..9i+8] pick
+/// probe i's word and bit inside the block (word-parallel masks).  With
+/// num_hashes <= 3 the probe bits (27) and block bits never overlap.
+class BlockedBloomFilter {
+ public:
+  static constexpr std::size_t kBlockBits = 512;
+  static constexpr std::size_t kBlockWords = kBlockBits / 64;
+  static constexpr unsigned kMaxHashes = 3;  ///< 9 bits per probe, below bit 32
+
+  /// @param log2_bits   log2 of the total bit count (>= 9, i.e. one block).
+  /// @param num_hashes  probe bits per key, clamped to [1, kMaxHashes].
+  explicit BlockedBloomFilter(unsigned log2_bits = 12, unsigned num_hashes = 2);
+
+  /// The single pre-mixed hash: one key hashed once serves bf0, the window
+  /// digest and every filter in the locality window.  Identical to
+  /// util::hash_ptr for pointer keys, so STM backends can compute it once
+  /// per transactional read and thread it through the scheduler hooks.
+  using Hashed = std::uint64_t;
+  static Hashed hash(std::uint64_t key) { return mix64(key); }
+  static Hashed hash_ptr(const void* p) {
+    return mix64(reinterpret_cast<std::uintptr_t>(p));
+  }
+
+  void insert(std::uint64_t key) { insert_hashed(hash(key)); }
+  bool maybe_contains(std::uint64_t key) const {
+    return maybe_contains_hashed(hash(key));
+  }
+
+  void insert_hashed(Hashed h);
+  bool maybe_contains_hashed(Hashed h) const;
+
+  /// Fused membership test + insert: one block computation, one pass over
+  /// the probe words.  Returns true if the key was already (apparently)
+  /// present; population counts only new keys, matching the probe-then-
+  /// insert idiom it replaces on the read path.
+  bool test_and_insert(Hashed h);
+
+  void insert_ptr(const void* p) { insert_hashed(hash_ptr(p)); }
+  bool maybe_contains_ptr(const void* p) const {
+    return maybe_contains_hashed(hash_ptr(p));
+  }
+
+  /// Remove all elements.  O(bits/64).
+  void clear();
+
+  /// Adopt the contents of `other` (window rotation without copying).
+  void swap(BlockedBloomFilter& other) noexcept;
+
+  /// OR `other`'s bits into this filter (digest maintenance).  Geometries
+  /// must match; population becomes an upper bound after merging.
+  void or_with(const BlockedBloomFilter& other);
+
+  bool empty() const { return population_ == 0; }
+  std::size_t population() const { return population_; }
+  std::size_t bit_count() const { return bits_.size() * 64; }
+  std::size_t block_count() const { return block_mask_ + 1; }
+  unsigned num_hashes() const { return num_hashes_; }
+
+  /// Expected false-positive rate at the current population, using the
+  /// classic unblocked formula -- a slight underestimate here because block
+  /// load varies around its mean.
+  double false_positive_rate() const;
+
+  /// Raw words, for tests asserting the one-cache-line property.
+  const std::vector<std::uint64_t>& words() const { return bits_; }
+
+ private:
+  std::size_t block_base(Hashed h) const {
+    return ((h >> 32) & block_mask_) * kBlockWords;
+  }
+
+  unsigned num_hashes_;
+  std::uint64_t block_mask_;  ///< block_count - 1
+  std::size_t population_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace shrinktm::util

@@ -26,8 +26,13 @@ class FlatPtrSet {
   }
 
   /// Returns true if newly inserted; false if present or the set is full.
-  bool insert(const void* p) {
-    std::size_t i = hash_ptr(p) & mask_;
+  bool insert(const void* p) { return insert(p, hash_ptr(p)); }
+
+  /// Hash-once variant: `h` must be hash_ptr(p), pre-computed by the caller
+  /// (the Shrink read path hashes each address exactly once and threads the
+  /// result through the Bloom window, the digest and this set).
+  bool insert(const void* p, std::uint64_t h) {
+    std::size_t i = h & mask_;
     for (;;) {
       Slot& s = slots_[i];
       if (s.version != version_) {
@@ -42,8 +47,10 @@ class FlatPtrSet {
     }
   }
 
-  bool contains(const void* p) const {
-    std::size_t i = hash_ptr(p) & mask_;
+  bool contains(const void* p) const { return contains(p, hash_ptr(p)); }
+
+  bool contains(const void* p, std::uint64_t h) const {
+    std::size_t i = h & mask_;
     for (;;) {
       const Slot& s = slots_[i];
       if (s.version != version_) return false;

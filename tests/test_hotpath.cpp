@@ -1,0 +1,449 @@
+// Hot-path overhaul coverage: blocked-vs-standard Bloom false-positive
+// parity, window-digest staleness across rotate/set_active, the WriteLog
+// slot-hint API around index rebuilds, telemetry batching (including
+// flush-at-abort), and the hash-once invariant through the STM read hook.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prediction.hpp"
+#include "runtime/adaptive.hpp"
+#include "runtime/telemetry.hpp"
+#include "stm/tiny.hpp"
+#include "stm/tx_sets.hpp"
+#include "txstruct/tvar.hpp"
+#include "util/blocked_bloom.hpp"
+#include "util/bloom.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm {
+namespace {
+
+// --------------------------------------------------------- BlockedBloomFilter
+
+TEST(BlockedBloom, NoFalseNegatives) {
+  util::BlockedBloomFilter bf(12, 2);
+  for (std::uint64_t k = 0; k < 500; ++k) bf.insert(k * 977 + 13);
+  for (std::uint64_t k = 0; k < 500; ++k)
+    EXPECT_TRUE(bf.maybe_contains(k * 977 + 13));
+}
+
+TEST(BlockedBloom, ClearAndSwap) {
+  util::BlockedBloomFilter a(10, 2), b(10, 2);
+  a.insert(1);
+  b.insert(2);
+  EXPECT_TRUE(a.maybe_contains(1));
+  a.swap(b);
+  EXPECT_TRUE(a.maybe_contains(2));
+  EXPECT_TRUE(b.maybe_contains(1));
+  a.clear();
+  EXPECT_FALSE(a.maybe_contains(2));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(BlockedBloom, TestAndInsertMatchesProbeThenInsert) {
+  util::BlockedBloomFilter bf(12, 2);
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t k = rng.next();
+    const bool present_before = bf.maybe_contains(k);
+    EXPECT_EQ(bf.test_and_insert(util::BlockedBloomFilter::hash(k)),
+              present_before);
+    EXPECT_TRUE(bf.maybe_contains(k));
+    EXPECT_TRUE(bf.test_and_insert(util::BlockedBloomFilter::hash(k)));
+  }
+}
+
+TEST(BlockedBloom, AllProbeBitsLandInOneCacheLineBlock) {
+  // The defining property: any single insert changes words inside exactly
+  // one 8-word (64-byte) block.
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    util::BlockedBloomFilter bf(13, 3);
+    const auto before = bf.words();
+    bf.insert(rng.next());
+    const auto& after = bf.words();
+    std::ptrdiff_t first = -1, last = -1;
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      if (after[i] != before[i]) {
+        if (first < 0) first = static_cast<std::ptrdiff_t>(i);
+        last = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    ASSERT_GE(first, 0) << "insert set no bits";
+    EXPECT_EQ(first / 8, last / 8) << "probe bits crossed a block boundary";
+  }
+}
+
+TEST(BlockedBloom, FalsePositiveParityAtBenchmarkPopulations) {
+  // Predictor geometry (4096 bits, k=2) at the read-set sizes the
+  // benchmarks produce.  Blocked filters pay for their locality with block-
+  // load variance; the gap must stay within a small factor so prediction
+  // accuracy is not bought with false positives (Figure 3 acceptance).
+  for (const std::size_t population : {64u, 128u, 256u, 400u}) {
+    util::BloomFilter std_bf(12, 2);
+    util::BlockedBloomFilter blk_bf(12, 2);
+    util::Xoshiro256 rng(1234 + population);
+    for (std::size_t i = 0; i < population; ++i) {
+      const std::uint64_t k = rng.next();
+      std_bf.insert(k);
+      blk_bf.insert(k);
+    }
+    int std_fp = 0, blk_fp = 0;
+    constexpr int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+      const std::uint64_t k = rng.next();  // fresh keys, never inserted
+      std_fp += std_bf.maybe_contains(k);
+      blk_fp += blk_bf.maybe_contains(k);
+    }
+    const double std_rate = static_cast<double>(std_fp) / kProbes;
+    const double blk_rate = static_cast<double>(blk_fp) / kProbes;
+    EXPECT_LE(blk_rate, 3.0 * std_rate + 0.01)
+        << "population " << population << ": std " << std_rate << " blocked "
+        << blk_rate;
+    EXPECT_LT(blk_rate, 0.08) << "population " << population;
+  }
+}
+
+// --------------------------------------------------- prediction parity/digest
+
+const void* addr_of(int i) {
+  static std::uint64_t pool[2048];
+  return &pool[i & 2047];
+}
+
+/// Drives identical synthetic traffic (sliding-window re-reads, periodic
+/// aborts) through both tracker implementations.
+struct ParityResult {
+  double read_acc, retry_read_acc, write_acc;
+};
+
+ParityResult run_parity_stream(bool blocked) {
+  core::PredictionConfig cfg;
+  cfg.use_blocked_bloom = blocked;
+  core::PredictionTracker p(cfg);
+  int base = 0;
+  for (int tx = 0; tx < 200; ++tx) {
+    p.begin_tx(/*track_accuracy=*/true);
+    for (int i = 0; i < 64; ++i) p.on_read(addr_of(base + i));
+    for (int i = 0; i < 8; ++i) p.on_write(addr_of(base + i));
+    if (tx % 5 == 4) {
+      // Abort with the first half of the write set: the retry re-runs the
+      // same reads, so retry accuracy gets real samples.
+      std::vector<void*> writes;
+      for (int i = 0; i < 4; ++i)
+        writes.push_back(const_cast<void*>(addr_of(base + i)));
+      p.note_abort(writes);
+      p.begin_tx(true);
+      for (int i = 0; i < 64; ++i) p.on_read(addr_of(base + i));
+      for (int i = 0; i < 8; ++i) p.on_write(addr_of(base + i));
+    }
+    p.note_commit();
+    base += 16;  // 75% overlap with the previous transaction
+  }
+  return {p.read_accuracy().mean(), p.retry_read_accuracy().mean(),
+          p.write_accuracy().mean()};
+}
+
+TEST(PredictionParity, BlockedMatchesLegacyWithinNoise) {
+  const ParityResult legacy = run_parity_stream(false);
+  const ParityResult blocked = run_parity_stream(true);
+  // Both implementations see the same stream; the only divergence allowed
+  // is Bloom false positives, which move accuracy by far less than 5%.
+  EXPECT_NEAR(blocked.read_acc, legacy.read_acc, 0.05);
+  EXPECT_NEAR(blocked.retry_read_acc, legacy.retry_read_acc, 0.05);
+  EXPECT_NEAR(blocked.write_acc, legacy.write_acc, 0.05);
+  // And the accuracies must be meaningful, not degenerate zeros.
+  EXPECT_GT(blocked.read_acc, 0.5);
+  EXPECT_GT(blocked.retry_read_acc, 0.5);
+}
+
+TEST(PredictionParity, PredictedSetsAgreeOnHotAddresses) {
+  core::PredictionConfig cfg;
+  core::PredictionTracker blocked(cfg);
+  cfg.use_blocked_bloom = false;
+  core::PredictionTracker legacy(cfg);
+  for (auto* p : {&blocked, &legacy}) {
+    for (int tx = 0; tx < 3; ++tx) {
+      p->begin_tx(false);
+      for (int i = 0; i < 32; ++i) p->on_read(addr_of(i));
+      p->note_commit();
+    }
+    p->begin_tx(false);
+    for (int i = 0; i < 32; ++i) p->on_read(addr_of(i));
+  }
+  // Every hot address was read in bf1 (weight 3 >= threshold): both modes
+  // must predict all of them (no false negatives by construction).
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(blocked.predicted_reads().contains(addr_of(i))) << i;
+    EXPECT_TRUE(legacy.predicted_reads().contains(addr_of(i))) << i;
+  }
+}
+
+TEST(WindowDigest, CoversEverythingStillInTheWindow) {
+  core::PredictionTracker p;  // blocked by default
+  p.begin_tx(false);
+  p.on_read(addr_of(100));
+  p.note_commit();  // addr in bf1 now
+  EXPECT_TRUE(p.digest_covers(addr_of(100)));
+  EXPECT_GE(p.confidence_of(addr_of(100)), 3);
+  // Two more commits: the address ages to bf3 but stays in the window, so
+  // the digest must keep covering it through incremental ORs and rebuilds.
+  for (int i = 0; i < 2; ++i) {
+    p.begin_tx(false);
+    p.note_commit();
+    EXPECT_TRUE(p.digest_covers(addr_of(100))) << "rotation " << i;
+    EXPECT_GE(p.confidence_of(addr_of(100)), 1) << "rotation " << i;
+  }
+}
+
+TEST(WindowDigest, StaleBitsDrainAfterRebuild) {
+  core::PredictionConfig cfg;
+  cfg.digest_rebuild_rotations = 2;
+  core::PredictionTracker p(cfg);
+  p.begin_tx(false);
+  p.on_read(addr_of(200));
+  p.note_commit();
+  ASSERT_TRUE(p.digest_covers(addr_of(200)));
+  // Enough empty commits push the address out of the window AND cross a
+  // rebuild boundary: the digest must stop covering it (nothing else was
+  // inserted, so a lingering bit can only be staleness).
+  for (int i = 0; i < 8; ++i) {
+    p.begin_tx(false);
+    p.note_commit();
+  }
+  EXPECT_EQ(p.confidence_of(addr_of(200)), 0);
+  EXPECT_FALSE(p.digest_covers(addr_of(200)))
+      << "digest kept bits of a filter that left the window past a rebuild";
+}
+
+TEST(WindowDigest, ReactivationClearsDigestWithWindow) {
+  core::PredictionTracker p;
+  p.begin_tx(false);
+  p.on_read(addr_of(300));
+  p.note_commit();
+  ASSERT_TRUE(p.digest_covers(addr_of(300)));
+  p.set_active(false);
+  p.set_active(true);  // stale window discarded -> digest must go with it
+  EXPECT_FALSE(p.digest_covers(addr_of(300)));
+  EXPECT_EQ(p.confidence_of(addr_of(300)), 0);
+}
+
+// --------------------------------------------------------------- WriteLog
+
+using TestLog = stm::WriteLog<stm::TinyBackend::Orec>;
+
+TEST(WriteLog, FindOrSlotHintSurvivesGrowthAndCollisions) {
+  TestLog log;
+  static stm::Word pool[512];
+  // Miss -> slot hint -> append_at, 200 times: crosses several index
+  // rebuilds (initial 128 slots) and produces natural probe collisions.
+  for (int i = 0; i < 200; ++i) {
+    const auto l = log.find_or_slot(&pool[i]);
+    ASSERT_EQ(l.entry, nullptr) << i;
+    log.append_at(l.slot, &pool[i], static_cast<stm::Word>(i), nullptr, 0);
+  }
+  EXPECT_EQ(log.size(), 200u);
+  // Every entry findable with the right payload, before and after growth.
+  for (int i = 0; i < 200; ++i) {
+    auto* e = log.find(&pool[i]);
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->value, static_cast<stm::Word>(i)) << i;
+  }
+  // Probing absent addresses stays a miss.
+  for (int i = 200; i < 250; ++i)
+    EXPECT_EQ(log.find_or_slot(&pool[i]).entry, nullptr) << i;
+  // Write-after-write goes through the hit branch of the same probe.
+  for (int i = 0; i < 200; ++i) {
+    const auto l = log.find_or_slot(&pool[i]);
+    ASSERT_NE(l.entry, nullptr);
+    l.entry->value = static_cast<stm::Word>(1000 + i);
+  }
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(log.find(&pool[i])->value, static_cast<stm::Word>(1000 + i));
+}
+
+TEST(WriteLog, ClearKeepsTheLogReusable) {
+  TestLog log;
+  static stm::Word pool[300];
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      const auto l = log.find_or_slot(&pool[i]);
+      ASSERT_EQ(l.entry, nullptr) << "round " << round << " i " << i;
+      log.append_at(l.slot, &pool[i], static_cast<stm::Word>(round), nullptr, 0);
+    }
+    for (int i = 0; i < 300; ++i) {
+      auto* e = log.find(&pool[i]);
+      ASSERT_NE(e, nullptr);
+      EXPECT_EQ(e->value, static_cast<stm::Word>(round));
+    }
+    log.clear();
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.find(&pool[0]), nullptr);
+  }
+}
+
+// --------------------------------------------------------- telemetry batching
+
+using runtime::Event;
+using runtime::EventRing;
+using runtime::EventType;
+using runtime::TelemetryBatch;
+
+TEST(TelemetryBatch, CountEventsRoundTripThroughTheRing) {
+  EventRing ring(6);
+  ring.stamp();
+  ring.push_count(EventType::kCommit, 40);
+  ring.push_count(EventType::kSerialize, 3);
+  ring.push(EventType::kAbort, /*enemy_tid=*/5);
+  std::uint64_t commits = 0, serializes = 0, aborts = 0;
+  int abort_enemy = -2;
+  ring.drain([&](const Event& e) {
+    switch (e.type) {
+      case EventType::kCommit: commits += e.count; break;
+      case EventType::kSerialize: serializes += e.count; break;
+      case EventType::kAbort:
+        aborts += e.count;
+        abort_enemy = e.enemy_tid;
+        break;
+      default: break;
+    }
+  });
+  EXPECT_EQ(commits, 40u);
+  EXPECT_EQ(serializes, 3u);
+  EXPECT_EQ(aborts, 1u);
+  EXPECT_EQ(abort_enemy, 5);
+}
+
+TEST(TelemetryBatch, FlushPublishesExactCountsAndResets) {
+  TelemetryBatch batch(/*flush_every=*/8);
+  for (int i = 0; i < 5; ++i) batch.add(EventType::kCommit);
+  batch.add(EventType::kSerialize);
+  batch.add(EventType::kStart);
+  EXPECT_FALSE(batch.should_flush());
+  EXPECT_EQ(batch.pending(), 7u);
+  batch.add(EventType::kCommit);
+  EXPECT_TRUE(batch.should_flush());
+
+  EventRing ring(6);
+  batch.flush(ring);
+  EXPECT_EQ(batch.pending(), 0u);
+  std::uint64_t commits = 0, serializes = 0, starts = 0, slots = 0;
+  ring.drain([&](const Event& e) {
+    ++slots;
+    if (e.type == EventType::kCommit) commits += e.count;
+    if (e.type == EventType::kSerialize) serializes += e.count;
+    if (e.type == EventType::kStart) starts += e.count;
+  });
+  EXPECT_EQ(commits, 6u);
+  EXPECT_EQ(serializes, 1u);
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(slots, 3u) << "8 logical events must cost 3 ring slots";
+  // Idempotent on empty.
+  batch.flush(ring);
+  EXPECT_EQ(ring.drain([](const Event&) {}).drained, 0u);
+}
+
+TEST(TelemetryBatch, OversizedCountsSplitAcrossSlotsNotTruncated) {
+  EventRing ring(8);
+  ring.stamp();
+  ring.push_count(EventType::kCommit, 200'000);  // > 16-bit aux field
+  std::uint64_t commits = 0, slots = 0;
+  ring.drain([&](const Event& e) {
+    ++slots;
+    commits += e.count;
+  });
+  EXPECT_EQ(commits, 200'000u);
+  EXPECT_EQ(slots, 4u);  // 3 full 0xffff chunks + remainder
+}
+
+TEST(TelemetryBatch, QuiesceTelemetryPublishesPartFullBatches) {
+  stm::TinyBackend backend;
+  runtime::AdaptiveConfig cfg;
+  cfg.sampler_interval_ms = 0.0;
+  cfg.max_threads = 4;
+  cfg.telemetry_flush_every = 32;
+  runtime::AdaptiveScheduler sched(backend, cfg);
+  for (int i = 0; i < 7; ++i) {  // well below the flush threshold
+    sched.before_start(2);
+    sched.on_commit(2);
+  }
+  // Without the quiesce the window would read 0 commits and the run-end
+  // export would permanently undercount.
+  sched.quiesce_telemetry();
+  ASSERT_TRUE(sched.tick(/*force=*/true));
+  const auto wins = sched.recent_windows();
+  ASSERT_FALSE(wins.empty());
+  EXPECT_EQ(wins.back().commits, 7u);
+}
+
+TEST(TelemetryBatch, AdaptiveFlushesAtThresholdAndAtAbort) {
+  stm::TinyBackend backend;
+  runtime::AdaptiveConfig cfg;
+  cfg.sampler_interval_ms = 0.0;  // manual ticks
+  cfg.max_threads = 4;
+  cfg.telemetry_flush_every = 16;
+  runtime::AdaptiveScheduler sched(backend, cfg);
+
+  // 40 commits: flushes at 16 and 32, leaving 8 pending in the batch.
+  for (int i = 0; i < 40; ++i) {
+    sched.before_start(0);
+    sched.on_commit(0);
+  }
+  auto close_window = [&](std::uint64_t* commits, std::uint64_t* aborts) {
+    ASSERT_TRUE(sched.tick(/*force=*/true));
+    const auto wins = sched.recent_windows();
+    ASSERT_FALSE(wins.empty());
+    *commits = wins.back().commits;
+    *aborts = wins.back().aborts;
+  };
+  std::uint64_t commits = 0, aborts = 0;
+  close_window(&commits, &aborts);
+  EXPECT_EQ(commits, 32u) << "only full batches should have been published";
+  EXPECT_EQ(aborts, 0u);
+
+  // An attempt dies mid-batch: flush-at-abort must publish the 8 pending
+  // commits before the abort event -- nothing is lost.
+  sched.before_start(0);
+  sched.on_abort(0, {}, /*enemy_tid=*/1);
+  close_window(&commits, &aborts);
+  EXPECT_EQ(commits, 8u) << "commits accumulated before the abort were lost";
+  EXPECT_EQ(aborts, 1u);
+}
+
+// --------------------------------------------------------- hash-once invariant
+
+struct RecordingHooks final : stm::SchedulerHooks {
+  std::vector<std::pair<const void*, std::uint64_t>> reads;
+  void before_start(int) override {}
+  void on_read(int, const void* addr, std::uint64_t hash) override {
+    reads.emplace_back(addr, hash);
+  }
+  void on_commit(int) override {}
+  void on_abort(int, std::span<void* const>, int) override {}
+  bool wants_read_hook() const override { return true; }
+};
+
+TEST(HashOnce, BackendPassesHashPtrOfEveryReadAddress) {
+  stm::TinyBackend backend;
+  txs::TVar<std::int64_t> vars[4];
+  RecordingHooks hooks;
+  auto& tx = backend.tx(0);
+  tx.set_scheduler(&hooks);
+  tx.start();
+  for (auto& v : vars) (void)v.read(tx);
+  tx.commit();
+  ASSERT_EQ(hooks.reads.size(), 4u);
+  for (const auto& [addr, hash] : hooks.reads) {
+    EXPECT_EQ(hash, util::hash_ptr(addr));
+    // The same value must drive the blocked-bloom probes (single-hash
+    // invariant: BlockedBloomFilter::hash_ptr IS util::hash_ptr).
+    EXPECT_EQ(hash, util::BlockedBloomFilter::hash_ptr(addr));
+  }
+}
+
+}  // namespace
+}  // namespace shrinktm

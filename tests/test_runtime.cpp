@@ -244,6 +244,11 @@ class AdaptiveSwitchingTest : public ::testing::Test {
     cfg.sampler_interval_ms = 0.0;  // manual ticks only
     cfg.max_threads = 8;
     cfg.record_starts = true;
+    // Per-event pushes: manual-tick trajectories assert exact window
+    // contents, which batched telemetry (flush every N) would smear across
+    // window boundaries.  Batching itself is covered by test_hotpath.cpp
+    // and the default-config integration tests below.
+    cfg.telemetry_flush_every = 1;
     sched_ = std::make_unique<runtime::AdaptiveScheduler>(backend_, cfg);
   }
 
