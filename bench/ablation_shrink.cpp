@@ -1,7 +1,8 @@
 // Ablation study: which of Shrink's ingredients carries the win?
 //
-// Variants on the overloaded STMBench7 write-dominated workload (TinySTM
-// backend, the paper's most scheduler-sensitive configuration):
+// Variants on the overloaded STMBench7 write-dominated workload (default
+// --backend tiny with busy waiting, the paper's most scheduler-sensitive
+// configuration):
 //   full         -- Shrink as shipped
 //   no-read-pred -- write-set prediction only
 //   no-write-pred-- read-set prediction only
@@ -11,8 +12,6 @@
 #include <iostream>
 
 #include "bench/common.hpp"
-#include "core/shrink.hpp"
-#include "stm/tiny.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/stmbench7.hpp"
 
@@ -27,17 +26,20 @@ struct Variant {
   bool read_pred, write_pred, affinity, enabled;
 };
 
-double run_variant(const BenchArgs& args, const Variant& v, int threads) {
+double run_variant(const BenchArgs& args, core::BackendKind backend,
+                   util::WaitPolicy wait, const Variant& v, int threads) {
   return mean_throughput(args, [&](int run) {
-    stm::StmConfig scfg;
-    scfg.wait_policy = util::WaitPolicy::kBusy;
-    stm::TinyBackend backend(scfg);
     core::ShrinkConfig cfg;
     cfg.use_read_prediction = v.read_pred;
     cfg.use_write_prediction = v.write_pred;
     cfg.use_affinity = v.affinity;
-    cfg.seed = args.seed + static_cast<std::uint64_t>(run);
-    core::ShrinkScheduler shrink(backend, cfg);
+    api::Runtime rt(api::RuntimeOptions{}
+                        .with_backend(backend)
+                        .with_scheduler(v.enabled ? core::SchedulerKind::kShrink
+                                                  : core::SchedulerKind::kNone)
+                        .with_wait_policy(wait)
+                        .with_shrink(cfg)
+                        .with_seed(args.seed + static_cast<std::uint64_t>(run)));
     Sb7Config wcfg;
     wcfg.mix = Sb7Mix::kWriteDominated;
     StmBench7 w(wcfg);
@@ -45,8 +47,7 @@ double run_variant(const BenchArgs& args, const Variant& v, int threads) {
     dcfg.threads = threads;
     dcfg.duration_ms = args.duration_ms;
     dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
-    return run_workload(backend, v.enabled ? &shrink : nullptr, w, dcfg)
-        .throughput;
+    return run_workload(rt, w, dcfg).throughput;
   });
 }
 
@@ -55,6 +56,8 @@ double run_variant(const BenchArgs& args, const Variant& v, int threads) {
 int main(int argc, char** argv) {
   BenchArgs args = parse_args(argc, argv, {8, 16, 24}, {8, 16, 24, 32});
   if (args.runs == 1) args.runs = 3;  // this study needs variance damping
+  const core::BackendKind backend = args.backend_or(core::BackendKind::kTiny);
+  const util::WaitPolicy wait = args.wait_or_native(backend);
 
   const Variant variants[] = {
       {"base", false, false, false, false},
@@ -64,16 +67,16 @@ int main(int argc, char** argv) {
       {"no-affinity", true, true, false, true},
   };
 
-  std::cout << "== Ablation: Shrink ingredients on STMBench7 write-dominated "
-               "(tiny backend, busy waiting; committed tx/s) ==\n";
-  BenchReporter rep("ablation_shrink", args);
+  std::cout << "== Ablation: Shrink ingredients on STMBench7 write-dominated ("
+            << core::backend_kind_name(backend) << " backend; committed tx/s) ==\n";
+  BenchReporter rep("ablation_shrink", args, backend);
   std::vector<std::string> header{"threads"};
   for (const auto& v : variants) header.emplace_back(v.name);
   util::TextTable t(header);
   for (int threads : args.threads) {
     t.row().cell(threads);
     for (const auto& v : variants) {
-      const double thr = run_variant(args, v, threads);
+      const double thr = run_variant(args, backend, wait, v, threads);
       t.cell(thr, 0);
       rep.add(v.name, {{"threads", static_cast<double>(threads)},
                        {"throughput", thr}});

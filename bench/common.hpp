@@ -14,6 +14,7 @@
 #include <iostream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,7 +33,22 @@ struct BenchArgs {
   int runs = 3;  // single-run cells are too noisy on oversubscribed boxes
   bool full = false;
   std::uint64_t seed = 42;
-  std::string json_path;  ///< --json override; "" = BENCH_<bench>.json
+  std::string json_path;  ///< --json override; "" = BENCH_<bench>[_<backend>].json
+  /// --backend tiny|swiss for the merged figure benches ("" = bench default).
+  std::string backend;
+  /// --wait busy|preemptive ("" = the selected backend's native default).
+  std::string wait;
+
+  core::BackendKind backend_or(core::BackendKind dflt) const {
+    return backend.empty() ? dflt : core::parse_backend_kind(backend);
+  }
+  util::WaitPolicy wait_or(util::WaitPolicy dflt) const {
+    return wait.empty() ? dflt : core::parse_wait_policy(wait);
+  }
+  /// --wait, defaulting to the selected backend's native flavour.
+  util::WaitPolicy wait_or_native(core::BackendKind backend) const {
+    return wait_or(core::native_wait_policy(backend));
+  }
 };
 
 inline std::vector<int> parse_int_list(const std::string& s) {
@@ -72,9 +88,14 @@ inline BenchArgs parse_args(int argc, char** argv, std::vector<int> quick_thread
       args.full = true;
     } else if (a == "--json") {
       args.json_path = next();
+    } else if (a == "--backend") {
+      args.backend = next();
+    } else if (a == "--wait") {
+      args.wait = next();
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --threads a,b,c  --duration-ms N  --runs N  "
-                   "--seed N  --full  --json PATH\n";
+                   "--seed N  --full  --json PATH  --backend tiny|swiss  "
+                   "--wait busy|preemptive\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << a << "\n";
@@ -137,6 +158,14 @@ class BenchReporter {
   BenchReporter(std::string bench, const BenchArgs& args)
       : bench_(std::move(bench)), args_(args) {}
 
+  /// Merged-figure flavour: the artifact carries a `"backend"` field and the
+  /// default path becomes BENCH_<bench>_<backend>.json, so one binary run
+  /// once per --backend value yields distinct artifacts.
+  BenchReporter(std::string bench, const BenchArgs& args,
+                core::BackendKind backend)
+      : bench_(std::move(bench)), args_(args),
+        backend_(core::backend_kind_name(backend)) {}
+
   using Fields = std::vector<std::pair<std::string, double>>;
 
   /// Append one point to `series` (created on first use, emitted in first-
@@ -160,7 +189,10 @@ class BenchReporter {
     os << "{\"bench\":\"" << runtime::json_escape(bench_)
        << "\",\"schema_version\":1,\"args\":{\"duration_ms\":" << args_.duration_ms
        << ",\"runs\":" << args_.runs << ",\"full\":" << (args_.full ? "true" : "false")
-       << ",\"seed\":" << args_.seed << ",\"threads\":[";
+       << ",\"seed\":" << args_.seed;
+    if (!backend_.empty())
+      os << ",\"backend\":\"" << runtime::json_escape(backend_) << "\"";
+    os << ",\"threads\":[";
     for (std::size_t i = 0; i < args_.threads.size(); ++i)
       os << (i ? "," : "") << args_.threads[i];
     os << "]},\"series\":[";
@@ -185,10 +217,14 @@ class BenchReporter {
     return os.str();
   }
 
-  /// Write BENCH_<bench>.json (or the --json override).
+  /// Write BENCH_<bench>[_<backend>].json (or the --json override).
   void write() const {
-    const std::string path =
-        args_.json_path.empty() ? "BENCH_" + bench_ + ".json" : args_.json_path;
+    std::string path = args_.json_path;
+    if (path.empty()) {
+      path = "BENCH_" + bench_;
+      if (!backend_.empty()) path += "_" + backend_;
+      path += ".json";
+    }
     emit_bench_json(path, json());
   }
 
@@ -199,6 +235,7 @@ class BenchReporter {
   };
   std::string bench_;
   BenchArgs args_;
+  std::string backend_;
   std::vector<Series> series_;
 };
 

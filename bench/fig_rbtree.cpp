@@ -1,0 +1,35 @@
+// Red-black-tree microbenchmark figures, one binary for both backends
+// (collapses the old fig7_rbtree_swiss / fig11_rbtree_tiny forks):
+//
+//   --backend swiss     Figure 7: SwissTM-style -- quantifies Shrink's
+//                       overhead at low thread counts and ATS's much larger
+//                       overhead
+//   --backend tiny      Figure 11 (appendix): TinySTM-style -- base
+//                       throughput collapses past the core count,
+//                       Shrink-TinySTM stays an order of magnitude higher
+//
+// Emits BENCH_fig_rbtree_<backend>.json with a "backend" field.
+#include "bench/sweeps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  const core::BackendKind backend = args.backend_or(core::BackendKind::kSwiss);
+  const util::WaitPolicy wait = args.wait_or_native(backend);
+
+  const bool swiss = backend == core::BackendKind::kSwiss;
+  const char* label = swiss ? "Figure 7" : "Figure 11";
+  const std::vector<core::SchedulerKind> kinds =
+      swiss ? std::vector<core::SchedulerKind>{core::SchedulerKind::kNone,
+                                               core::SchedulerKind::kShrink,
+                                               core::SchedulerKind::kAts}
+            : std::vector<core::SchedulerKind>{core::SchedulerKind::kNone,
+                                               core::SchedulerKind::kShrink};
+
+  BenchReporter rep("fig_rbtree", args, backend);
+  rbtree_throughput_sweep(args, backend, wait, kinds, label, &rep);
+  rep.write();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// STAMP-mini speedup figures: Shrink-X over base X, one binary for both
+// backends (collapses the old fig6_stamp_swiss / fig10_stamp_tiny forks):
+//
+//   --backend swiss     Figure 6: SwissTM-style, preemptive waiting,
+//                       underloaded and overloaded thread counts
+//   --backend tiny      Figure 10 (appendix): TinySTM-style, busy waiting;
+//                       the base collapses on intruder/vacation/yada when
+//                       overloaded, so speedups get very large
+//
+// Emits BENCH_fig_stamp_<backend>.json with a "backend" field.
+#include "bench/sweeps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, stamp_quick_grid(), stamp_paper_grid());
+  const core::BackendKind backend = args.backend_or(core::BackendKind::kSwiss);
+  const util::WaitPolicy wait = args.wait_or_native(backend);
+  const char* label =
+      backend == core::BackendKind::kSwiss ? "Figure 6" : "Figure 10";
+
+  BenchReporter rep("fig_stamp", args, backend);
+  stamp_speedup_sweep(args, backend, wait, label, &rep);
+  rep.write();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// STMBench7 throughput figures, one binary for every backend/waiting
+// combination (collapses the old fig5_stmbench7_swiss / fig8_stmbench7_tiny
+// / fig9_stmbench7_swiss_busy forks):
+//
+//   --backend swiss                  Figure 5: SwissTM-style, preemptive
+//                                    waiting, base / Pool / Shrink / ATS
+//   --backend tiny                   Figure 8: TinySTM-style, busy waiting;
+//                                    the base collapses overloaded, Shrink
+//                                    rescues it
+//   --backend swiss --wait busy      Figure 9 (appendix): SwissTM-style
+//                                    with busy waiting
+//
+// Emits BENCH_fig_stmbench7[_<wait>]_<backend>.json with a "backend" field
+// (the wait suffix appears only when --wait overrides the backend's native
+// flavour, e.g. BENCH_fig_stmbench7_busy_swiss.json for Figure 9).
+#include "bench/sweeps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+  const BenchArgs args =
+      parse_args(argc, argv, quick_thread_grid(), paper_thread_grid());
+  const core::BackendKind backend = args.backend_or(core::BackendKind::kSwiss);
+  const util::WaitPolicy native = core::native_wait_policy(backend);
+  const util::WaitPolicy wait = args.wait_or(native);
+
+  const bool swiss = backend == core::BackendKind::kSwiss;
+  const bool busy = wait == util::WaitPolicy::kBusy;
+  const char* label = swiss ? (busy ? "Figure 9" : "Figure 5")
+                            : (busy ? "Figure 8" : "STMBench7 (tiny, preemptive)");
+  // Figure 5 compares the full scheduler field; the overload-collapse
+  // figures need only base vs Shrink.
+  const std::vector<core::SchedulerKind> kinds =
+      (swiss && !busy)
+          ? std::vector<core::SchedulerKind>{core::SchedulerKind::kNone,
+                                             core::SchedulerKind::kPool,
+                                             core::SchedulerKind::kShrink,
+                                             core::SchedulerKind::kAts}
+          : std::vector<core::SchedulerKind>{core::SchedulerKind::kNone,
+                                             core::SchedulerKind::kShrink};
+
+  std::string bench_name = "fig_stmbench7";
+  if (wait != native)
+    bench_name += std::string("_") + core::wait_policy_name(wait);
+  BenchReporter rep(bench_name, args, backend);
+  sb7_throughput_sweep(args, backend, wait, kinds, label, &rep);
+  rep.write();
+  return 0;
+}

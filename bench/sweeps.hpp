@@ -1,5 +1,8 @@
-// Reusable sweep drivers behind the figure benches (5/7/8/9/11 share their
-// shape and differ only in backend, waiting policy and scheduler set).
+// Reusable sweep drivers behind the figure benches.  Figures 5/8/9, 6/10
+// and 7/11 share their shape and differ only in backend, waiting policy and
+// scheduler set -- all of which are now RuntimeOptions knobs, so the sweeps
+// are plain functions over core::BackendKind instead of templates over
+// backend types (one binary serves both backends via --backend).
 #pragma once
 
 #include <iostream>
@@ -7,9 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "api/shrinktm.hpp"
 #include "bench/common.hpp"
-#include "core/factory.hpp"
-#include "stm/config.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/rbtree_bench.hpp"
 #include "workloads/stamp/registry.hpp"
@@ -17,19 +19,32 @@
 
 namespace shrinktm::bench {
 
+inline api::RuntimeOptions sweep_options(core::BackendKind backend,
+                                         core::SchedulerKind kind,
+                                         util::WaitPolicy wait,
+                                         std::uint64_t seed) {
+  return api::RuntimeOptions{}
+      .with_backend(backend)
+      .with_scheduler(kind)
+      .with_wait_policy(wait)
+      .with_seed(seed);
+}
+
 /// STMBench7 throughput sweep: one table per workload mix, one column per
 /// scheduler, one row per thread count.  Figures 5, 8 and 9.  Each cell is
 /// also recorded as a reporter point ("<mix>/<scheduler>" series).
-template <typename Backend>
-void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
-                          const std::vector<core::SchedulerKind>& kinds,
-                          const char* figure_label,
-                          BenchReporter* rep = nullptr) {
+inline void sb7_throughput_sweep(const BenchArgs& args,
+                                 core::BackendKind backend,
+                                 util::WaitPolicy wait,
+                                 const std::vector<core::SchedulerKind>& kinds,
+                                 const char* figure_label,
+                                 BenchReporter* rep = nullptr) {
   for (auto mix : {workloads::Sb7Mix::kReadDominated, workloads::Sb7Mix::kReadWrite,
                    workloads::Sb7Mix::kWriteDominated}) {
     std::cout << "== " << figure_label << ": STMBench7 "
-              << workloads::sb7_mix_name(mix) << " (" << Backend::kName << ", "
-              << (wait == util::WaitPolicy::kBusy ? "busy" : "preemptive")
+              << workloads::sb7_mix_name(mix) << " ("
+              << core::backend_kind_name(backend) << ", "
+              << core::wait_policy_name(wait)
               << " waiting; committed tx/s) ==\n";
     std::vector<std::string> header{"threads"};
     for (auto k : kinds) header.emplace_back(core::scheduler_kind_name(k));
@@ -38,21 +53,16 @@ void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
       t.row().cell(threads);
       for (auto kind : kinds) {
         const double thr = mean_throughput(args, [&](int run) {
-          stm::StmConfig scfg;
-          scfg.wait_policy = wait;
-          Backend backend(scfg);
-          core::SchedulerOptions opts;
-          opts.wait_policy = wait;
-          opts.seed = args.seed + static_cast<std::uint64_t>(run);
-          auto sched = core::make_scheduler(kind, backend, opts);
+          const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(run);
+          api::Runtime rt(sweep_options(backend, kind, wait, seed));
           workloads::Sb7Config wcfg;
           wcfg.mix = mix;
           workloads::StmBench7 w(wcfg);
           workloads::DriverConfig dcfg;
           dcfg.threads = threads;
           dcfg.duration_ms = args.duration_ms;
-          dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
-          return workloads::run_workload(backend, sched.get(), w, dcfg).throughput;
+          dcfg.seed = seed;
+          return workloads::run_workload(rt, w, dcfg).throughput;
         });
         t.cell(thr, 0);
         if (rep != nullptr)
@@ -68,14 +78,16 @@ void sb7_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
 }
 
 /// Red-black-tree microbenchmark sweep (Figures 7 and 11).
-template <typename Backend>
-void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
-                             const std::vector<core::SchedulerKind>& kinds,
-                             const char* figure_label,
-                             BenchReporter* rep = nullptr) {
+inline void rbtree_throughput_sweep(const BenchArgs& args,
+                                    core::BackendKind backend,
+                                    util::WaitPolicy wait,
+                                    const std::vector<core::SchedulerKind>& kinds,
+                                    const char* figure_label,
+                                    BenchReporter* rep = nullptr) {
   for (int update_pct : {20, 70}) {
     std::cout << "== " << figure_label << ": red-black tree, " << update_pct
-              << "% updates (" << Backend::kName << "; committed tx/s) ==\n";
+              << "% updates (" << core::backend_kind_name(backend)
+              << "; committed tx/s) ==\n";
     std::vector<std::string> header{"threads"};
     for (auto k : kinds) header.emplace_back(core::scheduler_kind_name(k));
     util::TextTable t(header);
@@ -83,20 +95,15 @@ void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
       t.row().cell(threads);
       for (auto kind : kinds) {
         const double thr = mean_throughput(args, [&](int run) {
-          stm::StmConfig scfg;
-          scfg.wait_policy = wait;
-          Backend backend(scfg);
-          core::SchedulerOptions opts;
-          opts.wait_policy = wait;
-          opts.seed = args.seed + static_cast<std::uint64_t>(run);
-          auto sched = core::make_scheduler(kind, backend, opts);
+          const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(run);
+          api::Runtime rt(sweep_options(backend, kind, wait, seed));
           workloads::RBTreeBench w(workloads::RBTreeBenchConfig{
               .key_range = 16384, .update_percent = update_pct});
           workloads::DriverConfig dcfg;
           dcfg.threads = threads;
           dcfg.duration_ms = args.duration_ms;
-          dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
-          return workloads::run_workload(backend, sched.get(), w, dcfg).throughput;
+          dcfg.seed = seed;
+          return workloads::run_workload(rt, w, dcfg).throughput;
         });
         t.cell(thr, 0);
         if (rep != nullptr)
@@ -113,12 +120,14 @@ void rbtree_throughput_sweep(const BenchArgs& args, util::WaitPolicy wait,
 
 /// STAMP speedup sweep (Figures 6 and 10): Shrink-X over base X per app and
 /// thread count.  Prints throughput pairs and the speedup.
-template <typename Backend>
-void stamp_speedup_sweep(const BenchArgs& args, util::WaitPolicy wait,
-                         const char* figure_label,
-                         BenchReporter* rep = nullptr) {
+inline void stamp_speedup_sweep(const BenchArgs& args,
+                                core::BackendKind backend,
+                                util::WaitPolicy wait,
+                                const char* figure_label,
+                                BenchReporter* rep = nullptr) {
   std::cout << "== " << figure_label << ": STAMP speedup of shrink-"
-            << Backend::kName << " over base " << Backend::kName << " ==\n";
+            << core::backend_kind_name(backend) << " over base "
+            << core::backend_kind_name(backend) << " ==\n";
   std::vector<std::string> header{"app"};
   for (int th : args.threads) header.push_back(std::to_string(th) + "thr");
   util::TextTable t(header);
@@ -127,19 +136,13 @@ void stamp_speedup_sweep(const BenchArgs& args, util::WaitPolicy wait,
     for (int threads : args.threads) {
       auto run_one = [&](core::SchedulerKind kind) {
         return mean_throughput(args, [&](int run) {
-          stm::StmConfig scfg;
-          scfg.wait_policy = wait;
-          Backend backend(scfg);
-          core::SchedulerOptions opts;
-          opts.wait_policy = wait;
-          opts.seed = args.seed + static_cast<std::uint64_t>(run);
-          auto sched = core::make_scheduler(kind, backend, opts);
+          const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(run);
+          api::Runtime rt(sweep_options(backend, kind, wait, seed));
           workloads::DriverConfig dcfg;
           dcfg.threads = threads;
           dcfg.duration_ms = args.duration_ms;
-          dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
-          return workloads::stamp::run_stamp(app, backend, sched.get(), dcfg)
-              .throughput;
+          dcfg.seed = seed;
+          return workloads::stamp::run_stamp(app, rt, dcfg).throughput;
         });
       };
       const double base = run_one(core::SchedulerKind::kNone);

@@ -1,5 +1,6 @@
-// Adaptive runtime in ~70 lines: the scheduler watches the workload and
-// picks its own policy.
+// Adaptive runtime through the api facade: the scheduler watches the
+// workload and picks its own policy -- selecting it is one RuntimeOptions
+// line, not a hand-built scheduler object.
 //
 //   $ ./examples/example_adaptive_quickstart
 //
@@ -13,21 +14,20 @@
 #include <cstdio>
 #include <thread>
 
-#include "runtime/adaptive.hpp"
-#include "runtime/metrics_export.hpp"
-#include "stm/runner.hpp"
-#include "stm/swiss.hpp"
+#include "api/shrinktm.hpp"
 #include "txstruct/tvar.hpp"
 #include "util/rng.hpp"
 
 using namespace shrinktm;
 
 int main() {
-  stm::SwissBackend stm;
   runtime::AdaptiveConfig cfg;
   cfg.window_ms = 5.0;
   cfg.sampler_interval_ms = 2.5;
-  runtime::AdaptiveScheduler sched(stm, cfg);  // no policy chosen by a human
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kSwiss)
+                      .with_scheduler(core::SchedulerKind::kAdaptive)
+                      .with_adaptive(cfg));  // no policy chosen by a human
 
   constexpr int kAccounts = 4096;
   constexpr std::int64_t kInitial = 1000;
@@ -37,9 +37,9 @@ int main() {
   std::atomic<std::uint64_t> span{kAccounts};  // phase knob: hot-set size
   std::atomic<bool> stop{false};
 
-  auto worker = [&](int tid) {
-    stm::TxRunner<stm::SwissTx> atomically(stm.tx(tid), &sched);
-    util::Xoshiro256 rng(7000 + tid);
+  auto worker = [&](int seed) {
+    api::ThreadHandle th = rt.attach();
+    util::Xoshiro256 rng(7000 + seed);
     while (!stop.load(std::memory_order_relaxed)) {
       const auto s = span.load(std::memory_order_relaxed);
       const bool hot = s < 64;
@@ -47,7 +47,7 @@ int main() {
       auto to = rng.next_below(s);
       if (to == from) to = (to + 1) % s;
       const auto amount = static_cast<std::int64_t>(rng.next_below(5));
-      atomically.run([&](stm::SwissTx& tx) {
+      atomically(th, [&](api::Tx& tx) {
         const auto bal = accounts[from].read(tx);
         if (bal < amount) return;
         accounts[from].write(tx, bal - amount);
@@ -68,11 +68,12 @@ int main() {
   t2.join();
   t3.join();
   t4.join();
+  runtime::AdaptiveScheduler& sched = *rt.adaptive();
   sched.tick(true);
 
   std::int64_t total = 0;
   for (auto& a : accounts) total += a.unsafe_read();
-  const auto stats = stm.aggregate_stats();
+  const auto stats = rt.aggregate_stats();
   std::printf("adaptive quickstart: %llu commits, %llu aborts, final regime "
               "%s -- total %s\n",
               static_cast<unsigned long long>(stats.commits),

@@ -1,17 +1,17 @@
-// cad_database: drive the STMBench7-mini CAD object graph directly through
-// the public API -- build a module, run queries and structural edits from
-// several threads, then compare schedulers on the write-dominated mix.
+// cad_database: drive the STMBench7-mini CAD object graph through the
+// public api facade -- build a module, run queries and structural edits from
+// several threads, then compare schedulers on both backends.
 //
-//   $ ./examples/cad_database [threads]
+//   $ ./examples/example_cad_database [threads] [backend]
 //
 // This is the workload behind Figures 5/8/9; the example shows how a real
 // application would use the library: transactional containers (red-black
-// tree indices) plus application objects whose fields are TVars.
+// tree indices) plus application objects whose fields are TVars, with the
+// backend and scheduler chosen by name at runtime.
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/factory.hpp"
-#include "stm/swiss.hpp"
+#include "api/shrinktm.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/stmbench7.hpp"
 
@@ -20,21 +20,24 @@ using namespace shrinktm::workloads;
 
 int main(int argc, char** argv) {
   const int threads = argc > 1 ? std::atoi(argv[1]) : 12;
+  const core::BackendKind backend =
+      argc > 2 ? core::parse_backend_kind(argv[2]) : core::BackendKind::kSwiss;
 
-  std::printf("cad_database: STMBench7-mini object graph, %d threads\n\n", threads);
+  std::printf("cad_database: STMBench7-mini object graph, %d threads, %s backend\n\n",
+              threads, core::backend_kind_name(backend));
 
   for (auto mix : {Sb7Mix::kReadDominated, Sb7Mix::kWriteDominated}) {
     std::printf("-- %s workload --\n", sb7_mix_name(mix));
     for (auto kind : {core::SchedulerKind::kNone, core::SchedulerKind::kShrink}) {
-      stm::SwissBackend backend;
-      auto sched = core::make_scheduler(kind, backend);
+      api::Runtime rt(
+          api::RuntimeOptions{}.with_backend(backend).with_scheduler(kind));
       Sb7Config cfg;
       cfg.mix = mix;
       StmBench7 bench(cfg);
       DriverConfig dcfg;
       dcfg.threads = threads;
       dcfg.duration_ms = 300;
-      const RunResult res = run_workload(backend, sched.get(), bench, dcfg);
+      const RunResult res = run_workload(rt, bench, dcfg);
       std::printf("  %-8s  %8.0f tx/s  aborts %5.1f%%  parts alive %zu  %s\n",
                   core::scheduler_kind_name(kind), res.throughput,
                   100.0 * res.stm.abort_ratio(), bench.live_parts(),

@@ -1,40 +1,41 @@
-// Quickstart: transactional variables, a retry loop, and the Shrink
-// scheduler in ~60 lines.
+// Quickstart: the public shrinktm::api facade in ~60 lines.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/example_quickstart
 //
 // Two threads transfer money between accounts; a third audits the constant
-// total.  Everything shared lives in TVar<T>, all access goes through a
-// transaction descriptor, and TxRunner::run re-executes the lambda on
-// conflict.  Plugging in Shrink is one extra object.
+// total.  Everything shared lives in TVar<T>; all access happens inside
+// atomically(handle, body), whose body receives a backend-agnostic api::Tx&
+// and is re-executed on conflict.  The whole runtime -- which STM backend
+// (tiny|swiss), which scheduler (none|shrink|ats|...|adaptive), waiting
+// policy, seed -- is one declarative RuntimeOptions; swapping any of them
+// changes this line only, not the transaction code below.
 #include <cstdio>
 #include <thread>
 
-#include "core/shrink.hpp"
-#include "stm/runner.hpp"
-#include "stm/swiss.hpp"
+#include "api/shrinktm.hpp"
 #include "txstruct/tvar.hpp"
 #include "util/rng.hpp"
 
 using namespace shrinktm;
 
 int main() {
-  stm::SwissBackend stm;                    // a SwissTM-style runtime
-  core::ShrinkScheduler shrink(stm);        // the paper's scheduler
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kSwiss)
+                      .with_scheduler(core::SchedulerKind::kShrink));
 
   constexpr int kAccounts = 64;
   constexpr std::int64_t kInitial = 1000;
   txs::TVar<std::int64_t> accounts[kAccounts];
   for (auto& a : accounts) a.unsafe_write(kInitial);
 
-  auto worker = [&](int tid) {
-    stm::TxRunner<stm::SwissTx> atomically(stm.tx(tid), &shrink);
-    util::Xoshiro256 rng(1000 + tid);
+  auto worker = [&](int seed) {
+    api::ThreadHandle th = rt.attach();  // RAII tid, released at scope exit
+    util::Xoshiro256 rng(1000 + seed);
     for (int i = 0; i < 50'000; ++i) {
       const auto from = rng.next_below(kAccounts);
       const auto to = rng.next_below(kAccounts);
       const auto amount = static_cast<std::int64_t>(rng.next_below(10));
-      atomically.run([&](stm::SwissTx& tx) {
+      atomically(th, [&](api::Tx& tx) {
         const auto balance = accounts[from].read(tx);
         if (balance < amount) return;  // insufficient funds: commit a no-op
         accounts[from].write(tx, balance - amount);
@@ -43,10 +44,10 @@ int main() {
     }
   };
 
-  auto auditor = [&](int tid) {
-    stm::TxRunner<stm::SwissTx> atomically(stm.tx(tid), &shrink);
+  auto auditor = [&] {
+    api::ThreadHandle th = rt.attach();
     for (int i = 0; i < 2'000; ++i) {
-      const auto total = atomically.run([&](stm::SwissTx& tx) {
+      const auto total = atomically(th, [&](api::Tx& tx) {
         std::int64_t sum = 0;
         for (auto& a : accounts) sum += a.read(tx);
         return sum;
@@ -58,17 +59,20 @@ int main() {
     }
   };
 
-  std::thread t1(worker, 0), t2(worker, 1), t3(auditor, 2);
+  std::thread t1(worker, 0), t2(worker, 1), t3(auditor);
   t1.join();
   t2.join();
   t3.join();
 
-  const auto stats = stm.aggregate_stats();
-  std::printf("quickstart: %llu commits, %llu aborts (%.1f%%), "
-              "%llu serialized by shrink -- total conserved\n",
+  const auto stats = rt.aggregate_stats();
+  const auto* sched = rt.scheduler();  // nullptr when scheduler == kNone
+  std::printf("quickstart (%s/%s): %llu commits, %llu aborts (%.1f%%), "
+              "%llu serialized by the scheduler -- total conserved\n",
+              rt.backend_name(), rt.scheduler_name(),
               static_cast<unsigned long long>(stats.commits),
               static_cast<unsigned long long>(stats.aborts),
               100.0 * stats.abort_ratio(),
-              static_cast<unsigned long long>(shrink.sched_stats().serialized()));
+              static_cast<unsigned long long>(
+                  sched != nullptr ? sched->sched_stats().serialized() : 0));
   return 0;
 }

@@ -4,14 +4,14 @@
 // The shared queue is the paper's canonical scheduler-friendly hot spot
 // ("a high number of transactions dequeue elements from a single queue" --
 // §4.1 on intruder).  Run it and watch the abort ratio drop under Shrink
-// while throughput holds or improves.
+// while throughput holds or improves.  Schedulers are swapped through the
+// api facade: one RuntimeOptions change per configuration.
 //
-//   $ ./examples/task_pipeline [threads] [duration-ms]
+//   $ ./examples/example_task_pipeline [threads] [duration-ms] [backend]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/factory.hpp"
-#include "stm/tiny.hpp"
+#include "api/shrinktm.hpp"
 #include "workloads/driver.hpp"
 #include "workloads/stamp/intruder.hpp"
 
@@ -21,26 +21,27 @@ using namespace shrinktm::workloads;
 int main(int argc, char** argv) {
   const int threads = argc > 1 ? std::atoi(argv[1]) : 16;
   const int duration_ms = argc > 2 ? std::atoi(argv[2]) : 300;
+  const core::BackendKind backend =
+      argc > 3 ? core::parse_backend_kind(argv[3]) : core::BackendKind::kTiny;
 
-  std::printf("task_pipeline: %d threads, %d ms per configuration\n\n", threads,
-              duration_ms);
+  std::printf("task_pipeline: %d threads, %d ms per configuration, %s backend\n\n",
+              threads, duration_ms, core::backend_kind_name(backend));
   std::printf("%-10s %12s %10s %12s\n", "scheduler", "pkts/sec", "aborts%",
               "serialized");
 
   for (auto kind : {core::SchedulerKind::kNone, core::SchedulerKind::kShrink,
                     core::SchedulerKind::kAts}) {
-    stm::TinyBackend backend;  // busy-waiting TinySTM-style runtime
-    auto sched = core::make_scheduler(kind, backend);
+    api::Runtime rt(
+        api::RuntimeOptions{}.with_backend(backend).with_scheduler(kind));
     stamp::Intruder pipeline;
     DriverConfig cfg;
     cfg.threads = threads;
     cfg.duration_ms = duration_ms;
-    const RunResult res = run_workload(backend, sched.get(), pipeline, cfg);
+    const RunResult res = run_workload(rt, pipeline, cfg);
     std::printf("%-10s %12.0f %9.1f%% %12llu\n",
                 core::scheduler_kind_name(kind), res.throughput,
                 100.0 * res.stm.abort_ratio(),
-                static_cast<unsigned long long>(
-                    sched ? sched->sched_stats().serialized() : 0));
+                static_cast<unsigned long long>(res.serialized));
     if (!res.verified) {
       std::printf("pipeline invariants FAILED\n");
       return 1;

@@ -1,0 +1,203 @@
+// Runtime facade internals: backend/scheduler construction, tid bookkeeping
+// and the type-erased retry loop.  Everything per-transaction-hot lives in
+// the header (api::Tx dispatch, body thunks); this file is entered once per
+// transaction (run_erased) and once per attach/detach.
+#include "api/shrinktm.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stm/runner.hpp"
+
+namespace shrinktm::api {
+
+namespace {
+/// Process-unique Runtime ids for the implicit-handle cache: a destroyed
+/// Runtime's id is never reused, so stale thread-local entries can never
+/// alias a new instance.
+std::atomic<std::uint64_t> next_runtime_id{1};
+}  // namespace
+
+struct Runtime::Impl {
+  RuntimeOptions opts;
+  std::uint64_t id = next_runtime_id.fetch_add(1, std::memory_order_relaxed);
+  util::WaitPolicy wait = util::WaitPolicy::kPreemptive;
+
+  // Exactly one backend is live, selected by opts.backend.
+  std::unique_ptr<stm::TinyBackend> tiny;
+  std::unique_ptr<stm::SwissBackend> swiss;
+  std::unique_ptr<core::Scheduler> sched;
+  runtime::AdaptiveScheduler* adaptive = nullptr;  // view into sched
+
+  // tid space + per-tid cached runners.  The vectors are sized once at
+  // construction and never resized, so run_erased indexes them without
+  // locking; slots are created under tid_mutex at attach time and the
+  // attaching thread (or whoever it hands the handle to) is the only user
+  // of a slot while the tid is claimed.
+  std::mutex tid_mutex;
+  std::vector<bool> tid_used;
+  std::vector<std::unique_ptr<stm::TxRunner<stm::TinyTx>>> tiny_runners;
+  std::vector<std::unique_ptr<stm::TxRunner<stm::SwissTx>>> swiss_runners;
+
+  const stm::WriteOracle& oracle() const {
+    return tiny != nullptr ? static_cast<const stm::WriteOracle&>(*tiny)
+                           : static_cast<const stm::WriteOracle&>(*swiss);
+  }
+};
+
+Runtime::Runtime(RuntimeOptions opts) : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.opts = std::move(opts);
+  const RuntimeOptions& o = im.opts;
+
+  im.wait = o.wait_policy.value_or(core::native_wait_policy(o.backend));
+  stm::StmConfig scfg = o.stm;
+  scfg.wait_policy = im.wait;
+  scfg.max_threads = o.max_threads;
+  switch (o.backend) {
+    case core::BackendKind::kTiny:
+      im.tiny = std::make_unique<stm::TinyBackend>(scfg);
+      break;
+    case core::BackendKind::kSwiss:
+      im.swiss = std::make_unique<stm::SwissBackend>(scfg);
+      break;
+  }
+
+  switch (o.scheduler) {
+    case core::SchedulerKind::kShrink: {
+      core::ShrinkConfig cfg = o.shrink;
+      cfg.seed = o.seed;
+      cfg.max_threads = o.max_threads;
+      cfg.track_accuracy = cfg.track_accuracy || o.track_accuracy;
+      im.sched = std::make_unique<core::ShrinkScheduler>(im.oracle(), cfg);
+      break;
+    }
+    case core::SchedulerKind::kAdaptive: {
+      runtime::AdaptiveConfig cfg = o.adaptive;
+      cfg.seed = o.seed;
+      cfg.max_threads = o.max_threads;
+      cfg.shrink_high.track_accuracy |= o.track_accuracy;
+      cfg.shrink_pathological.track_accuracy |= o.track_accuracy;
+      auto adaptive =
+          std::make_unique<runtime::AdaptiveScheduler>(im.oracle(), cfg);
+      im.adaptive = adaptive.get();
+      im.sched = std::move(adaptive);
+      break;
+    }
+    default: {
+      core::SchedulerOptions so;
+      so.wait_policy = im.wait;
+      so.track_accuracy = o.track_accuracy;
+      so.seed = o.seed;
+      so.max_threads = o.max_threads;
+      im.sched = core::make_scheduler(o.scheduler, im.oracle(), so);
+      break;
+    }
+  }
+
+  im.tid_used.assign(o.max_threads, false);
+  if (im.tiny != nullptr) im.tiny_runners.resize(o.max_threads);
+  else im.swiss_runners.resize(o.max_threads);
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::attach_tid() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> g(im.tid_mutex);
+  for (std::size_t t = 0; t < im.tid_used.size(); ++t) {
+    if (im.tid_used[t]) continue;
+    im.tid_used[t] = true;
+    const int tid = static_cast<int>(t);
+    // Backend descriptors and runners persist across detach/re-attach; the
+    // scheduler pointer is fixed for the Runtime's lifetime, so a cached
+    // runner stays valid for whichever thread claims the tid next.
+    if (im.tiny != nullptr) {
+      if (im.tiny_runners[t] == nullptr)
+        im.tiny_runners[t] = std::make_unique<stm::TxRunner<stm::TinyTx>>(
+            im.tiny->tx(tid), im.sched.get());
+    } else {
+      if (im.swiss_runners[t] == nullptr)
+        im.swiss_runners[t] = std::make_unique<stm::TxRunner<stm::SwissTx>>(
+            im.swiss->tx(tid), im.sched.get());
+    }
+    return tid;
+  }
+  throw std::runtime_error("shrinktm::api::Runtime: out of thread slots (" +
+                           std::to_string(im.tid_used.size()) + ")");
+}
+
+void Runtime::detach_tid(int tid) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> g(im.tid_mutex);
+  im.tid_used[static_cast<std::size_t>(tid)] = false;
+}
+
+int Runtime::implicit_tid() {
+  // Per-thread cache of implicit registrations, newest runtime first.  The
+  // single-entry fast slot covers the common one-runtime case; ids are never
+  // reused, so entries for dead runtimes are inert.
+  thread_local std::uint64_t fast_id = 0;
+  thread_local int fast_tid = -1;
+  thread_local std::vector<std::pair<std::uint64_t, int>> rest;
+  const std::uint64_t id = impl_->id;
+  if (fast_id == id) return fast_tid;
+  for (auto& [rid, rtid] : rest) {
+    if (rid != id) continue;
+    std::swap(rid, fast_id);
+    std::swap(rtid, fast_tid);
+    return fast_tid;
+  }
+  const int tid = attach_tid();
+  if (fast_id != 0) rest.emplace_back(fast_id, fast_tid);
+  fast_id = id;
+  fast_tid = tid;
+  return tid;
+}
+
+void Runtime::run_erased(int tid, BodyFn fn, void* ctx) {
+  Impl& im = *impl_;
+  const auto t = static_cast<std::size_t>(tid);
+  if (im.tiny != nullptr) {
+    im.tiny_runners[t]->run([&](stm::TinyTx& tx) {
+      Tx view(tx);
+      fn(ctx, view);
+    });
+  } else {
+    im.swiss_runners[t]->run([&](stm::SwissTx& tx) {
+      Tx view(tx);
+      fn(ctx, view);
+    });
+  }
+}
+
+core::BackendKind Runtime::backend_kind() const { return impl_->opts.backend; }
+core::SchedulerKind Runtime::scheduler_kind() const {
+  return impl_->opts.scheduler;
+}
+const char* Runtime::backend_name() const {
+  return core::backend_kind_name(impl_->opts.backend);
+}
+const char* Runtime::scheduler_name() const {
+  return core::scheduler_kind_name(impl_->opts.scheduler);
+}
+util::WaitPolicy Runtime::wait_policy() const { return impl_->wait; }
+std::size_t Runtime::max_threads() const { return impl_->opts.max_threads; }
+
+core::Scheduler* Runtime::scheduler() { return impl_->sched.get(); }
+runtime::AdaptiveScheduler* Runtime::adaptive() { return impl_->adaptive; }
+
+stm::ThreadStats Runtime::aggregate_stats() const {
+  return impl_->tiny != nullptr ? impl_->tiny->aggregate_stats()
+                                : impl_->swiss->aggregate_stats();
+}
+
+void Runtime::reset_stats() {
+  if (impl_->tiny != nullptr) impl_->tiny->reset_stats();
+  else impl_->swiss->reset_stats();
+}
+
+}  // namespace shrinktm::api

@@ -1,0 +1,291 @@
+// shrinktm::api -- the library's public facade.
+//
+// The paper's point is that scheduling policy is swappable over an unchanged
+// STM; this layer makes the *backend* swappable over unchanged application
+// code.  A Runtime is built from a declarative RuntimeOptions (backend kind,
+// scheduler kind, waiting policy, seed) and owns backend + scheduler +
+// telemetry; callers get transactions through
+//
+//   api::Runtime rt(api::RuntimeOptions{}
+//                       .with_backend(core::BackendKind::kSwiss)
+//                       .with_scheduler(core::SchedulerKind::kShrink));
+//   api::ThreadHandle th = rt.attach();         // RAII tid
+//   long v = atomically(th, [&](api::Tx& tx) { ... });
+//
+// Type-erasure boundary (DESIGN.md §6): only the COLD control surface is
+// erased -- Runtime construction, tid assignment, and the retry loop live
+// behind a pimpl in runtime.cpp, where one TxRunner<Backend::Tx> per tid is
+// instantiated per backend.  The HOT calls stay static: api::Tx is a tagged
+// pair of concrete descriptor pointers, so load/store compile to one
+// predictable branch plus a direct (non-virtual) call into the backend, and
+// the user body is invoked through a single function pointer per attempt.
+// Adding a third backend means: extend core::BackendKind, add one descriptor
+// pointer + dispatch arm here, and one runner vector in runtime.cpp.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "core/factory.hpp"
+#include "core/shrink.hpp"
+#include "runtime/adaptive.hpp"
+#include "stm/config.hpp"
+#include "stm/stats.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "stm/word.hpp"
+
+namespace shrinktm::api {
+
+/// Backend-agnostic view of an in-flight transaction attempt, handed to
+/// atomically() bodies.  Thin: two pointers, exactly one non-null; every
+/// accessor is a branch on the tag plus a direct call into the concrete
+/// descriptor (no virtual dispatch on the read/write path).
+class Tx {
+ public:
+  explicit Tx(stm::TinyTx& tx) : tiny_(&tx), swiss_(nullptr) {}
+  explicit Tx(stm::SwissTx& tx) : tiny_(nullptr), swiss_(&tx) {}
+
+  stm::Word load(const stm::Word* addr) {
+    return tiny_ != nullptr ? tiny_->load(addr) : swiss_->load(addr);
+  }
+  void store(stm::Word* addr, stm::Word value) {
+    if (tiny_ != nullptr) tiny_->store(addr, value);
+    else swiss_->store(addr, value);
+  }
+
+  /// Transactional allocation: undone on abort, frees deferred to commit.
+  void* tx_alloc(std::size_t bytes) {
+    return tiny_ != nullptr ? tiny_->tx_alloc(bytes) : swiss_->tx_alloc(bytes);
+  }
+  void tx_free(void* p) {
+    if (tiny_ != nullptr) tiny_->tx_free(p);
+    else swiss_->tx_free(p);
+  }
+
+  /// User-requested restart of the current attempt.
+  [[noreturn]] void restart() {
+    if (tiny_ != nullptr) tiny_->restart();
+    swiss_->restart();
+  }
+
+  int tid() const { return tiny_ != nullptr ? tiny_->tid() : swiss_->tid(); }
+
+ private:
+  stm::TinyTx* tiny_;
+  stm::SwissTx* swiss_;
+};
+
+/// Declarative Runtime recipe.  Plain aggregate with chainable with_*
+/// setters; every knob has a sensible default, so `RuntimeOptions{}` is a
+/// base SwissTM-style runtime.
+struct RuntimeOptions {
+  core::BackendKind backend = core::BackendKind::kSwiss;
+  core::SchedulerKind scheduler = core::SchedulerKind::kNone;
+  /// Waiting flavour.  Unset = the backend's native default (tiny: busy,
+  /// swiss: preemptive), matching the paper's configurations.
+  std::optional<util::WaitPolicy> wait_policy;
+  /// Single seed knob: forwarded into the scheduler (and, per-thread salted,
+  /// into Shrink's affinity coins), overriding any seed inside the `shrink`
+  /// or `adaptive` sub-configs.
+  std::uint64_t seed = 0x5eed5eedULL;
+  /// Record per-transaction prediction accuracy (Figure 3 instrumentation).
+  bool track_accuracy = false;
+  /// Thread-slot capacity of the runtime (backend descriptors + scheduler
+  /// tables); attach() throws once exhausted.
+  std::size_t max_threads = 128;
+  /// Backend tuning beyond the declarative knobs.  Its wait_policy and
+  /// max_threads fields are overwritten from the options above.
+  stm::StmConfig stm;
+  /// Shrink tuning, consumed when scheduler == kShrink (ablations, retuned
+  /// thresholds).  seed/max_threads/track_accuracy above take precedence.
+  core::ShrinkConfig shrink;
+  /// Adaptive-runtime tuning, consumed when scheduler == kAdaptive.
+  runtime::AdaptiveConfig adaptive;
+
+  RuntimeOptions& with_backend(core::BackendKind k) { backend = k; return *this; }
+  RuntimeOptions& with_backend(const std::string& name) {
+    backend = core::parse_backend_kind(name);
+    return *this;
+  }
+  RuntimeOptions& with_scheduler(core::SchedulerKind k) { scheduler = k; return *this; }
+  RuntimeOptions& with_scheduler(const std::string& name) {
+    scheduler = core::parse_scheduler_kind(name);
+    return *this;
+  }
+  RuntimeOptions& with_wait_policy(util::WaitPolicy w) { wait_policy = w; return *this; }
+  RuntimeOptions& with_seed(std::uint64_t s) { seed = s; return *this; }
+  RuntimeOptions& with_track_accuracy(bool on = true) { track_accuracy = on; return *this; }
+  RuntimeOptions& with_max_threads(std::size_t n) { max_threads = n; return *this; }
+  RuntimeOptions& with_stm(const stm::StmConfig& cfg) { stm = cfg; return *this; }
+  RuntimeOptions& with_shrink(const core::ShrinkConfig& cfg) { shrink = cfg; return *this; }
+  RuntimeOptions& with_adaptive(const runtime::AdaptiveConfig& cfg) {
+    adaptive = cfg;
+    return *this;
+  }
+};
+
+class ThreadHandle;
+
+/// Owns one backend instance, its scheduler, and the tid space.  All
+/// transactional work flows through ThreadHandles (explicit attach()) or the
+/// per-thread implicit handle used by run()/atomically(rt, ...).
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Claim the lowest free tid; released when the handle is destroyed.
+  /// Throws std::runtime_error once max_threads tids are in use.
+  ThreadHandle attach();
+
+  /// Run `body` to commit on this thread's implicit handle, attaching one on
+  /// first use.  Implicit tids are cached per (thread, runtime) and live
+  /// until the Runtime is destroyed -- for heavy thread churn prefer
+  /// explicit attach(), which recycles tids deterministically.
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run(Body&& body) {
+    return run_with_tid(implicit_tid(), body);
+  }
+
+  // ---- introspection / experiment plumbing ----
+  core::BackendKind backend_kind() const;
+  core::SchedulerKind scheduler_kind() const;
+  const char* backend_name() const;
+  const char* scheduler_name() const;
+  util::WaitPolicy wait_policy() const;
+  std::size_t max_threads() const;
+
+  /// The owned scheduler; nullptr when scheduler == kNone (base STM).
+  core::Scheduler* scheduler();
+  /// The owned scheduler as AdaptiveScheduler; nullptr for other kinds.
+  runtime::AdaptiveScheduler* adaptive();
+
+  stm::ThreadStats aggregate_stats() const;
+  void reset_stats();
+
+ private:
+  friend class ThreadHandle;
+  struct Impl;
+
+  using BodyFn = void (*)(void* ctx, Tx& tx);
+
+  // Cold control surface (runtime.cpp): tid bookkeeping and the retry loop
+  // over the per-backend runner for `tid`.
+  int attach_tid();
+  void detach_tid(int tid);
+  int implicit_tid();
+  void run_erased(int tid, BodyFn fn, void* ctx);
+
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run_with_tid(int tid, Body& body) {
+    using B = std::remove_reference_t<Body>;
+    using R = std::invoke_result_t<Body&, Tx&>;
+    if constexpr (std::is_void_v<R>) {
+      run_erased(
+          tid, [](void* c, Tx& tx) { (*static_cast<B*>(c))(tx); }, &body);
+    } else {
+      static_assert(!std::is_reference_v<R>,
+                    "atomically() bodies must return by value");
+      struct Ctx {
+        B* body;
+        std::optional<R>* out;
+      };
+      std::optional<R> out;
+      Ctx ctx{&body, &out};
+      // emplace runs once per attempt that reaches commit; a retried commit
+      // simply overwrites the previous attempt's value.
+      run_erased(
+          tid,
+          [](void* c, Tx& tx) {
+            auto* cc = static_cast<Ctx*>(c);
+            cc->out->emplace((*cc->body)(tx));
+          },
+          &ctx);
+      return std::move(*out);
+    }
+  }
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// RAII claim on one tid of a Runtime.  Move-only; unregisters (and frees
+/// the tid for reuse) on destruction.  One thread drives a handle at a time
+/// -- the usual STM descriptor contract.
+class ThreadHandle {
+ public:
+  ThreadHandle() = default;
+  ThreadHandle(ThreadHandle&& o) noexcept : rt_(o.rt_), tid_(o.tid_) {
+    o.rt_ = nullptr;
+    o.tid_ = -1;
+  }
+  ThreadHandle& operator=(ThreadHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      rt_ = o.rt_;
+      tid_ = o.tid_;
+      o.rt_ = nullptr;
+      o.tid_ = -1;
+    }
+    return *this;
+  }
+  ~ThreadHandle() { release(); }
+
+  ThreadHandle(const ThreadHandle&) = delete;
+  ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+  bool attached() const { return rt_ != nullptr; }
+  int tid() const { return tid_; }
+  Runtime& runtime() const { return *rt_; }
+
+  /// Run `body` to commit on this handle's tid.  Returns the body's value
+  /// from the committed attempt; non-TxConflict exceptions cancel the
+  /// attempt and propagate.
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run(Body&& body) {
+    return rt_->run_with_tid(tid_, body);
+  }
+
+ private:
+  friend class Runtime;
+  ThreadHandle(Runtime* rt, int tid) : rt_(rt), tid_(tid) {}
+
+  void release() {
+    if (rt_ != nullptr) {
+      rt_->detach_tid(tid_);
+      rt_ = nullptr;
+      tid_ = -1;
+    }
+  }
+
+  Runtime* rt_ = nullptr;
+  int tid_ = -1;
+};
+
+inline ThreadHandle Runtime::attach() { return ThreadHandle(this, attach_tid()); }
+
+/// The entry point: run `body` as one transaction, retrying on conflict.
+template <typename Body>
+  requires std::invocable<Body&, Tx&>
+auto atomically(ThreadHandle& th, Body&& body) {
+  return th.run(std::forward<Body>(body));
+}
+
+/// Convenience overload on the runtime's implicit per-thread handle.
+template <typename Body>
+  requires std::invocable<Body&, Tx&>
+auto atomically(Runtime& rt, Body&& body) {
+  return rt.run(std::forward<Body>(body));
+}
+
+}  // namespace shrinktm::api

@@ -54,6 +54,9 @@ class AtsScheduler final : public Scheduler {
     release(ts);
   }
 
+  /// User cancel: release the queue without moving the contention intensity.
+  void on_cancel(int tid) override { release(state(tid)); }
+
   double contention_intensity(int tid) const {
     return threads_[tid] ? threads_[tid]->ci : 0.0;
   }

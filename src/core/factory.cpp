@@ -1,5 +1,7 @@
 #include "core/factory.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 #include "core/ats.hpp"
@@ -22,14 +24,60 @@ const char* scheduler_kind_name(SchedulerKind kind) {
   return "?";
 }
 
+namespace {
+std::string to_lower(const std::string& s) {
+  std::string out(s.size(), '\0');
+  std::transform(s.begin(), s.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+}  // namespace
+
 SchedulerKind parse_scheduler_kind(const std::string& name) {
-  if (name == "none" || name == "base") return SchedulerKind::kNone;
-  if (name == "shrink") return SchedulerKind::kShrink;
-  if (name == "ats") return SchedulerKind::kAts;
-  if (name == "pool") return SchedulerKind::kPool;
-  if (name == "serializer") return SchedulerKind::kSerializer;
-  if (name == "adaptive") return SchedulerKind::kAdaptive;
-  throw std::invalid_argument("unknown scheduler: " + name);
+  const std::string n = to_lower(name);
+  if (n == "none" || n == "base") return SchedulerKind::kNone;
+  if (n == "shrink") return SchedulerKind::kShrink;
+  if (n == "ats") return SchedulerKind::kAts;
+  if (n == "pool") return SchedulerKind::kPool;
+  if (n == "serializer") return SchedulerKind::kSerializer;
+  if (n == "adaptive") return SchedulerKind::kAdaptive;
+  throw std::invalid_argument(
+      "unknown scheduler: " + name +
+      " (valid: none|base, shrink, ats, pool, serializer, adaptive)");
+}
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kTiny: return "tiny";
+    case BackendKind::kSwiss: return "swiss";
+  }
+  return "?";
+}
+
+BackendKind parse_backend_kind(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "tiny") return BackendKind::kTiny;
+  if (n == "swiss") return BackendKind::kSwiss;
+  throw std::invalid_argument("unknown backend: " + name +
+                              " (valid: tiny, swiss)");
+}
+
+util::WaitPolicy native_wait_policy(BackendKind kind) {
+  return kind == BackendKind::kTiny ? util::WaitPolicy::kBusy
+                                    : util::WaitPolicy::kPreemptive;
+}
+
+const char* wait_policy_name(util::WaitPolicy wait) {
+  return wait == util::WaitPolicy::kBusy ? "busy" : "preemptive";
+}
+
+util::WaitPolicy parse_wait_policy(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "busy") return util::WaitPolicy::kBusy;
+  if (n == "preemptive") return util::WaitPolicy::kPreemptive;
+  throw std::invalid_argument("unknown wait policy: " + name +
+                              " (valid: busy, preemptive)");
 }
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
@@ -42,17 +90,23 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
       ShrinkConfig cfg;
       cfg.track_accuracy = opts.track_accuracy;
       cfg.seed = opts.seed;
+      cfg.max_threads = opts.max_threads;
       return std::make_unique<ShrinkScheduler>(oracle, cfg);
     }
-    case SchedulerKind::kAts:
-      return std::make_unique<AtsScheduler>();
+    case SchedulerKind::kAts: {
+      AtsConfig cfg;
+      cfg.max_threads = opts.max_threads;
+      return std::make_unique<AtsScheduler>(cfg);
+    }
     case SchedulerKind::kPool:
-      return std::make_unique<PoolScheduler>();
+      return std::make_unique<PoolScheduler>(opts.max_threads);
     case SchedulerKind::kSerializer:
-      return std::make_unique<SerializerScheduler>(opts.wait_policy);
+      return std::make_unique<SerializerScheduler>(opts.wait_policy,
+                                                   opts.max_threads);
     case SchedulerKind::kAdaptive: {
       runtime::AdaptiveConfig cfg;
       cfg.seed = opts.seed;
+      cfg.max_threads = opts.max_threads;
       cfg.shrink_high.track_accuracy = opts.track_accuracy;
       cfg.shrink_pathological.track_accuracy = opts.track_accuracy;
       return std::make_unique<runtime::AdaptiveScheduler>(oracle, cfg);

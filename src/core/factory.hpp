@@ -1,4 +1,5 @@
-// Scheduler factory used by the workload driver, examples and benches.
+// Scheduler and backend kind factory used by the api facade, workload
+// driver, examples and benches.
 #pragma once
 
 #include <memory>
@@ -21,14 +22,44 @@ enum class SchedulerKind {
 
 const char* scheduler_kind_name(SchedulerKind kind);
 
-/// Parse "none"/"base", "shrink", "ats", "pool", "serializer", "adaptive";
-/// throws std::invalid_argument otherwise.
+/// Parse "none"/"base", "shrink", "ats", "pool", "serializer", "adaptive"
+/// (case-insensitive); throws std::invalid_argument listing the valid kinds
+/// otherwise.
 SchedulerKind parse_scheduler_kind(const std::string& name);
+
+/// Which STM backend a Runtime is built over.  The enum lives at the core
+/// layer (not src/stm/) so command-line parsing and the api facade share one
+/// vocabulary without the core headers depending on concrete backend types.
+enum class BackendKind {
+  kTiny,   ///< TinySTM-style: eager locking, suicide CM, busy waiting
+  kSwiss,  ///< SwissTM-style: two-phase CM, preemptive waiting
+};
+
+const char* backend_kind_name(BackendKind kind);
+
+/// Parse "tiny" / "swiss" (case-insensitive); throws std::invalid_argument
+/// listing the valid kinds otherwise.
+BackendKind parse_backend_kind(const std::string& name);
+
+/// The backend's native waiting flavour, matching the paper's
+/// configurations: tiny (TinySTM 0.9.5) busy-waits, swiss (SwissTM §4.1)
+/// waits preemptively.  Single source of truth for the api::Runtime default
+/// and every bench's --wait fallback.
+util::WaitPolicy native_wait_policy(BackendKind kind);
+
+const char* wait_policy_name(util::WaitPolicy wait);
+
+/// Parse "busy" / "preemptive" (case-insensitive); throws
+/// std::invalid_argument listing the valid flavours otherwise.
+util::WaitPolicy parse_wait_policy(const std::string& name);
 
 struct SchedulerOptions {
   util::WaitPolicy wait_policy = util::WaitPolicy::kPreemptive;
   bool track_accuracy = false;
   std::uint64_t seed = 0x5eed5eedULL;
+  /// Sizes every scheduler's per-thread table; must cover the highest tid
+  /// that will ever reach a hook.
+  std::size_t max_threads = 128;
 };
 
 /// Builds a scheduler (nullptr for kNone: the runner treats a null scheduler

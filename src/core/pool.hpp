@@ -42,6 +42,11 @@ class PoolScheduler final : public Scheduler {
     release(ts);
   }
 
+  /// User cancel: release the lock but leave `contended` untouched -- a
+  /// cancel is not a real outcome, so the serialize-after-abort debt from a
+  /// genuine conflict persists until the next commit clears it.
+  void on_cancel(int tid) override { release(state(tid)); }
+
   bool serialized_now(int tid) const override {
     return threads_[tid] && threads_[tid]->owns_lock;
   }

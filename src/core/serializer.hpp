@@ -60,6 +60,12 @@ class SerializerScheduler final : public Scheduler {
     }
   }
 
+  /// User cancel: the attempt still completed (threads waiting on our
+  /// completion counter must advance), but we adopt no enemy to wait for.
+  void on_cancel(int tid) override {
+    state(tid).completions.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   struct alignas(util::kCacheLine) ThreadState {
     std::atomic<std::uint64_t> completions{0};

@@ -94,6 +94,19 @@ void ShrinkScheduler::on_abort(int tid, std::span<void* const> write_addrs,
   }
 }
 
+void ShrinkScheduler::on_cancel(int tid) {
+  // User cancel: release the serialization lock if this attempt held it, but
+  // leave the success rate and predictor untouched -- a cancel carries no
+  // contention signal, and the next before_start's begin_tx resets the
+  // per-transaction tracking state anyway.
+  ThreadState& ts = state(tid);
+  if (ts.owns_global) {
+    ts.owns_global = false;
+    global_lock_.unlock();
+    wait_count_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
 util::OnlineStats ShrinkScheduler::aggregate_read_accuracy() const {
   util::OnlineStats all;
   for (const auto& t : threads_)

@@ -70,6 +70,7 @@ class ShrinkScheduler final : public Scheduler {
   void on_write(int tid, const void* addr) override;
   void on_commit(int tid) override;
   void on_abort(int tid, std::span<void* const> write_addrs, int enemy_tid) override;
+  void on_cancel(int tid) override;
   bool wants_read_hook() const override { return true; }
   bool wants_write_hook() const override { return cfg_.track_accuracy; }
   bool read_hook_active(int tid) const override {

@@ -158,6 +158,15 @@ void AdaptiveScheduler::on_abort(int tid, std::span<void* const> write_addrs,
   if (p != nullptr) p->on_abort(tid, write_addrs, enemy_tid);
 }
 
+void AdaptiveScheduler::on_cancel(int tid) {
+  // User cancel: no telemetry event -- a cancelled attempt is neither a
+  // commit nor a conflict, so it must not move the abort ratio or the
+  // conflict matrix the regime classifier consumes.  The pinned policy still
+  // gets its cancel hook so serialization locks are released.
+  core::Scheduler* p = pinned(tid);
+  if (p != nullptr && p != base_.get()) p->on_cancel(tid);
+}
+
 bool AdaptiveScheduler::read_hook_active(int tid) const {
   core::Scheduler* p = pinned(tid);
   // Backends query this every transaction start; the base-policy compare

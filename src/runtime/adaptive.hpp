@@ -123,6 +123,7 @@ class AdaptiveScheduler final : public core::Scheduler {
   void on_commit(int tid) override;
   void on_abort(int tid, std::span<void* const> write_addrs,
                 int enemy_tid) override;
+  void on_cancel(int tid) override;
   bool wants_read_hook() const override { return true; }
   /// Backends cache this once at set_scheduler: it must be true whenever an
   /// inner Shrink could consume on_write (accuracy instrumentation).

@@ -43,6 +43,15 @@ class SchedulerHooks {
   virtual void on_abort(int tid, std::span<void* const> write_addrs,
                         int enemy_tid) = 0;
 
+  /// Called when an attempt is rolled back because the *user* cancelled it
+  /// (a non-TxConflict exception escaped the body), not because of a
+  /// conflict.  Schedulers must release any per-attempt state (serialization
+  /// locks, policy pins) but should NOT feed their conflict accounting:
+  /// a cancel says nothing about contention.  The default delegates to
+  /// on_abort with an empty write set and no enemy, preserving the legacy
+  /// cancel-counts-as-abort behaviour for hooks that predate this split.
+  virtual void on_cancel(int tid) { on_abort(tid, {}, -1); }
+
   virtual bool wants_read_hook() const { return false; }
   virtual bool wants_write_hook() const { return false; }
 

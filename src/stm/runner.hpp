@@ -74,8 +74,9 @@ class TxRunner {
       tx_.restart();  // rolls back and throws TxConflict
     } catch (const TxConflict&) {
     }
-    if (sched_ != nullptr)
-      sched_->on_abort(tx_.tid(), tx_.last_write_addrs(), -1);
+    // A cancel is not a conflict: the dedicated hook releases per-attempt
+    // scheduler state without polluting abort stats or the conflict matrix.
+    if (sched_ != nullptr) sched_->on_cancel(tx_.tid());
   }
 
   Tx& tx_;

@@ -10,6 +10,9 @@
 //   void op(Runner&, int tid, Rng&)    -- one application operation (runs
 //                                         one or more transactions)
 //   bool verify(Runner&)               -- post-run invariant check
+// where Runner is anything with run(body): an api::ThreadHandle (the facade
+// entry point benches and examples use) or a raw stm::TxRunner (tests that
+// drive a backend directly).
 #pragma once
 
 #include <atomic>
@@ -19,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/shrinktm.hpp"
 #include "core/factory.hpp"
 #include "core/shrink.hpp"
 #include "stm/runner.hpp"
@@ -49,7 +53,25 @@ struct RunResult {
   bool verified = false;              ///< workload invariants held after run
 };
 
-/// Runs `workload` on `backend` under `sched` (nullptr = base STM).
+namespace detail {
+/// Scheduler-derived RunResult fields shared by both driver flavours.
+inline void fill_scheduler_results(RunResult& res, core::Scheduler* sched) {
+  if (sched == nullptr) return;
+  res.serialized = sched->sched_stats().serialized();
+  if (auto* shrink = dynamic_cast<core::ShrinkScheduler*>(sched)) {
+    const auto ra = shrink->aggregate_read_accuracy();
+    const auto wa = shrink->aggregate_write_accuracy();
+    const auto rra = shrink->aggregate_retry_read_accuracy();
+    if (ra.count() > 0) res.read_accuracy = ra.mean();
+    if (wa.count() > 0) res.write_accuracy = wa.mean();
+    if (rra.count() > 0) res.retry_read_accuracy = rra.mean();
+  }
+}
+}  // namespace detail
+
+/// Runs `workload` on `backend` under `sched` (nullptr = base STM).  The
+/// low-level engine: tests and microbenches that need to hold the concrete
+/// backend use this; everything else goes through the Runtime overload.
 template <typename Backend, typename Workload>
 RunResult run_workload(Backend& backend, core::Scheduler* sched,
                        Workload& workload, const DriverConfig& cfg) {
@@ -96,20 +118,67 @@ RunResult run_workload(Backend& backend, core::Scheduler* sched,
   res.throughput = res.seconds > 0
                        ? static_cast<double>(res.stm.commits) / res.seconds
                        : 0.0;
-  if (sched != nullptr) {
-    res.serialized = sched->sched_stats().serialized();
-    if (auto* shrink = dynamic_cast<core::ShrinkScheduler*>(sched)) {
-      const auto ra = shrink->aggregate_read_accuracy();
-      const auto wa = shrink->aggregate_write_accuracy();
-      const auto rra = shrink->aggregate_retry_read_accuracy();
-      if (ra.count() > 0) res.read_accuracy = ra.mean();
-      if (wa.count() > 0) res.write_accuracy = wa.mean();
-      if (rra.count() > 0) res.retry_read_accuracy = rra.mean();
-    }
-  }
+  detail::fill_scheduler_results(res, sched);
   {  // post-run verification on slot 0
     stm::TxRunner<Tx> r0(backend.tx(0), sched);
     res.verified = workload.verify(r0);
+  }
+  return res;
+}
+
+/// Facade flavour: runs `workload` on an api::Runtime.  Worker threads hold
+/// RAII ThreadHandles (auto-assigned tids, released at scope exit), so the
+/// same call works for every backend x scheduler combination -- this is what
+/// collapsed the per-backend bench forks.
+template <typename Workload>
+RunResult run_workload(api::Runtime& rt, Workload& workload,
+                       const DriverConfig& cfg) {
+  {  // single-threaded setup on a scoped handle
+    api::ThreadHandle h0 = rt.attach();
+    workload.setup(h0);
+  }
+  rt.reset_stats();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::barrier start_barrier(cfg.threads + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&] {
+      api::ThreadHandle h = rt.attach();
+      const int tid = h.tid();
+      util::Xoshiro256 rng(cfg.seed + 0x9e3779b97f4a7c15ULL * (tid + 1));
+      start_barrier.arrive_and_wait();
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        workload.op(h, tid, rng);
+        ++ops;
+        if (cfg.max_ops_per_thread != 0 && ops >= cfg.max_ops_per_thread) break;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+
+  start_barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.ops = total_ops.load();
+  res.stm = rt.aggregate_stats();
+  res.throughput = res.seconds > 0
+                       ? static_cast<double>(res.stm.commits) / res.seconds
+                       : 0.0;
+  detail::fill_scheduler_results(res, rt.scheduler());
+  {  // post-run verification
+    api::ThreadHandle h0 = rt.attach();
+    res.verified = workload.verify(h0);
   }
   return res;
 }

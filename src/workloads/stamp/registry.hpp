@@ -54,7 +54,29 @@ inline const char* app_name(App a) {
   return "?";
 }
 
-/// Runs one STAMP-mini app on a fresh workload instance.
+/// Runs one STAMP-mini app on an api::Runtime (fresh workload instance).
+inline RunResult run_stamp(App app, api::Runtime& rt, const DriverConfig& cfg) {
+  const auto run_one = [&](auto&& w) { return run_workload(rt, w, cfg); };
+  switch (app) {
+    case App::kBayes: return run_one(Bayes{});
+    case App::kGenome: return run_one(Genome{});
+    case App::kIntruder: return run_one(Intruder{});
+    case App::kKmeansHigh:
+      return run_one(Kmeans(KmeansConfig{.high_contention = true}));
+    case App::kKmeansLow:
+      return run_one(Kmeans(KmeansConfig{.high_contention = false}));
+    case App::kLabyrinth: return run_one(Labyrinth{});
+    case App::kSsca2: return run_one(Ssca2{});
+    case App::kVacationHigh:
+      return run_one(Vacation(VacationConfig{.high_contention = true}));
+    case App::kVacationLow:
+      return run_one(Vacation(VacationConfig{.high_contention = false}));
+    case App::kYada: return run_one(Yada{});
+  }
+  throw std::invalid_argument("unknown STAMP app");
+}
+
+/// Runs one STAMP-mini app on a raw backend + scheduler (tests).
 template <typename Backend>
 RunResult run_stamp(App app, Backend& backend, core::Scheduler* sched,
                     const DriverConfig& cfg) {

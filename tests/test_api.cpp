@@ -1,0 +1,408 @@
+// Facade tests: RuntimeOptions/kind parsing, atomically() semantics
+// (returns, exceptions, cancels), ThreadHandle lifecycle, and tiny/swiss
+// behavioural parity through the backend-agnostic api::Tx.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "core/ats.hpp"
+#include "core/pool.hpp"
+#include "txstruct/tvar.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm {
+namespace {
+
+constexpr core::BackendKind kBothBackends[] = {core::BackendKind::kTiny,
+                                               core::BackendKind::kSwiss};
+
+// ---------------------------------------------------------------- parsing
+
+TEST(KindParsing, SchedulerIsCaseInsensitive) {
+  EXPECT_EQ(core::parse_scheduler_kind("Shrink"), core::SchedulerKind::kShrink);
+  EXPECT_EQ(core::parse_scheduler_kind("ATS"), core::SchedulerKind::kAts);
+  EXPECT_EQ(core::parse_scheduler_kind("NONE"), core::SchedulerKind::kNone);
+  EXPECT_EQ(core::parse_scheduler_kind("Base"), core::SchedulerKind::kNone);
+  EXPECT_EQ(core::parse_scheduler_kind("Adaptive"),
+            core::SchedulerKind::kAdaptive);
+}
+
+TEST(KindParsing, SchedulerErrorListsValidKinds) {
+  try {
+    core::parse_scheduler_kind("quantum");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("quantum"), std::string::npos);
+    for (const char* kind : {"shrink", "ats", "pool", "serializer", "adaptive"})
+      EXPECT_NE(msg.find(kind), std::string::npos) << "missing " << kind;
+  }
+}
+
+TEST(KindParsing, BackendRoundTripsAndIsCaseInsensitive) {
+  EXPECT_EQ(core::parse_backend_kind("tiny"), core::BackendKind::kTiny);
+  EXPECT_EQ(core::parse_backend_kind("Swiss"), core::BackendKind::kSwiss);
+  EXPECT_STREQ(core::backend_kind_name(core::BackendKind::kTiny), "tiny");
+  EXPECT_STREQ(core::backend_kind_name(core::BackendKind::kSwiss), "swiss");
+  try {
+    core::parse_backend_kind("postgres");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tiny"), std::string::npos);
+    EXPECT_NE(msg.find("swiss"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------- return-value plumbing
+
+TEST(ApiRuntime, VoidAndValueBodiesOnBothBackends) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    txs::TVar<std::int64_t> v(0);
+    api::ThreadHandle th = rt.attach();
+
+    atomically(th, [&](api::Tx& tx) { v.write(tx, 41); });  // void body
+    const std::int64_t got = atomically(th, [&](api::Tx& tx) {
+      const auto x = v.read(tx) + 1;
+      v.write(tx, x);
+      return x;
+    });
+    EXPECT_EQ(got, 42) << rt.backend_name();
+    EXPECT_EQ(v.unsafe_read(), 42);
+
+    // Non-trivial return type.
+    const std::string s = atomically(
+        th, [&](api::Tx& tx) { return std::to_string(v.read(tx)); });
+    EXPECT_EQ(s, "42");
+    EXPECT_GE(rt.aggregate_stats().commits, 3u);
+  }
+}
+
+TEST(ApiRuntime, ImplicitHandleViaRunAndAtomically) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    txs::TVar<int> v(7);
+    EXPECT_EQ(atomically(rt, [&](api::Tx& tx) { return v.read(tx); }), 7);
+    rt.run([&](api::Tx& tx) { v.write(tx, 8); });
+    EXPECT_EQ(v.unsafe_read(), 8);
+
+    // A second thread gets its own implicit tid and can run concurrently.
+    std::thread other([&] {
+      for (int i = 0; i < 100; ++i)
+        atomically(rt, [&](api::Tx& tx) { v.write(tx, v.read(tx) + 1); });
+    });
+    for (int i = 0; i < 100; ++i)
+      atomically(rt, [&](api::Tx& tx) { v.write(tx, v.read(tx) + 1); });
+    other.join();
+    EXPECT_EQ(v.unsafe_read(), 208);
+  }
+}
+
+// --------------------------------------------------- exceptions and cancels
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("boom") {}
+};
+
+TEST(ApiRuntime, UserExceptionPropagatesAndRollsBack) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}
+                        .with_backend(backend)
+                        .with_scheduler(core::SchedulerKind::kShrink));
+    txs::TVar<int> v(1);
+    api::ThreadHandle th = rt.attach();
+    EXPECT_THROW(atomically(th,
+                            [&](api::Tx& tx) {
+                              v.write(tx, 99);
+                              throw Boom();
+                            }),
+                 Boom)
+        << rt.backend_name();
+    EXPECT_EQ(v.unsafe_read(), 1) << "cancelled write must be rolled back";
+    // The handle stays usable after a cancel.
+    atomically(th, [&](api::Tx& tx) { v.write(tx, v.read(tx) + 1); });
+    EXPECT_EQ(v.unsafe_read(), 2);
+  }
+}
+
+TEST(ApiRuntime, CancelIsNotCountedAsConflictByShrink) {
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kSwiss)
+                      .with_scheduler(core::SchedulerKind::kShrink));
+  api::ThreadHandle th = rt.attach();
+  txs::TVar<int> v(0);
+  for (int i = 0; i < 50; ++i) {
+    try {
+      atomically(th, [&](api::Tx& tx) {
+        v.write(tx, i);
+        throw Boom();
+      });
+    } catch (const Boom&) {
+    }
+  }
+  auto* shrink = dynamic_cast<core::ShrinkScheduler*>(rt.scheduler());
+  ASSERT_NE(shrink, nullptr);
+  // Before the cancel hook split, every user cancel halved the success rate
+  // and fed the abort path; 50 cancels would have driven it to ~0 and
+  // engaged serialization.  Cancels must leave the rate at its optimistic
+  // initial value and hold no serialization state.
+  EXPECT_DOUBLE_EQ(shrink->success_rate(th.tid()), 1.0);
+  EXPECT_EQ(shrink->sched_stats().serialized(), 0u);
+  EXPECT_EQ(shrink->wait_count(), 0u);
+}
+
+TEST(ApiRuntime, CancelIsInvisibleToAdaptiveTelemetry) {
+  runtime::AdaptiveConfig cfg;
+  cfg.sampler_interval_ms = 0.0;  // manual ticks
+  cfg.telemetry_flush_every = 1;
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kTiny)
+                      .with_scheduler(core::SchedulerKind::kAdaptive)
+                      .with_adaptive(cfg));
+  runtime::AdaptiveScheduler* ad = rt.adaptive();
+  ASSERT_NE(ad, nullptr);
+  api::ThreadHandle th = rt.attach();
+  txs::TVar<int> v(0);
+  for (int i = 0; i < 20; ++i) {
+    try {
+      atomically(th, [&](api::Tx& tx) {
+        v.write(tx, i);
+        throw Boom();
+      });
+    } catch (const Boom&) {
+    }
+  }
+  atomically(th, [&](api::Tx& tx) { v.write(tx, 1); });  // one real commit
+  ad->quiesce_telemetry();
+  ASSERT_TRUE(ad->tick(true));
+  const auto windows = ad->recent_windows();
+  ASSERT_FALSE(windows.empty());
+  std::uint64_t commits = 0, aborts = 0;
+  for (const auto& w : windows) {
+    commits += w.commits;
+    aborts += w.aborts;
+  }
+  EXPECT_EQ(aborts, 0u) << "user cancels must not register as aborts";
+  EXPECT_EQ(commits, 1u);
+}
+
+TEST(Schedulers, CancelReleasesSerializationState) {
+  // Drive Pool and ATS into their serialized state by reporting aborts, then
+  // verify on_cancel releases the lock (a leak would deadlock/report
+  // serialized_now) without re-marking the thread contended.
+  {
+    core::PoolScheduler pool;
+    pool.on_abort(0, {}, -1);       // marks contended
+    pool.before_start(0);           // takes the global lock
+    EXPECT_TRUE(pool.serialized_now(0));
+    pool.on_cancel(0);
+    EXPECT_FALSE(pool.serialized_now(0)) << "cancel must release the lock";
+    // A cancel is not an outcome: the serialize-after-abort debt from the
+    // real conflict persists until a commit clears it.
+    pool.before_start(0);
+    EXPECT_TRUE(pool.serialized_now(0));
+    pool.on_commit(0);
+    EXPECT_FALSE(pool.serialized_now(0));
+    pool.before_start(0);  // commit consumed the debt
+    EXPECT_FALSE(pool.serialized_now(0));
+    pool.on_commit(0);
+  }
+  {
+    core::AtsConfig cfg;
+    cfg.alpha = 0.0;  // one abort saturates CI to 1.0
+    core::AtsScheduler ats(cfg);
+    ats.on_abort(0, {}, -1);
+    const double ci = ats.contention_intensity(0);
+    ats.before_start(0);
+    EXPECT_TRUE(ats.serialized_now(0));
+    ats.on_cancel(0);
+    EXPECT_FALSE(ats.serialized_now(0));
+    EXPECT_DOUBLE_EQ(ats.contention_intensity(0), ci)
+        << "cancel must not move the contention intensity";
+  }
+}
+
+// -------------------------------------------------------- handle lifecycle
+
+TEST(ThreadHandle, AutoAssignsLowestFreeTidAndRecycles) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::ThreadHandle a = rt.attach();
+    api::ThreadHandle b = rt.attach();
+    EXPECT_EQ(a.tid(), 0);
+    EXPECT_EQ(b.tid(), 1);
+    {
+      api::ThreadHandle c = rt.attach();
+      EXPECT_EQ(c.tid(), 2);
+    }  // c released
+    api::ThreadHandle d = rt.attach();
+    EXPECT_EQ(d.tid(), 2) << "released tid must be recycled";
+    a = api::ThreadHandle();  // move-assign empties a, releasing tid 0
+    api::ThreadHandle e = rt.attach();
+    EXPECT_EQ(e.tid(), 0);
+  }
+}
+
+TEST(ThreadHandle, MoveTransfersOwnership) {
+  api::Runtime rt;
+  api::ThreadHandle a = rt.attach();
+  EXPECT_TRUE(a.attached());
+  api::ThreadHandle b = std::move(a);
+  EXPECT_FALSE(a.attached());
+  EXPECT_TRUE(b.attached());
+  EXPECT_EQ(b.tid(), 0);
+  txs::TVar<int> v(0);
+  atomically(b, [&](api::Tx& tx) { v.write(tx, 5); });
+  EXPECT_EQ(v.unsafe_read(), 5);
+}
+
+TEST(ThreadHandle, ExhaustionThrowsAndRecovers) {
+  api::Runtime rt(api::RuntimeOptions{}.with_max_threads(2));
+  api::ThreadHandle a = rt.attach();
+  api::ThreadHandle b = rt.attach();
+  EXPECT_THROW(rt.attach(), std::runtime_error);
+  b = api::ThreadHandle();
+  EXPECT_NO_THROW(b = rt.attach());
+}
+
+TEST(ThreadHandle, ChurnAcrossBackendsAndAdaptive) {
+  // Register/unregister/re-register churn, including under the adaptive
+  // scheduler whose per-tid pins/epochs survive handle turnover.
+  for (auto backend : kBothBackends) {
+    for (auto sched :
+         {core::SchedulerKind::kNone, core::SchedulerKind::kShrink,
+          core::SchedulerKind::kAdaptive}) {
+      api::Runtime rt(api::RuntimeOptions{}
+                          .with_backend(backend)
+                          .with_scheduler(sched)
+                          .with_max_threads(8));
+      txs::TVar<std::int64_t> total(0);
+      for (int round = 0; round < 3; ++round) {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 6; ++t) {
+          threads.emplace_back([&] {
+            for (int i = 0; i < 40; ++i) {
+              api::ThreadHandle th = rt.attach();  // churn: one tx per handle
+              atomically(th, [&](api::Tx& tx) {
+                total.write(tx, total.read(tx) + 1);
+              });
+            }
+          });
+        }
+        for (auto& th : threads) th.join();
+      }
+      EXPECT_EQ(total.unsafe_read(), 3 * 6 * 40)
+          << rt.backend_name() << "/" << rt.scheduler_name();
+      // All handles released: the full tid space is attachable again.
+      std::vector<api::ThreadHandle> all;
+      for (std::size_t i = 0; i < rt.max_threads(); ++i)
+        all.push_back(rt.attach());
+      EXPECT_THROW(rt.attach(), std::runtime_error);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ parity
+
+/// Shared invariant workload: random transfers over a fixed-total account
+/// array, run identically on both backends through the facade.
+TEST(ApiRuntime, TinySwissParityOnConservationWorkload) {
+  constexpr int kAccounts = 32;
+  constexpr std::int64_t kInitial = 100;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+
+  for (auto sched : {core::SchedulerKind::kNone, core::SchedulerKind::kShrink}) {
+    for (auto backend : kBothBackends) {
+      api::Runtime rt(
+          api::RuntimeOptions{}.with_backend(backend).with_scheduler(sched));
+      std::vector<txs::TVar<std::int64_t>> accounts(kAccounts);
+      for (auto& a : accounts) a.unsafe_write(kInitial);
+
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          api::ThreadHandle th = rt.attach();
+          util::Xoshiro256 rng(900 + t);
+          for (int i = 0; i < kOpsPerThread; ++i) {
+            const auto from = rng.next_below(kAccounts);
+            const auto to = rng.next_below(kAccounts);
+            const auto amount = static_cast<std::int64_t>(rng.next_below(5));
+            atomically(th, [&](api::Tx& tx) {
+              const auto bal = accounts[from].read(tx);
+              if (bal < amount) return;
+              accounts[from].write(tx, bal - amount);
+              accounts[to].write(tx, accounts[to].read(tx) + amount);
+            });
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+
+      std::int64_t total = 0;
+      for (auto& a : accounts) total += a.unsafe_read();
+      EXPECT_EQ(total, kAccounts * kInitial)
+          << rt.backend_name() << "/" << rt.scheduler_name();
+      EXPECT_GE(rt.aggregate_stats().commits,
+                static_cast<std::uint64_t>(kThreads) * kOpsPerThread)
+          << rt.backend_name();
+    }
+  }
+}
+
+TEST(SchedulerFactory, MaxThreadsSizesEverySchedulerTable) {
+  // Regression: the factory's default arm once dropped max_threads, so tids
+  // >= 128 indexed the ats/pool/serializer per-thread tables out of bounds.
+  struct NeverLocked final : stm::WriteOracle {
+    bool is_write_locked_by_other(const void*, int) const override {
+      return false;
+    }
+  } oracle;
+  core::SchedulerOptions opts;
+  opts.max_threads = 160;
+  for (auto kind : {core::SchedulerKind::kShrink, core::SchedulerKind::kAts,
+                    core::SchedulerKind::kPool, core::SchedulerKind::kSerializer,
+                    core::SchedulerKind::kAdaptive}) {
+    auto sched = core::make_scheduler(kind, oracle, opts);
+    ASSERT_NE(sched, nullptr);
+    sched->before_start(159);  // would index out of bounds on a 128 table
+    sched->on_commit(159);
+    sched->before_start(159);
+    sched->on_abort(159, {}, 3);
+    EXPECT_EQ(sched->wait_count(), 0u) << core::scheduler_kind_name(kind);
+  }
+}
+
+TEST(ApiRuntime, WaitPolicyDefaultsFollowBackend) {
+  api::Runtime tiny(api::RuntimeOptions{}.with_backend(core::BackendKind::kTiny));
+  api::Runtime swiss(
+      api::RuntimeOptions{}.with_backend(core::BackendKind::kSwiss));
+  EXPECT_EQ(tiny.wait_policy(), util::WaitPolicy::kBusy);
+  EXPECT_EQ(swiss.wait_policy(), util::WaitPolicy::kPreemptive);
+  api::Runtime forced(api::RuntimeOptions{}
+                          .with_backend(core::BackendKind::kTiny)
+                          .with_wait_policy(util::WaitPolicy::kPreemptive));
+  EXPECT_EQ(forced.wait_policy(), util::WaitPolicy::kPreemptive);
+}
+
+TEST(ApiRuntime, TxRestartRetriesTheBody) {
+  api::Runtime rt;
+  api::ThreadHandle th = rt.attach();
+  txs::TVar<int> v(0);
+  int attempts = 0;
+  atomically(th, [&](api::Tx& tx) {
+    v.write(tx, v.read(tx) + 1);
+    if (++attempts < 3) tx.restart();
+  });
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(v.unsafe_read(), 1) << "restarted attempts must be rolled back";
+}
+
+}  // namespace
+}  // namespace shrinktm
