@@ -27,7 +27,8 @@ struct Variant {
 };
 
 double run_variant(const BenchArgs& args, core::BackendKind backend,
-                   util::WaitPolicy wait, const Variant& v, int threads) {
+                   util::WaitPolicy wait, const Variant& v, int threads,
+                   BenchReporter& rep) {
   return mean_throughput(args, [&](int run) {
     core::ShrinkConfig cfg;
     cfg.use_read_prediction = v.read_pred;
@@ -47,7 +48,9 @@ double run_variant(const BenchArgs& args, core::BackendKind backend,
     dcfg.threads = threads;
     dcfg.duration_ms = args.duration_ms;
     dcfg.seed = args.seed + static_cast<std::uint64_t>(run);
-    return run_workload(rt, w, dcfg).throughput;
+    const double thr = run_workload(rt, w, dcfg).throughput;
+    rep.add_runtime_stats(rt.stats());
+    return thr;
   });
 }
 
@@ -76,7 +79,7 @@ int main(int argc, char** argv) {
   for (int threads : args.threads) {
     t.row().cell(threads);
     for (const auto& v : variants) {
-      const double thr = run_variant(args, backend, wait, v, threads);
+      const double thr = run_variant(args, backend, wait, v, threads, rep);
       t.cell(thr, 0);
       rep.add(v.name, {{"threads", static_cast<double>(threads)},
                        {"throughput", thr}});

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/shrinktm.hpp"
 #include "bench/common.hpp"
 #include "runtime/adaptive.hpp"
 #include "runtime/metrics_export.hpp"
@@ -60,30 +61,32 @@ struct RampArgs {
 /// that outlive their timeslice (the paper's "overloaded" scenario) -- this
 /// also produces genuine conflicts on single-core CI boxes, where short
 /// transactions never overlap.
-void transfer_op(stm::TxRunner<stm::SwissTx>& atomically,
-                 txs::TVar<std::int64_t>* accounts, std::uint64_t span,
-                 util::Xoshiro256& rng) {
+void transfer_op(api::ThreadHandle& th, txs::TVar<std::int64_t>* accounts,
+                 std::uint64_t span, util::Xoshiro256& rng) {
   const bool long_tx = span < 256;
   const auto from = rng.next_below(span);
   auto to = rng.next_below(span);
   if (to == from) to = (to + 1) % span;
   const auto amount = static_cast<std::int64_t>(rng.next_below(8));
-  atomically.run([&](stm::SwissTx& tx) {
-    const auto balance = accounts[from].read(tx);
+  atomically(th, [&](api::Tx& tx) {
+    const auto balance = tx.read(accounts[from]);
     if (balance < amount) return;
-    accounts[from].write(tx, balance - amount);
+    tx.write(accounts[from], balance - amount);
     if (long_tx) std::this_thread::yield();
-    accounts[to].write(tx, accounts[to].read(tx) + amount);
+    tx.write(accounts[to], tx.read(accounts[to]) + amount);
   });
 }
 
 int run_ramp(const RampArgs& args) {
-  stm::SwissBackend backend;
   runtime::AdaptiveConfig cfg;
   cfg.window_ms = 5.0;
   cfg.sampler_interval_ms = 2.5;
   cfg.record_starts = true;  // full-schema traces in the JSON artifact
-  runtime::AdaptiveScheduler sched(backend, cfg);
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kSwiss)
+                      .with_scheduler(core::SchedulerKind::kAdaptive)
+                      .with_adaptive(cfg));
+  runtime::AdaptiveScheduler& sched = *rt.adaptive();
 
   std::vector<txs::TVar<std::int64_t>> accounts(kAccounts);
   for (auto& a : accounts) a.unsafe_write(kInitial);
@@ -98,11 +101,11 @@ int run_ramp(const RampArgs& args) {
   workers.reserve(args.threads);
   for (int t = 0; t < args.threads; ++t) {
     workers.emplace_back([&, t] {
-      stm::TxRunner<stm::SwissTx> atomically(backend.tx(t), &sched);
+      api::ThreadHandle th = rt.attach();
       util::Xoshiro256 rng(0xad4f + 31 * static_cast<std::uint64_t>(t));
       gate.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed))
-        transfer_op(atomically, accounts.data(),
+        transfer_op(th, accounts.data(),
                     span.load(std::memory_order_relaxed), rng);
     });
   }
@@ -119,10 +122,9 @@ int run_ramp(const RampArgs& args) {
 
   // Transfers must conserve the total.
   {
-    stm::TxRunner<stm::SwissTx> atomically(backend.tx(0), nullptr);
-    const auto total = atomically.run([&](stm::SwissTx& tx) {
+    const auto total = rt.run([&](api::Tx& tx) {
       std::int64_t sum = 0;
-      for (auto& a : accounts) sum += a.read(tx);
+      for (auto& a : accounts) sum += tx.read(a);
       return sum;
     });
     if (total != static_cast<std::int64_t>(kAccounts) * kInitial) {
@@ -155,7 +157,13 @@ int run_ramp(const RampArgs& args) {
               << "s: " << runtime::regime_name(s.from) << " -> "
               << runtime::regime_name(s.to) << " (" << s.policy << ")\n";
 
-  bench::emit_bench_json(args.json_path, runtime::to_json(sched));
+  // The artifact pairs the adaptive trace with the Runtime::stats()
+  // snapshot (CI asserts every BENCH_*.json carries a non-empty
+  // runtime_stats object).
+  bench::emit_bench_json(args.json_path,
+                         "{\"bench\":\"adaptive_regimes\",\"runtime_stats\":" +
+                             rt.stats().to_json() +
+                             ",\"adaptive\":" + runtime::to_json(sched) + "}");
 
   if (switches.size() < 2) {
     std::cerr << "FAIL: expected >= 2 automatic policy switches, saw "

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/stats.hpp"
 #include "core/factory.hpp"
 #include "runtime/metrics_export.hpp"
 #include "util/stats.hpp"
@@ -180,6 +181,15 @@ class BenchReporter {
     series_.push_back({series, {std::move(fields)}});
   }
 
+  /// Fold one runtime's Runtime::stats() snapshot into the artifact's
+  /// "runtime_stats" object.  Benches build a fresh Runtime per cell, so
+  /// call this after every measured run; the totals accumulate across the
+  /// whole sweep (see RuntimeStats::operator+= for the merge rules).
+  void add_runtime_stats(const api::RuntimeStats& s) {
+    runtime_stats_ += s;
+    ++runtimes_merged_;
+  }
+
   std::string json() const {
     std::ostringstream os;
     // Full round-trip precision: the artifact exists to detect sub-percent
@@ -213,7 +223,11 @@ class BenchReporter {
       }
       os << "]}";
     }
-    os << "]}";
+    os << "]";
+    // Every artifact carries the merged Runtime::stats() totals (CI asserts
+    // the object is present and non-empty in all BENCH_*.json files).
+    os << ",\"runtimes_merged\":" << runtimes_merged_
+       << ",\"runtime_stats\":" << runtime_stats_.to_json() << "}";
     return os.str();
   }
 
@@ -237,6 +251,8 @@ class BenchReporter {
   BenchArgs args_;
   std::string backend_;
   std::vector<Series> series_;
+  api::RuntimeStats runtime_stats_;
+  std::uint64_t runtimes_merged_ = 0;
 };
 
 }  // namespace shrinktm::bench

@@ -8,7 +8,9 @@
 // plus a random-instance sweep showing how prediction inaccuracy degrades
 // the clairvoyant scheduler.
 #include <iostream>
+#include <thread>
 
+#include "api/shrinktm.hpp"
 #include "bench/common.hpp"
 #include "sim/scenarios.hpp"
 #include "sim/schedulers.hpp"
@@ -16,6 +18,33 @@
 
 using namespace shrinktm;
 using namespace shrinktm::sim;
+
+namespace {
+
+/// The simulator needs no STM, but every BENCH_*.json artifact carries
+/// Runtime::stats() totals; run a short serializer-chain-shaped self-check
+/// on the real runtime (two threads hammering one counter under the
+/// serializer policy) so the artifact's runtime_stats describes the library
+/// the theory section models.
+void runtime_self_check(bench::BenchReporter& rep) {
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kSwiss)
+                      .with_scheduler(core::SchedulerKind::kSerializer));
+  api::TVar<std::int64_t> counter(0);
+  auto worker = [&] {
+    api::ThreadHandle th = rt.attach();
+    for (int i = 0; i < 2000; ++i)
+      atomically(th, [&](api::Tx& tx) { tx.write(counter, tx.read(counter) + 1); });
+  };
+  std::thread a(worker), b(worker);
+  a.join();
+  b.join();
+  rep.add_runtime_stats(rt.stats());
+  if (counter.unsafe_read() != 4000)
+    std::cerr << "WARNING: runtime self-check lost increments\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv, {}, {});
@@ -100,6 +129,7 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
   }
+  runtime_self_check(rep);
   rep.write();
   return 0;
 }

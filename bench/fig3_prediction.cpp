@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
         dcfg.duration_ms = args.duration_ms;
         dcfg.seed = args.seed + r;
         const RunResult res = run_workload(rt, w, dcfg);
+        rep.add_runtime_stats(rt.stats());
         if (res.read_accuracy >= 0) {
           read_acc += res.read_accuracy;
           write_acc += res.write_accuracy >= 0 ? res.write_accuracy : 0;

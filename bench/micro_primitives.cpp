@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "api/shrinktm.hpp"
 #include "core/prediction.hpp"
 #include "runtime/metrics_export.hpp"
 #include "stm/runner.hpp"
@@ -217,40 +218,49 @@ double bench_writelog_hit(double min_s) {
       16 * 256, min_s);
 }
 
-template <typename Backend>
-double bench_readonly_tx(double min_s) {
-  Backend backend;
+/// Transactional read/write cycles are measured through the public facade
+/// (api::Runtime + api::Tx typed accessors): that IS the product hot path
+/// since the unified-API redesign, so the numbers track what applications
+/// pay.  The runtime stats of these runs land in the artifact's
+/// runtime_stats object.
+double bench_readonly_tx(core::BackendKind kind, double min_s,
+                         api::RuntimeStats* acc) {
+  api::Runtime rt(api::RuntimeOptions{}.with_backend(kind));
+  api::ThreadHandle th = rt.attach();
   txs::TVar<std::int64_t> vars[16];
-  stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
-  return measure_ns(
+  const double ns = measure_ns(
       [&] {
         for (int i = 0; i < 256; ++i) {
-          r.run([&](auto& tx) {
-            std::int64_t acc = 0;
-            for (auto& v : vars) acc += v.read(tx);
-            keep(static_cast<std::uint64_t>(acc));
+          th.run([&](api::Tx& tx) {
+            std::int64_t sum = 0;
+            for (auto& v : vars) sum += tx.read(v);
+            keep(static_cast<std::uint64_t>(sum));
           });
         }
       },
       256 * 16, min_s);  // per transactional READ
+  if (acc != nullptr) *acc += rt.stats();
+  return ns;
 }
 
-template <typename Backend>
-double bench_write_tx(double min_s) {
-  Backend backend;
+double bench_write_tx(core::BackendKind kind, double min_s,
+                      api::RuntimeStats* acc) {
+  api::Runtime rt(api::RuntimeOptions{}.with_backend(kind));
+  api::ThreadHandle th = rt.attach();
   txs::TVar<std::int64_t> vars[8];
-  stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
   std::int64_t i = 0;
-  return measure_ns(
+  const double ns = measure_ns(
       [&] {
         for (int n = 0; n < 256; ++n) {
           ++i;
-          r.run([&](auto& tx) {
-            for (auto& v : vars) v.write(tx, i);
+          th.run([&](api::Tx& tx) {
+            for (auto& v : vars) tx.write(v, i);
           });
         }
       },
       256 * 8, min_s);  // per transactional WRITE
+  if (acc != nullptr) *acc += rt.stats();
+  return ns;
 }
 
 template <typename Backend>
@@ -323,10 +333,15 @@ int main(int argc, char** argv) {
   run("predictor_read_local", bench_predictor_read_local(true, min_s));
   run("writelog_miss_append", bench_writelog_miss_append(min_s));
   run("writelog_hit", bench_writelog_hit(min_s));
-  run("stm_read_tiny", bench_readonly_tx<stm::TinyBackend>(min_s));
-  run("stm_read_swiss", bench_readonly_tx<stm::SwissBackend>(min_s));
-  run("stm_write_tiny", bench_write_tx<stm::TinyBackend>(min_s));
-  run("stm_write_swiss", bench_write_tx<stm::SwissBackend>(min_s));
+  api::RuntimeStats rt_stats;
+  run("stm_read_tiny",
+      bench_readonly_tx(core::BackendKind::kTiny, min_s, &rt_stats));
+  run("stm_read_swiss",
+      bench_readonly_tx(core::BackendKind::kSwiss, min_s, &rt_stats));
+  run("stm_write_tiny",
+      bench_write_tx(core::BackendKind::kTiny, min_s, &rt_stats));
+  run("stm_write_swiss",
+      bench_write_tx(core::BackendKind::kSwiss, min_s, &rt_stats));
   run("oracle_tiny", bench_oracle<stm::TinyBackend>(min_s));
   run("oracle_swiss", bench_oracle<stm::SwissBackend>(min_s));
 
@@ -354,7 +369,8 @@ int main(int argc, char** argv) {
   os << "],\"summary\":{\"predictor_read_active_ns\":" << pred
      << ",\"predictor_read_active_legacy_ns\":" << pred_legacy
      << ",\"calibration_ns\":" << calib
-     << ",\"predictor_speedup_legacy_over_blocked\":" << speedup << "}}";
+     << ",\"predictor_speedup_legacy_over_blocked\":" << speedup
+     << "},\"runtime_stats\":" << rt_stats.to_json() << "}";
   if (runtime::write_json_file(json_path, os.str()))
     std::cout << "wrote " << json_path << "\n";
   else

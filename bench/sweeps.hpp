@@ -62,7 +62,9 @@ inline void sb7_throughput_sweep(const BenchArgs& args,
           dcfg.threads = threads;
           dcfg.duration_ms = args.duration_ms;
           dcfg.seed = seed;
-          return workloads::run_workload(rt, w, dcfg).throughput;
+          const double thr = workloads::run_workload(rt, w, dcfg).throughput;
+          if (rep != nullptr) rep->add_runtime_stats(rt.stats());
+          return thr;
         });
         t.cell(thr, 0);
         if (rep != nullptr)
@@ -103,7 +105,9 @@ inline void rbtree_throughput_sweep(const BenchArgs& args,
           dcfg.threads = threads;
           dcfg.duration_ms = args.duration_ms;
           dcfg.seed = seed;
-          return workloads::run_workload(rt, w, dcfg).throughput;
+          const double thr = workloads::run_workload(rt, w, dcfg).throughput;
+          if (rep != nullptr) rep->add_runtime_stats(rt.stats());
+          return thr;
         });
         t.cell(thr, 0);
         if (rep != nullptr)
@@ -142,7 +146,10 @@ inline void stamp_speedup_sweep(const BenchArgs& args,
           dcfg.threads = threads;
           dcfg.duration_ms = args.duration_ms;
           dcfg.seed = seed;
-          return workloads::stamp::run_stamp(app, rt, dcfg).throughput;
+          const double thr =
+              workloads::stamp::run_stamp(app, rt, dcfg).throughput;
+          if (rep != nullptr) rep->add_runtime_stats(rt.stats());
+          return thr;
         });
       };
       const double base = run_one(core::SchedulerKind::kNone);

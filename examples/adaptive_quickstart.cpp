@@ -15,7 +15,6 @@
 #include <thread>
 
 #include "api/shrinktm.hpp"
-#include "txstruct/tvar.hpp"
 #include "util/rng.hpp"
 
 using namespace shrinktm;
@@ -31,7 +30,7 @@ int main() {
 
   constexpr int kAccounts = 4096;
   constexpr std::int64_t kInitial = 1000;
-  static txs::TVar<std::int64_t> accounts[kAccounts];
+  static api::TVar<std::int64_t> accounts[kAccounts];
   for (auto& a : accounts) a.unsafe_write(kInitial);
 
   std::atomic<std::uint64_t> span{kAccounts};  // phase knob: hot-set size
@@ -48,11 +47,11 @@ int main() {
       if (to == from) to = (to + 1) % s;
       const auto amount = static_cast<std::int64_t>(rng.next_below(5));
       atomically(th, [&](api::Tx& tx) {
-        const auto bal = accounts[from].read(tx);
+        const auto bal = tx.read(accounts[from]);
         if (bal < amount) return;
-        accounts[from].write(tx, bal - amount);
+        tx.write(accounts[from], bal - amount);
         if (hot) std::this_thread::yield();  // long tx: conflicts guaranteed
-        accounts[to].write(tx, accounts[to].read(tx) + amount);
+        tx.write(accounts[to], tx.read(accounts[to]) + amount);
       });
     }
   };
@@ -84,5 +83,27 @@ int main() {
     std::printf("  switch @%.3fs: %s -> %s (%s)\n", s.at_seconds,
                 runtime::regime_name(s.from), runtime::regime_name(s.to),
                 s.policy.c_str());
+
+  // Stats epilogue: the same adaptive telemetry, through the structured
+  // Runtime::stats() surface every facade user gets (and as JSON -- this is
+  // the object each BENCH_*.json artifact embeds).
+  const api::RuntimeStats rstats = rt.stats();
+  std::printf("\nRuntime::stats(): %llu attempts = %llu commits + %llu aborts "
+              "+ %llu cancels (%s)\n",
+              static_cast<unsigned long long>(rstats.attempts),
+              static_cast<unsigned long long>(rstats.commits),
+              static_cast<unsigned long long>(rstats.aborts),
+              static_cast<unsigned long long>(rstats.cancels),
+              rstats.conserved() ? "conserved" : "NOT CONSERVED");
+  std::printf("adaptive: regime %s, %llu windows closed, %llu switches; "
+              "residency low=%llu moderate=%llu high=%llu pathological=%llu\n",
+              rstats.adaptive.regime.c_str(),
+              static_cast<unsigned long long>(rstats.adaptive.windows_closed),
+              static_cast<unsigned long long>(rstats.adaptive.switches),
+              static_cast<unsigned long long>(rstats.adaptive.residency_windows[0]),
+              static_cast<unsigned long long>(rstats.adaptive.residency_windows[1]),
+              static_cast<unsigned long long>(rstats.adaptive.residency_windows[2]),
+              static_cast<unsigned long long>(rstats.adaptive.residency_windows[3]));
+  std::printf("stats as JSON: %s\n", rstats.to_json().c_str());
   return total == kAccounts * kInitial ? 0 : 1;
 }

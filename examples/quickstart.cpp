@@ -1,45 +1,82 @@
-// Quickstart: the public shrinktm::api facade in ~60 lines.
+// Quickstart: the public shrinktm::api facade in ~90 lines.
 //
 //   $ ./examples/example_quickstart
 //
 // Two threads transfer money between accounts; a third audits the constant
-// total.  Everything shared lives in TVar<T>; all access happens inside
-// atomically(handle, body), whose body receives a backend-agnostic api::Tx&
-// and is re-executed on conflict.  The whole runtime -- which STM backend
-// (tiny|swiss), which scheduler (none|shrink|ats|...|adaptive), waiting
-// policy, seed -- is one declarative RuntimeOptions; swapping any of them
-// changes this line only, not the transaction code below.
+// total.  The surface on display is API v2:
+//   * typed shared state -- api::TVar<T> for word-sized values and
+//     api::Shared<T> for any trivially-copyable struct (read/written
+//     word-wise, never torn), accessed with tx.read()/tx.write();
+//   * composability -- transfer() calls atomically() itself, so it works
+//     standalone AND inside a bigger transaction (flat nesting joins the
+//     live attempt); tx.on_commit() defers a side effect until the
+//     transaction is durable, firing exactly once across retries;
+//   * bounded retry -- RuntimeOptions.retry turns livelock into a
+//     TxRetryExhausted exception instead of a hang (unbounded here);
+//   * observability -- Runtime::stats() closes the run with a structured
+//     snapshot (also available as JSON via to_json()).
+// The whole runtime -- backend (tiny|swiss), scheduler
+// (none|shrink|ats|...|adaptive), waiting policy, seed -- stays one
+// declarative RuntimeOptions; swapping any of them changes that line only.
+#include <atomic>
 #include <cstdio>
 #include <thread>
 
 #include "api/shrinktm.hpp"
-#include "txstruct/tvar.hpp"
 #include "util/rng.hpp"
 
 using namespace shrinktm;
+
+namespace {
+
+constexpr int kAccounts = 64;
+constexpr std::int64_t kInitial = 1000;
+
+/// A multi-word record in one transactional cell: Shared<T> keeps the pair
+/// consistent -- no transaction can ever observe ops and volume torn.
+struct LedgerInfo {
+  std::int64_t ops = 0;
+  std::int64_t volume = 0;
+};
+
+api::TVar<std::int64_t> accounts[kAccounts];
+api::Shared<LedgerInfo> ledger;
+
+/// Transactional helper: runs standalone or joins an enclosing transaction.
+bool transfer(api::ThreadHandle& th, int from, int to, std::int64_t amount) {
+  return atomically(th, [&](api::Tx& tx) {
+    const auto balance = tx.read(accounts[from]);
+    if (balance < amount) return false;  // insufficient funds: commit a no-op
+    tx.write(accounts[from], balance - amount);
+    tx.write(accounts[to], tx.read(accounts[to]) + amount);
+    const LedgerInfo info = tx.read(ledger);
+    tx.write(ledger, LedgerInfo{info.ops + 1, info.volume + amount});
+    return true;
+  });
+}
+
+}  // namespace
 
 int main() {
   api::Runtime rt(api::RuntimeOptions{}
                       .with_backend(core::BackendKind::kSwiss)
                       .with_scheduler(core::SchedulerKind::kShrink));
-
-  constexpr int kAccounts = 64;
-  constexpr std::int64_t kInitial = 1000;
-  txs::TVar<std::int64_t> accounts[kAccounts];
   for (auto& a : accounts) a.unsafe_write(kInitial);
 
+  std::atomic<std::int64_t> confirmed{0};
   auto worker = [&](int seed) {
     api::ThreadHandle th = rt.attach();  // RAII tid, released at scope exit
     util::Xoshiro256 rng(1000 + seed);
-    for (int i = 0; i < 50'000; ++i) {
-      const auto from = rng.next_below(kAccounts);
-      const auto to = rng.next_below(kAccounts);
+    for (int i = 0; i < 25'000; ++i) {
+      const auto from = static_cast<int>(rng.next_below(kAccounts));
+      const auto to = static_cast<int>(rng.next_below(kAccounts));
       const auto amount = static_cast<std::int64_t>(rng.next_below(10));
+      // A wrapping transaction composes the helper with a deferred action:
+      // the confirmation counter moves only if the transfer really commits,
+      // and exactly once no matter how many conflict-retries happen.
       atomically(th, [&](api::Tx& tx) {
-        const auto balance = accounts[from].read(tx);
-        if (balance < amount) return;  // insufficient funds: commit a no-op
-        accounts[from].write(tx, balance - amount);
-        accounts[to].write(tx, accounts[to].read(tx) + amount);
+        if (transfer(th, from, to, amount))  // flat-nested join
+          tx.on_commit([&] { confirmed.fetch_add(1); });
       });
     }
   };
@@ -49,7 +86,7 @@ int main() {
     for (int i = 0; i < 2'000; ++i) {
       const auto total = atomically(th, [&](api::Tx& tx) {
         std::int64_t sum = 0;
-        for (auto& a : accounts) sum += a.read(tx);
+        for (auto& a : accounts) sum += tx.read(a);
         return sum;
       });
       if (total != kAccounts * kInitial) {
@@ -64,15 +101,27 @@ int main() {
   t2.join();
   t3.join();
 
-  const auto stats = rt.aggregate_stats();
-  const auto* sched = rt.scheduler();  // nullptr when scheduler == kNone
-  std::printf("quickstart (%s/%s): %llu commits, %llu aborts (%.1f%%), "
-              "%llu serialized by the scheduler -- total conserved\n",
-              rt.backend_name(), rt.scheduler_name(),
+  // The observability epilogue: one structured snapshot for the whole run.
+  const api::RuntimeStats stats = rt.stats();
+  const LedgerInfo info = ledger.unsafe_read();
+  std::printf("quickstart (%s/%s): %llu attempts = %llu commits + %llu aborts "
+              "+ %llu cancels (%s), %.1f%% abort ratio, %llu serialized\n",
+              stats.backend.c_str(), stats.scheduler.c_str(),
+              static_cast<unsigned long long>(stats.attempts),
               static_cast<unsigned long long>(stats.commits),
               static_cast<unsigned long long>(stats.aborts),
+              static_cast<unsigned long long>(stats.cancels),
+              stats.conserved() ? "conserved" : "NOT CONSERVED",
               100.0 * stats.abort_ratio(),
-              static_cast<unsigned long long>(
-                  sched != nullptr ? sched->sched_stats().serialized() : 0));
+              static_cast<unsigned long long>(stats.serialized));
+  std::printf("ledger: %lld transfers moved %lld units; %lld confirmations "
+              "-- total conserved\n",
+              static_cast<long long>(info.ops),
+              static_cast<long long>(info.volume),
+              static_cast<long long>(confirmed.load()));
+  if (info.ops != confirmed.load()) {
+    std::printf("BROKEN: confirmations diverge from committed transfers\n");
+    return 1;
+  }
   return 0;
 }

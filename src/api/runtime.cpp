@@ -5,11 +5,14 @@
 #include "api/shrinktm.hpp"
 
 #include <atomic>
+#include <limits>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "runtime/metrics_export.hpp"
 #include "stm/runner.hpp"
 
 namespace shrinktm::api {
@@ -118,11 +121,11 @@ int Runtime::attach_tid() {
     if (im.tiny != nullptr) {
       if (im.tiny_runners[t] == nullptr)
         im.tiny_runners[t] = std::make_unique<stm::TxRunner<stm::TinyTx>>(
-            im.tiny->tx(tid), im.sched.get());
+            im.tiny->tx(tid), im.sched.get(), &im.opts.retry);
     } else {
       if (im.swiss_runners[t] == nullptr)
         im.swiss_runners[t] = std::make_unique<stm::TxRunner<stm::SwissTx>>(
-            im.swiss->tx(tid), im.sched.get());
+            im.swiss->tx(tid), im.sched.get(), &im.opts.retry);
     }
     return tid;
   }
@@ -158,19 +161,35 @@ int Runtime::implicit_tid() {
   return tid;
 }
 
+namespace {
+/// One transaction (or flat-nested join) on a concrete per-tid runner --
+/// the shared shape of run_erased's per-backend arms.
+template <typename Runner>
+void run_on(Runner& runner, void (*fn)(void* ctx, Tx& tx), void* ctx) {
+  if (runner.tx().in_tx()) {
+    // Flat nesting: this tid's transaction is already in flight (the
+    // caller is inside an atomically() body on the same handle), so the
+    // nested body joins the live attempt instead of starting a second
+    // transaction.  Conflicts unwind to the top-level retry loop; actions
+    // registered here fire at top-level commit.
+    Tx view(runner.tx(), &runner.actions());
+    fn(ctx, view);
+    return;
+  }
+  runner.run([&](auto& tx) {
+    Tx view(tx, &runner.actions());
+    fn(ctx, view);
+  });
+}
+}  // namespace
+
 void Runtime::run_erased(int tid, BodyFn fn, void* ctx) {
   Impl& im = *impl_;
   const auto t = static_cast<std::size_t>(tid);
   if (im.tiny != nullptr) {
-    im.tiny_runners[t]->run([&](stm::TinyTx& tx) {
-      Tx view(tx);
-      fn(ctx, view);
-    });
+    run_on(*im.tiny_runners[t], fn, ctx);
   } else {
-    im.swiss_runners[t]->run([&](stm::SwissTx& tx) {
-      Tx view(tx);
-      fn(ctx, view);
-    });
+    run_on(*im.swiss_runners[t], fn, ctx);
   }
 }
 
@@ -198,6 +217,165 @@ stm::ThreadStats Runtime::aggregate_stats() const {
 void Runtime::reset_stats() {
   if (impl_->tiny != nullptr) impl_->tiny->reset_stats();
   else impl_->swiss->reset_stats();
+}
+
+RuntimeStats Runtime::stats() const {
+  const Impl& im = *impl_;
+  RuntimeStats s;
+  s.backend = backend_name();
+  s.scheduler = scheduler_name();
+
+  const auto per_tid = im.tiny != nullptr ? im.tiny->per_thread_stats()
+                                          : im.swiss->per_thread_stats();
+  for (const auto& [tid, ts] : per_tid) {
+    s.attempts += ts.attempts;
+    s.commits += ts.commits;
+    s.aborts += ts.aborts;
+    s.cancels += ts.cancels;
+    s.reads += ts.reads;
+    s.writes += ts.writes;
+    s.extensions += ts.extensions;
+    s.kills_issued += ts.kills_issued;
+    for (std::size_t i = 0; i < s.aborts_by_reason.size(); ++i)
+      s.aborts_by_reason[i] += ts.aborts_by_reason[i];
+    if (ts.attempts != 0)
+      s.per_thread.push_back(
+          {tid, ts.attempts, ts.commits, ts.aborts, ts.cancels});
+  }
+
+  if (im.sched != nullptr) {
+    const auto& ss = im.sched->sched_stats();
+    s.serialized = ss.serialized();
+    s.sched_waits = ss.waits.load();
+    if (const auto* shrink =
+            dynamic_cast<const core::ShrinkScheduler*>(im.sched.get())) {
+      const auto ra = shrink->aggregate_read_accuracy();
+      const auto wa = shrink->aggregate_write_accuracy();
+      const auto rra = shrink->aggregate_retry_read_accuracy();
+      if (ra.count() > 0) s.read_accuracy = ra.mean();
+      if (wa.count() > 0) s.write_accuracy = wa.mean();
+      if (rra.count() > 0) s.retry_read_accuracy = rra.mean();
+    }
+  }
+
+  if (im.adaptive != nullptr) {
+    s.adaptive.present = true;
+    s.adaptive.regime = runtime::regime_name(im.adaptive->regime());
+    s.adaptive.windows_closed = im.adaptive->windows_closed();
+    const auto switches = im.adaptive->switches();
+    s.adaptive.switches = switches.size();
+    // Residency reconstruction: the scheduler starts in LOW; a switch
+    // recorded at window w means windows (prev..w] still ran under `from`.
+    auto regime_slot = [](runtime::Regime r) {
+      return static_cast<std::size_t>(r) % 4;
+    };
+    runtime::Regime cur = runtime::Regime::kLow;
+    std::uint64_t prev = 0;
+    for (const auto& sw : switches) {
+      const std::uint64_t upto = sw.window_index + 1;
+      if (upto > prev) s.adaptive.residency_windows[regime_slot(sw.from)] +=
+          upto - prev;
+      prev = upto;
+      cur = sw.to;
+    }
+    if (s.adaptive.windows_closed > prev)
+      s.adaptive.residency_windows[regime_slot(cur)] +=
+          s.adaptive.windows_closed - prev;
+  }
+  return s;
+}
+
+RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
+  if (backend.empty()) backend = o.backend;
+  else if (backend != o.backend) backend = "mixed";
+  if (scheduler.empty()) scheduler = o.scheduler;
+  else if (scheduler != o.scheduler) scheduler = "mixed";
+
+  attempts += o.attempts;
+  commits += o.commits;
+  aborts += o.aborts;
+  cancels += o.cancels;
+  reads += o.reads;
+  writes += o.writes;
+  extensions += o.extensions;
+  kills_issued += o.kills_issued;
+  for (std::size_t i = 0; i < aborts_by_reason.size(); ++i)
+    aborts_by_reason[i] += o.aborts_by_reason[i];
+  serialized += o.serialized;
+  sched_waits += o.sched_waits;
+
+  // Accuracies: per-stream running means over the snapshots that tracked
+  // each stream (a cell may track reads but have no write samples, so the
+  // three streams count independently).
+  auto fold = [](double& mine, double theirs, std::uint64_t& n) {
+    if (theirs < 0) return;
+    // A snapshot fresh from Runtime::stats() carries a tracked value but a
+    // zero sample counter; count it as one sample so `a.stats() += b` means
+    // a real running mean, not a silent overwrite.
+    if (mine >= 0 && n == 0) n = 1;
+    mine = n == 0 ? theirs
+                  : (mine * static_cast<double>(n) + theirs) /
+                        static_cast<double>(n + 1);
+    ++n;
+  };
+  fold(read_accuracy, o.read_accuracy, read_accuracy_samples_);
+  fold(write_accuracy, o.write_accuracy, write_accuracy_samples_);
+  fold(retry_read_accuracy, o.retry_read_accuracy, retry_accuracy_samples_);
+
+  per_thread.clear();  // tids are not comparable across runtimes
+  adaptive.present = adaptive.present || o.adaptive.present;
+  if (!o.adaptive.regime.empty()) adaptive.regime = o.adaptive.regime;
+  adaptive.windows_closed += o.adaptive.windows_closed;
+  adaptive.switches += o.adaptive.switches;
+  for (std::size_t i = 0; i < adaptive.residency_windows.size(); ++i)
+    adaptive.residency_windows[i] += o.adaptive.residency_windows[i];
+  return *this;
+}
+
+std::string RuntimeStats::to_json() const {
+  static constexpr const char* kRegimeNames[4] = {"low", "moderate", "high",
+                                                  "pathological"};
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"backend\":\"" << runtime::json_escape(backend)
+     << "\",\"scheduler\":\"" << runtime::json_escape(scheduler)
+     << "\",\"attempts\":" << attempts << ",\"commits\":" << commits
+     << ",\"aborts\":" << aborts << ",\"cancels\":" << cancels
+     << ",\"conserved\":" << (conserved() ? "true" : "false")
+     << ",\"abort_ratio\":" << abort_ratio() << ",\"reads\":" << reads
+     << ",\"writes\":" << writes << ",\"extensions\":" << extensions
+     << ",\"kills_issued\":" << kills_issued;
+  os << ",\"aborts_by_reason\":{";
+  for (std::size_t i = 0; i < aborts_by_reason.size(); ++i) {
+    os << (i ? "," : "") << "\""
+       << stm::abort_reason_name(static_cast<stm::AbortReason>(i))
+       << "\":" << aborts_by_reason[i];
+  }
+  os << "},\"serialized\":" << serialized << ",\"sched_waits\":" << sched_waits;
+  if (read_accuracy >= 0) os << ",\"read_accuracy\":" << read_accuracy;
+  if (write_accuracy >= 0) os << ",\"write_accuracy\":" << write_accuracy;
+  if (retry_read_accuracy >= 0)
+    os << ",\"retry_read_accuracy\":" << retry_read_accuracy;
+  os << ",\"per_thread\":[";
+  for (std::size_t i = 0; i < per_thread.size(); ++i) {
+    const auto& t = per_thread[i];
+    os << (i ? "," : "") << "{\"tid\":" << t.tid
+       << ",\"attempts\":" << t.attempts << ",\"commits\":" << t.commits
+       << ",\"aborts\":" << t.aborts << ",\"cancels\":" << t.cancels << "}";
+  }
+  os << "]";
+  if (adaptive.present) {
+    os << ",\"adaptive\":{\"regime\":\"" << runtime::json_escape(adaptive.regime)
+       << "\",\"windows_closed\":" << adaptive.windows_closed
+       << ",\"switches\":" << adaptive.switches << ",\"residency_windows\":{";
+    for (std::size_t i = 0; i < adaptive.residency_windows.size(); ++i) {
+      os << (i ? "," : "") << "\"" << kRegimeNames[i]
+         << "\":" << adaptive.residency_windows[i];
+    }
+    os << "}}";
+  }
+  os << "}";
+  return os.str();
 }
 
 }  // namespace shrinktm::api

@@ -1,0 +1,175 @@
+// Typed transactional variables: the facade's data layer.
+//
+//   api::TVar<T>          word-sized T: one transactional word, the fastest
+//                         cell (ints, enums, floats, pointers)
+//   api::Shared<T>        any trivially-copyable T: sizeof(T) rounded up to
+//                         whole words, read/written word-wise through the
+//                         devirtualized api::Tx path
+//   api::SharedArray<T,N> fixed-size array of Shared<T> cells
+//
+// Multi-word atomicity needs no extra machinery: every word of a Shared<T>
+// is a separate entry in the transaction's read/write set, so a concurrent
+// committer between two word loads fails the reader's snapshot validation
+// and the attempt retries -- a transaction can never observe a torn value.
+//
+// TVar and Shared accessors are templates over the descriptor type, so the
+// same cell works through the facade (api::Tx, the normal case) and against
+// a bare backend descriptor (TinyTx/SwissTx) in the erasure-boundary tests
+// and raw microbenches.  Containers (src/txstruct/) are concrete on api::Tx.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "api/tx.hpp"
+#include "stm/word.hpp"
+
+namespace shrinktm::api {
+
+template <typename T>
+concept WordSized =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(stm::Word);
+
+/// Any value a Shared<T> can hold: trivially copyable, so word-wise
+/// memcpy in/out is a faithful representation.
+template <typename T>
+concept TrivialValue = std::is_trivially_copyable_v<T>;
+
+/// A word-sized transactional variable.  All shared state in benchmarks and
+/// examples lives in TVars (or Shared<T>); access is only possible through a
+/// transaction, so code cannot accidentally bypass the STM.
+template <WordSized T>
+class TVar {
+ public:
+  constexpr TVar() : storage_(0) {}
+  explicit TVar(T v) : storage_(to_word(v)) {}
+
+  TVar(const TVar&) = delete;  // shared variables are not copyable wholesale
+  TVar& operator=(const TVar&) = delete;
+
+  /// Transactional read (normally spelled tx.read(var)).
+  template <typename TxT>
+  T read(TxT& tx) const {
+    return from_word(tx.load(&storage_));
+  }
+
+  /// Transactional write (normally spelled tx.write(var, v)).
+  template <typename TxT>
+  void write(TxT& tx, T v) {
+    tx.store(&storage_, to_word(v));
+  }
+
+  /// Non-transactional access: single-threaded setup/verification only.
+  T unsafe_read() const { return from_word(storage_); }
+  void unsafe_write(T v) { storage_ = to_word(v); }
+
+  /// Address identity, e.g. for tests poking the write oracle.
+  const void* address() const { return &storage_; }
+
+ private:
+  static stm::Word to_word(T v) {
+    stm::Word w = 0;
+    std::memcpy(&w, &v, sizeof(T));
+    return w;
+  }
+  static T from_word(stm::Word w) {
+    T v;
+    std::memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+
+  alignas(sizeof(stm::Word)) mutable stm::Word storage_;
+};
+
+/// A transactional value of any trivially-copyable type, stored as
+/// ceil(sizeof(T)/wordsize) transactional words.  Reads and writes go word
+/// by word through the transaction; snapshot validation makes the composite
+/// read/write atomic (see file comment).
+template <TrivialValue T>
+class Shared {
+ public:
+  static constexpr std::size_t kWords =
+      (sizeof(T) + sizeof(stm::Word) - 1) / sizeof(stm::Word);
+
+  constexpr Shared() : words_{} {}
+  explicit Shared(const T& v) : words_{} { unsafe_write(v); }
+
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  /// Transactional read (normally spelled tx.read(var)).
+  template <typename TxT>
+  T read(TxT& tx) const {
+    std::array<stm::Word, kWords> buf;
+    for (std::size_t i = 0; i < kWords; ++i) buf[i] = tx.load(&words_[i]);
+    T v;
+    std::memcpy(static_cast<void*>(&v), buf.data(), sizeof(T));
+    return v;
+  }
+
+  /// Transactional write (normally spelled tx.write(var, v)).
+  template <typename TxT>
+  void write(TxT& tx, const T& v) {
+    std::array<stm::Word, kWords> buf{};  // zero tail padding: stable words
+    std::memcpy(buf.data(), &v, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) tx.store(&words_[i], buf[i]);
+  }
+
+  /// Non-transactional access: single-threaded setup/verification only.
+  T unsafe_read() const {
+    T v;
+    std::memcpy(static_cast<void*>(&v), words_.data(), sizeof(T));
+    return v;
+  }
+  void unsafe_write(const T& v) {
+    words_.fill(0);
+    std::memcpy(words_.data(), &v, sizeof(T));
+  }
+
+  const void* address() const { return words_.data(); }
+  static constexpr std::size_t word_count() { return kWords; }
+
+ private:
+  alignas(sizeof(stm::Word)) mutable std::array<stm::Word, kWords> words_;
+};
+
+/// A fixed-size array of transactional T cells.  The geometry is immutable;
+/// the elements are transactional, each padded to whole words so neighbours
+/// never share a transactional word (no false conflicts inside the array).
+template <TrivialValue T, std::size_t N>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  explicit SharedArray(const T& init) {
+    for (auto& c : cells_) c.unsafe_write(init);
+  }
+
+  SharedArray(const SharedArray&) = delete;
+  SharedArray& operator=(const SharedArray&) = delete;
+
+  static constexpr std::size_t size() { return N; }
+
+  template <typename TxT>
+  T read(TxT& tx, std::size_t i) const {
+    return cells_[i].read(tx);
+  }
+  template <typename TxT>
+  void write(TxT& tx, std::size_t i, const T& v) {
+    cells_[i].write(tx, v);
+  }
+
+  /// Element access for tx.read(arr[i]) / tx.write(arr[i], v) spelling.
+  Shared<T>& operator[](std::size_t i) { return cells_[i]; }
+  const Shared<T>& operator[](std::size_t i) const { return cells_[i]; }
+
+  T unsafe_read(std::size_t i) const { return cells_[i].unsafe_read(); }
+  void unsafe_write(std::size_t i, const T& v) { cells_[i].unsafe_write(v); }
+
+ private:
+  std::array<Shared<T>, N> cells_;
+};
+
+}  // namespace shrinktm::api

@@ -10,7 +10,17 @@
 //                       .with_backend(core::BackendKind::kSwiss)
 //                       .with_scheduler(core::SchedulerKind::kShrink));
 //   api::ThreadHandle th = rt.attach();         // RAII tid
-//   long v = atomically(th, [&](api::Tx& tx) { ... });
+//   api::TVar<long> cell;                       // typed shared state
+//   long v = atomically(th, [&](api::Tx& tx) { return tx.read(cell); });
+//
+// The transaction surface is typed and composable: bodies access shared
+// state through api::TVar / api::Shared<T> / api::SharedArray<T,N> and the
+// tx.read/tx.write accessors (api/shared.hpp) -- never raw stm::Word*; a
+// nested atomically() on the same handle joins the live attempt (flat
+// nesting); tx.on_commit/tx.on_abort register actions that fire exactly
+// once at top-level commit or definitive rollback; RuntimeOptions.retry
+// bounds the retry loop (TxRetryExhausted); and Runtime::stats() returns
+// the structured RuntimeStats snapshot (api/stats.hpp).
 //
 // Type-erasure boundary (DESIGN.md §6): only the COLD control surface is
 // erased -- Runtime construction, tid assignment, and the retry loop live
@@ -30,10 +40,14 @@
 #include <type_traits>
 #include <utility>
 
+#include "api/shared.hpp"
+#include "api/stats.hpp"
+#include "api/tx.hpp"
 #include "core/factory.hpp"
 #include "core/shrink.hpp"
 #include "runtime/adaptive.hpp"
 #include "stm/config.hpp"
+#include "stm/retry.hpp"
 #include "stm/stats.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
@@ -41,44 +55,11 @@
 
 namespace shrinktm::api {
 
-/// Backend-agnostic view of an in-flight transaction attempt, handed to
-/// atomically() bodies.  Thin: two pointers, exactly one non-null; every
-/// accessor is a branch on the tag plus a direct call into the concrete
-/// descriptor (no virtual dispatch on the read/write path).
-class Tx {
- public:
-  explicit Tx(stm::TinyTx& tx) : tiny_(&tx), swiss_(nullptr) {}
-  explicit Tx(stm::SwissTx& tx) : tiny_(nullptr), swiss_(&tx) {}
-
-  stm::Word load(const stm::Word* addr) {
-    return tiny_ != nullptr ? tiny_->load(addr) : swiss_->load(addr);
-  }
-  void store(stm::Word* addr, stm::Word value) {
-    if (tiny_ != nullptr) tiny_->store(addr, value);
-    else swiss_->store(addr, value);
-  }
-
-  /// Transactional allocation: undone on abort, frees deferred to commit.
-  void* tx_alloc(std::size_t bytes) {
-    return tiny_ != nullptr ? tiny_->tx_alloc(bytes) : swiss_->tx_alloc(bytes);
-  }
-  void tx_free(void* p) {
-    if (tiny_ != nullptr) tiny_->tx_free(p);
-    else swiss_->tx_free(p);
-  }
-
-  /// User-requested restart of the current attempt.
-  [[noreturn]] void restart() {
-    if (tiny_ != nullptr) tiny_->restart();
-    swiss_->restart();
-  }
-
-  int tid() const { return tiny_ != nullptr ? tiny_->tid() : swiss_->tid(); }
-
- private:
-  stm::TinyTx* tiny_;
-  stm::SwissTx* swiss_;
-};
+// The transaction view (api/tx.hpp), typed variables (api/shared.hpp) and
+// the stats snapshot (api/stats.hpp) are part of the facade; re-export the
+// retry vocabulary so user code never spells the stm layer.
+using RetryPolicy = stm::RetryPolicy;
+using TxRetryExhausted = stm::TxRetryExhausted;
 
 /// Declarative Runtime recipe.  Plain aggregate with chainable with_*
 /// setters; every knob has a sensible default, so `RuntimeOptions{}` is a
@@ -106,6 +87,10 @@ struct RuntimeOptions {
   core::ShrinkConfig shrink;
   /// Adaptive-runtime tuning, consumed when scheduler == kAdaptive.
   runtime::AdaptiveConfig adaptive;
+  /// Retry discipline for every transaction of this Runtime.  The default
+  /// retries forever (the paper's loop); bound it to surface livelock as
+  /// api::TxRetryExhausted instead of hanging the caller.
+  RetryPolicy retry;
 
   RuntimeOptions& with_backend(core::BackendKind k) { backend = k; return *this; }
   RuntimeOptions& with_backend(const std::string& name) {
@@ -125,6 +110,14 @@ struct RuntimeOptions {
   RuntimeOptions& with_shrink(const core::ShrinkConfig& cfg) { shrink = cfg; return *this; }
   RuntimeOptions& with_adaptive(const runtime::AdaptiveConfig& cfg) {
     adaptive = cfg;
+    return *this;
+  }
+  RuntimeOptions& with_retry(RetryPolicy p) {
+    retry = std::move(p);
+    return *this;
+  }
+  RuntimeOptions& with_max_attempts(std::uint64_t n) {
+    retry.max_attempts = n;
     return *this;
   }
 };
@@ -171,6 +164,11 @@ class Runtime {
 
   stm::ThreadStats aggregate_stats() const;
   void reset_stats();
+
+  /// Structured observability snapshot: per-thread commit/abort/cancel
+  /// totals, Shrink prediction accuracy, adaptive regime residency and
+  /// switch counts -- see api/stats.hpp for the schema and to_json().
+  RuntimeStats stats() const;
 
  private:
   friend class ThreadHandle;
@@ -275,6 +273,14 @@ class ThreadHandle {
 inline ThreadHandle Runtime::attach() { return ThreadHandle(this, attach_tid()); }
 
 /// The entry point: run `body` as one transaction, retrying on conflict.
+///
+/// Flat nesting: calling atomically() (or handle.run()) on a handle whose
+/// transaction is already in flight does not start a second transaction --
+/// the nested body joins the live attempt (same snapshot, same write set,
+/// same deferred actions) and commits or aborts with it.  This makes
+/// transactional functions composable: a function can call atomically()
+/// unconditionally and work both standalone and inside a larger
+/// transaction.
 template <typename Body>
   requires std::invocable<Body&, Tx&>
 auto atomically(ThreadHandle& th, Body&& body) {

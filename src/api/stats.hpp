@@ -1,0 +1,100 @@
+// RuntimeStats: the structured observability snapshot behind
+// Runtime::stats().
+//
+// One call unifies what used to take three private surfaces: the backend's
+// ThreadStats counters (stm/stats.hpp), the scheduler's SchedStats and
+// Shrink prediction accuracy, and the adaptive runtime's regime timeline
+// (runtime/metrics_export.hpp).  The snapshot is plain data with a
+// hand-rolled to_json() (same no-dependency convention as the metrics
+// exporter), so benches, tests and production scrapers all consume the same
+// schema -- every BENCH_*.json artifact embeds one.
+//
+// Reading while transactions are in flight is racy-but-benign (plain
+// counter loads); the conservation identity attempts == commits + aborts +
+// cancels is exact only at quiescence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stm/stats.hpp"
+
+namespace shrinktm::api {
+
+struct RuntimeStats {
+  std::string backend;    ///< "tiny" / "swiss"
+  std::string scheduler;  ///< "base" / "shrink" / ... / "adaptive"
+
+  // ---- transaction outcome totals (summed over threads) ----
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t extensions = 0;
+  std::uint64_t kills_issued = 0;
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(stm::AbortReason::kNumReasons)>
+      aborts_by_reason{};
+
+  // ---- scheduler counters ----
+  std::uint64_t serialized = 0;  ///< attempts run under a serialization lock
+  std::uint64_t sched_waits = 0; ///< blocking waits in before_start
+
+  // ---- Shrink prediction accuracy (Figure 3 instrumentation); negative =
+  // not tracked (scheduler is not Shrink, or track_accuracy off) ----
+  double read_accuracy = -1.0;
+  double write_accuracy = -1.0;
+  double retry_read_accuracy = -1.0;
+
+  struct PerThread {
+    int tid = -1;
+    std::uint64_t attempts = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t cancels = 0;
+  };
+  std::vector<PerThread> per_thread;  ///< tids that ran at least one attempt
+
+  /// Adaptive-runtime view; `present` only when scheduler == "adaptive".
+  struct Adaptive {
+    bool present = false;
+    std::string regime;                ///< regime at snapshot time
+    std::uint64_t windows_closed = 0;
+    std::uint64_t switches = 0;
+    /// Windows spent in each regime, reconstructed from the switch
+    /// timeline (regime-at-window granularity).
+    std::array<std::uint64_t, 4> residency_windows{};
+  } adaptive;
+
+  /// attempts == commits + aborts + cancels (exact at quiescence).
+  bool conserved() const { return attempts == commits + aborts + cancels; }
+
+  double abort_ratio() const {
+    const auto done = commits + aborts;
+    return done == 0 ? 0.0
+                     : static_cast<double>(aborts) / static_cast<double>(done);
+  }
+
+  /// Merge another runtime's snapshot (bench aggregation across cells):
+  /// counters add, accuracies average over the snapshots that tracked them,
+  /// per-thread rows are dropped (tids are meaningless across runtimes),
+  /// adaptive windows/switches/residency add.
+  RuntimeStats& operator+=(const RuntimeStats& o);
+
+  /// Flat JSON object, schema: {"backend":...,"scheduler":...,"attempts":N,
+  /// ...,"per_thread":[...],"adaptive":{...}}.
+  std::string to_json() const;
+
+ private:
+  // operator+= running-mean state: how many merged snapshots tracked each
+  // accuracy stream (streams are tracked independently per cell).
+  std::uint64_t read_accuracy_samples_ = 0;
+  std::uint64_t write_accuracy_samples_ = 0;
+  std::uint64_t retry_accuracy_samples_ = 0;
+};
+
+}  // namespace shrinktm::api

@@ -1,0 +1,137 @@
+// api::Tx -- the backend-agnostic view of an in-flight transaction attempt.
+//
+// Thin: two descriptor pointers (exactly one non-null) plus the runner's
+// deferred-action list.  Every accessor is one branch on the tag and a
+// direct (non-virtual) call into the concrete descriptor, so the read/write
+// hot path compiles to the same code as driving the backend directly; the
+// single dispatch() helper is the only place the tag branch is written.
+//
+// Application code should not touch stm::Word* through load()/store();
+// those are the primitives the typed layer (api::TVar / api::Shared /
+// api::SharedArray, src/api/shared.hpp) and the transactional containers
+// (src/txstruct/) are built on.  User-facing code reads and writes through
+// the typed accessors:
+//
+//   api::TVar<long> balance;
+//   atomically(th, [&](api::Tx& tx) {
+//     tx.write(balance, tx.read(balance) + 1);
+//     tx.on_commit([] { notify_downstream(); });
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "stm/actions.hpp"
+#include "stm/swiss.hpp"
+#include "stm/tiny.hpp"
+#include "stm/word.hpp"
+
+namespace shrinktm::api {
+
+class Tx {
+  // The one place the backend tag is branched on: every accessor routes
+  // through here, so adding a backend is one new arm in two overloads.
+  // (Defined before first use: deduced return types must be visible.)
+  template <typename F>
+  decltype(auto) dispatch(F&& f) {
+    return tiny_ != nullptr ? f(*tiny_) : f(*swiss_);
+  }
+  template <typename F>
+  decltype(auto) dispatch(F&& f) const {
+    return tiny_ != nullptr ? f(*tiny_) : f(*swiss_);
+  }
+
+ public:
+  /// Views over a live descriptor.  `actions` is the owning runner's
+  /// deferred-action list; a null actions pointer (bare descriptor views in
+  /// erasure-boundary tests) rejects on_commit/on_abort registration.
+  explicit Tx(stm::TinyTx& tx, stm::TxActions* actions = nullptr)
+      : tiny_(&tx), swiss_(nullptr), actions_(actions) {}
+  explicit Tx(stm::SwissTx& tx, stm::TxActions* actions = nullptr)
+      : tiny_(nullptr), swiss_(&tx), actions_(actions) {}
+
+  // ---- typed accessors (the user-facing surface) ----
+
+  /// Transactional read of a typed variable (TVar, Shared, or anything
+  /// exposing `read(Tx&)`).
+  template <typename Var>
+    requires requires(const Var& v, Tx& tx) { v.read(tx); }
+  auto read(const Var& v) {
+    return v.read(*this);
+  }
+
+  /// Transactional write of a typed variable.
+  template <typename Var, typename U>
+    requires requires(Var& v, Tx& tx, U&& u) {
+      v.write(tx, std::forward<U>(u));
+    }
+  void write(Var& v, U&& value) {
+    v.write(*this, std::forward<U>(value));
+  }
+
+  // ---- deferred actions (fire exactly once; see stm/actions.hpp) ----
+
+  /// Run `fn` after the top-level transaction commits.  Registrations from
+  /// aborted attempts are discarded with the attempt, so across any number
+  /// of conflict-retries the action fires exactly once.  Inside a nested
+  /// (joined) atomically() the action still fires at top-level commit.
+  void on_commit(std::function<void()> fn) {
+    require_actions().on_commit(std::move(fn));
+  }
+
+  /// Run `fn` if the transaction is definitively rolled back -- a user
+  /// cancel (non-conflict exception) or RetryPolicy exhaustion.  Never runs
+  /// on an intermediate conflict-retry.  Must not throw.
+  void on_abort(std::function<void()> fn) {
+    require_actions().on_abort(std::move(fn));
+  }
+
+  // ---- word-level primitives (typed layer plumbing) ----
+
+  stm::Word load(const stm::Word* addr) {
+    return dispatch([&](auto& t) { return t.load(addr); });
+  }
+  void store(stm::Word* addr, stm::Word value) {
+    dispatch([&](auto& t) { t.store(addr, value); });
+  }
+
+  /// Transactional allocation: undone on abort, frees deferred to commit.
+  void* tx_alloc(std::size_t bytes) {
+    return dispatch([&](auto& t) { return t.tx_alloc(bytes); });
+  }
+  void tx_free(void* p) {
+    dispatch([&](auto& t) { t.tx_free(p); });
+  }
+
+  /// User-requested restart of the current attempt.
+  [[noreturn]] void restart() {
+    dispatch([](auto& t) { t.restart(); });
+    // Both backends' restart() throw TxConflict; if one ever stops being
+    // [[noreturn]] this fails loudly instead of dispatching into a null
+    // descriptor.
+    std::abort();
+  }
+
+  int tid() const {
+    return dispatch([](const auto& t) { return t.tid(); });
+  }
+
+ private:
+  stm::TxActions& require_actions() {
+    if (actions_ == nullptr)
+      throw std::logic_error(
+          "api::Tx: deferred actions require a runner-managed transaction "
+          "(bare descriptor views have no action list)");
+    return *actions_;
+  }
+
+  stm::TinyTx* tiny_;
+  stm::SwissTx* swiss_;
+  stm::TxActions* actions_;
+};
+
+}  // namespace shrinktm::api

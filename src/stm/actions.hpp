@@ -1,0 +1,74 @@
+// Deferred transaction actions: side effects queued during a transaction
+// body and fired exactly once when the top-level attempt's fate is decided.
+//
+// Registrations are speculative state, exactly like transactional writes:
+// a conflict-retry discards everything registered by the doomed attempt
+// (the re-executed body registers again), so across any number of retries
+// the committing attempt's commit actions run exactly once, after the
+// commit is durable.  Abort actions run exactly once when the transaction
+// as a whole is abandoned -- a user cancel (non-conflict exception) or
+// retry-policy exhaustion -- never on an intermediate retry.
+//
+// Flat nesting composes naturally: a nested atomically() joins the parent
+// attempt and registers into the parent's TxActions, so nested actions fire
+// at top-level commit, not at the nested call's return.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace shrinktm::stm {
+
+/// Per-attempt deferred-action lists, owned by the TxRunner driving the
+/// transaction.  Not thread-safe: only the thread driving the attempt may
+/// register or fire.
+class TxActions {
+ public:
+  void on_commit(std::function<void()> fn) {
+    commit_.push_back(std::move(fn));
+  }
+  void on_abort(std::function<void()> fn) { abort_.push_back(std::move(fn)); }
+
+  bool empty() const { return commit_.empty() && abort_.empty(); }
+
+  /// Discard the doomed attempt's registrations (conflict-retry path).
+  void discard() {
+    commit_.clear();
+    abort_.clear();
+  }
+
+  /// Run the commit actions in registration order, then clear both lists.
+  /// Runs after the commit is durable; an exception from an action
+  /// propagates to the atomically() caller (the transaction stays
+  /// committed), so commit actions should not throw.
+  void fire_commit() {
+    // Steal the list first: an action may start a fresh transaction on the
+    // same runner, which must see a clean slate.
+    auto actions = std::move(commit_);
+    discard();
+    for (auto& fn : actions) fn();
+  }
+
+  /// Run the abort actions in registration order, then clear both lists.
+  /// Called while unwinding a cancel/exhaustion, so throwing actions are
+  /// swallowed: the original exception must reach the caller.
+  void fire_abort() noexcept {
+    auto actions = std::move(abort_);
+    discard();
+    for (auto& fn : actions) {
+      try {
+        fn();
+      } catch (...) {
+        // Abort actions must not throw; dropping the exception beats
+        // std::terminate mid-unwind.
+      }
+    }
+  }
+
+ private:
+  std::vector<std::function<void()>> commit_;
+  std::vector<std::function<void()>> abort_;
+};
+
+}  // namespace shrinktm::stm

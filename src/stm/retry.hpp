@@ -1,0 +1,60 @@
+// Bounded retry: policy and escape hatch for the TxRunner retry loop.
+//
+// The paper's runners retry conflicted attempts forever -- correct for
+// throughput experiments, unacceptable for a production system where a
+// livelocked transaction must eventually surface to the caller.  A
+// RetryPolicy bounds the attempts and optionally replaces the built-in
+// waiting flavour with a user backoff hook; exhaustion escapes as
+// TxRetryExhausted through atomically().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "stm/word.hpp"
+
+namespace shrinktm::stm {
+
+/// Retry discipline for one Runtime's transactions.  Shared by every thread
+/// of the Runtime, so `backoff` must be thread-safe (it is called
+/// concurrently with distinct tids).
+struct RetryPolicy {
+  /// Maximum attempts per top-level transaction (first execution included).
+  /// 0 = retry forever, the classic STM behaviour and the default.
+  std::uint64_t max_attempts = 0;
+  /// Called after each aborted attempt that will be retried, instead of the
+  /// backend's waiting policy: (tid, attempt) where `attempt` counts the
+  /// attempts finished so far (1 = first execution just aborted).  Leave
+  /// empty to keep the backend's native busy/preemptive waiting.
+  std::function<void(int tid, std::uint64_t attempt)> backoff;
+
+  bool bounded() const { return max_attempts != 0; }
+};
+
+/// Thrown from atomically() when a transaction used up its RetryPolicy
+/// attempts without committing.  The final attempt has been rolled back and
+/// its abort actions have fired; the handle stays usable.
+class TxRetryExhausted : public std::runtime_error {
+ public:
+  TxRetryExhausted(int tid, std::uint64_t attempts, AbortReason last_reason)
+      : std::runtime_error("transaction exhausted " +
+                           std::to_string(attempts) + " attempts (tid " +
+                           std::to_string(tid) + ", last abort: " +
+                           abort_reason_name(last_reason) + ")"),
+        tid_(tid),
+        attempts_(attempts),
+        last_reason_(last_reason) {}
+
+  int tid() const { return tid_; }
+  std::uint64_t attempts() const { return attempts_; }
+  AbortReason last_reason() const { return last_reason_; }
+
+ private:
+  int tid_;
+  std::uint64_t attempts_;
+  AbortReason last_reason_;
+};
+
+}  // namespace shrinktm::stm

@@ -3,14 +3,19 @@
 // This is where the scheduler of Figure 4 wraps the STM: before_start may
 // serialize the attempt, on_commit/on_abort feed the success-rate and
 // prediction machinery, and the waiting policy decides whether aborted
-// threads spin or yield between retries.
+// threads spin or yield between retries.  The runner also owns the
+// transaction's deferred actions (fired exactly once at top-level commit or
+// definitive rollback) and enforces the RetryPolicy bound.
 #pragma once
 
 #include <concepts>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
+#include "stm/actions.hpp"
 #include "stm/hooks.hpp"
+#include "stm/retry.hpp"
 #include "stm/word.hpp"
 #include "util/spin.hpp"
 
@@ -26,61 +31,95 @@ template <typename Tx>
 class TxRunner {
  public:
   /// @param sched may be null (no scheduling: the base STM behaviour).
-  TxRunner(Tx& tx, SchedulerHooks* sched)
-      : tx_(tx), sched_(sched), backoff_(tx.wait_policy()) {
+  /// @param retry may be null (retry forever); must outlive the runner.
+  TxRunner(Tx& tx, SchedulerHooks* sched, const RetryPolicy* retry = nullptr)
+      : tx_(tx), sched_(sched), retry_(retry), backoff_(tx.wait_policy()) {
     tx_.set_scheduler(sched);
   }
 
   int tid() const { return tx_.tid(); }
   Tx& tx() { return tx_; }
+  /// Deferred commit/abort actions of the in-flight transaction; the api
+  /// layer registers into this through api::Tx::on_commit / on_abort.
+  TxActions& actions() { return actions_; }
 
   template <typename Body>
     requires std::invocable<Body&, Tx&>
   auto run(Body&& body) {
     using R = std::invoke_result_t<Body&, Tx&>;
+    std::uint64_t attempt = 0;
+    actions_.discard();  // no residue from a cancelled predecessor
     for (;;) {
+      ++attempt;
       if (sched_ != nullptr) sched_->before_start(tx_.tid());
       tx_.start();
+      // The committed result is held outside the try so the commit actions
+      // can run AFTER it: an exception escaping an action must reach the
+      // caller as-is, not be mistaken for an attempt failure (a TxConflict
+      // from a stray post-commit transactional access re-entering the
+      // catch below would silently re-execute the already-committed body).
+      [[maybe_unused]] std::conditional_t<std::is_void_v<R>, char,
+                                          std::optional<R>> result{};
       try {
         if constexpr (std::is_void_v<R>) {
           body(tx_);
-          tx_.commit();
-          if (sched_ != nullptr) sched_->on_commit(tx_.tid());
-          backoff_.reset();
-          return;
         } else {
-          R result = body(tx_);
-          tx_.commit();
-          if (sched_ != nullptr) sched_->on_commit(tx_.tid());
-          backoff_.reset();
-          return result;
+          result.emplace(body(tx_));
         }
+        tx_.commit();
       } catch (const TxConflict& c) {
-        // The descriptor rolled itself back before throwing.
+        // The descriptor rolled itself back before throwing.  The doomed
+        // attempt's registrations are speculative state: discard them; the
+        // re-executed body registers its own.
         if (sched_ != nullptr)
           sched_->on_abort(tx_.tid(), tx_.last_write_addrs(), c.enemy_tid());
-        backoff_.pause();
+        if (retry_ != nullptr && retry_->bounded() &&
+            attempt >= retry_->max_attempts) {
+          backoff_.reset();  // next transaction starts from minimum pause
+          actions_.fire_abort();
+          throw TxRetryExhausted(tx_.tid(), attempt, c.reason());
+        }
+        actions_.discard();
+        if (retry_ != nullptr && retry_->backoff) {
+          retry_->backoff(tx_.tid(), attempt);
+        } else {
+          backoff_.pause();
+        }
+        continue;
       } catch (...) {
         // User exception: cancel the transaction and let it propagate.
         if (tx_.in_tx()) cancel();
+        backoff_.reset();  // runners are cached per tid: drop escalation
+        actions_.fire_abort();
         throw;
+      }
+      // Committed.  Scheduler bookkeeping, then the deferred actions --
+      // outside the catch blocks above, so nothing they throw re-enters
+      // the retry loop.
+      if (sched_ != nullptr) sched_->on_commit(tx_.tid());
+      backoff_.reset();
+      actions_.fire_commit();
+      if constexpr (std::is_void_v<R>) {
+        return;
+      } else {
+        return std::move(*result);
       }
     }
   }
 
  private:
   void cancel() {
-    try {
-      tx_.restart();  // rolls back and throws TxConflict
-    } catch (const TxConflict&) {
-    }
-    // A cancel is not a conflict: the dedicated hook releases per-attempt
-    // scheduler state without polluting abort stats or the conflict matrix.
+    // A cancel is not a conflict: the descriptor rolls back without feeding
+    // abort statistics, and the dedicated hook releases per-attempt
+    // scheduler state without polluting the conflict matrix.
+    tx_.cancel();
     if (sched_ != nullptr) sched_->on_cancel(tx_.tid());
   }
 
   Tx& tx_;
   SchedulerHooks* sched_;
+  const RetryPolicy* retry_;
+  TxActions actions_;
   util::Backoff backoff_;
 };
 

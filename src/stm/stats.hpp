@@ -16,8 +16,11 @@
 namespace shrinktm::stm {
 
 struct ThreadStats {
+  std::uint64_t attempts = 0;  ///< started attempts; == commits+aborts+cancels
+                               ///< once the thread is quiescent
   std::uint64_t commits = 0;
-  std::uint64_t aborts = 0;
+  std::uint64_t aborts = 0;    ///< conflict/validation/kill/explicit restarts
+  std::uint64_t cancels = 0;   ///< user abandonments (non-conflict exception)
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t extensions = 0;        ///< successful snapshot extensions
@@ -31,8 +34,10 @@ struct ThreadStats {
   }
 
   ThreadStats& operator+=(const ThreadStats& o) {
+    attempts += o.attempts;
     commits += o.commits;
     aborts += o.aborts;
+    cancels += o.cancels;
     reads += o.reads;
     writes += o.writes;
     extensions += o.extensions;

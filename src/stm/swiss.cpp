@@ -36,6 +36,14 @@ ThreadStats SwissBackend::aggregate_stats() const {
   return total;
 }
 
+std::vector<std::pair<int, ThreadStats>> SwissBackend::per_thread_stats() const {
+  std::lock_guard<std::mutex> g(reg_mutex_);
+  std::vector<std::pair<int, ThreadStats>> out;
+  for (std::size_t t = 0; t < descs_.size(); ++t)
+    if (descs_[t]) out.emplace_back(static_cast<int>(t), descs_[t]->stats());
+  return out;
+}
+
 void SwissBackend::reset_stats() {
   std::lock_guard<std::mutex> g(reg_mutex_);
   for (auto& d : descs_)
@@ -64,6 +72,7 @@ void SwissTx::set_scheduler(SchedulerHooks* hooks) {
 void SwissTx::start() {
   assert(!active_ && "nested transactions are not supported (flatten them)");
   active_ = true;
+  ++stats_.attempts;
   if (sched_ != nullptr)
     read_hook_ = sched_->wants_read_hook() && sched_->read_hook_active(tid_);
   commit_locking_ = false;
@@ -264,6 +273,11 @@ void* SwissTx::tx_alloc(std::size_t bytes) {
 void SwissTx::tx_free(void* p) { frees_.push_back(p); }
 
 void SwissTx::restart() { die(AbortReason::kExplicit, -1); }
+
+void SwissTx::cancel() {
+  ++stats_.cancels;
+  finish(false);
+}
 
 void SwissTx::request_kill(int killer_tid) {
   killer_tid_.store(killer_tid, std::memory_order_relaxed);

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "stm/clock.hpp"
@@ -70,6 +71,9 @@ class SwissBackend final : public WriteOracle {
   const StmConfig& config() const { return cfg_; }
 
   ThreadStats aggregate_stats() const;
+  /// Per-tid snapshots for every descriptor created so far, as (tid, stats)
+  /// pairs in tid order (see TinyBackend::per_thread_stats).
+  std::vector<std::pair<int, ThreadStats>> per_thread_stats() const;
   void reset_stats();
 
   static constexpr bool kBackendHasKill = true;
@@ -109,6 +113,8 @@ class SwissTx {
   void* tx_alloc(std::size_t bytes);
   void tx_free(void* p);
   [[noreturn]] void restart();
+  /// Roll back the current attempt as a user cancel (no abort recorded).
+  void cancel();
   void request_kill(int killer_tid);
 
   std::span<void* const> last_write_addrs() const { return last_write_addrs_; }

@@ -51,6 +51,14 @@ ThreadStats TinyBackend::aggregate_stats() const {
   return total;
 }
 
+std::vector<std::pair<int, ThreadStats>> TinyBackend::per_thread_stats() const {
+  std::lock_guard<std::mutex> g(reg_mutex_);
+  std::vector<std::pair<int, ThreadStats>> out;
+  for (std::size_t t = 0; t < descs_.size(); ++t)
+    if (descs_[t]) out.emplace_back(static_cast<int>(t), descs_[t]->stats());
+  return out;
+}
+
 void TinyBackend::reset_stats() {
   std::lock_guard<std::mutex> g(reg_mutex_);
   for (auto& d : descs_)
@@ -79,6 +87,7 @@ void TinyTx::set_scheduler(SchedulerHooks* hooks) {
 void TinyTx::start() {
   assert(!active_ && "nested transactions are not supported (flatten them)");
   active_ = true;
+  ++stats_.attempts;
   if (sched_ != nullptr)
     read_hook_ = sched_->wants_read_hook() && sched_->read_hook_active(tid_);
   status_.store(kRunning, std::memory_order_release);
@@ -210,6 +219,11 @@ void* TinyTx::tx_alloc(std::size_t bytes) {
 void TinyTx::tx_free(void* p) { frees_.push_back(p); }
 
 void TinyTx::restart() { die(AbortReason::kExplicit, -1); }
+
+void TinyTx::cancel() {
+  ++stats_.cancels;
+  finish(false);
+}
 
 void TinyTx::request_kill(int killer_tid) {
   killer_tid_.store(killer_tid, std::memory_order_relaxed);

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "stm/clock.hpp"
@@ -78,6 +79,10 @@ class TinyBackend final : public WriteOracle {
 
   /// Sum of all registered threads' statistics.
   ThreadStats aggregate_stats() const;
+  /// Per-tid snapshots for every descriptor created so far, as (tid, stats)
+  /// pairs in tid order.  Read while threads run is racy-but-benign (plain
+  /// counter loads); read quiescent for exact conservation.
+  std::vector<std::pair<int, ThreadStats>> per_thread_stats() const;
   /// Reset all registered threads' statistics (between measurement phases).
   void reset_stats();
 
@@ -124,6 +129,11 @@ class TinyTx {
 
   /// User-requested restart of the current attempt.
   [[noreturn]] void restart();
+
+  /// Roll back the current attempt because the user abandoned the
+  /// transaction (a non-conflict exception escaped the body).  Counts as a
+  /// cancel, not an abort, and does not throw.
+  void cancel();
 
   /// Cooperative remote abort (used by contention managers / tests).
   void request_kill(int killer_tid);

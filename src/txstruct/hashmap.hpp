@@ -35,22 +35,19 @@ class TxHashMap {
     }
   }
 
-  template <typename Tx>
-  std::optional<V> lookup(Tx& tx, K key) const {
+  std::optional<V> lookup(api::Tx& tx, K key) const {
     for (Node* n = bucket(key).read(tx); n != nullptr; n = n->next.read(tx)) {
       if (n->key == key) return n->value.read(tx);
     }
     return std::nullopt;
   }
 
-  template <typename Tx>
-  bool contains(Tx& tx, K key) const {
+  bool contains(api::Tx& tx, K key) const {
     return lookup(tx, key).has_value();
   }
 
   /// Returns false if key already present (map unchanged).
-  template <typename Tx>
-  bool insert(Tx& tx, K key, V value) {
+  bool insert(api::Tx& tx, K key, V value) {
     TVar<Node*>& head = bucket(key);
     Node* first = head.read(tx);
     for (Node* n = first; n != nullptr; n = n->next.read(tx)) {
@@ -62,8 +59,7 @@ class TxHashMap {
     return true;
   }
 
-  template <typename Tx>
-  void insert_or_assign(Tx& tx, K key, V value) {
+  void insert_or_assign(api::Tx& tx, K key, V value) {
     TVar<Node*>& head = bucket(key);
     for (Node* n = head.read(tx); n != nullptr; n = n->next.read(tx)) {
       if (n->key == key) {
@@ -77,8 +73,7 @@ class TxHashMap {
     head.write(tx, fresh);
   }
 
-  template <typename Tx>
-  bool erase(Tx& tx, K key) {
+  bool erase(api::Tx& tx, K key) {
     TVar<Node*>& head = bucket(key);
     Node* prev = nullptr;
     for (Node* n = head.read(tx); n != nullptr; n = n->next.read(tx)) {

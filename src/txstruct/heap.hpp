@@ -20,8 +20,7 @@ class TxHeap {
   TxHeap(const TxHeap&) = delete;
   TxHeap& operator=(const TxHeap&) = delete;
 
-  template <typename Tx>
-  bool push(Tx& tx, T v) {
+  bool push(api::Tx& tx, T v) {
     std::size_t n = size_.read(tx);
     if (n >= slots_.size()) return false;  // full
     // sift up
@@ -38,8 +37,7 @@ class TxHeap {
     return true;
   }
 
-  template <typename Tx>
-  std::optional<T> pop(Tx& tx) {
+  std::optional<T> pop(api::Tx& tx) {
     std::size_t n = size_.read(tx);
     if (n == 0) return std::nullopt;
     const T top = slots_[0].read(tx);
@@ -71,8 +69,7 @@ class TxHeap {
     return top;
   }
 
-  template <typename Tx>
-  std::size_t size(Tx& tx) const {
+  std::size_t size(api::Tx& tx) const {
     return size_.read(tx);
   }
 

@@ -27,15 +27,13 @@ class TxList {
     }
   }
 
-  template <typename Tx>
-  bool contains(Tx& tx, K key) const {
+  bool contains(api::Tx& tx, K key) const {
     Node* n = head_.read(tx);
     while (n != nullptr && n->key < key) n = n->next.read(tx);
     return n != nullptr && n->key == key;
   }
 
-  template <typename Tx>
-  bool insert(Tx& tx, K key) {
+  bool insert(api::Tx& tx, K key) {
     Node* prev = nullptr;
     Node* n = head_.read(tx);
     while (n != nullptr && n->key < key) {
@@ -53,8 +51,7 @@ class TxList {
     return true;
   }
 
-  template <typename Tx>
-  bool erase(Tx& tx, K key) {
+  bool erase(api::Tx& tx, K key) {
     Node* prev = nullptr;
     Node* n = head_.read(tx);
     while (n != nullptr && n->key < key) {
@@ -72,8 +69,7 @@ class TxList {
     return true;
   }
 
-  template <typename Tx>
-  std::size_t size(Tx& tx) const {
+  std::size_t size(api::Tx& tx) const {
     std::size_t c = 0;
     for (Node* n = head_.read(tx); n != nullptr; n = n->next.read(tx)) ++c;
     return c;

@@ -30,8 +30,7 @@ class TxQueue {
     }
   }
 
-  template <typename Tx>
-  void enqueue(Tx& tx, T value) {
+  void enqueue(api::Tx& tx, T value) {
     Node* fresh = new (tx.tx_alloc(sizeof(Node))) Node(value);
     Node* t = tail_.read(tx);
     if (t == nullptr) {  // empty
@@ -43,8 +42,7 @@ class TxQueue {
     }
   }
 
-  template <typename Tx>
-  std::optional<T> dequeue(Tx& tx) {
+  std::optional<T> dequeue(api::Tx& tx) {
     Node* h = head_.read(tx);
     if (h == nullptr) return std::nullopt;
     Node* next = h->next.read(tx);
@@ -55,8 +53,7 @@ class TxQueue {
     return v;
   }
 
-  template <typename Tx>
-  bool empty(Tx& tx) const {
+  bool empty(api::Tx& tx) const {
     return head_.read(tx) == nullptr;
   }
 

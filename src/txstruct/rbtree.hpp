@@ -32,8 +32,7 @@ class TxRBTree {
   ~TxRBTree() { destroy(root_.unsafe_read()); }
 
   /// Returns the value mapped to `key`, if present.
-  template <typename Tx>
-  std::optional<V> lookup(Tx& tx, K key) const {
+  std::optional<V> lookup(api::Tx& tx, K key) const {
     Node* n = root_.read(tx);
     while (n != nullptr) {
       const K nk = n->key;
@@ -43,15 +42,13 @@ class TxRBTree {
     return std::nullopt;
   }
 
-  template <typename Tx>
-  bool contains(Tx& tx, K key) const {
+  bool contains(api::Tx& tx, K key) const {
     return lookup(tx, key).has_value();
   }
 
   /// Inserts (key, value); returns false (and leaves the tree unchanged) if
   /// the key is already present.
-  template <typename Tx>
-  bool insert(Tx& tx, K key, V value) {
+  bool insert(api::Tx& tx, K key, V value) {
     Node* parent = nullptr;
     Node* n = root_.read(tx);
     while (n != nullptr) {
@@ -75,8 +72,7 @@ class TxRBTree {
 
   /// Updates the value of an existing key or inserts it; returns true if a
   /// new key was inserted.
-  template <typename Tx>
-  bool insert_or_assign(Tx& tx, K key, V value) {
+  bool insert_or_assign(api::Tx& tx, K key, V value) {
     Node* n = root_.read(tx);
     while (n != nullptr) {
       const K nk = n->key;
@@ -90,8 +86,7 @@ class TxRBTree {
   }
 
   /// Removes `key`; returns false if it was not present.
-  template <typename Tx>
-  bool erase(Tx& tx, K key) {
+  bool erase(api::Tx& tx, K key) {
     Node* z = root_.read(tx);
     while (z != nullptr) {
       const K zk = z->key;
@@ -104,8 +99,7 @@ class TxRBTree {
   }
 
   /// Smallest key >= `key`, if any (used by STMBench7-mini range scans).
-  template <typename Tx>
-  std::optional<K> lower_bound_key(Tx& tx, K key) const {
+  std::optional<K> lower_bound_key(api::Tx& tx, K key) const {
     Node* n = root_.read(tx);
     std::optional<K> best;
     while (n != nullptr) {
@@ -122,14 +116,13 @@ class TxRBTree {
   }
 
   /// In-order traversal calling fn(key, value); returns visited count.
-  template <typename Tx, typename Fn>
-  std::size_t for_each(Tx& tx, Fn&& fn) const {
+  template <typename Fn>
+  std::size_t for_each(api::Tx& tx, Fn&& fn) const {
     return walk(tx, root_.read(tx), fn);
   }
 
   /// Transactional node count (O(n) reads -- a deliberate long traversal).
-  template <typename Tx>
-  std::size_t size(Tx& tx) const {
+  std::size_t size(api::Tx& tx) const {
     return for_each(tx, [](K, V) {});
   }
 
@@ -166,13 +159,11 @@ class TxRBTree {
     TVar<Node*> parent{nullptr};
   };
 
-  template <typename Tx>
-  static std::uint8_t color_of(Tx& tx, Node* n) {
+  static std::uint8_t color_of(api::Tx& tx, Node* n) {
     return n == nullptr ? kBlack : n->color.read(tx);
   }
 
-  template <typename Tx>
-  void rotate_left(Tx& tx, Node* x) {
+  void rotate_left(api::Tx& tx, Node* x) {
     Node* y = x->right.read(tx);
     Node* yl = y->left.read(tx);
     x->right.write(tx, yl);
@@ -190,8 +181,7 @@ class TxRBTree {
     x->parent.write(tx, y);
   }
 
-  template <typename Tx>
-  void rotate_right(Tx& tx, Node* x) {
+  void rotate_right(api::Tx& tx, Node* x) {
     Node* y = x->left.read(tx);
     Node* yr = y->right.read(tx);
     x->left.write(tx, yr);
@@ -209,8 +199,7 @@ class TxRBTree {
     x->parent.write(tx, y);
   }
 
-  template <typename Tx>
-  void insert_fixup(Tx& tx, Node* z) {
+  void insert_fixup(api::Tx& tx, Node* z) {
     while (true) {
       Node* zp = z->parent.read(tx);
       if (zp == nullptr || zp->color.read(tx) == kBlack) break;
@@ -258,8 +247,7 @@ class TxRBTree {
   }
 
   /// Replace subtree rooted at u with subtree rooted at v (v may be null).
-  template <typename Tx>
-  void transplant(Tx& tx, Node* u, Node* v) {
+  void transplant(api::Tx& tx, Node* u, Node* v) {
     Node* up = u->parent.read(tx);
     if (up == nullptr) {
       root_.write(tx, v);
@@ -271,8 +259,7 @@ class TxRBTree {
     if (v != nullptr) v->parent.write(tx, up);
   }
 
-  template <typename Tx>
-  void erase_node(Tx& tx, Node* z) {
+  void erase_node(api::Tx& tx, Node* z) {
     Node* y = z;
     std::uint8_t y_original_color = y->color.read(tx);
     Node* x = nullptr;        // node that moves into y's place (may be null)
@@ -311,8 +298,7 @@ class TxRBTree {
     tx.tx_free(z);
   }
 
-  template <typename Tx>
-  void erase_fixup(Tx& tx, Node* x, Node* x_parent) {
+  void erase_fixup(api::Tx& tx, Node* x, Node* x_parent) {
     while (x != root_.read(tx) && color_of(tx, x) == kBlack) {
       if (x_parent == nullptr) break;  // x is the root
       if (x == x_parent->left.read(tx)) {
@@ -378,8 +364,8 @@ class TxRBTree {
     if (x != nullptr) x->color.write(tx, kBlack);
   }
 
-  template <typename Tx, typename Fn>
-  std::size_t walk(Tx& tx, Node* n, Fn& fn) const {
+  template <typename Fn>
+  std::size_t walk(api::Tx& tx, Node* n, Fn& fn) const {
     if (n == nullptr) return 0;
     std::size_t c = walk(tx, n->left.read(tx), fn);
     fn(n->key, n->value.read(tx));

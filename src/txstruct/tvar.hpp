@@ -1,63 +1,15 @@
-// TVar<T>: a word-sized transactional variable.
-//
-// All shared state in the benchmarks and examples lives in TVars; access is
-// only possible through a transaction descriptor, so code cannot
-// accidentally bypass the STM.  T must fit in a machine word and be
-// trivially copyable (ints, enums, floats, pointers).
+// Compatibility shim: TVar<T> was promoted to the api facade
+// (src/api/shared.hpp) alongside the multi-word api::Shared<T>.  The txs::
+// spellings remain valid for existing containers, workloads and tests; no
+// code in this directory touches stm::Word* anymore -- the word-wise access
+// lives behind the facade's typed variables.
 #pragma once
 
-#include <bit>
-#include <cstring>
-#include <type_traits>
-
-#include "stm/word.hpp"
+#include "api/shared.hpp"
 
 namespace shrinktm::txs {
 
-template <typename T>
-concept WordSized = std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(stm::Word);
-
-template <WordSized T>
-class TVar {
- public:
-  constexpr TVar() : storage_(0) {}
-  explicit TVar(T v) : storage_(to_word(v)) {}
-
-  TVar(const TVar&) = delete;  // shared variables are not copyable wholesale
-  TVar& operator=(const TVar&) = delete;
-
-  /// Transactional read.
-  template <typename Tx>
-  T read(Tx& tx) const {
-    return from_word(tx.load(&storage_));
-  }
-
-  /// Transactional write.
-  template <typename Tx>
-  void write(Tx& tx, T v) {
-    tx.store(&storage_, to_word(v));
-  }
-
-  /// Non-transactional access: single-threaded setup/verification only.
-  T unsafe_read() const { return from_word(storage_); }
-  void unsafe_write(T v) { storage_ = to_word(v); }
-
-  /// Address identity, e.g. for tests poking the write oracle.
-  const void* address() const { return &storage_; }
-
- private:
-  static stm::Word to_word(T v) {
-    stm::Word w = 0;
-    std::memcpy(&w, &v, sizeof(T));
-    return w;
-  }
-  static T from_word(stm::Word w) {
-    T v;
-    std::memcpy(&v, &w, sizeof(T));
-    return v;
-  }
-
-  alignas(sizeof(stm::Word)) mutable stm::Word storage_;
-};
+using api::TVar;
+using api::WordSized;
 
 }  // namespace shrinktm::txs

@@ -24,14 +24,12 @@ class TxArray {
 
   std::size_t size() const { return cells_.size(); }
 
-  template <typename Tx>
-  T get(Tx& tx, std::size_t i) const {
+  T get(api::Tx& tx, std::size_t i) const {
     assert(i < cells_.size());
     return cells_[i].read(tx);
   }
 
-  template <typename Tx>
-  void set(Tx& tx, std::size_t i, T v) {
+  void set(api::Tx& tx, std::size_t i, T v) {
     assert(i < cells_.size());
     cells_[i].write(tx, v);
   }
@@ -49,12 +47,10 @@ class TxCounter {
  public:
   explicit TxCounter(std::uint64_t init = 0) : v_(init) {}
 
-  template <typename Tx>
-  std::uint64_t get(Tx& tx) const {
+  std::uint64_t get(api::Tx& tx) const {
     return v_.read(tx);
   }
-  template <typename Tx>
-  void add(Tx& tx, std::uint64_t d) {
+  void add(api::Tx& tx, std::uint64_t d) {
     v_.write(tx, v_.read(tx) + d);
   }
   std::uint64_t unsafe_get() const { return v_.unsafe_read(); }

@@ -10,9 +10,11 @@
 //   void op(Runner&, int tid, Rng&)    -- one application operation (runs
 //                                         one or more transactions)
 //   bool verify(Runner&)               -- post-run invariant check
-// where Runner is anything with run(body): an api::ThreadHandle (the facade
-// entry point benches and examples use) or a raw stm::TxRunner (tests that
-// drive a backend directly).
+// where Runner is anything whose run(body) hands the body an api::Tx&: an
+// api::ThreadHandle (the facade entry point benches and examples use) or
+// the FacadeRunner adapter below (tests that drive a backend directly).
+// Either way the body and the containers it calls see only the typed
+// facade transaction, never a backend descriptor.
 #pragma once
 
 #include <atomic>
@@ -38,6 +40,30 @@ struct DriverConfig {
   std::uint64_t seed = 42;
   /// Cap on operations (0 = unlimited); lets tests bound runtimes exactly.
   std::uint64_t max_ops_per_thread = 0;
+};
+
+/// Adapts a raw stm::TxRunner so workload bodies receive the facade's
+/// api::Tx& (the concrete access type of every transactional container)
+/// instead of the backend descriptor.  Deferred actions registered through
+/// the view route to the runner's own TxActions, so the low-level engine
+/// has full API-v2 semantics minus the Runtime.
+template <typename Tx>
+class FacadeRunner {
+ public:
+  explicit FacadeRunner(stm::TxRunner<Tx>& r) : r_(r) {}
+
+  int tid() const { return r_.tid(); }
+
+  template <typename Body>
+  auto run(Body&& body) {
+    return r_.run([&](Tx& btx) {
+      api::Tx view(btx, &r_.actions());
+      return body(view);
+    });
+  }
+
+ private:
+  stm::TxRunner<Tx>& r_;
 };
 
 struct RunResult {
@@ -79,7 +105,8 @@ RunResult run_workload(Backend& backend, core::Scheduler* sched,
 
   {  // setup on thread slot 0
     stm::TxRunner<Tx> r0(backend.tx(0), sched);
-    workload.setup(r0);
+    FacadeRunner<Tx> f0(r0);
+    workload.setup(f0);
   }
   backend.reset_stats();
 
@@ -92,11 +119,12 @@ RunResult run_workload(Backend& backend, core::Scheduler* sched,
   for (int t = 0; t < cfg.threads; ++t) {
     threads.emplace_back([&, t] {
       stm::TxRunner<Tx> runner(backend.tx(t), sched);
+      FacadeRunner<Tx> facade(runner);
       util::Xoshiro256 rng(cfg.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
       start_barrier.arrive_and_wait();
       std::uint64_t ops = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        workload.op(runner, t, rng);
+        workload.op(facade, t, rng);
         ++ops;
         if (cfg.max_ops_per_thread != 0 && ops >= cfg.max_ops_per_thread) break;
       }
@@ -121,7 +149,8 @@ RunResult run_workload(Backend& backend, core::Scheduler* sched,
   detail::fill_scheduler_results(res, sched);
   {  // post-run verification on slot 0
     stm::TxRunner<Tx> r0(backend.tx(0), sched);
-    res.verified = workload.verify(r0);
+    FacadeRunner<Tx> f0(r0);
+    res.verified = workload.verify(f0);
   }
   return res;
 }

@@ -1,18 +1,18 @@
 // Property-style parameterized sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
 // the same invariants checked across a grid of backends, schedulers, thread
-// counts and contention levels.
+// counts and contention levels -- all driven through the api::Runtime
+// facade (the raw-runner drive-path lives in test_txstruct's erasure-
+// boundary test only).
 #include <gtest/gtest.h>
 
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "api/shrinktm.hpp"
 #include "core/factory.hpp"
 #include "sim/scenarios.hpp"
 #include "sim/schedulers.hpp"
-#include "stm/runner.hpp"
-#include "stm/swiss.hpp"
-#include "stm/tiny.hpp"
 #include "txstruct/rbtree.hpp"
 #include "txstruct/tvar.hpp"
 #include "util/bloom.hpp"
@@ -27,34 +27,32 @@ namespace {
 // STM serializability across (backend, threads, contention) grid
 // ---------------------------------------------------------------------------
 
-enum class BackendKind { kTiny, kSwiss };
-
 struct StmGridParam {
-  BackendKind backend;
+  core::BackendKind backend;
   int threads;
   int cells;  // fewer cells = more contention
 };
 
 class StmSerializability : public ::testing::TestWithParam<StmGridParam> {};
 
-template <typename Backend>
-void run_transfer_mix(int threads, int cells) {
-  Backend backend;
-  std::vector<txs::TVar<std::int64_t>> accounts(cells);
+TEST_P(StmSerializability, TransfersConserveTotal) {
+  const auto p = GetParam();
+  api::Runtime rt(api::RuntimeOptions{}.with_backend(p.backend));
+  std::vector<txs::TVar<std::int64_t>> accounts(p.cells);
   for (auto& a : accounts) a.unsafe_write(100);
 
   std::vector<std::thread> ts;
-  for (int t = 0; t < threads; ++t) {
+  for (int t = 0; t < p.threads; ++t) {
     ts.emplace_back([&, t] {
-      stm::TxRunner<typename Backend::Tx> r(backend.tx(t), nullptr);
+      api::ThreadHandle th = rt.attach();
       util::Xoshiro256 rng(900 + t);
       for (int i = 0; i < 1000; ++i) {
         const auto a = rng.next_below(accounts.size());
         const auto b = rng.next_below(accounts.size());
-        r.run([&](auto& tx) {
-          const auto va = accounts[a].read(tx);
-          accounts[a].write(tx, va - 1);
-          accounts[b].write(tx, accounts[b].read(tx) + 1);
+        atomically(th, [&](api::Tx& tx) {
+          const auto va = tx.read(accounts[a]);
+          tx.write(accounts[a], va - 1);
+          tx.write(accounts[b], tx.read(accounts[b]) + 1);
         });
       }
     });
@@ -62,33 +60,29 @@ void run_transfer_mix(int threads, int cells) {
   for (auto& th : ts) th.join();
   std::int64_t total = 0;
   for (auto& a : accounts) total += a.unsafe_read();
-  EXPECT_EQ(total, static_cast<std::int64_t>(cells) * 100)
+  EXPECT_EQ(total, static_cast<std::int64_t>(p.cells) * 100)
       << "money conservation violated";
-}
-
-TEST_P(StmSerializability, TransfersConserveTotal) {
-  const auto p = GetParam();
-  if (p.backend == BackendKind::kTiny) {
-    run_transfer_mix<stm::TinyBackend>(p.threads, p.cells);
-  } else {
-    run_transfer_mix<stm::SwissBackend>(p.threads, p.cells);
-  }
+  // Outcome conservation through the structured stats surface.
+  const auto stats = rt.stats();
+  EXPECT_TRUE(stats.conserved());
+  EXPECT_EQ(stats.commits,
+            static_cast<std::uint64_t>(p.threads) * 1000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, StmSerializability,
-    ::testing::Values(StmGridParam{BackendKind::kTiny, 2, 64},
-                      StmGridParam{BackendKind::kTiny, 4, 8},
-                      StmGridParam{BackendKind::kTiny, 8, 2},
-                      StmGridParam{BackendKind::kTiny, 8, 256},
-                      StmGridParam{BackendKind::kSwiss, 2, 64},
-                      StmGridParam{BackendKind::kSwiss, 4, 8},
-                      StmGridParam{BackendKind::kSwiss, 8, 2},
-                      StmGridParam{BackendKind::kSwiss, 8, 256}),
+    ::testing::Values(StmGridParam{core::BackendKind::kTiny, 2, 64},
+                      StmGridParam{core::BackendKind::kTiny, 4, 8},
+                      StmGridParam{core::BackendKind::kTiny, 8, 2},
+                      StmGridParam{core::BackendKind::kTiny, 8, 256},
+                      StmGridParam{core::BackendKind::kSwiss, 2, 64},
+                      StmGridParam{core::BackendKind::kSwiss, 4, 8},
+                      StmGridParam{core::BackendKind::kSwiss, 8, 2},
+                      StmGridParam{core::BackendKind::kSwiss, 8, 256}),
     [](const auto& info) {
       const auto& p = info.param;
-      return std::string(p.backend == BackendKind::kTiny ? "tiny" : "swiss") +
-             "_t" + std::to_string(p.threads) + "_c" + std::to_string(p.cells);
+      return std::string(core::backend_kind_name(p.backend)) + "_t" +
+             std::to_string(p.threads) + "_c" + std::to_string(p.cells);
     });
 
 // ---------------------------------------------------------------------------
@@ -96,42 +90,34 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 
 struct RbParam {
-  BackendKind backend;
+  core::BackendKind backend;
   core::SchedulerKind sched;
   int update_percent;
 };
 
 class RbTreeUnderScheduler : public ::testing::TestWithParam<RbParam> {};
 
-template <typename Backend>
-void run_rb(core::SchedulerKind kind, int update_percent) {
-  Backend backend;
-  auto sched = core::make_scheduler(kind, backend);
+TEST_P(RbTreeUnderScheduler, InvariantsHold) {
+  const auto p = GetParam();
+  api::Runtime rt(
+      api::RuntimeOptions{}.with_backend(p.backend).with_scheduler(p.sched));
   workloads::RBTreeBench w(workloads::RBTreeBenchConfig{
-      .key_range = 512, .update_percent = update_percent});
+      .key_range = 512, .update_percent = p.update_percent});
   workloads::DriverConfig cfg;
   cfg.threads = 6;
   cfg.duration_ms = 50;
-  const auto res = workloads::run_workload(backend, sched.get(), w, cfg);
+  const auto res = workloads::run_workload(rt, w, cfg);
   EXPECT_TRUE(res.verified);
   EXPECT_GT(res.stm.commits, 0u);
-  if (sched) {
+  if (auto* sched = rt.scheduler()) {
     EXPECT_EQ(sched->wait_count(), 0u) << "serialization lock leaked";
   }
-}
-
-TEST_P(RbTreeUnderScheduler, InvariantsHold) {
-  const auto p = GetParam();
-  if (p.backend == BackendKind::kTiny) {
-    run_rb<stm::TinyBackend>(p.sched, p.update_percent);
-  } else {
-    run_rb<stm::SwissBackend>(p.sched, p.update_percent);
-  }
+  EXPECT_TRUE(rt.stats().conserved());
 }
 
 std::vector<RbParam> rb_grid() {
   std::vector<RbParam> g;
-  for (auto b : {BackendKind::kTiny, BackendKind::kSwiss})
+  for (auto b : {core::BackendKind::kTiny, core::BackendKind::kSwiss})
     for (auto s : {core::SchedulerKind::kNone, core::SchedulerKind::kShrink,
                    core::SchedulerKind::kAts, core::SchedulerKind::kPool,
                    core::SchedulerKind::kSerializer})
@@ -143,8 +129,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, RbTreeUnderScheduler, ::testing::ValuesIn(rb_grid()),
     [](const auto& info) {
       const auto& p = info.param;
-      return std::string(p.backend == BackendKind::kTiny ? "tiny" : "swiss") +
-             "_" + core::scheduler_kind_name(p.sched) + "_u" +
+      return std::string(core::backend_kind_name(p.backend)) + "_" +
+             core::scheduler_kind_name(p.sched) + "_u" +
              std::to_string(p.update_percent);
     });
 

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/tx.hpp"
 #include "stm/runner.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
@@ -202,10 +203,12 @@ TYPED_TEST(KillTest, ErasedNodesAreReclaimedEventually) {
   stm::TxRunner<typename TypeParam::Tx> r(backend.tx(0), nullptr);
   for (int round = 0; round < 50; ++round) {
     r.run([&](auto& tx) {
-      for (std::int64_t k = 0; k < 20; ++k) list.insert(tx, k);
+      api::Tx view(tx);  // containers are concrete on the facade Tx
+      for (std::int64_t k = 0; k < 20; ++k) list.insert(view, k);
     });
     r.run([&](auto& tx) {
-      for (std::int64_t k = 0; k < 20; ++k) list.erase(tx, k);
+      api::Tx view(tx);
+      for (std::int64_t k = 0; k < 20; ++k) list.erase(view, k);
     });
   }
   EXPECT_EQ(list.unsafe_size(), 0u);
@@ -221,7 +224,8 @@ TYPED_TEST(KillTest, ConcurrentEraseAndTraverse) {
   {
     stm::TxRunner<typename TypeParam::Tx> r(backend.tx(0), nullptr);
     r.run([&](auto& tx) {
-      for (std::int64_t k = 0; k < 64; ++k) list.insert(tx, k);
+      api::Tx view(tx);
+      for (std::int64_t k = 0; k < 64; ++k) list.insert(view, k);
     });
   }
   std::atomic<bool> stop{false};
@@ -230,14 +234,14 @@ TYPED_TEST(KillTest, ConcurrentEraseAndTraverse) {
     util::Xoshiro256 rng(3);
     while (!stop.load()) {
       const auto k = static_cast<std::int64_t>(rng.next_below(64));
-      r.run([&](auto& tx) { list.erase(tx, k); });
-      r.run([&](auto& tx) { list.insert(tx, k); });
+      r.run([&](auto& tx) { api::Tx view(tx); list.erase(view, k); });
+      r.run([&](auto& tx) { api::Tx view(tx); list.insert(view, k); });
     }
   });
   std::thread reader([&] {
     stm::TxRunner<typename TypeParam::Tx> r(backend.tx(2), nullptr);
     for (int i = 0; i < 3000; ++i) {
-      r.run([&](auto& tx) { (void)list.size(tx); });
+      r.run([&](auto& tx) { api::Tx view(tx); (void)list.size(view); });
     }
     stop.store(true);
   });

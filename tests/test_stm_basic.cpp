@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/tx.hpp"
 #include "stm/runner.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
@@ -167,8 +168,9 @@ TYPED_TEST(StmBasicTest, StripedCountersSumCorrectly) {
         const auto from = rng.next_below(cells.size());
         const auto to = rng.next_below(cells.size());
         r.run([&](auto& tx) {
-          cells.set(tx, from, cells.get(tx, from) - 1);
-          cells.set(tx, to, cells.get(tx, to) + 1);
+          api::Tx view(tx);  // containers are concrete on the facade Tx
+          cells.set(view, from, cells.get(view, from) - 1);
+          cells.set(view, to, cells.get(view, to) + 1);
         });
       }
     });

@@ -1,5 +1,8 @@
 // Transactional container tests: sequential semantics plus concurrent
-// invariant checks, typed over both STM backends.
+// invariant checks, driven through the public api::Runtime facade on both
+// backends.  One deliberately narrow raw-runner test at the bottom covers
+// the type-erasure boundary itself (api::Tx views over bare descriptors);
+// everything else exercises the containers the way applications do.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -7,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/shrinktm.hpp"
 #include "stm/runner.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
@@ -21,19 +25,30 @@
 namespace shrinktm {
 namespace {
 
-template <typename Backend>
+struct TinyKind {
+  static constexpr core::BackendKind kBackend = core::BackendKind::kTiny;
+};
+struct SwissKind {
+  static constexpr core::BackendKind kBackend = core::BackendKind::kSwiss;
+};
+
+template <typename Kind>
 class TxStructTest : public ::testing::Test {
  protected:
-  Backend backend;
+  TxStructTest()
+      : rt(api::RuntimeOptions{}.with_backend(Kind::kBackend)) {}
+
+  api::Runtime rt;
+
+  /// One transaction on this thread's implicit handle.
   template <typename F>
-  auto atomically(int tid, F&& f) {
-    stm::TxRunner<typename Backend::Tx> r(backend.tx(tid), nullptr);
-    return r.run(std::forward<F>(f));
+  auto atomically(F&& f) {
+    return rt.run(std::forward<F>(f));
   }
 };
 
-using Backends = ::testing::Types<stm::TinyBackend, stm::SwissBackend>;
-TYPED_TEST_SUITE(TxStructTest, Backends);
+using BackendKinds = ::testing::Types<TinyKind, SwissKind>;
+TYPED_TEST_SUITE(TxStructTest, BackendKinds);
 
 TYPED_TEST(TxStructTest, RBTreeMatchesStdMapSequentially) {
   txs::TxRBTree<std::int64_t, std::int64_t> tree;
@@ -42,7 +57,7 @@ TYPED_TEST(TxStructTest, RBTreeMatchesStdMapSequentially) {
   for (int i = 0; i < 3000; ++i) {
     const auto key = static_cast<std::int64_t>(rng.next_below(500));
     const auto op = rng.next_below(3);
-    this->atomically(0, [&](auto& tx) {
+    this->atomically([&](api::Tx& tx) {
       if (op == 0) {
         const bool inserted = tree.insert(tx, key, key * 2);
         const bool expected = model.emplace(key, key * 2).second;
@@ -58,13 +73,15 @@ TYPED_TEST(TxStructTest, RBTreeMatchesStdMapSequentially) {
         if (got && *got != it->second) std::abort();
       }
     });
-    if (i % 256 == 0) ASSERT_GE(tree.unsafe_check_invariants(), 0) << "at op " << i;
+    if (i % 256 == 0) {
+      ASSERT_GE(tree.unsafe_check_invariants(), 0) << "at op " << i;
+    }
   }
   ASSERT_GE(tree.unsafe_check_invariants(), 0);
   EXPECT_EQ(tree.unsafe_size(), model.size());
   // In-order traversal agrees with the model.
   std::vector<std::int64_t> keys;
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     keys.clear();
     tree.for_each(tx, [&](std::int64_t k, std::int64_t) { keys.push_back(k); });
   });
@@ -75,10 +92,10 @@ TYPED_TEST(TxStructTest, RBTreeMatchesStdMapSequentially) {
 
 TYPED_TEST(TxStructTest, RBTreeLowerBound) {
   txs::TxRBTree<std::int64_t, std::int64_t> tree;
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     for (std::int64_t k : {10, 20, 30, 40}) tree.insert(tx, k, k);
   });
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     EXPECT_EQ(tree.lower_bound_key(tx, 5).value(), 10);
     EXPECT_EQ(tree.lower_bound_key(tx, 10).value(), 10);
     EXPECT_EQ(tree.lower_bound_key(tx, 11).value(), 20);
@@ -93,12 +110,12 @@ TYPED_TEST(TxStructTest, RBTreeConcurrentInvariants) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      stm::TxRunner<typename TypeParam::Tx> r(this->backend.tx(t), nullptr);
+      api::ThreadHandle th = this->rt.attach();
       util::Xoshiro256 rng(77 + t);
       for (int i = 0; i < kOps; ++i) {
         const auto key = static_cast<std::int64_t>(rng.next_below(kRange));
         const auto op = rng.next_below(3);
-        r.run([&](auto& tx) {
+        atomically(th, [&](api::Tx& tx) {
           if (op == 0) {
             tree.insert(tx, key, key);
           } else if (op == 1) {
@@ -113,11 +130,18 @@ TYPED_TEST(TxStructTest, RBTreeConcurrentInvariants) {
   for (auto& th : threads) th.join();
   EXPECT_GE(tree.unsafe_check_invariants(), 0)
       << "red-black invariants violated after concurrent mix";
+  // Conservation through the new stats surface: every started attempt
+  // finished as exactly one of commit/abort/cancel.
+  const auto stats = this->rt.stats();
+  EXPECT_TRUE(stats.conserved())
+      << stats.attempts << " != " << stats.commits << "+" << stats.aborts
+      << "+" << stats.cancels;
+  EXPECT_EQ(stats.cancels, 0u);
 }
 
 TYPED_TEST(TxStructTest, HashMapBasics) {
   txs::TxHashMap<std::int64_t, std::int64_t> map(64);
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     EXPECT_TRUE(map.insert(tx, 1, 100));
     EXPECT_FALSE(map.insert(tx, 1, 200));
     EXPECT_EQ(map.lookup(tx, 1).value(), 100);
@@ -135,7 +159,7 @@ TYPED_TEST(TxStructTest, HashMapManyKeysAcrossBuckets) {
   util::Xoshiro256 rng(13);
   for (int i = 0; i < 500; ++i) {
     const auto k = static_cast<std::int64_t>(rng.next_below(200));
-    this->atomically(0, [&](auto& tx) {
+    this->atomically([&](api::Tx& tx) {
       if (rng.next_bool(0.6)) {
         map.insert(tx, k, k);
         model.insert(k);
@@ -147,7 +171,7 @@ TYPED_TEST(TxStructTest, HashMapManyKeysAcrossBuckets) {
   }
   EXPECT_EQ(map.unsafe_size(), model.size());
   for (const auto k : model) {
-    this->atomically(0, [&](auto& tx) {
+    this->atomically([&](api::Tx& tx) {
       if (!map.contains(tx, k)) std::abort();
     });
   }
@@ -155,7 +179,7 @@ TYPED_TEST(TxStructTest, HashMapManyKeysAcrossBuckets) {
 
 TYPED_TEST(TxStructTest, SortedListSetSemantics) {
   txs::TxList<std::int64_t> list;
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     EXPECT_TRUE(list.insert(tx, 5));
     EXPECT_TRUE(list.insert(tx, 1));
     EXPECT_TRUE(list.insert(tx, 9));
@@ -170,11 +194,11 @@ TYPED_TEST(TxStructTest, SortedListSetSemantics) {
 
 TYPED_TEST(TxStructTest, QueueFifoOrder) {
   txs::TxQueue<std::int64_t> q;
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     EXPECT_TRUE(q.empty(tx));
     for (std::int64_t i = 0; i < 10; ++i) q.enqueue(tx, i);
   });
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(q.dequeue(tx).value(), i);
     EXPECT_FALSE(q.dequeue(tx).has_value());
   });
@@ -188,14 +212,14 @@ TYPED_TEST(TxStructTest, QueueConservesElementsConcurrently) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      stm::TxRunner<typename TypeParam::Tx> r(this->backend.tx(t), nullptr);
+      api::ThreadHandle th = this->rt.attach();
       util::Xoshiro256 rng(t + 100);
       for (int i = 0; i < kPerThread; ++i) {
         if (rng.next_bool(0.5)) {
-          r.run([&](auto& tx) { q.enqueue(tx, 1); });
+          atomically(th, [&](api::Tx& tx) { q.enqueue(tx, 1); });
         } else {
           std::optional<std::int64_t> got;
-          r.run([&](auto& tx) { got = q.dequeue(tx); });
+          atomically(th, [&](api::Tx& tx) { got = q.dequeue(tx); });
           if (got) {
             dequeued_sum.fetch_add(*got);
             dequeued_count.fetch_add(1);
@@ -205,9 +229,6 @@ TYPED_TEST(TxStructTest, QueueConservesElementsConcurrently) {
     });
   }
   for (auto& th : threads) th.join();
-  // enqueues - dequeues == remaining
-  const auto enq = this->backend.aggregate_stats();  // not used for count; recompute
-  (void)enq;
   std::uint64_t remaining = q.unsafe_size();
   // Every dequeued element was a 1 someone enqueued.
   EXPECT_EQ(dequeued_sum.load(), static_cast<std::int64_t>(dequeued_count.load()));
@@ -219,14 +240,14 @@ TYPED_TEST(TxStructTest, HeapOrdersElements) {
   txs::TxHeap<std::int64_t> h(64);
   util::Xoshiro256 rng(19);
   std::multiset<std::int64_t> model;
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     for (int i = 0; i < 40; ++i) {
       const auto v = static_cast<std::int64_t>(rng.next_below(1000));
       ASSERT_TRUE(h.push(tx, v));
       model.insert(v);
     }
   });
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     std::int64_t prev = -1;
     while (auto top = h.pop(tx)) {
       EXPECT_GE(*top, prev);
@@ -239,7 +260,7 @@ TYPED_TEST(TxStructTest, HeapOrdersElements) {
 
 TYPED_TEST(TxStructTest, HeapRejectsOverflow) {
   txs::TxHeap<std::int64_t> h(4);
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     for (std::int64_t i = 0; i < 4; ++i) EXPECT_TRUE(h.push(tx, i));
     EXPECT_FALSE(h.push(tx, 99));
   });
@@ -248,13 +269,56 @@ TYPED_TEST(TxStructTest, HeapRejectsOverflow) {
 TYPED_TEST(TxStructTest, ArrayAndCounter) {
   txs::TxArray<std::int64_t> arr(8, 7);
   txs::TxCounter ctr(5);
-  this->atomically(0, [&](auto& tx) {
+  this->atomically([&](api::Tx& tx) {
     EXPECT_EQ(arr.get(tx, 3), 7);
     arr.set(tx, 3, 9);
     EXPECT_EQ(arr.get(tx, 3), 9);
     ctr.add(tx, 10);
     EXPECT_EQ(ctr.get(tx), 15u);
   });
+}
+
+// ---------------------------------------------------------------------------
+// The one raw-runner test: the type-erasure boundary itself.  A bare
+// stm::TxRunner over a concrete descriptor, with api::Tx views constructed
+// by hand, must behave exactly like the facade path -- this is the contract
+// run_erased() relies on.
+// ---------------------------------------------------------------------------
+
+template <typename Backend>
+void raw_runner_erasure_boundary() {
+  Backend backend;
+  txs::TxList<std::int64_t> list;
+  stm::TxRunner<typename Backend::Tx> r(backend.tx(0), nullptr);
+  // Containers through a hand-built view over the raw descriptor.
+  r.run([&](auto& btx) {
+    api::Tx view(btx, &r.actions());
+    for (std::int64_t k = 0; k < 8; ++k) list.insert(view, k);
+  });
+  EXPECT_EQ(list.unsafe_size(), 8u);
+  // Raw word-level access through the same view: the primitive layer the
+  // typed accessors compile down to.
+  txs::TVar<std::int64_t> cell(3);
+  r.run([&](auto& btx) {
+    api::Tx view(btx);
+    auto* addr = const_cast<stm::Word*>(
+        static_cast<const stm::Word*>(cell.address()));
+    view.store(addr, view.load(addr) * 7);
+  });
+  EXPECT_EQ(cell.unsafe_read(), 21);
+  // A view without an action list rejects deferred actions instead of
+  // silently dropping them.
+  r.run([&](auto& btx) {
+    api::Tx view(btx);
+    EXPECT_THROW(view.on_commit([] {}), std::logic_error);
+  });
+}
+
+TEST(RawRunnerErasureBoundary, Tiny) {
+  raw_runner_erasure_boundary<stm::TinyBackend>();
+}
+TEST(RawRunnerErasureBoundary, Swiss) {
+  raw_runner_erasure_boundary<stm::SwissBackend>();
 }
 
 }  // namespace
