@@ -1,0 +1,149 @@
+// Compiled mirror of every code snippet in README.md and docs/API.md.
+//
+// The docs CI job builds and runs this target, so a snippet that bit-rots
+// fails the build instead of lying to readers.  Each snippet_* function is
+// kept textually in sync with the named document section; if you edit one,
+// edit the other.
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "api/shrinktm.hpp"
+#include "txstruct/bounded_queue.hpp"
+
+using namespace shrinktm;
+
+// --------------------------------------------------- README.md "Quickstart"
+namespace readme_quickstart {
+
+api::TVar<long> balance;                 // word-sized typed cell
+txs::TxBoundedQueue<long, 64> audit_log; // blocking bounded MPMC queue
+
+void run() {
+  // One declarative recipe: backend, scheduler, waiting policy, retry bound.
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kSwiss)
+                      .with_scheduler(core::SchedulerKind::kShrink));
+
+  std::thread worker([&] {
+    api::ThreadHandle th = rt.attach();  // RAII thread slot
+    atomically(th, [&](api::Tx& tx) {
+      tx.write(balance, tx.read(balance) + 50);
+      audit_log.push(tx, 50);            // blocks (tx.retry) while full
+      tx.on_commit([] { std::puts("deposit durable"); });
+    });
+  });
+
+  api::ThreadHandle th = rt.attach();
+  // Blocking pop with a fallback, composed from alternatives: if the log is
+  // empty, the first alternative retries and the transaction parks until
+  // the worker's commit overwrites something it read.
+  const long entry = atomically(th, api::or_else(
+      [&](api::Tx& tx) { return audit_log.pop(tx); },
+      [&](api::Tx& tx) -> long {
+        if (tx.read(balance) == 0) tx.retry();  // nothing anywhere: wait
+        return -1;
+      }));
+
+  worker.join();
+  assert(entry == 50 || entry == -1);
+  assert(rt.stats().conserved());
+}
+
+}  // namespace readme_quickstart
+
+// ------------------------------------------- docs/API.md "Typed variables"
+namespace api_typed {
+
+struct Order {
+  long id;
+  long quantity;
+};
+
+void run() {
+  api::Runtime rt;
+  api::Shared<Order> order(Order{1, 10});  // multi-word, never torn
+  api::SharedArray<long, 8> bins;
+
+  api::ThreadHandle th = rt.attach();
+  const long q = atomically(th, [&](api::Tx& tx) {
+    const Order o = tx.read(order);
+    tx.write(bins[o.id % 8], tx.read(bins[o.id % 8]) + o.quantity);
+    return o.quantity;
+  });
+  assert(q == 10);
+}
+
+}  // namespace api_typed
+
+// ------------------------------------ docs/API.md "Flat nesting" composing
+namespace api_nesting {
+
+api::TVar<long> from{100}, to{0};
+
+/// Works standalone AND inside a larger transaction (flat nesting).
+bool transfer(api::ThreadHandle& th, long amount) {
+  return atomically(th, [&](api::Tx& tx) {
+    if (tx.read(from) < amount) return false;
+    tx.write(from, tx.read(from) - amount);
+    tx.write(to, tx.read(to) + amount);
+    return true;
+  });
+}
+
+void run() {
+  api::Runtime rt;
+  api::ThreadHandle th = rt.attach();
+  atomically(th, [&](api::Tx& tx) {
+    if (transfer(th, 30))  // joins this attempt; commits or aborts with it
+      tx.on_commit([] { std::puts("transfer confirmed"); });
+  });
+  assert(from.unsafe_read() == 70 && to.unsafe_read() == 30);
+}
+
+}  // namespace api_nesting
+
+// ------------------- docs/API.md "Bounded retry vs blocking retry" section
+namespace api_retry_kinds {
+
+void run() {
+  // BOUNDED retry: a conflict-livelock escape hatch.  max_attempts caps the
+  // conflict-retry loop; exhaustion surfaces as TxRetryExhausted.
+  api::Runtime rt(api::RuntimeOptions{}.with_max_attempts(64));
+  api::TVar<long> cell{0};
+  api::ThreadHandle th = rt.attach();
+
+  try {
+    atomically(th, [&](api::Tx& tx) { tx.write(cell, 1); });
+  } catch (const api::TxRetryExhausted& e) {
+    std::printf("livelocked after %llu attempts\n",
+                static_cast<unsigned long long>(e.attempts()));
+  }
+
+  // BLOCKING retry: condition synchronization.  tx.retry() parks the
+  // transaction until a commit overwrites its read set -- it never counts
+  // against max_attempts, and burns zero commits while parked.
+  std::thread producer([&] {
+    api::ThreadHandle pth = rt.attach();
+    atomically(pth, [&](api::Tx& tx) { tx.write(cell, 7); });
+  });
+  const long v = atomically(th, [&](api::Tx& tx) {
+    const long c = tx.read(cell);
+    if (c < 7) tx.retry();
+    return c;
+  });
+  producer.join();
+  assert(v == 7);
+}
+
+}  // namespace api_retry_kinds
+
+int main() {
+  readme_quickstart::run();
+  api_typed::run();
+  api_nesting::run();
+  api_retry_kinds::run();
+  std::puts("docs snippets OK");
+  return 0;
+}

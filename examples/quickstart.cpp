@@ -14,7 +14,12 @@
 //   * bounded retry -- RuntimeOptions.retry turns livelock into a
 //     TxRetryExhausted exception instead of a hang (unbounded here);
 //   * observability -- Runtime::stats() closes the run with a structured
-//     snapshot (also available as JSON via to_json()).
+//     snapshot (also available as JSON via to_json()).  Snapshot semantics:
+//     stats() may be called at any time (racy-but-benign counter reads),
+//     but the conservation identity attempts == commits + aborts + cancels
+//     + retry_waits is exact only at quiescence -- so the epilogue below
+//     runs after every ThreadHandle has been dropped (each worker's RAII
+//     handle dies at its scope exit) and the threads are joined.
 // The whole runtime -- backend (tiny|swiss), scheduler
 // (none|shrink|ats|...|adaptive), waiting policy, seed -- stays one
 // declarative RuntimeOptions; swapping any of them changes that line only.
@@ -102,6 +107,11 @@ int main() {
   t3.join();
 
   // The observability epilogue: one structured snapshot for the whole run.
+  // Every ThreadHandle was scoped to its worker and has been released by
+  // the joins above -- the runtime is quiescent, so the conservation
+  // identity the snapshot prints is exact, not approximate.  Taking the
+  // snapshot while handles still run transactions is safe but may observe
+  // an attempt whose outcome counter has not landed yet.
   const api::RuntimeStats stats = rt.stats();
   const LedgerInfo info = ledger.unsafe_read();
   std::printf("quickstart (%s/%s): %llu attempts = %llu commits + %llu aborts "

@@ -232,6 +232,9 @@ RuntimeStats Runtime::stats() const {
     s.commits += ts.commits;
     s.aborts += ts.aborts;
     s.cancels += ts.cancels;
+    s.retry_waits += ts.retry_waits;
+    s.retry_sleeps += ts.retry_sleeps;
+    s.retry_wait_ns += ts.retry_wait_ns;
     s.reads += ts.reads;
     s.writes += ts.writes;
     s.extensions += ts.extensions;
@@ -239,8 +242,15 @@ RuntimeStats Runtime::stats() const {
     for (std::size_t i = 0; i < s.aborts_by_reason.size(); ++i)
       s.aborts_by_reason[i] += ts.aborts_by_reason[i];
     if (ts.attempts != 0)
-      s.per_thread.push_back(
-          {tid, ts.attempts, ts.commits, ts.aborts, ts.cancels});
+      s.per_thread.push_back({tid, ts.attempts, ts.commits, ts.aborts,
+                              ts.cancels, ts.retry_waits});
+  }
+
+  {
+    const stm::WaitTable& wt = im.tiny != nullptr ? im.tiny->wait_table()
+                                                  : im.swiss->wait_table();
+    s.retry_notifies = wt.notifies();
+    s.retry_wakeups = wt.wakeups();
   }
 
   if (im.sched != nullptr) {
@@ -295,6 +305,7 @@ RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
   commits += o.commits;
   aborts += o.aborts;
   cancels += o.cancels;
+  retry_waits += o.retry_waits;
   reads += o.reads;
   writes += o.writes;
   extensions += o.extensions;
@@ -303,6 +314,10 @@ RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
     aborts_by_reason[i] += o.aborts_by_reason[i];
   serialized += o.serialized;
   sched_waits += o.sched_waits;
+  retry_sleeps += o.retry_sleeps;
+  retry_wait_ns += o.retry_wait_ns;
+  retry_notifies += o.retry_notifies;
+  retry_wakeups += o.retry_wakeups;
 
   // Accuracies: per-stream running means over the snapshots that tracked
   // each stream (a cell may track reads but have no write samples, so the
@@ -341,10 +356,15 @@ std::string RuntimeStats::to_json() const {
      << "\",\"scheduler\":\"" << runtime::json_escape(scheduler)
      << "\",\"attempts\":" << attempts << ",\"commits\":" << commits
      << ",\"aborts\":" << aborts << ",\"cancels\":" << cancels
+     << ",\"retry_waits\":" << retry_waits
      << ",\"conserved\":" << (conserved() ? "true" : "false")
      << ",\"abort_ratio\":" << abort_ratio() << ",\"reads\":" << reads
      << ",\"writes\":" << writes << ",\"extensions\":" << extensions
-     << ",\"kills_issued\":" << kills_issued;
+     << ",\"kills_issued\":" << kills_issued
+     << ",\"retry_sleeps\":" << retry_sleeps
+     << ",\"retry_wait_ns\":" << retry_wait_ns
+     << ",\"retry_notifies\":" << retry_notifies
+     << ",\"retry_wakeups\":" << retry_wakeups;
   os << ",\"aborts_by_reason\":{";
   for (std::size_t i = 0; i < aborts_by_reason.size(); ++i) {
     os << (i ? "," : "") << "\""
@@ -361,7 +381,8 @@ std::string RuntimeStats::to_json() const {
     const auto& t = per_thread[i];
     os << (i ? "," : "") << "{\"tid\":" << t.tid
        << ",\"attempts\":" << t.attempts << ",\"commits\":" << t.commits
-       << ",\"aborts\":" << t.aborts << ",\"cancels\":" << t.cancels << "}";
+       << ",\"aborts\":" << t.aborts << ",\"cancels\":" << t.cancels
+       << ",\"retry_waits\":" << t.retry_waits << "}";
   }
   os << "]";
   if (adaptive.present) {

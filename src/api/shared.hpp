@@ -44,7 +44,9 @@ concept TrivialValue = std::is_trivially_copyable_v<T>;
 template <WordSized T>
 class TVar {
  public:
+  /// Zero-initialized cell (all-bits-zero T).
   constexpr TVar() : storage_(0) {}
+  /// Cell holding `v` (non-transactional: construction precedes sharing).
   explicit TVar(T v) : storage_(to_word(v)) {}
 
   TVar(const TVar&) = delete;  // shared variables are not copyable wholesale
@@ -91,10 +93,13 @@ class TVar {
 template <TrivialValue T>
 class Shared {
  public:
+  /// Storage footprint in transactional words.
   static constexpr std::size_t kWords =
       (sizeof(T) + sizeof(stm::Word) - 1) / sizeof(stm::Word);
 
+  /// Zero-initialized cell (all-bits-zero T).
   constexpr Shared() : words_{} {}
+  /// Cell holding `v` (non-transactional: construction precedes sharing).
   explicit Shared(const T& v) : words_{} { unsafe_write(v); }
 
   Shared(const Shared&) = delete;
@@ -129,7 +134,9 @@ class Shared {
     std::memcpy(words_.data(), &v, sizeof(T));
   }
 
+  /// Address identity, e.g. for tests poking the write oracle.
   const void* address() const { return words_.data(); }
+  /// kWords as a function (generic code symmetry with TVar).
   static constexpr std::size_t word_count() { return kWords; }
 
  private:
@@ -142,7 +149,9 @@ class Shared {
 template <TrivialValue T, std::size_t N>
 class SharedArray {
  public:
+  /// Array of zero-initialized cells.
   SharedArray() = default;
+  /// Array with every cell holding `init` (non-transactional setup).
   explicit SharedArray(const T& init) {
     for (auto& c : cells_) c.unsafe_write(init);
   }
@@ -150,12 +159,15 @@ class SharedArray {
   SharedArray(const SharedArray&) = delete;
   SharedArray& operator=(const SharedArray&) = delete;
 
+  /// Element count (the compile-time N).
   static constexpr std::size_t size() { return N; }
 
+  /// Transactional read of element `i`.
   template <typename TxT>
   T read(TxT& tx, std::size_t i) const {
     return cells_[i].read(tx);
   }
+  /// Transactional write of element `i`.
   template <typename TxT>
   void write(TxT& tx, std::size_t i, const T& v) {
     cells_[i].write(tx, v);
@@ -165,6 +177,7 @@ class SharedArray {
   Shared<T>& operator[](std::size_t i) { return cells_[i]; }
   const Shared<T>& operator[](std::size_t i) const { return cells_[i]; }
 
+  /// Non-transactional element access: single-threaded setup only.
   T unsafe_read(std::size_t i) const { return cells_[i].unsafe_read(); }
   void unsafe_write(std::size_t i, const T& v) { cells_[i].unsafe_write(v); }
 

@@ -19,8 +19,11 @@
 // nested atomically() on the same handle joins the live attempt (flat
 // nesting); tx.on_commit/tx.on_abort register actions that fire exactly
 // once at top-level commit or definitive rollback; RuntimeOptions.retry
-// bounds the retry loop (TxRetryExhausted); and Runtime::stats() returns
-// the structured RuntimeStats snapshot (api/stats.hpp).
+// bounds the conflict-retry loop (TxRetryExhausted); tx.retry() and
+// or_else() give STM-Haskell-style composable blocking (park until a
+// commit overwrites the read set -- see DESIGN.md §8); and
+// Runtime::stats() returns the structured RuntimeStats snapshot
+// (api/stats.hpp).
 //
 // Type-erasure boundary (DESIGN.md §6): only the COLD control surface is
 // erased -- Runtime construction, tid assignment, and the retry loop live
@@ -37,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <type_traits>
 #include <utility>
 
@@ -60,6 +64,10 @@ namespace shrinktm::api {
 // retry vocabulary so user code never spells the stm layer.
 using RetryPolicy = stm::RetryPolicy;
 using TxRetryExhausted = stm::TxRetryExhausted;
+/// The control-flow signal behind tx.retry()/or_else (stm/word.hpp).  User
+/// code normally never touches it -- call tx.retry(), compose with
+/// or_else -- but custom combinators may catch and rethrow it.
+using TxRetryRequested = stm::TxRetryRequested;
 
 /// Declarative Runtime recipe.  Plain aggregate with chainable with_*
 /// setters; every knob has a sensible default, so `RuntimeOptions{}` is a
@@ -92,30 +100,44 @@ struct RuntimeOptions {
   /// api::TxRetryExhausted instead of hanging the caller.
   RetryPolicy retry;
 
+  /// Select the STM backend (kTiny | kSwiss).
   RuntimeOptions& with_backend(core::BackendKind k) { backend = k; return *this; }
+  /// Select the backend by name ("tiny" | "swiss"), e.g. from a CLI flag.
   RuntimeOptions& with_backend(const std::string& name) {
     backend = core::parse_backend_kind(name);
     return *this;
   }
+  /// Select the scheduler policy (kNone | kShrink | ... | kAdaptive).
   RuntimeOptions& with_scheduler(core::SchedulerKind k) { scheduler = k; return *this; }
+  /// Select the scheduler by name ("base", "shrink", ..., "adaptive").
   RuntimeOptions& with_scheduler(const std::string& name) {
     scheduler = core::parse_scheduler_kind(name);
     return *this;
   }
+  /// Override the waiting flavour (default: the backend's native one).
   RuntimeOptions& with_wait_policy(util::WaitPolicy w) { wait_policy = w; return *this; }
+  /// Seed scheduler randomness (and, salted, Shrink's affinity coins).
   RuntimeOptions& with_seed(std::uint64_t s) { seed = s; return *this; }
+  /// Record per-transaction prediction accuracy (Figure 3 plumbing).
   RuntimeOptions& with_track_accuracy(bool on = true) { track_accuracy = on; return *this; }
+  /// Cap the runtime's thread-slot capacity.
   RuntimeOptions& with_max_threads(std::size_t n) { max_threads = n; return *this; }
+  /// Replace the backend tuning sub-config wholesale.
   RuntimeOptions& with_stm(const stm::StmConfig& cfg) { stm = cfg; return *this; }
+  /// Replace the Shrink tuning sub-config (consumed when kShrink).
   RuntimeOptions& with_shrink(const core::ShrinkConfig& cfg) { shrink = cfg; return *this; }
+  /// Replace the adaptive-runtime sub-config (consumed when kAdaptive).
   RuntimeOptions& with_adaptive(const runtime::AdaptiveConfig& cfg) {
     adaptive = cfg;
     return *this;
   }
+  /// Install a full RetryPolicy (conflict-retry bound + backoff hook).
   RuntimeOptions& with_retry(RetryPolicy p) {
     retry = std::move(p);
     return *this;
   }
+  /// Bound the conflict-retry loop: livelock surfaces as TxRetryExhausted.
+  /// Blocking retry (tx.retry) never counts against this bound.
   RuntimeOptions& with_max_attempts(std::uint64_t n) {
     retry.max_attempts = n;
     return *this;
@@ -150,11 +172,18 @@ class Runtime {
   }
 
   // ---- introspection / experiment plumbing ----
+
+  /// The backend this runtime was built with.
   core::BackendKind backend_kind() const;
+  /// The scheduler kind this runtime was built with.
   core::SchedulerKind scheduler_kind() const;
+  /// Short backend name ("tiny" / "swiss") for labels and artifacts.
   const char* backend_name() const;
+  /// Short scheduler name ("base" / "shrink" / ... / "adaptive").
   const char* scheduler_name() const;
+  /// The effective waiting flavour (explicit option or backend native).
   util::WaitPolicy wait_policy() const;
+  /// Thread-slot capacity (RuntimeOptions::max_threads).
   std::size_t max_threads() const;
 
   /// The owned scheduler; nullptr when scheduler == kNone (base STM).
@@ -162,7 +191,9 @@ class Runtime {
   /// The owned scheduler as AdaptiveScheduler; nullptr for other kinds.
   runtime::AdaptiveScheduler* adaptive();
 
+  /// Raw backend counter totals (prefer stats() for the full snapshot).
   stm::ThreadStats aggregate_stats() const;
+  /// Zero all per-thread counters (between measurement phases).
   void reset_stats();
 
   /// Structured observability snapshot: per-thread commit/abort/cancel
@@ -221,6 +252,7 @@ class Runtime {
 /// -- the usual STM descriptor contract.
 class ThreadHandle {
  public:
+  /// Detached handle; attach one via Runtime::attach().
   ThreadHandle() = default;
   ThreadHandle(ThreadHandle&& o) noexcept : rt_(o.rt_), tid_(o.tid_) {
     o.rt_ = nullptr;
@@ -241,8 +273,11 @@ class ThreadHandle {
   ThreadHandle(const ThreadHandle&) = delete;
   ThreadHandle& operator=(const ThreadHandle&) = delete;
 
+  /// Whether this handle currently claims a tid.
   bool attached() const { return rt_ != nullptr; }
+  /// The claimed thread slot, -1 when detached.
   int tid() const { return tid_; }
+  /// The owning runtime (undefined when detached).
   Runtime& runtime() const { return *rt_; }
 
   /// Run `body` to commit on this handle's tid.  Returns the body's value
@@ -292,6 +327,60 @@ template <typename Body>
   requires std::invocable<Body&, Tx&>
 auto atomically(Runtime& rt, Body&& body) {
   return rt.run(std::forward<Body>(body));
+}
+
+// ---------------------------------------------------- composable blocking
+
+namespace detail {
+
+template <std::size_t I, typename R, typename Tuple>
+R run_alternative(Tx& tx, Tuple& alts) {
+  if constexpr (I + 1 == std::tuple_size_v<Tuple>) {
+    // Last alternative: its retry propagates -- to an enclosing or_else's
+    // fallthrough, or to the runner, which blocks the transaction on the
+    // union of every alternative's reads.
+    return std::get<I>(alts)(tx);
+  } else {
+    const stm::TxActions::Mark mark = tx.actions_mark();
+    try {
+      return std::get<I>(alts)(tx);
+    } catch (const stm::TxRetryRequested&) {
+      // Alternative-scoped actions: a fallen-through alternative must not
+      // contribute deferred actions to the eventual commit.  Its *reads*
+      // stay in the attempt's read set on purpose -- they are exactly what
+      // arms the union wakeup if every alternative retries.
+      tx.actions_rewind(mark);
+    }
+    return run_alternative<I + 1, R>(tx, alts);
+  }
+}
+
+}  // namespace detail
+
+/// Compose alternatives (STM-Haskell `orElse`): run them in order inside
+/// one transaction; a tx.retry() in alternative k falls through to
+/// alternative k+1, and only if ALL alternatives retry does the transaction
+/// block -- armed on the union of their read sets, so a commit unblocking
+/// any alternative wakes it.  The whole composite re-executes from the
+/// first alternative after a wakeup (or a conflict), and only the
+/// alternative that completes contributes deferred actions.
+///
+///   const int item = atomically(th, api::or_else(
+///       [&](api::Tx& tx) { return pop(tx, fast_queue); },
+///       [&](api::Tx& tx) { return pop(tx, slow_queue); }));
+///
+/// Flat-nesting caveat (documented deviation from STM-Haskell's closed
+/// nesting): writes performed by an alternative before it retries are NOT
+/// rolled back at the fallthrough -- alternatives should test their
+/// condition first and write only on the path that does not retry, the
+/// natural shape for condition synchronization.
+template <typename... Alts>
+  requires(sizeof...(Alts) >= 2) && (std::invocable<Alts&, Tx&> && ...)
+auto or_else(Alts... alts) {
+  using R = std::common_type_t<std::invoke_result_t<Alts&, Tx&>...>;
+  return [tuple = std::tuple<Alts...>(std::move(alts)...)](Tx& tx) mutable -> R {
+    return detail::run_alternative<0, R>(tx, tuple);
+  };
 }
 
 }  // namespace shrinktm::api

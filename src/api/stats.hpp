@@ -11,7 +11,7 @@
 //
 // Reading while transactions are in flight is racy-but-benign (plain
 // counter loads); the conservation identity attempts == commits + aborts +
-// cancels is exact only at quiescence.
+// cancels + retry_waits is exact only at quiescence.
 #pragma once
 
 #include <array>
@@ -32,6 +32,7 @@ struct RuntimeStats {
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
   std::uint64_t cancels = 0;
+  std::uint64_t retry_waits = 0;  ///< attempts abandoned by tx.retry()
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t extensions = 0;
@@ -44,18 +45,26 @@ struct RuntimeStats {
   std::uint64_t serialized = 0;  ///< attempts run under a serialization lock
   std::uint64_t sched_waits = 0; ///< blocking waits in before_start
 
+  // ---- composable blocking (tx.retry / or_else; stm/wakeup.hpp) ----
+  std::uint64_t retry_sleeps = 0;   ///< retry waits that reached the kernel
+  std::uint64_t retry_wait_ns = 0;  ///< wall-clock ns blocked on retry
+  std::uint64_t retry_notifies = 0; ///< commits that published a wakeup
+  std::uint64_t retry_wakeups = 0;  ///< wait-table waits satisfied
+
   // ---- Shrink prediction accuracy (Figure 3 instrumentation); negative =
   // not tracked (scheduler is not Shrink, or track_accuracy off) ----
   double read_accuracy = -1.0;
   double write_accuracy = -1.0;
   double retry_read_accuracy = -1.0;
 
+  /// One row per tid that ran at least one attempt.
   struct PerThread {
     int tid = -1;
     std::uint64_t attempts = 0;
     std::uint64_t commits = 0;
     std::uint64_t aborts = 0;
     std::uint64_t cancels = 0;
+    std::uint64_t retry_waits = 0;
   };
   std::vector<PerThread> per_thread;  ///< tids that ran at least one attempt
 
@@ -70,9 +79,14 @@ struct RuntimeStats {
     std::array<std::uint64_t, 4> residency_windows{};
   } adaptive;
 
-  /// attempts == commits + aborts + cancels (exact at quiescence).
-  bool conserved() const { return attempts == commits + aborts + cancels; }
+  /// attempts == commits + aborts + cancels + retry_waits (exact at
+  /// quiescence): every started attempt ends exactly one way -- committed,
+  /// conflict-aborted, user-cancelled, or parked by tx.retry().
+  bool conserved() const {
+    return attempts == commits + aborts + cancels + retry_waits;
+  }
 
+  /// aborts / (commits + aborts): the paper's contention metric.
   double abort_ratio() const {
     const auto done = commits + aborts;
     return done == 0 ? 0.0

@@ -32,6 +32,9 @@
 
 namespace shrinktm::api {
 
+/// The backend-agnostic view of an in-flight transaction attempt: the one
+/// parameter every atomically() body receives.  All shared-state access,
+/// deferred actions and composable blocking go through this type.
 class Tx {
   // The one place the backend tag is branched on: every accessor routes
   // through here, so adding a backend is one new arm in two overloads.
@@ -90,11 +93,44 @@ class Tx {
     require_actions().on_abort(std::move(fn));
   }
 
+  // ---- composable blocking (STM-Haskell retry/orElse) ----
+
+  /// Abandon this attempt and block until another transaction commits a
+  /// write to something this attempt has read; then re-execute the body.
+  /// This is scheduler-visible blocking (the thread parks on the backend's
+  /// wakeup table -- zero commits burned while waiting), NOT the bounded
+  /// conflict-retry of RetryPolicy, which it never counts against.
+  ///
+  /// Inside api::or_else, a retry falls through to the next alternative
+  /// instead of blocking; only when every alternative retries does the
+  /// transaction block, armed on the union of their read sets.
+  ///
+  /// Read the condition first: an attempt that retries having read nothing
+  /// could never be woken, and surfaces as std::logic_error.
+  [[noreturn]] void retry() { throw stm::TxRetryRequested{}; }
+
+  /// Watermark of the deferred-action lists -- or_else plumbing.  or_else
+  /// marks before each alternative and rewinds when it falls through, so
+  /// only the committed alternative's actions fire.  Tolerates bare
+  /// descriptor views (no action list): the mark is empty.
+  stm::TxActions::Mark actions_mark() const {
+    return actions_ != nullptr ? actions_->mark() : stm::TxActions::Mark{};
+  }
+
+  /// Drop action registrations made after `m` (see actions_mark).
+  void actions_rewind(const stm::TxActions::Mark& m) {
+    if (actions_ != nullptr) actions_->rewind(m);
+  }
+
   // ---- word-level primitives (typed layer plumbing) ----
 
+  /// Transactional load of one word.  Typed-layer plumbing: application
+  /// code reads through tx.read(var) on TVar/Shared/containers instead.
   stm::Word load(const stm::Word* addr) {
     return dispatch([&](auto& t) { return t.load(addr); });
   }
+  /// Transactional store of one word (typed-layer plumbing; application
+  /// code writes through tx.write(var, v)).
   void store(stm::Word* addr, stm::Word value) {
     dispatch([&](auto& t) { t.store(addr, value); });
   }
@@ -116,6 +152,7 @@ class Tx {
     std::abort();
   }
 
+  /// Thread slot (tid) of the handle driving this attempt.
   int tid() const {
     return dispatch([](const auto& t) { return t.tid(); });
   }

@@ -32,6 +32,24 @@ class TxActions {
 
   bool empty() const { return commit_.empty() && abort_.empty(); }
 
+  /// Registration watermark, for alternative-scoped actions: api::or_else
+  /// takes a mark before each alternative and rewinds to it when that
+  /// alternative falls through via tx.retry(), so only the alternative that
+  /// actually commits contributes actions (exactly-once per committed
+  /// alternative).
+  struct Mark {
+    std::size_t commits = 0;
+    std::size_t aborts = 0;
+  };
+
+  Mark mark() const { return {commit_.size(), abort_.size()}; }
+
+  /// Drop every registration made after `m` was taken.
+  void rewind(const Mark& m) {
+    if (commit_.size() > m.commits) commit_.resize(m.commits);
+    if (abort_.size() > m.aborts) abort_.resize(m.aborts);
+  }
+
   /// Discard the doomed attempt's registrations (conflict-retry path).
   void discard() {
     commit_.clear();

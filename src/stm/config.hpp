@@ -28,6 +28,15 @@ struct StmConfig {
 
   /// Maximum threads a backend instance supports.
   std::size_t max_threads = 128;
+
+  /// Composable-blocking wakeup table (stm/wakeup.hpp): log2 of the
+  /// hashed-orec bucket count waiters arm tickets on.
+  unsigned log2_wait_buckets = 8;
+
+  /// Bounded spin (in pauses) a tx.retry() waiter burns re-checking its
+  /// tickets before sleeping in the kernel; keeps fast producer/consumer
+  /// handoffs off the futex path.
+  unsigned retry_spin_pauses = 256;
 };
 
 }  // namespace shrinktm::stm

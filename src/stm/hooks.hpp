@@ -52,7 +52,21 @@ class SchedulerHooks {
   /// cancel-counts-as-abort behaviour for hooks that predate this split.
   virtual void on_cancel(int tid) { on_abort(tid, {}, -1); }
 
+  /// Called when an attempt is abandoned by tx.retry() (composable
+  /// blocking), immediately BEFORE the thread parks on the wakeup table --
+  /// so a scheduler must release any per-attempt state here (serialization
+  /// locks especially: a waiter sleeping inside a serialization section
+  /// would deadlock the committer that is supposed to wake it).  Like a
+  /// cancel, a retry-wait says nothing about contention, so the default
+  /// delegates to on_cancel, which releases state without feeding conflict
+  /// accounting.  Blocked-on-retry time itself is reported through
+  /// ThreadStats::retry_wait_ns / RuntimeStats.
+  virtual void on_retry_block(int tid) { on_cancel(tid); }
+
+  /// Whether on_read should be invoked at all (checked once per attempt;
+  /// false keeps the read hot path hook-free).
   virtual bool wants_read_hook() const { return false; }
+  /// Whether on_write should be invoked (accuracy instrumentation only).
   virtual bool wants_write_hook() const { return false; }
 
   /// Re-evaluated at each transaction start: lets a scheduler switch its

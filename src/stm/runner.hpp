@@ -5,7 +5,11 @@
 // prediction machinery, and the waiting policy decides whether aborted
 // threads spin or yield between retries.  The runner also owns the
 // transaction's deferred actions (fired exactly once at top-level commit or
-// definitive rollback) and enforces the RetryPolicy bound.
+// definitive rollback), enforces the RetryPolicy bound on conflict-retries,
+// and services composable blocking: a TxRetryRequested signal parks the
+// thread on the backend's wakeup table instead of spinning (the RetryPolicy
+// bound deliberately does not apply -- blocking retry is condition
+// synchronization, not livelock).
 #pragma once
 
 #include <concepts>
@@ -67,6 +71,30 @@ class TxRunner {
           result.emplace(body(tx_));
         }
         tx_.commit();
+      } catch (const TxRetryRequested&) {
+        // tx.retry(): composable blocking, not a conflict.  Release the
+        // scheduler's per-attempt state BEFORE parking (a serialization
+        // lock held by a sleeper would deadlock its own waker), discard the
+        // doomed attempt's speculative action registrations, then let the
+        // descriptor roll back, arm the wakeup table on its read set and
+        // sleep until a commit overwrites something it read.
+        if (sched_ != nullptr) sched_->on_retry_block(tx_.tid());
+        backoff_.reset();
+        try {
+          tx_.retry_wait();
+        } catch (...) {
+          // Misuse (empty read set): a definitive rollback, like a cancel.
+          actions_.fire_abort();
+          throw;
+        }
+        // The doomed attempt's registrations are speculative state; the
+        // re-executed body registers its own.
+        actions_.discard();
+        // A blocking retry is condition synchronization, not conflict
+        // livelock: it must never trip the RetryPolicy bound, so the
+        // attempt budget restarts with the fresh execution.
+        attempt = 0;
+        continue;
       } catch (const TxConflict& c) {
         // The descriptor rolled itself back before throwing.  The doomed
         // attempt's registrations are speculative state: discard them; the

@@ -16,11 +16,17 @@
 namespace shrinktm::stm {
 
 struct ThreadStats {
-  std::uint64_t attempts = 0;  ///< started attempts; == commits+aborts+cancels
-                               ///< once the thread is quiescent
+  std::uint64_t attempts = 0;  ///< started attempts; == commits + aborts +
+                               ///< cancels + retry_waits once quiescent
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;    ///< conflict/validation/kill/explicit restarts
   std::uint64_t cancels = 0;   ///< user abandonments (non-conflict exception)
+  std::uint64_t retry_waits = 0;  ///< attempts abandoned by tx.retry()
+                                  ///< (composable blocking, stm/wakeup.hpp)
+  std::uint64_t retry_sleeps = 0;  ///< retry waits that reached the kernel
+                                   ///< (futex/condvar) instead of the
+                                   ///< bounded spin or an immediate rerun
+  std::uint64_t retry_wait_ns = 0;  ///< wall-clock ns spent blocked on retry
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t extensions = 0;        ///< successful snapshot extensions
@@ -38,6 +44,9 @@ struct ThreadStats {
     commits += o.commits;
     aborts += o.aborts;
     cancels += o.cancels;
+    retry_waits += o.retry_waits;
+    retry_sleeps += o.retry_sleeps;
+    retry_wait_ns += o.retry_wait_ns;
     reads += o.reads;
     writes += o.writes;
     extensions += o.extensions;

@@ -1,6 +1,8 @@
 #include "stm/swiss.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <stdexcept>
 
 namespace shrinktm::stm {
 
@@ -9,6 +11,7 @@ SwissBackend::SwissBackend(StmConfig cfg)
       log2_orecs_(cfg.log2_orecs),
       orec_mask_((std::uint64_t{1} << cfg.log2_orecs) - 1),
       orecs_(std::size_t{1} << cfg.log2_orecs),
+      wait_table_(WaitTableConfig{cfg.log2_wait_buckets, cfg.retry_spin_pauses}),
       descs_(cfg.max_threads) {}
 
 SwissBackend::~SwissBackend() = default;
@@ -48,6 +51,9 @@ void SwissBackend::reset_stats() {
   std::lock_guard<std::mutex> g(reg_mutex_);
   for (auto& d : descs_)
     if (d) d->stats() = ThreadStats{};
+  // Keep the wakeup-table counters in phase with the per-thread retry
+  // counters they are reported alongside.
+  wait_table_.reset_counters();
 }
 
 SwissTx::SwissTx(SwissBackend& backend, int tid)
@@ -57,6 +63,7 @@ SwissTx::SwissTx(SwissBackend& backend, int tid)
   read_set_.reserve(1024);
   locked_orecs_.reserve(256);
   last_write_addrs_.reserve(256);
+  wait_set_.reserve(1024);
   allocs_.reserve(16);
   frees_.reserve(16);
 }
@@ -261,6 +268,13 @@ void SwissTx::commit() {
   release_write_locks();
   commit_locking_ = false;
   ticket_.store(kNoTicket, std::memory_order_release);  // greedy: tx finished
+  // Composable blocking: versions are published and locks dropped, so a
+  // woken tx.retry() sleeper re-reads committed data.  armed() carries the
+  // lost-wakeup fence; with no waiters this is fence + load.
+  if (backend_.wait_table_.armed()) {
+    for (const auto& lo : locked_orecs_) backend_.wait_table_.mark(lo.orec);
+    backend_.wait_table_.publish();
+  }
   finish(true);
 }
 
@@ -277,6 +291,33 @@ void SwissTx::restart() { die(AbortReason::kExplicit, -1); }
 void SwissTx::cancel() {
   ++stats_.cancels;
   finish(false);
+}
+
+void SwissTx::retry_wait() {
+  assert(active_ && "retry_wait outside a transaction");
+  WaitTable& wt = backend_.wait_table_;
+  ++stats_.retry_waits;
+  // Register before capture/validate -- the lost-wakeup protocol of
+  // stm/wakeup.hpp (mirrors TinyTx::retry_wait).
+  wt.register_waiter();
+  wait_set_.clear();
+  for (const auto& e : read_set_) wait_set_.push_back(wt.capture(e.orec));
+  finish(false);
+  if (wait_set_.empty()) {
+    wt.unregister_waiter();
+    throw std::logic_error(
+        "tx.retry(): the attempt read nothing, so no commit could ever wake "
+        "it -- read the condition variables before retrying");
+  }
+  if (validate(/*during_commit=*/false)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (wt.wait(wait_set_)) ++stats_.retry_sleeps;
+    stats_.retry_wait_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  wt.unregister_waiter();
 }
 
 void SwissTx::request_kill(int killer_tid) {

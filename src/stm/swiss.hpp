@@ -28,6 +28,7 @@
 #include "stm/raw.hpp"
 #include "stm/stats.hpp"
 #include "stm/tx_sets.hpp"
+#include "stm/wakeup.hpp"
 #include "stm/word.hpp"
 #include "util/epoch.hpp"
 #include "util/spin.hpp"
@@ -70,6 +71,11 @@ class SwissBackend final : public WriteOracle {
   util::EpochReclaimer& reclaimer() { return reclaimer_; }
   const StmConfig& config() const { return cfg_; }
 
+  /// Composable-blocking rendezvous: writing commits publish their orec set
+  /// here; tx.retry() waiters sleep on it (see stm/wakeup.hpp).
+  WaitTable& wait_table() { return wait_table_; }
+  const WaitTable& wait_table() const { return wait_table_; }
+
   ThreadStats aggregate_stats() const;
   /// Per-tid snapshots for every descriptor created so far, as (tid, stats)
   /// pairs in tid order (see TinyBackend::per_thread_stats).
@@ -86,6 +92,7 @@ class SwissBackend final : public WriteOracle {
   std::uint64_t orec_mask_;
   std::vector<Orec> orecs_;
   GlobalClock clock_;
+  WaitTable wait_table_;
   alignas(util::kCacheLine) std::atomic<std::uint64_t> greedy_counter_{0};
   util::EpochReclaimer reclaimer_;
   mutable std::mutex reg_mutex_;
@@ -115,6 +122,10 @@ class SwissTx {
   [[noreturn]] void restart();
   /// Roll back the current attempt as a user cancel (no abort recorded).
   void cancel();
+  /// tx.retry() service: roll back as a retry-wait, arm the WaitTable on
+  /// the attempt's read set, block until a commit overwrites it (see
+  /// TinyTx::retry_wait -- identical contract).
+  void retry_wait();
   void request_kill(int killer_tid);
 
   std::span<void* const> last_write_addrs() const { return last_write_addrs_; }
@@ -173,6 +184,7 @@ class SwissTx {
   std::vector<void*> allocs_;
   std::vector<void*> frees_;
   std::vector<void*> last_write_addrs_;
+  std::vector<WaitTable::Ticket> wait_set_;  ///< retry_wait() tickets
   ThreadStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "stm/tiny.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <new>
 #include <stdexcept>
 
@@ -22,6 +23,7 @@ TinyBackend::TinyBackend(StmConfig cfg)
       log2_orecs_(cfg.log2_orecs),
       orec_mask_((std::uint64_t{1} << cfg.log2_orecs) - 1),
       orecs_(std::size_t{1} << cfg.log2_orecs),
+      wait_table_(WaitTableConfig{cfg.log2_wait_buckets, cfg.retry_spin_pauses}),
       descs_(cfg.max_threads) {}
 
 TinyBackend::~TinyBackend() = default;
@@ -63,6 +65,9 @@ void TinyBackend::reset_stats() {
   std::lock_guard<std::mutex> g(reg_mutex_);
   for (auto& d : descs_)
     if (d) d->stats() = ThreadStats{};
+  // Keep the wakeup-table counters in phase with the per-thread retry
+  // counters they are reported alongside.
+  wait_table_.reset_counters();
 }
 
 TinyTx::TinyTx(TinyBackend& backend, int tid)
@@ -72,6 +77,7 @@ TinyTx::TinyTx(TinyBackend& backend, int tid)
   read_set_.reserve(1024);
   locked_orecs_.reserve(256);
   last_write_addrs_.reserve(256);
+  wait_set_.reserve(1024);
   allocs_.reserve(16);
   frees_.reserve(16);
 }
@@ -207,6 +213,14 @@ void TinyTx::commit() {
   for (const auto& lo : locked_orecs_) {
     lo.orec->word.store(new_word, std::memory_order_release);
   }
+  // Composable blocking: after the versions are published (so a woken
+  // sleeper re-reads committed data), wake tx.retry() waiters whose read
+  // set overlaps this write set.  armed() carries the fence of the
+  // lost-wakeup protocol; with no waiters the whole block is fence + load.
+  if (backend_.wait_table_.armed()) {
+    for (const auto& lo : locked_orecs_) backend_.wait_table_.mark(lo.orec);
+    backend_.wait_table_.publish();
+  }
   finish(true);
 }
 
@@ -223,6 +237,37 @@ void TinyTx::restart() { die(AbortReason::kExplicit, -1); }
 void TinyTx::cancel() {
   ++stats_.cancels;
   finish(false);
+}
+
+void TinyTx::retry_wait() {
+  assert(active_ && "retry_wait outside a transaction");
+  WaitTable& wt = backend_.wait_table_;
+  ++stats_.retry_waits;
+  // Protocol order (see stm/wakeup.hpp): register BEFORE capturing tickets
+  // and re-validating, so a committer that misses our registration is
+  // guaranteed visible to the validation below and we rerun instead of
+  // sleeping through its wakeup.
+  wt.register_waiter();
+  wait_set_.clear();
+  for (const auto& e : read_set_) wait_set_.push_back(wt.capture(e.orec));
+  finish(false);  // release locks, free speculative allocations, go idle
+  if (wait_set_.empty()) {
+    wt.unregister_waiter();
+    throw std::logic_error(
+        "tx.retry(): the attempt read nothing, so no commit could ever wake "
+        "it -- read the condition variables before retrying");
+  }
+  // A version moved (or another writer holds a lock) since we read: the
+  // wakeup condition may already hold -- rerun immediately, never sleep.
+  if (validate()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (wt.wait(wait_set_)) ++stats_.retry_sleeps;
+    stats_.retry_wait_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  wt.unregister_waiter();
 }
 
 void TinyTx::request_kill(int killer_tid) {

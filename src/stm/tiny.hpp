@@ -28,6 +28,7 @@
 #include "stm/raw.hpp"
 #include "stm/stats.hpp"
 #include "stm/tx_sets.hpp"
+#include "stm/wakeup.hpp"
 #include "stm/word.hpp"
 #include "util/epoch.hpp"
 #include "util/spin.hpp"
@@ -77,6 +78,11 @@ class TinyBackend final : public WriteOracle {
   util::EpochReclaimer& reclaimer() { return reclaimer_; }
   const StmConfig& config() const { return cfg_; }
 
+  /// Composable-blocking rendezvous: writing commits publish their orec set
+  /// here; tx.retry() waiters sleep on it (see stm/wakeup.hpp).
+  WaitTable& wait_table() { return wait_table_; }
+  const WaitTable& wait_table() const { return wait_table_; }
+
   /// Sum of all registered threads' statistics.
   ThreadStats aggregate_stats() const;
   /// Per-tid snapshots for every descriptor created so far, as (tid, stats)
@@ -96,6 +102,7 @@ class TinyBackend final : public WriteOracle {
   std::uint64_t orec_mask_;
   std::vector<Orec> orecs_;
   GlobalClock clock_;
+  WaitTable wait_table_;
   util::EpochReclaimer reclaimer_;
   mutable std::mutex reg_mutex_;
   std::vector<std::unique_ptr<TinyTx>> descs_;
@@ -134,6 +141,15 @@ class TinyTx {
   /// transaction (a non-conflict exception escaped the body).  Counts as a
   /// cancel, not an abort, and does not throw.
   void cancel();
+
+  /// tx.retry() service (called by the runner after on_retry_block): rolls
+  /// the attempt back as a retry-wait (neither abort nor cancel), arms the
+  /// backend's WaitTable with tickets for the attempt's read set, and --
+  /// unless a commit already invalidated that read set -- blocks until one
+  /// does.  Throws std::logic_error if the read set is empty (nothing could
+  /// ever wake the sleeper).  On return the descriptor is idle and the
+  /// runner re-executes the body.
+  void retry_wait();
 
   /// Cooperative remote abort (used by contention managers / tests).
   void request_kill(int killer_tid);
@@ -189,6 +205,7 @@ class TinyTx {
   std::vector<void*> allocs_;
   std::vector<void*> frees_;
   std::vector<void*> last_write_addrs_;
+  std::vector<WaitTable::Ticket> wait_set_;  ///< retry_wait() tickets
   ThreadStats stats_;
 };
 

@@ -1,0 +1,246 @@
+// Wakeup table for composable blocking (tx.retry / or_else).
+//
+// A transaction that calls tx.retry() abandons its attempt and must sleep
+// until *some word in its read set is overwritten by a commit* -- the
+// STM-Haskell blocking contract.  This table is the rendezvous: waiters arm
+// tickets on hashed buckets derived from their read set, committers bump the
+// buckets their write set maps to, and a single futex word (condvar off
+// Linux) carries the actual sleep/wake.
+//
+// Granularity: keys are ownership-record pointers, not raw addresses.  The
+// orec table is itself an address hash, so bucket = hash(orec) is exactly
+// "hashed address -> bucket" with one level of aliasing already paid for by
+// the STM; aliasing can only cause spurious wakeups (the woken transaction
+// re-runs, re-evaluates its predicate and re-blocks), never missed ones.
+//
+// Lost-wakeup protocol (the only subtle part):
+//
+//   waiter                                committer (writing commit)
+//   ------                                --------------------------
+//   register_waiter()   (seq_cst RMW+fence)  write-back, publish versions
+//   capture() tickets                        armed()?  (seq_cst fence; load)
+//   roll attempt back                        -> 0 waiters: skip, done
+//   re-validate read set                     -> else mark() buckets
+//   -> invalid: rerun now, no sleep          publish()  (bump epoch + wake)
+//   -> valid:   wait() on tickets
+//
+// If the committer's `armed()` load misses the waiter's registration, the
+// seq_cst fence pairing guarantees the committer's version publish is
+// visible to the waiter's re-validation, which then fails and the waiter
+// never sleeps.  If the registration is seen, the bucket marks land before
+// the epoch bump (release), so a sleeper observing the epoch change sees its
+// ticket changed.  Either way: no lost wakeup.  The fence is the entire
+// zero-waiter commit cost; waiters burn a bounded spin before the futex
+// syscall so short waits stay off the kernel entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/hash.hpp"
+#include "util/spin.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#else
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace shrinktm::stm {
+
+/// Geometry and spin budget of one WaitTable (see StmConfig for the knobs a
+/// Runtime exposes).
+struct WaitTableConfig {
+  /// log2 of the bucket count.  256 buckets keep false sharing between
+  /// unrelated waiters rare while the whole table stays a few cache lines.
+  unsigned log2_buckets = 8;
+  /// Bounded spin (in cpu_relax pauses) a waiter burns re-checking its
+  /// tickets before sleeping in the kernel; covers produce-quickly cycles
+  /// without any syscall.
+  unsigned spin_pauses = 256;
+};
+
+/// One wakeup table per backend instance, shared by all its transactions.
+/// All operations are lock-free on the commit side and wait-free when no
+/// waiter is registered (one fence + one relaxed load).
+class WaitTable {
+ public:
+  /// A waiter's snapshot of one bucket: "wake me when this bucket's sequence
+  /// moves past `seq`".  One ticket per read-set entry; duplicates are fine.
+  struct Ticket {
+    std::uint32_t bucket;
+    std::uint32_t seq;
+  };
+
+  explicit WaitTable(WaitTableConfig cfg = {})
+      : mask_((std::size_t{1} << cfg.log2_buckets) - 1),
+        spin_pauses_(cfg.spin_pauses),
+        buckets_(std::size_t{1} << cfg.log2_buckets) {}
+
+  WaitTable(const WaitTable&) = delete;
+  WaitTable& operator=(const WaitTable&) = delete;
+
+  // ---- committer side ----
+
+  /// Whether any waiter is registered.  Issues the seq_cst fence that pairs
+  /// with register_waiter(): a committer that reads "no waiters" here is
+  /// guaranteed its version publish is visible to any concurrent waiter's
+  /// re-validation (see the file comment's protocol table).
+  bool armed() const {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return waiters_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Bump the bucket `key` hashes to.  Call once per written orec, between
+  /// a positive armed() and publish().
+  void mark(const void* key) {
+    buckets_[index_of(key)].seq.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Make the mark()s visible to sleepers: bump the table epoch and wake
+  /// every sleeper (each re-checks its own tickets and re-sleeps if none
+  /// changed -- the thundering herd is bounded by the waiter count).
+  void publish() {
+    notifies_.fetch_add(1, std::memory_order_relaxed);
+#if defined(__linux__)
+    epoch_.fetch_add(1, std::memory_order_release);
+    futex_wake_all();
+#else
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+#endif
+  }
+
+  // ---- waiter side ----
+
+  /// Announce this thread as a (potential) sleeper.  MUST precede capture()
+  /// and the caller's read-set re-validation; pairs with armed().
+  void register_waiter() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void unregister_waiter() {
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Snapshot the current sequence of `key`'s bucket.
+  Ticket capture(const void* key) const {
+    const auto b = static_cast<std::uint32_t>(index_of(key));
+    return {b, buckets_[b].seq.load(std::memory_order_acquire)};
+  }
+
+  /// True once any ticket's bucket moved past its snapshot.
+  bool changed(std::span<const Ticket> tickets) const {
+    for (const auto& t : tickets) {
+      if (buckets_[t.bucket].seq.load(std::memory_order_acquire) != t.seq)
+        return true;
+    }
+    return false;
+  }
+
+  /// Block the calling thread until changed(tickets).  The caller must hold
+  /// a register_waiter() claim and must have re-validated its read set after
+  /// capture() (a failed validation means the wakeup already happened --
+  /// do not sleep).  Returns true if the thread actually slept in the
+  /// kernel, false if the bounded spin absorbed the wait.
+  bool wait(std::span<const Ticket> tickets) {
+    for (unsigned i = 0; i < spin_pauses_; ++i) {
+      if (changed(tickets)) return false;
+      util::cpu_relax();
+    }
+    bool slept = false;
+#if defined(__linux__)
+    for (;;) {
+      const std::uint32_t e = epoch_.load(std::memory_order_acquire);
+      if (changed(tickets)) break;
+      slept = true;
+      futex_wait(e);  // returns immediately if epoch_ already != e
+    }
+#else
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!changed(tickets)) {
+      const std::uint32_t e = epoch_.load(std::memory_order_acquire);
+      slept = true;
+      cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_acquire) != e || changed(tickets);
+      });
+    }
+#endif
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    return slept;
+  }
+
+  // ---- observability (RuntimeStats: retry_* counters) ----
+
+  /// Commits that published a wakeup (found the table armed).
+  std::uint64_t notifies() const {
+    return notifies_.load(std::memory_order_relaxed);
+  }
+  /// wait() calls that completed (slept or spun past a bucket change).
+  std::uint64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  /// Currently registered waiters (instantaneous).
+  std::uint64_t waiters() const {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+  /// Zero the observability counters (between measurement phases, alongside
+  /// ThreadStats resets).  Epoch and bucket sequences are left alone: they
+  /// are protocol state, and tickets in flight must stay comparable.
+  void reset_counters() {
+    notifies_.store(0, std::memory_order_relaxed);
+    wakeups_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(util::kCacheLine) Bucket {
+    std::atomic<std::uint32_t> seq{0};
+  };
+
+  std::size_t index_of(const void* key) const {
+    return static_cast<std::size_t>(util::hash_ptr(key)) & mask_;
+  }
+
+#if defined(__linux__)
+  void futex_wait(std::uint32_t expected) {
+    ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+              FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+  }
+  void futex_wake_all() {
+    ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+              FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+  }
+#endif
+
+  const std::size_t mask_;
+  const unsigned spin_pauses_;
+  std::vector<Bucket> buckets_;
+
+  /// Table epoch: the one word sleepers block on.  32-bit because futex
+  /// operates on 32-bit words; wraparound is harmless (equality test only).
+  alignas(util::kCacheLine) std::atomic<std::uint32_t> epoch_{0};
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> waiters_{0};
+
+  std::atomic<std::uint64_t> notifies_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+
+#if !defined(__linux__)
+  std::mutex mu_;
+  std::condition_variable cv_;
+#endif
+};
+
+}  // namespace shrinktm::stm

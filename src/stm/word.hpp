@@ -45,4 +45,18 @@ class TxConflict : public std::exception {
   int enemy_tid_;
 };
 
+/// Control-flow signal for composable blocking (api::Tx::retry, the
+/// STM-Haskell `retry` verb).  Deliberately NOT a TxConflict: the attempt is
+/// not doomed by contention (nothing it read was invalid -- the data simply
+/// did not satisfy the body's predicate), and not a cancel either (the
+/// transaction is not abandoned).  The runner rolls the attempt back, parks
+/// the thread on the backend's wakeup table (stm/wakeup.hpp) until another
+/// transaction commits a write to something this attempt read, then
+/// re-executes the body.  api::or_else intercepts the signal mid-attempt to
+/// fall through to the next alternative instead.
+class TxRetryRequested : public std::exception {
+ public:
+  const char* what() const noexcept override { return "TxRetryRequested"; }
+};
+
 }  // namespace shrinktm::stm

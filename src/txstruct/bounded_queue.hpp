@@ -1,0 +1,83 @@
+// Transactional bounded MPMC queue with composable blocking.
+//
+// The first txstruct container built on tx.retry(): pop() on empty and
+// push() on full do not spin or fail -- they park the transaction on the
+// backend's wakeup table until a commit changes the cursor they read, which
+// is exactly the producer/consumer handoff the paper's benches could not
+// express before composable blocking landed.  Non-blocking try_* flavours
+// remain for code that wants to poll or compose its own or_else.
+//
+// Layout: head/tail cursors are monotonically increasing TVars on separate
+// cache lines (every pop conflicts with every pop, as in the STAMP intruder
+// queue, but pops and pushes only conflict when the queue is near empty or
+// near full); slots are a SharedArray so neighbouring elements never share
+// a transactional word.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "api/shared.hpp"
+#include "api/tx.hpp"
+#include "util/align.hpp"
+
+namespace shrinktm::txs {
+
+template <typename T, std::size_t N>
+  requires api::TrivialValue<T> && (N >= 1)
+class TxBoundedQueue {
+ public:
+  TxBoundedQueue() = default;
+  TxBoundedQueue(const TxBoundedQueue&) = delete;
+  TxBoundedQueue& operator=(const TxBoundedQueue&) = delete;
+
+  static constexpr std::size_t capacity() { return N; }
+
+  /// Append `v`, blocking (tx.retry) while the queue is full.
+  void push(api::Tx& tx, const T& v) {
+    if (!try_push(tx, v)) tx.retry();
+  }
+
+  /// Remove the oldest element, blocking (tx.retry) while empty.
+  T pop(api::Tx& tx) {
+    const auto got = try_pop(tx);
+    if (!got) tx.retry();
+    return *got;
+  }
+
+  /// Non-blocking push: false (a committed no-op) when full.
+  bool try_push(api::Tx& tx, const T& v) {
+    const std::int64_t t = tx.read(tail_);
+    if (t - tx.read(head_) >= static_cast<std::int64_t>(N)) return false;
+    slots_.write(tx, static_cast<std::size_t>(t) % N, v);
+    tx.write(tail_, t + 1);
+    return true;
+  }
+
+  /// Non-blocking pop: nullopt (a committed no-op) when empty.
+  std::optional<T> try_pop(api::Tx& tx) {
+    const std::int64_t h = tx.read(head_);
+    if (h == tx.read(tail_)) return std::nullopt;
+    const T v = slots_.read(tx, static_cast<std::size_t>(h) % N);
+    tx.write(head_, h + 1);
+    return v;
+  }
+
+  std::int64_t size(api::Tx& tx) const {
+    return tx.read(tail_) - tx.read(head_);
+  }
+  bool empty(api::Tx& tx) const { return size(tx) == 0; }
+
+  /// Single-threaded setup/verification only.
+  std::int64_t unsafe_size() const {
+    return tail_.unsafe_read() - head_.unsafe_read();
+  }
+
+ private:
+  alignas(util::kCacheLine) api::TVar<std::int64_t> head_{0};
+  alignas(util::kCacheLine) api::TVar<std::int64_t> tail_{0};
+  api::SharedArray<T, N> slots_;
+};
+
+}  // namespace shrinktm::txs

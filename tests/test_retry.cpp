@@ -1,0 +1,339 @@
+// Composable blocking: tx.retry() parks on the wakeup table until a commit
+// overwrites the attempt's read set, api::or_else falls through alternatives
+// and blocks on the union of their read sets.  Exercised on both backends:
+// wakeup-on-write (no lost wakeups under contention), zero busy-wait commits
+// while blocked, alternative-scoped deferred actions, nesting, RetryPolicy
+// independence, and the extended stats conservation identity
+// attempts == commits + aborts + cancels + retry_waits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "txstruct/bounded_queue.hpp"
+
+namespace shrinktm {
+namespace {
+
+constexpr core::BackendKind kBothBackends[] = {core::BackendKind::kTiny,
+                                               core::BackendKind::kSwiss};
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ------------------------------------------------------------- tx.retry()
+
+TEST(Retry, BlocksUntilCommitOverwritesReadSet) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> flag{0};
+
+    std::int64_t seen = -1;
+    std::thread consumer([&] {
+      api::ThreadHandle th = rt.attach();
+      seen = atomically(th, [&](api::Tx& tx) {
+        const auto v = tx.read(flag);
+        if (v == 0) tx.retry();
+        return v;
+      });
+    });
+
+    sleep_ms(50);  // long enough that the consumer is past its spin budget
+    {
+      api::ThreadHandle th = rt.attach();
+      atomically(th, [&](api::Tx& tx) { tx.write(flag, 42); });
+    }
+    consumer.join();
+    EXPECT_EQ(seen, 42);
+
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved())
+        << core::backend_kind_name(backend) << ": " << s.attempts << " != "
+        << s.commits << "+" << s.aborts << "+" << s.cancels << "+"
+        << s.retry_waits;
+    EXPECT_GE(s.retry_waits, 1u);
+    // Zero busy-wait commits while blocked: the consumer's wait must not
+    // surface as a stream of committed empty polls -- exactly one commit
+    // per side of the handoff.
+    EXPECT_EQ(s.commits, 2u) << core::backend_kind_name(backend);
+    EXPECT_EQ(s.aborts_by_reason[static_cast<std::size_t>(
+                  stm::AbortReason::kExplicit)],
+              0u);
+    // The 50ms head start dwarfs the bounded spin, so the wait must have
+    // reached the kernel and been woken by the producer's publish.
+    EXPECT_GE(s.retry_sleeps, 1u) << core::backend_kind_name(backend);
+    EXPECT_GT(s.retry_wait_ns, 0u);
+    EXPECT_GE(s.retry_notifies, 1u);
+    EXPECT_GE(s.retry_wakeups, 1u);
+  }
+}
+
+TEST(Retry, EmptyReadSetThrowsLogicError) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::ThreadHandle th = rt.attach();
+    EXPECT_THROW(atomically(th, [&](api::Tx& tx) { tx.retry(); }),
+                 std::logic_error);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_EQ(s.retry_waits, 1u);
+  }
+}
+
+TEST(Retry, DoesNotCountAgainstRetryPolicyBound) {
+  // Blocking retry is condition synchronization, not conflict livelock: a
+  // consumer woken (and re-parked) more times than max_attempts must not
+  // see TxRetryExhausted.
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}
+                        .with_backend(backend)
+                        .with_max_attempts(2));
+    api::TVar<std::int64_t> counter{0};
+
+    std::int64_t seen = -1;
+    std::thread consumer([&] {
+      api::ThreadHandle th = rt.attach();
+      seen = atomically(th, [&](api::Tx& tx) {
+        const auto v = tx.read(counter);
+        if (v < 4) tx.retry();  // woken by every increment; re-parks 4 times
+        return v;
+      });
+    });
+
+    api::ThreadHandle th = rt.attach();
+    for (int i = 1; i <= 4; ++i) {
+      sleep_ms(10);
+      atomically(th, [&](api::Tx& tx) {
+        tx.write(counter, static_cast<std::int64_t>(i));
+      });
+    }
+    consumer.join();
+    EXPECT_EQ(seen, 4);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_GE(s.retry_waits, 1u);
+  }
+}
+
+TEST(Retry, InsideJoinedNestedTransactionBlocksWholeAttempt) {
+  // A tx.retry() inside a flat-nested atomically() unwinds to the top-level
+  // runner: the WHOLE flattened transaction parks and re-executes.
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> gate{0};
+    api::TVar<std::int64_t> outer_runs{0};
+
+    std::int64_t got = -1;
+    std::thread waiter([&] {
+      api::ThreadHandle th = rt.attach();
+      got = atomically(th, [&](api::Tx& tx) {
+        tx.write(outer_runs, tx.read(outer_runs) + 1);
+        // Transactional helper: joins the live attempt (flat nesting).
+        return atomically(th, [&](api::Tx& inner) {
+          const auto v = inner.read(gate);
+          if (v == 0) inner.retry();
+          return v;
+        });
+      });
+    });
+
+    sleep_ms(50);
+    {
+      api::ThreadHandle th = rt.attach();
+      atomically(th, [&](api::Tx& tx) { tx.write(gate, 7); });
+    }
+    waiter.join();
+    EXPECT_EQ(got, 7);
+    // The outer body re-ran after the wakeup, so its write committed once
+    // even though the retry was requested by the nested join.
+    EXPECT_EQ(outer_runs.unsafe_read(), 1);
+    EXPECT_TRUE(rt.stats().conserved());
+  }
+}
+
+// ------------------------------------------------------------ api::or_else
+
+TEST(OrElse, FallsThroughToSecondAlternativeWithoutBlocking) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    txs::TxBoundedQueue<std::int64_t, 8> q1, q2;
+    api::ThreadHandle th = rt.attach();
+    atomically(th, [&](api::Tx& tx) { q2.push(tx, 99); });
+
+    const auto got = atomically(th, api::or_else(
+        [&](api::Tx& tx) { return q1.pop(tx); },    // empty: retries
+        [&](api::Tx& tx) { return q2.pop(tx); }));  // commits
+    EXPECT_EQ(got, 99);
+
+    const api::RuntimeStats s = rt.stats();
+    // The fallthrough happened inside one attempt: no park, no extra
+    // attempt, and the identity still holds.
+    EXPECT_EQ(s.retry_waits, 0u) << core::backend_kind_name(backend);
+    EXPECT_TRUE(s.conserved());
+  }
+}
+
+TEST(OrElse, ActionsFireExactlyOncePerCommittedAlternative) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> empty_flag{0};
+    std::atomic<int> first_fired{0}, second_fired{0}, abort_fired{0};
+
+    api::ThreadHandle th = rt.attach();
+    atomically(th, api::or_else(
+        [&](api::Tx& tx) {
+          tx.on_commit([&] { first_fired.fetch_add(1); });
+          tx.on_abort([&] { abort_fired.fetch_add(1); });
+          if (tx.read(empty_flag) == 0) tx.retry();  // always falls through
+        },
+        [&](api::Tx& tx) {
+          (void)tx.read(empty_flag);
+          tx.on_commit([&] { second_fired.fetch_add(1); });
+        }));
+
+    // Alternative-scoped actions: the fallen-through alternative's
+    // registrations (commit AND abort) were rewound; only the committed
+    // alternative's on_commit ran, exactly once.
+    EXPECT_EQ(first_fired.load(), 0);
+    EXPECT_EQ(second_fired.load(), 1);
+    EXPECT_EQ(abort_fired.load(), 0);
+  }
+}
+
+TEST(OrElse, BlocksOnUnionOfReadSets) {
+  // Both alternatives retry; the wakeup must fire for a commit into EITHER
+  // alternative's read set -- here the second's, proving the union arms the
+  // wait, not just the first alternative.
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    txs::TxBoundedQueue<std::int64_t, 8> q1, q2;
+
+    std::int64_t got = -1;
+    std::thread consumer([&] {
+      api::ThreadHandle th = rt.attach();
+      got = atomically(th, api::or_else(
+          [&](api::Tx& tx) { return q1.pop(tx); },
+          [&](api::Tx& tx) { return q2.pop(tx); }));
+    });
+
+    sleep_ms(50);
+    {
+      api::ThreadHandle th = rt.attach();
+      atomically(th, [&](api::Tx& tx) { q2.push(tx, 123); });
+    }
+    consumer.join();
+    EXPECT_EQ(got, 123);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_GE(s.retry_waits, 1u);
+    EXPECT_TRUE(s.conserved());
+  }
+}
+
+TEST(OrElse, NestedInsideAtomicallyJoinsTheLiveAttempt) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    txs::TxBoundedQueue<std::int64_t, 8> q1, q2;
+    api::TVar<std::int64_t> log{0};
+    api::ThreadHandle th = rt.attach();
+    atomically(th, [&](api::Tx& tx) { q2.push(tx, 5); });
+
+    const auto got = atomically(th, [&](api::Tx& tx) {
+      tx.write(log, 1);
+      // Nested or_else: the composite joins this attempt; its fallthrough
+      // and pop commit atomically with the log write.
+      const auto v = atomically(th, api::or_else(
+          [&](api::Tx& inner) { return q1.pop(inner); },
+          [&](api::Tx& inner) { return q2.pop(inner); }));
+      tx.write(log, tx.read(log) + v);
+      return v;
+    });
+    EXPECT_EQ(got, 5);
+    EXPECT_EQ(log.unsafe_read(), 6);
+    EXPECT_TRUE(rt.stats().conserved());
+  }
+}
+
+TEST(OrElse, ThreeAlternativesTryInOrder) {
+  api::Runtime rt;
+  txs::TxBoundedQueue<std::int64_t, 4> a, b, c;
+  api::ThreadHandle th = rt.attach();
+  atomically(th, [&](api::Tx& tx) { c.push(tx, 3); });
+  const auto got = atomically(th, api::or_else(
+      [&](api::Tx& tx) { return a.pop(tx); },
+      [&](api::Tx& tx) { return b.pop(tx); },
+      [&](api::Tx& tx) { return c.pop(tx); }));
+  EXPECT_EQ(got, 3);
+}
+
+// ------------------------------------------- producer/consumer under load
+
+TEST(Retry, ProducerConsumerNoLostWakeupsUnderContention) {
+  // The acid test for the lost-wakeup protocol: several producers and
+  // consumers hammer a small bounded queue, so both the empty-side retry
+  // (consumers) and the full-side retry (producers) fire constantly.  A
+  // single lost wakeup deadlocks the test; ctest's timeout converts that
+  // into a failure.
+  constexpr int kProducers = 2, kConsumers = 2;
+  constexpr std::int64_t kPerProducer = 2'000;
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    txs::TxBoundedQueue<std::int64_t, 4> q;  // tiny: forces full-side blocking
+    api::TVar<std::int64_t> done{0};
+    std::atomic<std::int64_t> consumed_sum{0};
+    std::atomic<std::int64_t> consumed_count{0};
+
+    std::vector<std::thread> producers, consumers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        api::ThreadHandle th = rt.attach();
+        for (std::int64_t i = 0; i < kPerProducer; ++i) {
+          const std::int64_t v = p * kPerProducer + i + 1;
+          atomically(th, [&](api::Tx& tx) { q.push(tx, v); });
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        api::ThreadHandle th = rt.attach();
+        for (;;) {
+          // Pop-or-shutdown, composably: while the queue is empty AND done
+          // is unset, the union read set (queue cursors + done flag) parks
+          // the consumer; either a push or the shutdown commit wakes it.
+          const auto v = atomically(th, api::or_else(
+              [&](api::Tx& tx) { return q.pop(tx); },
+              [&](api::Tx& tx) -> std::int64_t {
+                if (tx.read(done) == 0) tx.retry();
+                return -1;  // drained and done
+              }));
+          if (v < 0) break;
+          consumed_sum.fetch_add(v);
+          consumed_count.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    {
+      api::ThreadHandle th = rt.attach();
+      atomically(th, [&](api::Tx& tx) { tx.write(done, 1); });
+    }
+    for (auto& t : consumers) t.join();
+
+    const std::int64_t total = kProducers * kPerProducer;
+    EXPECT_EQ(consumed_count.load(), total);
+    EXPECT_EQ(consumed_sum.load(), total * (total + 1) / 2)
+        << core::backend_kind_name(backend) << ": items lost or duplicated";
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved())
+        << s.attempts << " != " << s.commits << "+" << s.aborts << "+"
+        << s.cancels << "+" << s.retry_waits;
+  }
+}
+
+}  // namespace
+}  // namespace shrinktm

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Walks the repo's markdown (README.md, DESIGN.md, ROADMAP.md, CHANGES.md,
+docs/*.md) and fails if any relative link points at a missing file or,
+for in-repo markdown targets, a missing heading anchor (GitHub slug
+rules).  External http(s) links are not fetched -- this job must stay
+hermetic and fast.
+
+Usage: python3 tools/check_docs.py [repo_root]
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*]", "", text)           # inline markdown markers
+                                               # (underscores survive: GitHub
+                                               # keeps them in slugs)
+    text = re.sub(r"[^\w\- ]", "", text)       # punctuation (keeps _ and -)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set:
+    slugs = set()
+    counts = {}
+    for m in HEADING_RE.finditer(md_path.read_text(encoding="utf-8")):
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md: Path, root: Path) -> list:
+    errors = []
+    for m in LINK_RE.finditer(md.read_text(encoding="utf-8")):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            dest = md
+        else:
+            dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{md.relative_to(root)}: broken link -> {target}")
+                continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in anchors_of(dest):
+                errors.append(
+                    f"{md.relative_to(root)}: missing anchor -> {target}")
+    return errors
+
+
+# Auto-retrieved artifacts (paper abstract, related-work dump, snippet
+# exemplars): not authored here, may carry dangling links by construction.
+SKIP = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    docs = sorted(
+        p for p in list(root.glob("*.md")) + list(root.glob("docs/**/*.md"))
+        if p.is_file() and p.name not in SKIP)
+    if not docs:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    errors = []
+    for md in docs:
+        errors.extend(check_file(md, root))
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked {len(docs)} markdown files: "
+          f"{'FAIL' if errors else 'OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
