@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -135,6 +136,38 @@ inline std::string fmt_speedup(double base, double variant) {
   return os.str();
 }
 
+/// Provenance stamped into every BENCH_*.json artifact: which commit
+/// produced the numbers, when (UTC), and under which build flags -- the
+/// fields tools/perf_history.py keys its history on.  The macros are baked
+/// in by CMake (SHRINKTM_GIT_SHA from `git rev-parse` at configure time);
+/// builds outside CMake degrade to "unknown".
+inline std::string build_stamp_json() {
+  std::ostringstream os;
+#if defined(SHRINKTM_GIT_SHA)
+  os << "{\"commit\":\"" << runtime::json_escape(SHRINKTM_GIT_SHA) << "\"";
+#else
+  os << "{\"commit\":\"unknown\"";
+#endif
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  os << ",\"utc\":\"" << buf << "\",\"build\":{";
+#if defined(SHRINKTM_BUILD_NATIVE) && SHRINKTM_BUILD_NATIVE
+  os << "\"native\":true";
+#else
+  os << "\"native\":false";
+#endif
+#if defined(SHRINKTM_BUILD_LTO) && SHRINKTM_BUILD_LTO
+  os << ",\"lto\":true";
+#else
+  os << ",\"lto\":false";
+#endif
+  os << "}}";
+  return os.str();
+}
+
 /// Write a BENCH_*.json artifact (runtime aggregates, sweep results, ...)
 /// and note the path on stdout so CI logs link data to runs.  Failures are
 /// reported, never fatal.
@@ -225,8 +258,10 @@ class BenchReporter {
     }
     os << "]";
     // Every artifact carries the merged Runtime::stats() totals (CI asserts
-    // the object is present and non-empty in all BENCH_*.json files).
-    os << ",\"runtimes_merged\":" << runtimes_merged_
+    // the object is present and non-empty in all BENCH_*.json files) and
+    // the build/run provenance stamp the history pipeline keys on.
+    os << ",\"stamp\":" << build_stamp_json()
+       << ",\"runtimes_merged\":" << runtimes_merged_
        << ",\"runtime_stats\":" << runtime_stats_.to_json() << "}";
     return os.str();
   }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "api/shrinktm.hpp"
+#include "bench/common.hpp"
 #include "core/prediction.hpp"
 #include "runtime/metrics_export.hpp"
 #include "stm/runner.hpp"
@@ -370,7 +371,8 @@ int main(int argc, char** argv) {
      << ",\"predictor_read_active_legacy_ns\":" << pred_legacy
      << ",\"calibration_ns\":" << calib
      << ",\"predictor_speedup_legacy_over_blocked\":" << speedup
-     << "},\"runtime_stats\":" << rt_stats.to_json() << "}";
+     << "},\"stamp\":" << shrinktm::bench::build_stamp_json()
+     << ",\"runtime_stats\":" << rt_stats.to_json() << "}";
   if (runtime::write_json_file(json_path, os.str()))
     std::cout << "wrote " << json_path << "\n";
   else

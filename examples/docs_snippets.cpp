@@ -5,8 +5,10 @@
 // kept textually in sync with the named document section; if you edit one,
 // edit the other.
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "api/shrinktm.hpp"
@@ -139,11 +141,83 @@ void run() {
 
 }  // namespace api_retry_kinds
 
+// ------------------- docs/API.md "Timed blocking: tx.retry_for()" section
+namespace api_retry_for {
+
+void run() {
+  api::Runtime rt;
+  api::ThreadHandle th = rt.attach();
+
+  api::TVar<long> inbox{0};
+  const bool got = atomically(th, [&](api::Tx& tx) {
+    if (tx.read(inbox) == 0) {
+      if (tx.timed_out()) return false;            // waited long enough
+      tx.retry_for(std::chrono::milliseconds(50)); // park, bounded
+    }
+    return true;
+  });
+
+  // Nobody publishes to inbox, so the park must expire and give up.
+  assert(!got);
+  assert(rt.stats().retry_timeouts == 1);
+  assert(rt.stats().conserved());
+}
+
+}  // namespace api_retry_for
+
+// ------------- docs/API.md "Observability: Runtime::stats()" latency digest
+namespace api_stats_latency {
+
+void run() {
+  api::Runtime rt;
+  api::ThreadHandle th = rt.attach();
+  api::TVar<long> cell{0};
+  for (int i = 0; i < 100; ++i)
+    atomically(th, [&](api::Tx& tx) { tx.write(cell, tx.read(cell) + 1); });
+
+  const api::RuntimeStats s = rt.stats();
+  std::printf("commit p99: %llu ns (of %llu commits)\n",
+              static_cast<unsigned long long>(
+                  s.latency.commit.value_at_quantile(0.99)),
+              static_cast<unsigned long long>(s.latency.commit.total()));
+  assert(s.latency.commit.total() == 100);
+}
+
+}  // namespace api_stats_latency
+
+// ----------------------------- docs/OBSERVABILITY.md "Tracing" quickstart
+namespace obs_tracing {
+
+void run() {
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_scheduler(core::SchedulerKind::kShrink)
+                      .with_trace()                  // record lifecycle events
+                      .with_trace_capacity(1 << 16)); // events per thread (default)
+
+  api::TVar<long> cell{0};
+  std::thread worker([&] {
+    api::ThreadHandle th = rt.attach();
+    for (int i = 0; i < 10; ++i)
+      atomically(th, [&](api::Tx& tx) { tx.write(cell, tx.read(cell) + 1); });
+  });
+  worker.join();
+
+  const bool ok = rt.dump_trace("trace.json");  // or: rt.trace_json()
+  assert(ok);
+  assert(rt.trace_json().find("\"traceEvents\"") != std::string::npos);
+  std::remove("trace.json");
+}
+
+}  // namespace obs_tracing
+
 int main() {
   readme_quickstart::run();
   api_typed::run();
   api_nesting::run();
   api_retry_kinds::run();
+  api_retry_for::run();
+  api_stats_latency::run();
+  obs_tracing::run();
   std::puts("docs snippets OK");
   return 0;
 }

@@ -4,7 +4,9 @@
 // transaction (run_erased) and once per attach/detach.
 #include "api/shrinktm.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <sstream>
@@ -12,8 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
+#include "obs/trace_writer.hpp"
 #include "runtime/metrics_export.hpp"
 #include "stm/runner.hpp"
+#include "util/json.hpp"
 
 namespace shrinktm::api {
 
@@ -40,10 +45,15 @@ struct Runtime::Impl {
   // locking; slots are created under tid_mutex at attach time and the
   // attaching thread (or whoever it hands the handle to) is the only user
   // of a slot while the tid is claimed.
-  std::mutex tid_mutex;
+  mutable std::mutex tid_mutex;  ///< also taken by const snapshot readers
   std::vector<bool> tid_used;
   std::vector<std::unique_ptr<stm::TxRunner<stm::TinyTx>>> tiny_runners;
   std::vector<std::unique_ptr<stm::TxRunner<stm::SwissTx>>> swiss_runners;
+  // One observability recorder per tid, created with the tid's runner and
+  // wired into it (histograms always on; trace ring only when opts.trace).
+  // Never resized after construction -- stats()/trace_json() walk it while
+  // other slots attach.
+  std::vector<std::unique_ptr<obs::ThreadRecorder>> recorders;
 
   const stm::WriteOracle& oracle() const {
     return tiny != nullptr ? static_cast<const stm::WriteOracle&>(*tiny)
@@ -104,6 +114,7 @@ Runtime::Runtime(RuntimeOptions opts) : impl_(std::make_unique<Impl>()) {
   im.tid_used.assign(o.max_threads, false);
   if (im.tiny != nullptr) im.tiny_runners.resize(o.max_threads);
   else im.swiss_runners.resize(o.max_threads);
+  im.recorders.resize(o.max_threads);
 }
 
 Runtime::~Runtime() = default;
@@ -115,17 +126,23 @@ int Runtime::attach_tid() {
     if (im.tid_used[t]) continue;
     im.tid_used[t] = true;
     const int tid = static_cast<int>(t);
-    // Backend descriptors and runners persist across detach/re-attach; the
-    // scheduler pointer is fixed for the Runtime's lifetime, so a cached
-    // runner stays valid for whichever thread claims the tid next.
+    // Backend descriptors, recorders and runners persist across
+    // detach/re-attach; the scheduler pointer is fixed for the Runtime's
+    // lifetime, so a cached runner stays valid for whichever thread claims
+    // the tid next.
+    if (im.recorders[t] == nullptr)
+      im.recorders[t] = std::make_unique<obs::ThreadRecorder>(
+          tid, im.opts.trace.enabled ? im.opts.trace.ring_capacity : 0);
     if (im.tiny != nullptr) {
       if (im.tiny_runners[t] == nullptr)
         im.tiny_runners[t] = std::make_unique<stm::TxRunner<stm::TinyTx>>(
-            im.tiny->tx(tid), im.sched.get(), &im.opts.retry);
+            im.tiny->tx(tid), im.sched.get(), &im.opts.retry,
+            im.recorders[t].get());
     } else {
       if (im.swiss_runners[t] == nullptr)
         im.swiss_runners[t] = std::make_unique<stm::TxRunner<stm::SwissTx>>(
-            im.swiss->tx(tid), im.sched.get(), &im.opts.retry);
+            im.swiss->tx(tid), im.sched.get(), &im.opts.retry,
+            im.recorders[t].get());
     }
     return tid;
   }
@@ -234,6 +251,7 @@ RuntimeStats Runtime::stats() const {
     s.cancels += ts.cancels;
     s.retry_waits += ts.retry_waits;
     s.retry_sleeps += ts.retry_sleeps;
+    s.retry_timeouts += ts.retry_timeouts;
     s.retry_wait_ns += ts.retry_wait_ns;
     s.reads += ts.reads;
     s.writes += ts.writes;
@@ -243,7 +261,21 @@ RuntimeStats Runtime::stats() const {
       s.aborts_by_reason[i] += ts.aborts_by_reason[i];
     if (ts.attempts != 0)
       s.per_thread.push_back({tid, ts.attempts, ts.commits, ts.aborts,
-                              ts.cancels, ts.retry_waits});
+                              ts.cancels, ts.retry_waits, ts.retry_sleeps,
+                              ts.retry_timeouts, ts.retry_wait_ns});
+  }
+
+  {
+    // Snapshot recorder pointers under the attach lock (slots are written
+    // there); the recorders themselves live until the Runtime dies, and
+    // their histograms are racy-but-benign like the counters above.
+    std::vector<const obs::ThreadRecorder*> recs;
+    {
+      std::lock_guard<std::mutex> g(im.tid_mutex);
+      for (const auto& r : im.recorders)
+        if (r != nullptr) recs.push_back(r.get());
+    }
+    for (const auto* r : recs) s.latency += r->latency();
   }
 
   {
@@ -295,6 +327,43 @@ RuntimeStats Runtime::stats() const {
   return s;
 }
 
+std::string Runtime::trace_json() const {
+  const Impl& im = *impl_;
+  obs::TraceDump dump;
+  {
+    std::lock_guard<std::mutex> g(im.tid_mutex);
+    for (const auto& r : im.recorders)
+      if (r != nullptr) dump.threads.push_back(r.get());
+  }
+  dump.abort_reason_name = +[](int r) {
+    return stm::abort_reason_name(static_cast<stm::AbortReason>(r));
+  };
+  if (im.adaptive != nullptr) {
+    // PolicySwitch timestamps are seconds since the scheduler was born;
+    // rebase them onto the recorders' steady clock so the marks line up
+    // with the transaction events.
+    const auto born_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            im.adaptive->born().time_since_epoch())
+            .count());
+    for (const auto& sw : im.adaptive->switches()) {
+      dump.policy_marks.push_back(
+          {born_ns + static_cast<std::uint64_t>(sw.at_seconds * 1e9),
+           std::string(runtime::regime_name(sw.from)) + "->" +
+               runtime::regime_name(sw.to) + " (" + sw.policy + ")"});
+    }
+  }
+  dump.metadata.emplace_back("backend", backend_name());
+  dump.metadata.emplace_back("scheduler", scheduler_name());
+  dump.metadata.emplace_back("trace_enabled",
+                             im.opts.trace.enabled ? "true" : "false");
+  return obs::chrome_trace_json(dump);
+}
+
+bool Runtime::dump_trace(const std::string& path) const {
+  return util::write_json_file(path, trace_json());
+}
+
 RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
   if (backend.empty()) backend = o.backend;
   else if (backend != o.backend) backend = "mixed";
@@ -315,9 +384,11 @@ RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
   serialized += o.serialized;
   sched_waits += o.sched_waits;
   retry_sleeps += o.retry_sleeps;
+  retry_timeouts += o.retry_timeouts;
   retry_wait_ns += o.retry_wait_ns;
   retry_notifies += o.retry_notifies;
   retry_wakeups += o.retry_wakeups;
+  latency += o.latency;
 
   // Accuracies: per-stream running means over the snapshots that tracked
   // each stream (a cell may track reads but have no write samples, so the
@@ -337,7 +408,27 @@ RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
   fold(write_accuracy, o.write_accuracy, write_accuracy_samples_);
   fold(retry_read_accuracy, o.retry_read_accuracy, retry_accuracy_samples_);
 
-  per_thread.clear();  // tids are not comparable across runtimes
+  // Per-thread rows merge BY TID: a tid is a thread slot, and the bench
+  // harness runs same-shaped cells, so slot-k rows add up and the per-tid
+  // wait profile survives into aggregated artifacts.
+  for (const auto& ot : o.per_thread) {
+    auto it = std::find_if(per_thread.begin(), per_thread.end(),
+                           [&](const PerThread& t) { return t.tid == ot.tid; });
+    if (it == per_thread.end()) {
+      per_thread.push_back(ot);
+      continue;
+    }
+    it->attempts += ot.attempts;
+    it->commits += ot.commits;
+    it->aborts += ot.aborts;
+    it->cancels += ot.cancels;
+    it->retry_waits += ot.retry_waits;
+    it->retry_sleeps += ot.retry_sleeps;
+    it->retry_timeouts += ot.retry_timeouts;
+    it->retry_wait_ns += ot.retry_wait_ns;
+  }
+  std::sort(per_thread.begin(), per_thread.end(),
+            [](const PerThread& a, const PerThread& b) { return a.tid < b.tid; });
   adaptive.present = adaptive.present || o.adaptive.present;
   if (!o.adaptive.regime.empty()) adaptive.regime = o.adaptive.regime;
   adaptive.windows_closed += o.adaptive.windows_closed;
@@ -362,9 +453,27 @@ std::string RuntimeStats::to_json() const {
      << ",\"writes\":" << writes << ",\"extensions\":" << extensions
      << ",\"kills_issued\":" << kills_issued
      << ",\"retry_sleeps\":" << retry_sleeps
+     << ",\"retry_timeouts\":" << retry_timeouts
      << ",\"retry_wait_ns\":" << retry_wait_ns
      << ",\"retry_notifies\":" << retry_notifies
      << ",\"retry_wakeups\":" << retry_wakeups;
+  os << ",\"latency\":{";
+  const std::pair<const char*, const util::HdrHistogram*> classes[] = {
+      {"commit", &latency.commit},
+      {"abort_gap", &latency.abort_gap},
+      {"park", &latency.park},
+      {"serialized", &latency.serialized},
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& h = *classes[i].second;
+    os << (i ? "," : "") << "\"" << classes[i].first
+       << "\":{\"count\":" << h.total() << ",\"mean_ns\":" << h.mean()
+       << ",\"p50_ns\":" << h.value_at_quantile(0.50)
+       << ",\"p99_ns\":" << h.value_at_quantile(0.99)
+       << ",\"p999_ns\":" << h.value_at_quantile(0.999)
+       << ",\"max_ns\":" << h.max_value() << "}";
+  }
+  os << "}";
   os << ",\"aborts_by_reason\":{";
   for (std::size_t i = 0; i < aborts_by_reason.size(); ++i) {
     os << (i ? "," : "") << "\""
@@ -382,7 +491,10 @@ std::string RuntimeStats::to_json() const {
     os << (i ? "," : "") << "{\"tid\":" << t.tid
        << ",\"attempts\":" << t.attempts << ",\"commits\":" << t.commits
        << ",\"aborts\":" << t.aborts << ",\"cancels\":" << t.cancels
-       << ",\"retry_waits\":" << t.retry_waits << "}";
+       << ",\"retry_waits\":" << t.retry_waits
+       << ",\"retry_sleeps\":" << t.retry_sleeps
+       << ",\"retry_timeouts\":" << t.retry_timeouts
+       << ",\"retry_wait_ns\":" << t.retry_wait_ns << "}";
   }
   os << "]";
   if (adaptive.present) {

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -68,6 +69,22 @@ using TxRetryExhausted = stm::TxRetryExhausted;
 /// code normally never touches it -- call tx.retry(), compose with
 /// or_else -- but custom combinators may catch and rethrow it.
 using TxRetryRequested = stm::TxRetryRequested;
+
+/// Per-thread transaction tracing (the optional half of src/obs; the
+/// latency histograms are always on).  When enabled, every attach()ed tid
+/// records its transaction lifecycle -- attempt starts, commits, aborts
+/// with reasons, cancels, retry parks, serialized spans -- into a private
+/// fixed-capacity ring; Runtime::dump_trace() exports the union as Chrome
+/// trace-event JSON (load in Perfetto / chrome://tracing).  Disabled, the
+/// recorder's ring pointer is null and each would-be event is one
+/// predicted-not-taken branch: compiled in, costs nothing measurable.
+struct TraceOptions {
+  bool enabled = false;
+  /// Events kept per thread.  The ring keeps the FIRST `ring_capacity`
+  /// events and counts the rest as dropped (reported in the dump), so a
+  /// bounded trace of an unbounded run shows the warm-up and ramp.
+  std::size_t ring_capacity = std::size_t{1} << 16;
+};
 
 /// Declarative Runtime recipe.  Plain aggregate with chainable with_*
 /// setters; every knob has a sensible default, so `RuntimeOptions{}` is a
@@ -99,6 +116,8 @@ struct RuntimeOptions {
   /// retries forever (the paper's loop); bound it to surface livelock as
   /// api::TxRetryExhausted instead of hanging the caller.
   RetryPolicy retry;
+  /// Transaction tracing (off by default; see TraceOptions).
+  TraceOptions trace;
 
   /// Select the STM backend (kTiny | kSwiss).
   RuntimeOptions& with_backend(core::BackendKind k) { backend = k; return *this; }
@@ -140,6 +159,17 @@ struct RuntimeOptions {
   /// Blocking retry (tx.retry) never counts against this bound.
   RuntimeOptions& with_max_attempts(std::uint64_t n) {
     retry.max_attempts = n;
+    return *this;
+  }
+  /// Enable (or disable) per-thread transaction tracing.
+  RuntimeOptions& with_trace(bool on = true) {
+    trace.enabled = on;
+    return *this;
+  }
+  /// Enable tracing with an explicit per-thread ring capacity (events).
+  RuntimeOptions& with_trace_capacity(std::size_t events) {
+    trace.enabled = events != 0;
+    trace.ring_capacity = events;
     return *this;
   }
 };
@@ -197,9 +227,19 @@ class Runtime {
   void reset_stats();
 
   /// Structured observability snapshot: per-thread commit/abort/cancel
-  /// totals, Shrink prediction accuracy, adaptive regime residency and
-  /// switch counts -- see api/stats.hpp for the schema and to_json().
+  /// totals and wait profiles, per-op-class latency percentiles, Shrink
+  /// prediction accuracy, adaptive regime residency and switch counts --
+  /// see api/stats.hpp for the schema and to_json().
   RuntimeStats stats() const;
+
+  /// The recorded transaction trace as Chrome trace-event JSON (empty
+  /// traceEvents when tracing is off or nothing ran).  One track per tid
+  /// plus a scheduler track carrying adaptive policy-switch marks; load the
+  /// string (or the dump_trace file) in Perfetto or chrome://tracing.
+  /// Call quiescent, or accept racy-but-benign tail events.
+  std::string trace_json() const;
+  /// Write trace_json() to `path`; false on I/O failure.
+  bool dump_trace(const std::string& path) const;
 
  private:
   friend class ThreadHandle;

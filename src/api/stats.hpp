@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histograms.hpp"
 #include "stm/stats.hpp"
 
 namespace shrinktm::api {
@@ -47,9 +48,17 @@ struct RuntimeStats {
 
   // ---- composable blocking (tx.retry / or_else; stm/wakeup.hpp) ----
   std::uint64_t retry_sleeps = 0;   ///< retry waits that reached the kernel
+  std::uint64_t retry_timeouts = 0; ///< tx.retry_for parks whose bound
+                                    ///< expired (subset of retry_waits; the
+                                    ///< conservation identity is unchanged)
   std::uint64_t retry_wait_ns = 0;  ///< wall-clock ns blocked on retry
   std::uint64_t retry_notifies = 0; ///< commits that published a wakeup
   std::uint64_t retry_wakeups = 0;  ///< wait-table waits satisfied
+
+  /// Per-op-class latency histograms (ns), merged over threads: commit,
+  /// abort-to-retry gap, tx.retry park, serialized-mode residency.  Exported
+  /// as count/mean/p50/p99/p999/max digests under "latency" in to_json().
+  obs::LatencyHistograms latency;
 
   // ---- Shrink prediction accuracy (Figure 3 instrumentation); negative =
   // not tracked (scheduler is not Shrink, or track_accuracy off) ----
@@ -57,7 +66,8 @@ struct RuntimeStats {
   double write_accuracy = -1.0;
   double retry_read_accuracy = -1.0;
 
-  /// One row per tid that ran at least one attempt.
+  /// One row per tid that ran at least one attempt, including the tid's
+  /// wait profile (how its blocking time distributes over retry parks).
   struct PerThread {
     int tid = -1;
     std::uint64_t attempts = 0;
@@ -65,6 +75,9 @@ struct RuntimeStats {
     std::uint64_t aborts = 0;
     std::uint64_t cancels = 0;
     std::uint64_t retry_waits = 0;
+    std::uint64_t retry_sleeps = 0;    ///< parks that reached the kernel
+    std::uint64_t retry_timeouts = 0;  ///< tx.retry_for bounds that expired
+    std::uint64_t retry_wait_ns = 0;   ///< wall-clock ns parked
   };
   std::vector<PerThread> per_thread;  ///< tids that ran at least one attempt
 
@@ -94,8 +107,10 @@ struct RuntimeStats {
   }
 
   /// Merge another runtime's snapshot (bench aggregation across cells):
-  /// counters add, accuracies average over the snapshots that tracked them,
-  /// per-thread rows are dropped (tids are meaningless across runtimes),
+  /// counters add, latency histograms merge, accuracies average over the
+  /// snapshots that tracked them, per-thread rows merge BY TID (tid means
+  /// "thread slot", comparable across same-shaped cells of one bench, so
+  /// slot-k rows sum -- the per-tid wait profile survives aggregation),
   /// adaptive windows/switches/residency add.
   RuntimeStats& operator+=(const RuntimeStats& o);
 

@@ -19,6 +19,7 @@
 //   });
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdlib>
 #include <functional>
@@ -108,6 +109,32 @@ class Tx {
   /// Read the condition first: an attempt that retries having read nothing
   /// could never be woken, and surfaces as std::logic_error.
   [[noreturn]] void retry() { throw stm::TxRetryRequested{}; }
+
+  /// Timed retry: as retry(), but park at most `timeout`.  On a wakeup the
+  /// body re-executes as usual; on expiry it re-executes with timed_out()
+  /// true, so the body can take a fallback path (return a sentinel, raise,
+  /// try a slower source).  The expired park still counts as a retry_wait
+  /// (conservation identity unchanged) and additionally as a retry_timeout
+  /// in ThreadStats/RuntimeStats.
+  ///
+  ///   const bool got = atomically(th, [&](api::Tx& tx) {
+  ///     if (tx.read(ready)) return true;
+  ///     if (tx.timed_out()) return false;          // give up after 50ms
+  ///     tx.retry_for(std::chrono::milliseconds(50));
+  ///   });
+  template <typename Rep, typename Period>
+  [[noreturn]] void retry_for(std::chrono::duration<Rep, Period> timeout) {
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+    throw stm::TxRetryRequested{ns < 0 ? std::int64_t{0} : ns};
+  }
+
+  /// Whether an earlier retry_for() park of THIS top-level transaction
+  /// expired its bound.  Sticky across the conflict-retries of one
+  /// atomically() call; cleared when the next top-level transaction starts.
+  bool timed_out() const {
+    return dispatch([](const auto& t) { return t.retry_timed_out(); });
+  }
 
   /// Watermark of the deferred-action lists -- or_else plumbing.  or_else
   /// marks before each alternative and rewinds when it falls through, so

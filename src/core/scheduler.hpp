@@ -40,14 +40,8 @@ class Scheduler : public stm::SchedulerHooks {
   /// lock (Shrink's wait_count; 0 for schedulers without one).
   virtual std::uint64_t wait_count() const { return 0; }
 
-  /// Whether `tid`'s current attempt runs serialized (holds this scheduler's
-  /// global lock / queue for the attempt's duration).  Only meaningful
-  /// between before_start and the matching on_commit/on_abort, queried from
-  /// the same thread; the adaptive runtime uses it to emit serialize
-  /// telemetry events.  Schedulers that serialize by *waiting before* the
-  /// attempt and hold nothing during it (SerializerScheduler) correctly
-  /// report false.
-  virtual bool serialized_now(int /*tid*/) const { return false; }
+  // serialized_now(tid) is inherited from stm::SchedulerHooks (default
+  // false) so the runner layer can query it through the hooks interface.
 
  protected:
   SchedStats stats_;

@@ -1,0 +1,43 @@
+// Per-op-class latency histograms -- the always-on half of the obs
+// subsystem.
+//
+// Four HDR-style histograms (util::HdrHistogram) cover the latency classes
+// the paper's claims hinge on: how long committed work takes, how quickly an
+// aborted transaction gets back on CPU, how long blocked (tx.retry) threads
+// sleep, and how much wall-clock the serialization lock confiscates.  They
+// are recorded per thread by obs::ThreadRecorder (no sharing on the hot
+// path) and merged into one digest by Runtime::stats(), which surfaces
+// p50/p99/p999 per class in RuntimeStats::to_json() -- and therefore in
+// every BENCH_*.json artifact.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace shrinktm::obs {
+
+/// The op-class latency bundle.  All values are nanoseconds.
+struct LatencyHistograms {
+  /// Attempt start -> successful commit (the committed attempt only, not
+  /// the whole retry loop -- retries show up as abort_gap samples instead).
+  util::HdrHistogram commit;
+  /// Conflict abort -> next attempt start: the retry gap, i.e. how long the
+  /// backoff/waiting policy kept the thread off the data.
+  util::HdrHistogram abort_gap;
+  /// tx.retry() park duration: rollback+arm through wakeup (or timeout).
+  util::HdrHistogram park;
+  /// Serialized-mode residency: duration of attempts that ran under a
+  /// scheduler serialization lock (Shrink/adaptive PATHOLOGICAL mode).
+  util::HdrHistogram serialized;
+
+  LatencyHistograms& operator+=(const LatencyHistograms& o) {
+    commit.merge(o.commit);
+    abort_gap.merge(o.abort_gap);
+    park.merge(o.park);
+    serialized.merge(o.serialized);
+    return *this;
+  }
+};
+
+}  // namespace shrinktm::obs

@@ -1,0 +1,93 @@
+// Binary transaction trace: event vocabulary and the per-thread ring.
+//
+// One TraceRing per thread, single producer (the owning thread's TxRunner),
+// fixed capacity, drop-counting: once full, new events are dropped and
+// counted exactly, never silently lost -- a bounded-memory guarantee that
+// lets tracing stay compiled into production builds.  Events are 24-byte
+// binary records with nanosecond steady-clock timestamps; the Chrome
+// trace-event JSON conversion happens only at dump time
+// (obs/trace_writer.hpp), never on the transaction path.
+//
+// Readers (Runtime::dump_trace) must run at quiescence -- no attempts in
+// flight on the traced tids -- the same contract as exact stats snapshots.
+// The size/dropped counters are relaxed atomics so a racy mid-run peek is
+// benign rather than undefined.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shrinktm::obs {
+
+/// Transaction lifecycle event kinds (the tx timeline of DESIGN.md §9).
+enum class EventKind : std::uint8_t {
+  kAttemptStart = 0,  ///< attempt began (flag bit0: serialized)
+  kCommit = 1,        ///< span: attempt start -> commit
+  kAbort = 2,         ///< span: attempt start -> conflict abort (a=reason, b=enemy)
+  kCancel = 3,        ///< span: attempt start -> user cancel
+  kRetryPark = 4,     ///< span: tx.retry() park (flags: slept/timed_out)
+  kSerEnter = 5,      ///< attempt entered serialized mode
+  kSerExit = 6,       ///< serialized attempt ended
+  kPolicySwitch = 7,  ///< adaptive policy switch (synthesized at dump time)
+};
+
+const char* event_kind_name(EventKind k);
+
+/// One binary trace record.  Spans carry their duration so no begin/end
+/// pairing is needed at dump time; instants have dur_ns == 0.
+struct TraceEvent {
+  std::uint64_t ts_ns;   ///< steady-clock ns at the event's END
+  std::uint64_t dur_ns;  ///< span length (0 for instant events)
+  EventKind kind;
+  std::uint8_t flags;  ///< kind-specific bits, see kFlag*
+  std::int16_t a;      ///< abort reason (kAbort), else 0
+  std::int32_t b;      ///< enemy tid (kAbort), else -1
+};
+
+inline constexpr std::uint8_t kFlagSerialized = 1u << 0;  ///< kAttemptStart
+inline constexpr std::uint8_t kFlagSlept = 1u << 1;       ///< kRetryPark
+inline constexpr std::uint8_t kFlagTimedOut = 1u << 2;    ///< kRetryPark
+
+/// Fixed-capacity, drop-counting event buffer.  Single producer (the owning
+/// thread); push is one branch + one store on the fast path.  When full the
+/// event is dropped and counted -- the retained prefix plus an exact drop
+/// count beats a silently wrapped window for post-mortem inspection, and
+/// the capacity knob (RuntimeOptions::trace.ring_capacity) sizes the window.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : events_(capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Record `e`; returns false (and counts the drop) once full.
+  bool push(const TraceEvent& e) {
+    const std::size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= events_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    events_[n] = e;
+    // Publish after the slot write so a racy reader never sees a torn
+    // record; the owning thread is the only writer.
+    size_.store(n + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return events_.size(); }
+  /// Events rejected since construction -- exact, not sampled.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  const TraceEvent& operator[](std::size_t i) const { return events_[i]; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace shrinktm::obs

@@ -1,0 +1,136 @@
+#include "obs/trace_writer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace shrinktm::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kAttemptStart: return "attempt";
+    case EventKind::kCommit: return "commit";
+    case EventKind::kAbort: return "abort";
+    case EventKind::kCancel: return "cancel";
+    case EventKind::kRetryPark: return "retry-park";
+    case EventKind::kSerEnter: return "serialized-enter";
+    case EventKind::kSerExit: return "serialized-exit";
+    case EventKind::kPolicySwitch: return "policy-switch";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Earliest timestamp across the dump; Chrome's UI is happiest with a
+/// timeline that starts near zero, and steady-clock epochs are arbitrary
+/// anyway.
+std::uint64_t base_timestamp(const TraceDump& dump) {
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const auto* tr : dump.threads) {
+    const TraceRing* ring = tr->ring();
+    if (ring == nullptr || ring->size() == 0) continue;
+    const TraceEvent& e = (*ring)[0];
+    base = std::min(base, e.ts_ns - e.dur_ns);
+  }
+  for (const auto& m : dump.policy_marks) base = std::min(base, m.ts_ns);
+  return base == std::numeric_limits<std::uint64_t>::max() ? 0 : base;
+}
+
+/// Microsecond timestamp (Trace Event Format unit) relative to `base`.
+double us(std::uint64_t ts_ns, std::uint64_t base) {
+  return static_cast<double>(ts_ns - base) / 1e3;
+}
+
+void emit_event(std::ostringstream& os, bool& first, const TraceEvent& e,
+                int tid, std::uint64_t base, const TraceDump& dump) {
+  const bool span = e.dur_ns != 0 || e.kind == EventKind::kCommit ||
+                    e.kind == EventKind::kAbort ||
+                    e.kind == EventKind::kCancel ||
+                    e.kind == EventKind::kRetryPark;
+  std::string name = event_kind_name(e.kind);
+  if (e.kind == EventKind::kAbort) {
+    name += '(';
+    name += dump.abort_reason_name != nullptr
+                ? dump.abort_reason_name(e.a)
+                : std::to_string(e.a);
+    name += ')';
+  }
+  os << (first ? "" : ",") << "{\"name\":\"" << util::json_escape(name)
+     << "\",\"cat\":\"tx\",\"ph\":\"" << (span ? 'X' : 'i')
+     << "\",\"ts\":" << us(e.ts_ns - e.dur_ns, base);
+  if (span) os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
+  else os << ",\"s\":\"t\"";
+  os << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{";
+  bool farg = true;
+  auto arg = [&](const char* k, const std::string& v, bool quoted) {
+    os << (farg ? "" : ",") << "\"" << k << "\":";
+    if (quoted) os << "\"" << util::json_escape(v) << "\"";
+    else os << v;
+    farg = false;
+  };
+  if (e.kind == EventKind::kAttemptStart)
+    arg("serialized", (e.flags & kFlagSerialized) ? "true" : "false", false);
+  if (e.kind == EventKind::kAbort) {
+    arg("reason",
+        dump.abort_reason_name != nullptr ? dump.abort_reason_name(e.a)
+                                          : std::to_string(e.a),
+        true);
+    arg("enemy_tid", std::to_string(e.b), false);
+  }
+  if (e.kind == EventKind::kRetryPark) {
+    arg("slept", (e.flags & kFlagSlept) ? "true" : "false", false);
+    arg("timed_out", (e.flags & kFlagTimedOut) ? "true" : "false", false);
+  }
+  os << "}}";
+  first = false;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceDump& dump) {
+  const std::uint64_t base = base_timestamp(dump);
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t total_dropped = 0;
+  for (const auto* tr : dump.threads) {
+    const int tid = tr->tid();
+    // Thread-name metadata row so the Perfetto track reads "tx-worker-N".
+    os << (first ? "" : ",")
+       << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"tx-worker-" << tid << "\"}}";
+    first = false;
+    const TraceRing* ring = tr->ring();
+    if (ring == nullptr) continue;
+    const std::size_t n = ring->size();
+    for (std::size_t i = 0; i < n; ++i)
+      emit_event(os, first, (*ring)[i], tid, base, dump);
+    total_dropped += ring->dropped();
+  }
+  // Policy switches land on a dedicated controller track (tid -1 renders as
+  // its own row in both viewers).
+  for (const auto& m : dump.policy_marks) {
+    os << (first ? "" : ",") << "{\"name\":\""
+       << util::json_escape("policy-switch: " + m.label)
+       << "\",\"cat\":\"scheduler\",\"ph\":\"i\",\"s\":\"g\",\"ts\":"
+       << us(m.ts_ns, base) << ",\"pid\":0,\"tid\":-1,\"args\":{}}";
+    first = false;
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << total_dropped;
+  for (const auto& [k, v] : dump.metadata)
+    os << ",\"" << util::json_escape(k) << "\":\"" << util::json_escape(v)
+       << "\"";
+  os << "}}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path, const TraceDump& dump) {
+  return util::write_json_file(path, chrome_trace_json(dump));
+}
+
+}  // namespace shrinktm::obs

@@ -1,0 +1,42 @@
+// Chrome trace-event JSON export of the binary trace rings.
+//
+// Output is the Trace Event Format's object form ({"traceEvents":[...]}),
+// which chrome://tracing and Perfetto (ui.perfetto.dev) both load directly:
+// one timeline track per tid, committed/aborted/cancelled attempts and
+// retry parks as complete ("X") events with real durations, serialization
+// enter/exit and adaptive policy switches as instant ("i") events.  All
+// conversion from the 24-byte binary records happens here, at dump time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace shrinktm::obs {
+
+/// An adaptive policy switch to overlay on the trace (synthesized by the
+/// api layer from AdaptiveScheduler::switches(); obs itself never depends
+/// on the runtime layer).
+struct PolicyMark {
+  std::uint64_t ts_ns;  ///< steady-clock ns, same clock as TraceEvent::ts_ns
+  std::string label;    ///< e.g. "low->high (shrink)"
+};
+
+struct TraceDump {
+  std::vector<const ThreadRecorder*> threads;  ///< non-null entries only
+  std::vector<PolicyMark> policy_marks;
+  /// Names for TraceEvent::a on kAbort events; null = raw numbers.
+  const char* (*abort_reason_name)(int) = nullptr;
+  /// Free-form metadata echoed into "otherData" (backend, scheduler, ...).
+  std::vector<std::pair<std::string, std::string>> metadata;
+};
+
+/// Render the dump as Chrome trace-event JSON (object form).
+std::string chrome_trace_json(const TraceDump& dump);
+
+/// chrome_trace_json + util::write_json_file; false on I/O failure.
+bool write_chrome_trace(const std::string& path, const TraceDump& dump);
+
+}  // namespace shrinktm::obs

@@ -156,6 +156,10 @@ class AdaptiveScheduler final : public core::Scheduler {
   std::string policy_label() const;
   std::uint64_t windows_closed() const;
   std::vector<PolicySwitch> switches() const;
+  /// Construction instant (steady clock).  PolicySwitch::at_seconds offsets
+  /// are relative to this, so trace exporters can align switch marks with
+  /// steady-clock event timestamps.
+  std::chrono::steady_clock::time_point born() const { return born_; }
   std::vector<WindowSummary> recent_windows() const;
   /// Retired-but-unreclaimed policy count (quiescence lag; tests).
   std::size_t retired_pending() const;

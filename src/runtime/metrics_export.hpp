@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,23 +12,14 @@
 #include "runtime/adaptive.hpp"
 #include "runtime/regime.hpp"
 #include "runtime/telemetry.hpp"
+#include "util/json.hpp"
 
 namespace shrinktm::runtime {
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+// The one shared escaper (util/json.hpp): every emitter in the repo --
+// metrics export, RuntimeStats::to_json, bench artifacts, the obs trace
+// writer -- routes through it, so control characters are escaped uniformly.
+using util::json_escape;
 
 /// One window, full detail (per-tid arrays and the hottest conflict edge;
 /// the dense matrix is summarized, not dumped).
@@ -105,14 +95,8 @@ inline std::string to_json(const AdaptiveScheduler& sched) {
   return os.str();
 }
 
-/// Write a JSON document to `path` (BENCH_*.json convention).  Returns false
-/// on I/O failure instead of throwing: metrics export must never take down a
-/// measurement run.
-inline bool write_json_file(const std::string& path, const std::string& json) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) return false;
-  f << json << "\n";
-  return static_cast<bool>(f);
-}
+/// Write a JSON document to `path` (BENCH_*.json convention); shared
+/// implementation in util/json.hpp.
+using util::write_json_file;
 
 }  // namespace shrinktm::runtime

@@ -74,6 +74,15 @@ class SchedulerHooks {
   /// nothing when no prediction will be consumed (Shrink is "activated"
   /// only below its success-rate threshold -- paper §3).
   virtual bool read_hook_active(int /*tid*/) const { return true; }
+
+  /// Whether `tid`'s current attempt runs serialized (holds the scheduler's
+  /// global lock / queue for the attempt's duration).  Only meaningful
+  /// between before_start and the matching on_commit/on_abort, queried from
+  /// the same thread; the adaptive runtime and the trace recorder use it to
+  /// mark serialized spans.  Schedulers that serialize by *waiting before*
+  /// the attempt and hold nothing during it (SerializerScheduler) correctly
+  /// report false.
+  virtual bool serialized_now(int /*tid*/) const { return false; }
 };
 
 /// "Visible writes" oracle (paper §3: Shrink can be integrated with any TM

@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "stm/actions.hpp"
 #include "stm/hooks.hpp"
 #include "stm/retry.hpp"
@@ -36,8 +37,12 @@ class TxRunner {
  public:
   /// @param sched may be null (no scheduling: the base STM behaviour).
   /// @param retry may be null (retry forever); must outlive the runner.
-  TxRunner(Tx& tx, SchedulerHooks* sched, const RetryPolicy* retry = nullptr)
-      : tx_(tx), sched_(sched), retry_(retry), backoff_(tx.wait_policy()) {
+  /// @param rec may be null (no observability recording); must outlive the
+  /// runner.  Owned by the api::Runtime alongside this runner's descriptor.
+  TxRunner(Tx& tx, SchedulerHooks* sched, const RetryPolicy* retry = nullptr,
+           obs::ThreadRecorder* rec = nullptr)
+      : tx_(tx), sched_(sched), retry_(retry), rec_(rec),
+        backoff_(tx.wait_policy()) {
     tx_.set_scheduler(sched);
   }
 
@@ -53,10 +58,17 @@ class TxRunner {
     using R = std::invoke_result_t<Body&, Tx&>;
     std::uint64_t attempt = 0;
     actions_.discard();  // no residue from a cancelled predecessor
+    // The timeout flag is sticky across the conflict-retries of one run so
+    // the body reliably observes an expired tx.retry_for; a fresh top-level
+    // transaction starts clean.
+    tx_.clear_retry_timeout();
     for (;;) {
       ++attempt;
       if (sched_ != nullptr) sched_->before_start(tx_.tid());
       tx_.start();
+      if (rec_ != nullptr)
+        rec_->attempt_start(sched_ != nullptr &&
+                            sched_->serialized_now(tx_.tid()));
       // The committed result is held outside the try so the commit actions
       // can run AFTER it: an exception escaping an action must reach the
       // caller as-is, not be mistaken for an attempt failure (a TxConflict
@@ -71,22 +83,31 @@ class TxRunner {
           result.emplace(body(tx_));
         }
         tx_.commit();
-      } catch (const TxRetryRequested&) {
+      } catch (const TxRetryRequested& rr) {
         // tx.retry(): composable blocking, not a conflict.  Release the
         // scheduler's per-attempt state BEFORE parking (a serialization
         // lock held by a sleeper would deadlock its own waker), discard the
         // doomed attempt's speculative action registrations, then let the
         // descriptor roll back, arm the wakeup table on its read set and
-        // sleep until a commit overwrites something it read.
+        // sleep until a commit overwrites something it read -- or, for
+        // tx.retry_for, until the bound expires.
         if (sched_ != nullptr) sched_->on_retry_block(tx_.tid());
         backoff_.reset();
+        if (rec_ != nullptr) rec_->park_begin();
+        // Stat deltas, not the sticky flag: a later untimed park in the same
+        // run must not inherit an earlier expiry's timed_out mark.
+        const std::uint64_t sleeps0 = tx_.stats().retry_sleeps;
+        const std::uint64_t timeouts0 = tx_.stats().retry_timeouts;
         try {
-          tx_.retry_wait();
+          tx_.retry_wait(rr.timeout_ns());
         } catch (...) {
           // Misuse (empty read set): a definitive rollback, like a cancel.
           actions_.fire_abort();
           throw;
         }
+        if (rec_ != nullptr)
+          rec_->park_end(tx_.stats().retry_sleeps != sleeps0,
+                         tx_.stats().retry_timeouts != timeouts0);
         // The doomed attempt's registrations are speculative state; the
         // re-executed body registers its own.
         actions_.discard();
@@ -99,6 +120,8 @@ class TxRunner {
         // The descriptor rolled itself back before throwing.  The doomed
         // attempt's registrations are speculative state: discard them; the
         // re-executed body registers its own.
+        if (rec_ != nullptr)
+          rec_->abort(static_cast<int>(c.reason()), c.enemy_tid());
         if (sched_ != nullptr)
           sched_->on_abort(tx_.tid(), tx_.last_write_addrs(), c.enemy_tid());
         if (retry_ != nullptr && retry_->bounded() &&
@@ -124,6 +147,7 @@ class TxRunner {
       // Committed.  Scheduler bookkeeping, then the deferred actions --
       // outside the catch blocks above, so nothing they throw re-enters
       // the retry loop.
+      if (rec_ != nullptr) rec_->commit();
       if (sched_ != nullptr) sched_->on_commit(tx_.tid());
       backoff_.reset();
       actions_.fire_commit();
@@ -141,12 +165,14 @@ class TxRunner {
     // abort statistics, and the dedicated hook releases per-attempt
     // scheduler state without polluting the conflict matrix.
     tx_.cancel();
+    if (rec_ != nullptr) rec_->cancel();
     if (sched_ != nullptr) sched_->on_cancel(tx_.tid());
   }
 
   Tx& tx_;
   SchedulerHooks* sched_;
   const RetryPolicy* retry_;
+  obs::ThreadRecorder* rec_;
   TxActions actions_;
   util::Backoff backoff_;
 };

@@ -26,6 +26,10 @@ struct ThreadStats {
   std::uint64_t retry_sleeps = 0;  ///< retry waits that reached the kernel
                                    ///< (futex/condvar) instead of the
                                    ///< bounded spin or an immediate rerun
+  std::uint64_t retry_timeouts = 0;  ///< timed retries (tx.retry_for) whose
+                                     ///< bound expired before a wakeup; a
+                                     ///< subset of retry_waits, so the
+                                     ///< conservation identity is unchanged
   std::uint64_t retry_wait_ns = 0;  ///< wall-clock ns spent blocked on retry
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -46,6 +50,7 @@ struct ThreadStats {
     cancels += o.cancels;
     retry_waits += o.retry_waits;
     retry_sleeps += o.retry_sleeps;
+    retry_timeouts += o.retry_timeouts;
     retry_wait_ns += o.retry_wait_ns;
     reads += o.reads;
     writes += o.writes;

@@ -293,7 +293,7 @@ void SwissTx::cancel() {
   finish(false);
 }
 
-void SwissTx::retry_wait() {
+void SwissTx::retry_wait(std::int64_t timeout_ns) {
   assert(active_ && "retry_wait outside a transaction");
   WaitTable& wt = backend_.wait_table_;
   ++stats_.retry_waits;
@@ -311,7 +311,12 @@ void SwissTx::retry_wait() {
   }
   if (validate(/*during_commit=*/false)) {
     const auto t0 = std::chrono::steady_clock::now();
-    if (wt.wait(wait_set_)) ++stats_.retry_sleeps;
+    const WaitTable::WaitResult wr = wt.wait_for(wait_set_, timeout_ns);
+    if (wr.slept) ++stats_.retry_sleeps;
+    if (wr.timed_out) {
+      ++stats_.retry_timeouts;
+      retry_timed_out_ = true;
+    }
     stats_.retry_wait_ns += static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)

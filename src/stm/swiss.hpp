@@ -124,8 +124,12 @@ class SwissTx {
   void cancel();
   /// tx.retry() service: roll back as a retry-wait, arm the WaitTable on
   /// the attempt's read set, block until a commit overwrites it (see
-  /// TinyTx::retry_wait -- identical contract).
-  void retry_wait();
+  /// TinyTx::retry_wait -- identical contract, including the timed
+  /// tx.retry_for bound when timeout_ns >= 0).
+  void retry_wait(std::int64_t timeout_ns = -1);
+  /// See TinyTx::retry_timed_out -- same sticky-until-next-run contract.
+  bool retry_timed_out() const { return retry_timed_out_; }
+  void clear_retry_timeout() { retry_timed_out_ = false; }
   void request_kill(int killer_tid);
 
   std::span<void* const> last_write_addrs() const { return last_write_addrs_; }
@@ -172,6 +176,7 @@ class SwissTx {
   bool read_hook_ = false;
   bool write_hook_ = false;
   bool active_ = false;
+  bool retry_timed_out_ = false;  ///< last retry_wait expired (tx.retry_for)
   bool commit_locking_ = false;  ///< rver markers currently set by us
   std::uint64_t rv_ = 0;
   std::atomic<std::uint32_t> status_{kIdle};

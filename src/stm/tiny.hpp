@@ -146,10 +146,20 @@ class TinyTx {
   /// the attempt back as a retry-wait (neither abort nor cancel), arms the
   /// backend's WaitTable with tickets for the attempt's read set, and --
   /// unless a commit already invalidated that read set -- blocks until one
-  /// does.  Throws std::logic_error if the read set is empty (nothing could
-  /// ever wake the sleeper).  On return the descriptor is idle and the
-  /// runner re-executes the body.
-  void retry_wait();
+  /// does.  With timeout_ns >= 0 (tx.retry_for) the park is bounded: on
+  /// expiry the descriptor returns with retry_timed_out() set (and counts a
+  /// retry_timeouts stat) so the re-executed body can observe the timeout.
+  /// Throws std::logic_error if the read set is empty (nothing could ever
+  /// wake the sleeper).  On return the descriptor is idle and the runner
+  /// re-executes the body.
+  void retry_wait(std::int64_t timeout_ns = -1);
+
+  /// Whether the most recent retry_wait() on this descriptor expired its
+  /// tx.retry_for bound instead of being woken.  Sticky until the next
+  /// top-level transaction (TxRunner::run clears it), so the re-executed
+  /// body -- and any conflict-retries of it -- can test api::Tx::timed_out.
+  bool retry_timed_out() const { return retry_timed_out_; }
+  void clear_retry_timeout() { retry_timed_out_ = false; }
 
   /// Cooperative remote abort (used by contention managers / tests).
   void request_kill(int killer_tid);
@@ -195,6 +205,7 @@ class TinyTx {
   bool read_hook_ = false;
   bool write_hook_ = false;
   bool active_ = false;
+  bool retry_timed_out_ = false;  ///< last retry_wait expired (tx.retry_for)
   std::uint64_t rv_ = 0;  ///< snapshot (read) version
   std::atomic<std::uint32_t> status_{kIdle};
   std::atomic<int> killer_tid_{-1};

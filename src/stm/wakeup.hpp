@@ -35,7 +35,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <span>
 #include <vector>
 
@@ -150,36 +152,80 @@ class WaitTable {
     return false;
   }
 
+  /// How a wait() ended: whether the kernel was involved and whether the
+  /// deadline expired before any ticket moved.
+  struct WaitResult {
+    bool slept = false;      ///< reached the futex/condvar (vs spin only)
+    bool timed_out = false;  ///< deadline hit with no ticket change
+  };
+
   /// Block the calling thread until changed(tickets).  The caller must hold
   /// a register_waiter() claim and must have re-validated its read set after
   /// capture() (a failed validation means the wakeup already happened --
   /// do not sleep).  Returns true if the thread actually slept in the
   /// kernel, false if the bounded spin absorbed the wait.
   bool wait(std::span<const Ticket> tickets) {
+    return wait_for(tickets, -1).slept;
+  }
+
+  /// Timed flavour (tx.retry_for): as wait(), but give up once `timeout_ns`
+  /// nanoseconds elapse with no ticket change.  timeout_ns < 0 waits
+  /// forever; 0 polls once past the spin.  A timeout is not counted as a
+  /// wakeup (nothing was published for this waiter).
+  WaitResult wait_for(std::span<const Ticket> tickets,
+                      std::int64_t timeout_ns) {
+    const bool timed = timeout_ns >= 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(
+                                               timed ? timeout_ns : 0);
+    WaitResult r;
     for (unsigned i = 0; i < spin_pauses_; ++i) {
-      if (changed(tickets)) return false;
+      if (changed(tickets)) {
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+      }
       util::cpu_relax();
     }
-    bool slept = false;
 #if defined(__linux__)
     for (;;) {
       const std::uint32_t e = epoch_.load(std::memory_order_acquire);
       if (changed(tickets)) break;
-      slept = true;
-      futex_wait(e);  // returns immediately if epoch_ already != e
+      if (timed) {
+        const auto left = deadline - std::chrono::steady_clock::now();
+        if (left <= std::chrono::nanoseconds::zero()) {
+          if (!changed(tickets)) r.timed_out = true;
+          break;
+        }
+        r.slept = true;
+        struct timespec ts;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(left).count();
+        ts.tv_sec = static_cast<time_t>(ns / 1000000000);
+        ts.tv_nsec = static_cast<long>(ns % 1000000000);
+        futex_wait(e, &ts);  // EAGAIN if epoch_ moved, ETIMEDOUT on expiry
+      } else {
+        r.slept = true;
+        futex_wait(e, nullptr);  // returns immediately if epoch_ already != e
+      }
     }
 #else
     std::unique_lock<std::mutex> lk(mu_);
     while (!changed(tickets)) {
+      if (timed && std::chrono::steady_clock::now() >= deadline) {
+        r.timed_out = true;
+        break;
+      }
       const std::uint32_t e = epoch_.load(std::memory_order_acquire);
-      slept = true;
-      cv_.wait(lk, [&] {
+      r.slept = true;
+      auto moved = [&] {
         return epoch_.load(std::memory_order_acquire) != e || changed(tickets);
-      });
+      };
+      if (timed) cv_.wait_until(lk, deadline, moved);
+      else cv_.wait(lk, moved);
     }
 #endif
-    wakeups_.fetch_add(1, std::memory_order_relaxed);
-    return slept;
+    if (!r.timed_out) wakeups_.fetch_add(1, std::memory_order_relaxed);
+    return r;
   }
 
   // ---- observability (RuntimeStats: retry_* counters) ----
@@ -215,9 +261,10 @@ class WaitTable {
   }
 
 #if defined(__linux__)
-  void futex_wait(std::uint32_t expected) {
+  /// @param ts relative timeout, null = wait forever (FUTEX_WAIT semantics).
+  void futex_wait(std::uint32_t expected, const struct timespec* ts) {
     ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
-              FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+              FUTEX_WAIT_PRIVATE, expected, ts, nullptr, 0);
   }
   void futex_wake_all() {
     ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),

@@ -56,7 +56,18 @@ class TxConflict : public std::exception {
 /// fall through to the next alternative instead.
 class TxRetryRequested : public std::exception {
  public:
+  TxRetryRequested() = default;
+  /// Timed flavour (api::Tx::retry_for): park at most `timeout_ns`
+  /// nanoseconds; on expiry the body re-executes with tx.timed_out() set.
+  explicit TxRetryRequested(std::int64_t timeout_ns) : timeout_ns_(timeout_ns) {}
+
+  /// Park bound in nanoseconds; negative = wait forever (plain tx.retry()).
+  std::int64_t timeout_ns() const { return timeout_ns_; }
+
   const char* what() const noexcept override { return "TxRetryRequested"; }
+
+ private:
+  std::int64_t timeout_ns_ = -1;
 };
 
 }  // namespace shrinktm::stm

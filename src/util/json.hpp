@@ -1,0 +1,57 @@
+// The one JSON string escaper shared by every hand-rolled emitter in the
+// repo (runtime metrics export, RuntimeStats::to_json, bench artifacts, the
+// obs trace writer).  The schema layer stays dependency-free; this file
+// keeps the escaping rules in exactly one place so an emitter can never
+// produce invalid JSON that another one would have escaped.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace shrinktm::util {
+
+/// Escape `s` for embedding inside a JSON string literal.  Handles the
+/// mandatory characters (quote, backslash) and EVERY control character below
+/// 0x20: the common ones as their two-character shortcuts, the rest --
+/// \r-less platforms aside, think \b, \f, \x01 -- as \u00XX.  RFC 8259
+/// forbids raw control characters in strings; passing them through (the
+/// historical behaviour of the metrics exporter) produced artifacts
+/// json.load() rejects.
+inline std::string json_escape(const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Write a JSON document to `path`.  Returns false on I/O failure instead of
+/// throwing: metrics/trace export must never take down a measurement run.
+inline bool write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << json << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace shrinktm::util

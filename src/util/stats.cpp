@@ -41,6 +41,49 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
+std::size_t HdrHistogram::index_of(std::uint64_t v) {
+  if (v < kSubCount) return static_cast<std::size_t>(v);  // exact region
+  const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+  // Block for this octave, then the kSubBits bits below the msb select the
+  // linear sub-bucket within it.
+  const std::size_t block = msb - kSubBits + 1;
+  const std::size_t sub = (v >> (msb - kSubBits)) & (kSubCount - 1);
+  return block * kSubCount + sub;
+}
+
+std::uint64_t HdrHistogram::bucket_upper_bound(std::size_t idx) {
+  if (idx < kSubCount) return idx;  // exact region: the value itself
+  const std::size_t block = idx / kSubCount;
+  const std::uint64_t sub = idx % kSubCount;
+  const unsigned msb = static_cast<unsigned>(block) + kSubBits - 1;
+  // Values in this bucket: 2^msb + sub * 2^(msb-kSubBits) .. next sub - 1.
+  const std::uint64_t width = std::uint64_t{1} << (msb - kSubBits);
+  return (std::uint64_t{1} << msb) + (sub + 1) * width - 1;
+}
+
+std::uint64_t HdrHistogram::value_at_quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample (1-based, ceiling): p50 of two samples is the
+  // first, p100 the last.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+void HdrHistogram::merge(const HdrHistogram& o) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+  sum_ += o.sum_;
+  max_ = std::max(max_, o.max_);
+}
+
 void Log2Histogram::add(std::uint64_t v) {
   const unsigned bucket =
       v == 0 ? 0 : std::min<unsigned>(static_cast<unsigned>(std::bit_width(v)),

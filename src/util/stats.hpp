@@ -1,6 +1,7 @@
 // Online statistics and timing helpers used by the benchmark harness.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -44,6 +45,57 @@ class Stopwatch {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// HDR-style log-bucketed histogram for latency distributions (commit
+/// latency, retry-park durations, ... -- the src/obs op-class histograms).
+///
+/// Geometry: values below 2^kSubBits are recorded exactly; above that, each
+/// power-of-two range is split into 2^kSubBits linear sub-buckets, so the
+/// relative quantization error is bounded by 2^-kSubBits (~3.1%) at every
+/// magnitude from nanoseconds to hours.  Recording is one bit-scan plus one
+/// array increment -- cheap enough to stay always-on in the transaction
+/// runner.  Covers the full uint64 range; merge() makes per-thread
+/// histograms aggregatable without locks on the record path.
+class HdrHistogram {
+ public:
+  static constexpr unsigned kSubBits = 5;  ///< 32 sub-buckets per octave
+  static constexpr unsigned kSubCount = 1u << kSubBits;
+  /// Bucket count: exact region [0, 32) + one 32-wide block per octave
+  /// with msb in [kSubBits, 63].
+  static constexpr std::size_t kBuckets = (64 - kSubBits) * kSubCount + kSubCount;
+
+  void add(std::uint64_t v) {
+    ++counts_[index_of(v)];
+    ++total_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max_value() const { return max_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// Value at quantile `q` in [0,1]: an upper bound of the bucket containing
+  /// the q-th ranked sample (within ~3.1% of the exact quantile).  q=0.5 ->
+  /// p50, q=0.999 -> p999.  Returns 0 on an empty histogram.
+  std::uint64_t value_at_quantile(double q) const;
+
+  /// Add another histogram's samples into this one (per-thread -> aggregate).
+  void merge(const HdrHistogram& o);
+
+ private:
+  static std::size_t index_of(std::uint64_t v);
+  static std::uint64_t bucket_upper_bound(std::size_t idx);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 /// Fixed-bucket histogram with power-of-two buckets, for abort-streak and

@@ -1,0 +1,461 @@
+// Observability subsystem (src/obs) and its api surface: HDR histogram
+// quantiles against exact order statistics, trace-ring overflow with exact
+// drop counts, Chrome-trace and RuntimeStats JSON well-formedness (the same
+// files are re-validated by python json.load in CI), tx.retry_for timeout
+// and wakeup-before-timeout on both backends, and per-tid wait profiles
+// surviving RuntimeStats aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_writer.hpp"
+#include "util/stats.hpp"
+
+namespace shrinktm {
+namespace {
+
+constexpr core::BackendKind kBothBackends[] = {core::BackendKind::kTiny,
+                                               core::BackendKind::kSwiss};
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// --------------------------------------------------- mini JSON validator
+//
+// Strict recursive-descent well-formedness check (no values built).  CI
+// additionally loads the dumped files with python json.load; this keeps the
+// same guarantee inside ctest.
+
+class JsonValidator {
+ public:
+  static bool valid(const std::string& s) {
+    JsonValidator v(s);
+    v.ws();
+    if (!v.value()) return false;
+    v.ws();
+    return v.i_ == s.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++i_;  // '{'
+    ws();
+    if (eat('}')) return true;
+    for (;;) {
+      ws();
+      if (i_ >= s_.size() || s_[i_] != '"' || !string()) return false;
+      ws();
+      if (!eat(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++i_;  // '['
+    ws();
+    if (eat(']')) return true;
+    for (;;) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    ++i_;  // '"'
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i_ + k >= s_.size() || !std::isxdigit(static_cast<unsigned char>(
+                                           s_[i_ + k])))
+              return false;
+          }
+          i_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (eat('-')) {}
+    if (!digits()) return false;
+    if (eat('.') && !digits()) return false;
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (!digits()) return false;
+    }
+    return i_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+    return i_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++i_) {
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+    }
+    return true;
+  }
+
+  bool eat(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+// ----------------------------------------------------------- HdrHistogram
+
+TEST(HdrHistogram, SmallValuesAreExact) {
+  util::HdrHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 32u);
+  EXPECT_EQ(h.max_value(), 31u);
+  // Below 2^kSubBits every value has its own bucket: quantiles are exact.
+  for (int p = 1; p <= 100; ++p) {
+    const double q = p / 100.0;
+    const auto rank =
+        static_cast<std::uint64_t>(std::max(1.0, std::ceil(q * 32)));
+    EXPECT_EQ(h.value_at_quantile(q), rank - 1) << "q=" << q;
+  }
+}
+
+TEST(HdrHistogram, QuantilesTrackExactOrderStatistics) {
+  // Log-uniform values spanning ns..seconds, checked against the exact
+  // sorted-array quantile within the histogram's relative error bound
+  // (2^-kSubBits ~ 3.1%).
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> exp10(0.0, 9.0);
+  std::vector<std::uint64_t> values;
+  util::HdrHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::uint64_t>(std::pow(10.0, exp10(rng)));
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(values.size()))));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double approx = static_cast<double>(h.value_at_quantile(q));
+    EXPECT_NEAR(approx / exact, 1.0, 0.032) << "q=" << q;
+  }
+  EXPECT_EQ(h.total(), values.size());
+  EXPECT_EQ(h.max_value(), values.back());
+  EXPECT_LE(h.value_at_quantile(1.0), values.back());
+}
+
+TEST(HdrHistogram, MergeMatchesCombinedFeed) {
+  util::HdrHistogram a, b, both;
+  for (std::uint64_t v = 1; v < 5000; v += 7) {
+    (v % 2 ? a : b).add(v * v);
+    both.add(v * v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), both.total());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.max_value(), both.max_value());
+  for (const double q : {0.25, 0.5, 0.75, 0.99})
+    EXPECT_EQ(a.value_at_quantile(q), both.value_at_quantile(q));
+}
+
+// -------------------------------------------------------------- TraceRing
+
+TEST(TraceRing, KeepsFirstNAndCountsDropsExactly) {
+  constexpr std::size_t kCap = 64;
+  obs::TraceRing ring(kCap);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const bool kept =
+        ring.push({i, 0, obs::EventKind::kCommit, 0, 0, -1});
+    EXPECT_EQ(kept, i < kCap);
+  }
+  EXPECT_EQ(ring.size(), kCap);
+  EXPECT_EQ(ring.capacity(), kCap);
+  EXPECT_EQ(ring.dropped(), 200u - kCap);
+  // Kept events are exactly the first kCap, in order.
+  for (std::size_t i = 0; i < kCap; ++i) EXPECT_EQ(ring[i].ts_ns, i);
+}
+
+// ------------------------------------------------- tracing through the api
+
+TEST(Trace, DisabledRuntimeEmitsValidEmptyTrace) {
+  api::Runtime rt(api::RuntimeOptions{});  // tracing off by default
+  api::ThreadHandle th = rt.attach();
+  api::TVar<std::int64_t> x{0};
+  atomically(th, [&](api::Tx& tx) { tx.write(x, 1); });
+  const std::string json = rt.trace_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  // Thread metadata row only, no transaction events.
+  EXPECT_EQ(json.find("\"cat\":\"tx\""), std::string::npos);
+}
+
+TEST(Trace, RecordsLifecycleOnBothBackends) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}
+                        .with_backend(backend)
+                        .with_trace_capacity(4096));
+    api::TVar<std::int64_t> counter{0};
+    constexpr int kThreads = 4;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&] {
+        api::ThreadHandle th = rt.attach();
+        for (int i = 0; i < 500; ++i) {
+          atomically(th, [&](api::Tx& tx) {
+            tx.write(counter, tx.read(counter) + 1);
+          });
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    const std::string json = rt.trace_json();
+    ASSERT_TRUE(JsonValidator::valid(json))
+        << core::backend_kind_name(backend);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"commit\""), std::string::npos);
+    EXPECT_NE(json.find("tx-worker-"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped_events\":"), std::string::npos);
+    // Contended increments must show at least one abort span on some track
+    // (4 threads x 500 increments of one word).
+    if (rt.stats().aborts > 0) {
+      EXPECT_NE(json.find("\"name\":\"abort("), std::string::npos);
+    }
+  }
+}
+
+TEST(Trace, DumpTraceWritesLoadableFileForCi) {
+  // CI re-validates these exact files with python json.load (workflow step
+  // "validate emitted JSON").
+  api::Runtime rt(api::RuntimeOptions{}.with_trace_capacity(1024));
+  api::TVar<std::int64_t> x{0};
+  std::thread consumer([&] {
+    api::ThreadHandle th = rt.attach();
+    atomically(th, [&](api::Tx& tx) {
+      if (tx.read(x) == 0) tx.retry();
+      return tx.read(x);
+    });
+  });
+  sleep_ms(30);
+  {
+    api::ThreadHandle th = rt.attach();
+    atomically(th, [&](api::Tx& tx) { tx.write(x, 7); });
+  }
+  consumer.join();
+
+  ASSERT_TRUE(rt.dump_trace("trace_sample.json"));
+  std::ifstream in("trace_sample.json");
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(JsonValidator::valid(json));
+  EXPECT_NE(json.find("\"name\":\"retry-park\""), std::string::npos);
+
+  const std::string stats_json = rt.stats().to_json();
+  EXPECT_TRUE(JsonValidator::valid(stats_json)) << stats_json;
+  std::ofstream out("stats_sample.json", std::ios::trunc);
+  out << stats_json;
+}
+
+// ------------------------------------------------------------ tx.retry_for
+
+TEST(RetryFor, TimesOutWhenNobodyCommits) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> flag{0};
+    api::ThreadHandle th = rt.attach();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool got = atomically(th, [&](api::Tx& tx) {
+      if (tx.read(flag) != 0) return true;
+      if (tx.timed_out()) return false;
+      tx.retry_for(std::chrono::milliseconds(40));
+    });
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+    EXPECT_FALSE(got) << core::backend_kind_name(backend);
+    EXPECT_GE(elapsed, std::chrono::milliseconds(35));
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_EQ(s.retry_timeouts, 1u) << core::backend_kind_name(backend);
+    EXPECT_GE(s.retry_waits, 1u);
+    // The expired park is still a retry_wait: identity holds with timeouts
+    // as a pure subset.
+    EXPECT_LE(s.retry_timeouts, s.retry_waits);
+    ASSERT_EQ(s.per_thread.size(), 1u);
+    EXPECT_EQ(s.per_thread[0].retry_timeouts, 1u);
+    EXPECT_GT(s.per_thread[0].retry_wait_ns, 0u);
+  }
+}
+
+TEST(RetryFor, WakeupBeforeTimeoutDeliversValue) {
+  for (auto backend : kBothBackends) {
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> flag{0};
+
+    std::int64_t seen = -1;
+    std::thread consumer([&] {
+      api::ThreadHandle th = rt.attach();
+      seen = atomically(th, [&](api::Tx& tx) {
+        const auto v = tx.read(flag);
+        if (v != 0) return v;
+        if (tx.timed_out()) return std::int64_t{-2};
+        tx.retry_for(std::chrono::seconds(10));
+      });
+    });
+    sleep_ms(30);
+    {
+      api::ThreadHandle th = rt.attach();
+      atomically(th, [&](api::Tx& tx) { tx.write(flag, 99); });
+    }
+    consumer.join();
+
+    EXPECT_EQ(seen, 99) << core::backend_kind_name(backend);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_EQ(s.retry_timeouts, 0u) << core::backend_kind_name(backend);
+    EXPECT_GE(s.retry_waits, 1u);
+  }
+}
+
+TEST(RetryFor, TimedOutClearsOnNextTopLevelTransaction) {
+  api::Runtime rt(api::RuntimeOptions{});
+  api::TVar<std::int64_t> flag{0};
+  api::ThreadHandle th = rt.attach();
+  const bool first = atomically(th, [&](api::Tx& tx) {
+    if (tx.read(flag) != 0) return true;
+    if (tx.timed_out()) return false;
+    tx.retry_for(std::chrono::milliseconds(5));
+  });
+  EXPECT_FALSE(first);
+  // A fresh transaction must not inherit the expired flag.
+  const bool stale = atomically(th, [&](api::Tx& tx) {
+    (void)tx.read(flag);
+    return tx.timed_out();
+  });
+  EXPECT_FALSE(stale);
+}
+
+// ----------------------------------------------- stats: latency + profiles
+
+TEST(Stats, LatencyDigestsAppearInJson) {
+  api::Runtime rt(api::RuntimeOptions{});
+  api::ThreadHandle th = rt.attach();
+  api::TVar<std::int64_t> x{0};
+  for (int i = 0; i < 100; ++i)
+    atomically(th, [&](api::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+
+  const api::RuntimeStats s = rt.stats();
+  EXPECT_EQ(s.latency.commit.total(), s.commits);
+  EXPECT_GT(s.latency.commit.value_at_quantile(0.99), 0u);
+  const std::string json = s.to_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  for (const char* key :
+       {"\"latency\":", "\"commit\":", "\"abort_gap\":", "\"park\":",
+        "\"serialized\":", "\"p50_ns\":", "\"p99_ns\":", "\"p999_ns\":",
+        "\"retry_timeouts\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(Stats, MergeSumsPerThreadRowsByTid) {
+  api::RuntimeStats a, b;
+  a.per_thread.push_back({0, 10, 8, 2, 0, 1, 1, 0, 500});
+  a.per_thread.push_back({1, 5, 5, 0, 0, 0, 0, 0, 0});
+  b.per_thread.push_back({0, 20, 15, 5, 0, 2, 1, 1, 700});
+  b.per_thread.push_back({2, 3, 3, 0, 0, 0, 0, 0, 0});
+  a += b;
+  ASSERT_EQ(a.per_thread.size(), 3u);
+  EXPECT_EQ(a.per_thread[0].tid, 0);
+  EXPECT_EQ(a.per_thread[0].attempts, 30u);
+  EXPECT_EQ(a.per_thread[0].retry_waits, 3u);
+  EXPECT_EQ(a.per_thread[0].retry_timeouts, 1u);
+  EXPECT_EQ(a.per_thread[0].retry_wait_ns, 1200u);
+  EXPECT_EQ(a.per_thread[1].tid, 1);
+  EXPECT_EQ(a.per_thread[2].tid, 2);
+}
+
+TEST(Stats, MergeCombinesLatencyHistograms) {
+  api::Runtime rt1(api::RuntimeOptions{});
+  api::Runtime rt2(api::RuntimeOptions{});
+  api::TVar<std::int64_t> x{0};
+  for (auto* rt : {&rt1, &rt2}) {
+    api::ThreadHandle th = rt->attach();
+    for (int i = 0; i < 50; ++i)
+      atomically(th, [&](api::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  }
+  api::RuntimeStats merged = rt1.stats();
+  merged += rt2.stats();
+  EXPECT_EQ(merged.latency.commit.total(), 100u);
+  EXPECT_EQ(merged.commits, 100u);
+}
+
+}  // namespace
+}  // namespace shrinktm

@@ -1,0 +1,497 @@
+#!/usr/bin/env python3
+"""Perf-trajectory history pipeline.
+
+Ingests the BENCH_*.json artifacts a bench run leaves behind (each stamped
+by bench/common.hpp with {"commit","utc","build"}), appends one record per
+run to bench/history/history.jsonl, renders a self-contained trend.html,
+and re-applies the micro-primitives regression gate against the checked-in
+baseline so a perf regression fails the pipeline, not just the one binary
+that happened to run with --baseline.
+
+Stdlib only — no pip dependencies.
+
+Usage:
+    python3 tools/perf_history.py [--artifacts GLOB]...
+        [--history bench/history/history.jsonl]
+        [--html bench/history/trend.html]
+        [--baseline bench/baselines/micro_primitives_baseline.json]
+        [--no-gate] [--no-append]
+
+Exit status: 0 on success, 1 when the gate trips or no artifact parses.
+The gate is skipped (with a note) when no micro_primitives artifact is
+among the inputs — figure-bench-only runs must not fail on a missing
+predictor measurement.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+GATE_HEADROOM = 1.25  # mirrors bench_micro_primitives --baseline (>25% fails)
+
+# Metric keys charted in trend.html, in display order.  Everything else in a
+# record is history (kept in the JSONL, shown in the table view) but not a
+# chart — past a handful of small multiples the page stops being readable.
+CHARTED = [
+    ("micro_primitives", "predictor_cost_norm",
+     "Predictor cost (normalized)",
+     "predictor_read_active_ns / bloom_std_query_ns — the gated metric"),
+    ("micro_primitives", "commit_p99_ns",
+     "Commit latency p99 (ns)",
+     "micro_primitives runtime_stats.latency.commit.p99_ns"),
+    ("micro_primitives", "predictor_speedup",
+     "Predictor speedup (legacy / blocked)",
+     "micro_primitives summary.predictor_speedup_legacy_over_blocked"),
+]
+
+
+def load_artifact(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"WARNING: skipping {path}: {e}", file=sys.stderr)
+        return None
+
+
+def bench_name(path, doc):
+    name = doc.get("bench")
+    if isinstance(name, str) and name:
+        backend = (doc.get("args") or {}).get("backend")
+        return f"{name}_{backend}" if backend else name
+    stem = os.path.basename(path)
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    return stem.removesuffix(".json")
+
+
+def extract_metrics(doc):
+    """Headline scalars per artifact: the gated predictor metric, the new
+    latency-histogram digests, outcome rates, and per-series throughput."""
+    m = {}
+    summary = doc.get("summary")
+    if isinstance(summary, dict):
+        pred = summary.get("predictor_read_active_ns")
+        calib = summary.get("calibration_ns")
+        if isinstance(pred, (int, float)) and isinstance(calib, (int, float)) \
+                and calib > 0:
+            m["predictor_cost_norm"] = pred / calib
+            m["predictor_read_active_ns"] = pred
+            m["calibration_ns"] = calib
+        spd = summary.get("predictor_speedup_legacy_over_blocked")
+        if isinstance(spd, (int, float)) and spd > 0:
+            m["predictor_speedup"] = spd
+    for series in doc.get("series") or []:
+        pts = [p.get("throughput") for p in series.get("points") or []
+               if isinstance(p.get("throughput"), (int, float))]
+        if pts:
+            m[f"throughput_mean[{series.get('name', '?')}]"] = \
+                sum(pts) / len(pts)
+    rs = doc.get("runtime_stats")
+    if isinstance(rs, dict):
+        attempts = rs.get("attempts") or 0
+        if attempts:
+            m["abort_rate"] = (rs.get("aborts") or 0) / attempts
+        lat = rs.get("latency")
+        if isinstance(lat, dict):
+            commit = lat.get("commit")
+            if isinstance(commit, dict) and commit.get("count"):
+                m["commit_p99_ns"] = commit.get("p99_ns")
+    return m
+
+
+def build_record(paths):
+    """One history record per pipeline run: the run's provenance stamp plus
+    headline metrics for every artifact that parsed."""
+    record = {"stamp": None, "benches": {}}
+    for path in paths:
+        doc = load_artifact(path)
+        if doc is None:
+            continue
+        stamp = doc.get("stamp")
+        if isinstance(stamp, dict) and record["stamp"] is None:
+            record["stamp"] = stamp
+        metrics = extract_metrics(doc)
+        if metrics:
+            record["benches"][bench_name(path, doc)] = metrics
+    if record["stamp"] is None:
+        record["stamp"] = {"commit": "unknown", "utc": "", "build": {}}
+    return record
+
+
+def apply_gate(record, baseline_path):
+    """Re-check the micro gate from the artifact metrics.  Returns (ok, msg);
+    ok is True when the gate passes OR is skipped."""
+    micro = record["benches"].get("micro_primitives")
+    if not micro or "predictor_cost_norm" not in micro:
+        return True, "gate skipped: no micro_primitives artifact among inputs"
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return False, f"gate FAILED: cannot read baseline {baseline_path}: {e}"
+    summary = base.get("summary", base)
+    base_pred = summary.get("predictor_read_active_ns")
+    base_calib = summary.get("calibration_ns")
+    if not (isinstance(base_pred, (int, float))
+            and isinstance(base_calib, (int, float)) and base_calib > 0):
+        return False, f"gate FAILED: baseline {baseline_path} missing keys"
+    base_norm = base_pred / base_calib
+    cur_norm = micro["predictor_cost_norm"]
+    limit = base_norm * GATE_HEADROOM
+    msg = (f"gate: normalized predictor cost {cur_norm:.3f} vs baseline "
+           f"{base_norm:.3f} (limit {limit:.3f})")
+    if cur_norm > limit:
+        return False, "gate FAILED: " + msg
+    return True, "gate passed: " + msg
+
+
+def append_history(history_path, record):
+    """Append, deduping on (commit, utc) so re-running the pipeline over the
+    same artifacts does not double-count a run."""
+    key = (record["stamp"].get("commit"), record["stamp"].get("utc"))
+    os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)
+    if os.path.exists(history_path):
+        with open(history_path, encoding="utf-8") as f:
+            for line in f:
+                try:
+                    old = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                stamp = old.get("stamp") or {}
+                if (stamp.get("commit"), stamp.get("utc")) == key:
+                    print(f"history: run {key} already recorded, not appending")
+                    return False
+    with open(history_path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"history: appended run {key} to {history_path}")
+    return True
+
+
+def read_history(history_path):
+    runs = []
+    if os.path.exists(history_path):
+        with open(history_path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    runs.append(json.loads(line))
+                except json.JSONDecodeError:
+                    pass
+    return runs
+
+
+# ------------------------------------------------------------------ html
+
+_TEMPLATE = r"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>shrinktm perf trend</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --page: #f9f9f7;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+    --series-1: #2a78d6;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --page: #0d0d0d;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+    }
+  }
+  :root[data-theme="dark"] .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+  body.viz-root {
+    margin: 0; padding: 24px; background: var(--page);
+    color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+  .sub { color: var(--text-secondary); margin: 0 0 20px; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(380px, 1fr)); gap: 16px; }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 16px 16px 8px;
+  }
+  .card h2 { font-size: 14px; font-weight: 600; margin: 0; }
+  .card .desc { color: var(--muted); font-size: 12px; margin: 2px 0 8px; }
+  .empty { color: var(--muted); font-size: 13px; padding: 24px 0 32px; }
+  svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+             fill: var(--muted); font-variant-numeric: tabular-nums; }
+  .tooltip {
+    position: fixed; pointer-events: none; display: none; z-index: 10;
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 8px 10px; box-shadow: 0 2px 8px rgba(0,0,0,0.12);
+    font-size: 12px; color: var(--text-secondary); white-space: nowrap;
+  }
+  .tooltip .val { color: var(--text-primary); font-weight: 600; font-size: 13px; }
+  details { margin-top: 24px; }
+  summary { cursor: pointer; color: var(--text-secondary); }
+  table { border-collapse: collapse; margin-top: 8px; font-size: 12px; }
+  th, td { text-align: left; padding: 4px 12px 4px 0; border-bottom: 1px solid var(--grid);
+           font-variant-numeric: tabular-nums; }
+  th { color: var(--muted); font-weight: 500; }
+</style>
+</head>
+<body class="viz-root">
+<h1>shrinktm perf trend</h1>
+<p class="sub">One point per recorded bench run (bench/history/history.jsonl);
+newest on the right. Hover for commit and value.</p>
+<div class="grid" id="charts"></div>
+<div class="tooltip" id="tip"></div>
+<details>
+  <summary>All recorded metrics (table view)</summary>
+  <div id="table"></div>
+</details>
+<script>
+const HISTORY = /*__HISTORY__*/[];
+const CHARTED = /*__CHARTED__*/[];
+
+function metricSeries(bench, key) {
+  const pts = [];
+  HISTORY.forEach((run, i) => {
+    const v = ((run.benches || {})[bench] || {})[key];
+    if (typeof v === 'number' && isFinite(v))
+      pts.push({ i, v, stamp: run.stamp || {} });
+  });
+  return pts;
+}
+
+function fmt(v) {
+  if (v === 0) return '0';
+  const a = Math.abs(v);
+  if (a >= 1e6) return (v / 1e6).toPrecision(4) + 'M';
+  if (a >= 1e4) return (v / 1e3).toPrecision(4) + 'k';
+  if (a >= 1) return v.toPrecision(4);
+  return v.toPrecision(3);
+}
+
+function ticks(lo, hi, n) {
+  if (!(hi > lo)) { hi = lo + 1; }
+  const span = hi - lo, step0 = span / n;
+  const mag = Math.pow(10, Math.floor(Math.log10(step0)));
+  const step = [1, 2, 5, 10].map(m => m * mag).find(s => span / s <= n) || mag * 10;
+  const out = [];
+  for (let t = Math.ceil(lo / step) * step; t <= hi + 1e-12 * span; t += step)
+    out.push(t);
+  return out;
+}
+
+const tip = document.getElementById('tip');
+
+function drawChart(parent, title, desc, pts) {
+  const card = document.createElement('div');
+  card.className = 'card';
+  const h = document.createElement('h2');
+  h.textContent = title;
+  const d = document.createElement('div');
+  d.className = 'desc';
+  d.textContent = desc;
+  card.appendChild(h);
+  card.appendChild(d);
+  parent.appendChild(card);
+  if (pts.length === 0) {
+    const e = document.createElement('div');
+    e.className = 'empty';
+    e.textContent = 'no data recorded yet';
+    card.appendChild(e);
+    return;
+  }
+  const W = 380, H = 200, m = { t: 8, r: 12, b: 28, l: 52 };
+  const iw = W - m.l - m.r, ih = H - m.t - m.b;
+  const n = HISTORY.length;
+  const vs = pts.map(p => p.v);
+  let lo = Math.min(...vs), hi = Math.max(...vs);
+  if (lo === hi) { lo -= Math.abs(lo) * 0.05 || 0.5; hi += Math.abs(hi) * 0.05 || 0.5; }
+  const pad = (hi - lo) * 0.08;
+  lo -= pad; hi += pad;
+  const x = i => m.l + (n === 1 ? iw / 2 : i / (n - 1) * iw);
+  const y = v => m.t + ih - (v - lo) / (hi - lo) * ih;
+
+  const ns = 'http://www.w3.org/2000/svg';
+  const svg = document.createElementNS(ns, 'svg');
+  svg.setAttribute('viewBox', `0 0 ${W} ${H}`);
+  svg.setAttribute('width', '100%');
+
+  ticks(lo, hi, 4).forEach(t => {
+    const g = document.createElementNS(ns, 'line');
+    g.setAttribute('x1', m.l); g.setAttribute('x2', W - m.r);
+    g.setAttribute('y1', y(t)); g.setAttribute('y2', y(t));
+    g.setAttribute('stroke', 'var(--grid)');
+    svg.appendChild(g);
+    const lbl = document.createElementNS(ns, 'text');
+    lbl.setAttribute('x', m.l - 6); lbl.setAttribute('y', y(t) + 3.5);
+    lbl.setAttribute('text-anchor', 'end');
+    lbl.textContent = fmt(t);
+    svg.appendChild(lbl);
+  });
+  const ax = document.createElementNS(ns, 'line');
+  ax.setAttribute('x1', m.l); ax.setAttribute('x2', W - m.r);
+  ax.setAttribute('y1', m.t + ih); ax.setAttribute('y2', m.t + ih);
+  ax.setAttribute('stroke', 'var(--axis)');
+  svg.appendChild(ax);
+
+  const xstep = Math.max(1, Math.ceil(n / 6));
+  for (let i = 0; i < n; i += xstep) {
+    const lbl = document.createElementNS(ns, 'text');
+    lbl.setAttribute('x', x(i)); lbl.setAttribute('y', m.t + ih + 16);
+    lbl.setAttribute('text-anchor', 'middle');
+    lbl.textContent = ((HISTORY[i].stamp || {}).commit || '?').slice(0, 7);
+    svg.appendChild(lbl);
+  }
+
+  const path = document.createElementNS(ns, 'path');
+  path.setAttribute('d', pts.map((p, k) =>
+    (k ? 'L' : 'M') + x(p.i).toFixed(1) + ' ' + y(p.v).toFixed(1)).join(''));
+  path.setAttribute('fill', 'none');
+  path.setAttribute('stroke', 'var(--series-1)');
+  path.setAttribute('stroke-width', '2');
+  path.setAttribute('stroke-linejoin', 'round');
+  svg.appendChild(path);
+
+  pts.forEach(p => {
+    const c = document.createElementNS(ns, 'circle');
+    c.setAttribute('cx', x(p.i)); c.setAttribute('cy', y(p.v));
+    c.setAttribute('r', '4');
+    c.setAttribute('fill', 'var(--series-1)');
+    c.setAttribute('stroke', 'var(--surface-1)');
+    c.setAttribute('stroke-width', '2');
+    svg.appendChild(c);
+  });
+
+  const cross = document.createElementNS(ns, 'line');
+  cross.setAttribute('y1', m.t); cross.setAttribute('y2', m.t + ih);
+  cross.setAttribute('stroke', 'var(--axis)');
+  cross.setAttribute('visibility', 'hidden');
+  svg.appendChild(cross);
+
+  svg.addEventListener('pointermove', ev => {
+    const r = svg.getBoundingClientRect();
+    const px = (ev.clientX - r.left) / r.width * W;
+    let best = pts[0];
+    pts.forEach(p => { if (Math.abs(x(p.i) - px) < Math.abs(x(best.i) - px)) best = p; });
+    cross.setAttribute('x1', x(best.i)); cross.setAttribute('x2', x(best.i));
+    cross.setAttribute('visibility', 'visible');
+    tip.textContent = '';
+    const val = document.createElement('div');
+    val.className = 'val';
+    val.textContent = fmt(best.v);
+    const who = document.createElement('div');
+    who.textContent = (best.stamp.commit || '?') + ' · ' + (best.stamp.utc || '');
+    tip.appendChild(val); tip.appendChild(who);
+    tip.style.display = 'block';
+    tip.style.left = (ev.clientX + 14) + 'px';
+    tip.style.top = (ev.clientY + 14) + 'px';
+  });
+  svg.addEventListener('pointerleave', () => {
+    cross.setAttribute('visibility', 'hidden');
+    tip.style.display = 'none';
+  });
+  card.appendChild(svg);
+}
+
+const charts = document.getElementById('charts');
+CHARTED.forEach(([bench, key, title, desc]) =>
+  drawChart(charts, title, desc, metricSeries(bench, key)));
+
+// Table view: every metric of every run, so nothing depends on the charts.
+const tableDiv = document.getElementById('table');
+const table = document.createElement('table');
+const head = document.createElement('tr');
+['commit', 'utc', 'bench', 'metric', 'value'].forEach(t => {
+  const th = document.createElement('th');
+  th.textContent = t;
+  head.appendChild(th);
+});
+table.appendChild(head);
+HISTORY.forEach(run => {
+  const stamp = run.stamp || {};
+  Object.entries(run.benches || {}).forEach(([bench, metrics]) => {
+    Object.entries(metrics).forEach(([k, v]) => {
+      const tr = document.createElement('tr');
+      [stamp.commit || '?', stamp.utc || '', bench, k, fmt(v)].forEach(t => {
+        const td = document.createElement('td');
+        td.textContent = t;
+        tr.appendChild(td);
+      });
+      table.appendChild(tr);
+    });
+  });
+});
+tableDiv.appendChild(table);
+</script>
+</body>
+</html>
+"""
+
+
+def _embed(value):
+    # "</" inside a string literal would close the inline <script> block.
+    return json.dumps(value, sort_keys=True).replace("</", "<\\/")
+
+
+def render_html(runs, out_path):
+    doc = _TEMPLATE.replace("/*__HISTORY__*/[]", _embed(runs))
+    doc = doc.replace("/*__CHARTED__*/[]",
+                      json.dumps([list(c[:4]) for c in CHARTED]))
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(doc)
+    print(f"history: rendered {out_path} ({len(runs)} runs)")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--artifacts", action="append", default=[],
+                    metavar="GLOB",
+                    help="artifact glob(s); default BENCH_*.json")
+    ap.add_argument("--history", default="bench/history/history.jsonl")
+    ap.add_argument("--html", default="bench/history/trend.html")
+    ap.add_argument("--baseline",
+                    default="bench/baselines/micro_primitives_baseline.json")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="record and render only; never fail on regression")
+    ap.add_argument("--no-append", action="store_true",
+                    help="gate and render from existing history only")
+    args = ap.parse_args(argv)
+
+    globs = args.artifacts or ["BENCH_*.json"]
+    paths = sorted({p for g in globs for p in glob.glob(g)})
+
+    rc = 0
+    if not args.no_append:
+        if not paths:
+            print("WARNING: no artifacts matched", globs, file=sys.stderr)
+        record = build_record(paths)
+        if not record["benches"]:
+            print("ERROR: no artifact parsed into metrics", file=sys.stderr)
+            return 1
+        if not args.no_gate:
+            ok, msg = apply_gate(record, args.baseline)
+            print(msg)
+            if not ok:
+                rc = 1
+        append_history(args.history, record)
+
+    render_html(read_history(args.history), args.html)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
