@@ -36,7 +36,8 @@ struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 42;
   std::string json_path;  ///< --json override; "" = BENCH_<bench>[_<backend>].json
-  /// --backend tiny|swiss for the merged figure benches ("" = bench default).
+  /// --backend tiny|swiss|durable for the merged figure benches
+  /// ("" = bench default).
   std::string backend;
   /// --wait busy|preemptive ("" = the selected backend's native default).
   std::string wait;
@@ -96,8 +97,8 @@ inline BenchArgs parse_args(int argc, char** argv, std::vector<int> quick_thread
       args.wait = next();
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --threads a,b,c  --duration-ms N  --runs N  "
-                   "--seed N  --full  --json PATH  --backend tiny|swiss  "
-                   "--wait busy|preemptive\n";
+                   "--seed N  --full  --json PATH  "
+                   "--backend tiny|swiss|durable  --wait busy|preemptive\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << a << "\n";

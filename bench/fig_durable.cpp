@@ -1,0 +1,203 @@
+// Durable-backend group-commit bench: random transfers over a persistent
+// Region, swept across thread counts and durability sync modes.
+//
+//   --tiny                 CI smoke: one small cell per mode, ~100 ms total
+//   --threads a,b,c        thread counts to sweep
+//
+// Three series per run (fresh ephemeral log directory per cell):
+//   transfer/group   full durability -- every commit blocks until the fsync
+//                    covering its redo record (ack latency is measured here);
+//   transfer/async   log + fsync in the background, commits never wait;
+//   transfer/none    log only, no fsync (the I/O-path upper bound).
+//
+// The artifact (BENCH_fig_durable.json) carries the group-commit batching
+// stats (records per fsync, max batch) and the ack-latency percentiles
+// p50/p99/p999 alongside the usual runtime_stats block, so the history
+// pipeline can watch both throughput and the durability tax.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace shrinktm;
+
+constexpr std::size_t kAccounts = 256;
+constexpr std::int64_t kInitialBalance = 1000;
+
+struct CellResult {
+  double throughput = 0;        ///< committed transfers per second
+  double ack_p50_us = 0;        ///< group-commit ack latency percentiles
+  double ack_p99_us = 0;
+  double ack_p999_us = 0;
+  double records_per_fsync = 0; ///< batching amortization
+  double fsyncs = 0;
+  double max_batch = 0;
+};
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+CellResult run_cell(const bench::BenchArgs& args, api::SyncMode mode,
+                    int threads, int run, bench::BenchReporter& rep) {
+  api::DurableOptions dopts;  // empty dir: fresh ephemeral mkdtemp per cell
+  dopts.sync = mode;
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_durable(dopts)
+                      .with_seed(args.seed + static_cast<std::uint64_t>(run)));
+
+  {
+    api::ThreadHandle th = rt.attach();
+    for (std::size_t a = 0; a < kAccounts; ++a) {
+      auto acct = rt.durable_region()->slot<std::int64_t>(a);
+      atomically(th, [&](api::Tx& tx) { tx.write(acct, kInitialBalance); });
+    }
+    rt.reset_stats();  // measure the transfer phase, not the funding
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> transfers{0};
+  std::vector<std::thread> workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      api::ThreadHandle th = rt.attach();
+      std::uint64_t rng = args.seed + 0x9e3779b97f4a7c15ull *
+                                          static_cast<std::uint64_t>(
+                                              t + 1 + run * threads);
+      std::int64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t from = xorshift(rng) % kAccounts;
+        std::size_t to = xorshift(rng) % kAccounts;
+        if (to == from) to = (to + 1) % kAccounts;
+        auto src = rt.durable_region()->slot<std::int64_t>(from);
+        auto dst = rt.durable_region()->slot<std::int64_t>(to);
+        atomically(th, [&](api::Tx& tx) {
+          tx.write(src, tx.read(src) - 1);
+          tx.write(dst, tx.read(dst) + 1);
+        });
+        ++local;
+      }
+      transfers.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(args.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Money conservation: transfers move units, never create them.
+  std::int64_t sum = 0;
+  for (std::size_t a = 0; a < kAccounts; ++a)
+    sum += rt.durable_region()->slot<std::int64_t>(a).unsafe_read();
+  if (sum != static_cast<std::int64_t>(kAccounts) * kInitialBalance) {
+    std::cerr << "CONSERVATION VIOLATION: account sum " << sum << " != "
+              << kAccounts * kInitialBalance << "\n";
+    std::exit(1);
+  }
+
+  const api::RuntimeStats s = rt.stats();
+  if (!s.conserved()) {
+    std::cerr << "STATS CONSERVATION VIOLATION: attempts " << s.attempts
+              << " != commits+aborts+cancels+retry_waits\n";
+    std::exit(1);
+  }
+  rep.add_runtime_stats(s);
+
+  CellResult r;
+  r.throughput = static_cast<double>(transfers.load()) / secs;
+  r.ack_p50_us =
+      static_cast<double>(s.durable.ack.value_at_quantile(0.50)) / 1e3;
+  r.ack_p99_us =
+      static_cast<double>(s.durable.ack.value_at_quantile(0.99)) / 1e3;
+  r.ack_p999_us =
+      static_cast<double>(s.durable.ack.value_at_quantile(0.999)) / 1e3;
+  r.fsyncs = static_cast<double>(s.durable.fsyncs);
+  r.records_per_fsync =
+      s.durable.fsyncs == 0
+          ? 0.0
+          : static_cast<double>(s.durable.log_records) /
+                static_cast<double>(s.durable.fsyncs);
+  r.max_batch = static_cast<double>(s.durable.max_batch_records);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+
+  // --tiny is this bench's CI-smoke flag; strip it before the shared parser
+  // (which rejects unknown flags).
+  bool tiny = false;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--tiny")
+      tiny = true;
+    else
+      filtered.push_back(argv[i]);
+  }
+  BenchArgs args = parse_args(static_cast<int>(filtered.size()),
+                              filtered.data(), {1, 2, 4, 8}, {1, 2, 4, 8, 16, 24});
+  if (tiny) {
+    args.threads = {2};
+    args.duration_ms = 25;
+    args.runs = 1;
+  }
+
+  BenchReporter rep("fig_durable", args);
+  std::cout << "fig_durable: durable transfers/s by sync mode "
+               "(group = fsync-acknowledged)\n";
+  util::TextTable t({"mode", "threads", "tx/s", "ack p50 us", "ack p99 us",
+                     "ack p999 us", "rec/fsync", "max batch"});
+
+  const api::SyncMode kModes[] = {api::SyncMode::kGroupCommit,
+                                  api::SyncMode::kAsync, api::SyncMode::kNone};
+  for (const api::SyncMode mode : kModes) {
+    const std::string name = durable::sync_mode_name(mode);
+    for (const int threads : args.threads) {
+      util::OnlineStats thr;
+      CellResult last;
+      for (int run = 0; run < args.runs; ++run) {
+        last = run_cell(args, mode, threads, run, rep);
+        thr.add(last.throughput);
+      }
+      t.row();
+      t.cell(name);
+      t.cell(threads);
+      t.cell(thr.mean(), 0);
+      t.cell(last.ack_p50_us, 1);
+      t.cell(last.ack_p99_us, 1);
+      t.cell(last.ack_p999_us, 1);
+      t.cell(last.records_per_fsync, 1);
+      t.cell(last.max_batch, 0);
+      rep.add("transfer/" + name,
+              {{"threads", static_cast<double>(threads)},
+               {"throughput", thr.mean()},
+               {"ack_p50_us", last.ack_p50_us},
+               {"ack_p99_us", last.ack_p99_us},
+               {"ack_p999_us", last.ack_p999_us},
+               {"records_per_fsync", last.records_per_fsync},
+               {"fsyncs", last.fsyncs},
+               {"max_batch_records", last.max_batch}});
+    }
+  }
+  t.print(std::cout);
+  rep.write();
+  return 0;
+}

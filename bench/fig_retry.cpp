@@ -3,7 +3,8 @@
 // not express before the wakeup table landed: threads that must WAIT for
 // data, not conflict over it.
 //
-//   --backend tiny|swiss   pick the STM (emits BENCH_fig_retry_<backend>.json)
+//   --backend tiny|swiss|durable   pick the STM backend
+//                          (emits BENCH_fig_retry_<backend>.json)
 //   --threads a,b,c        total threads per cell, split half producers /
 //                          half consumers (cells with < 2 threads are skipped)
 //

@@ -4,9 +4,15 @@
 // fails the build instead of lying to readers.  Each snippet_* function is
 // kept textually in sync with the named document section; if you edit one,
 // edit the other.
+//
+// assert() must stay live here even in the NDEBUG release build CI runs --
+// the snippets' invariants ARE the test.
+#undef NDEBUG
 #include <cassert>
+
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -210,6 +216,41 @@ void run() {
 
 }  // namespace obs_tracing
 
+// --------------------------- docs/API.md + docs/DURABILITY.md "Durability"
+namespace api_durability {
+
+void run() {
+  // The docs use a fixed application path ("ledger/"); the compiled mirror
+  // uses a scratch directory so repeated CI runs start cold.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "shrinktm-docs-ledger";
+  std::filesystem::remove_all(dir);
+
+  {
+    api::Runtime rt(api::RuntimeOptions{}.with_log_dir(dir.string()));
+    auto balance = rt.durable_region()->slot<long>(0);  // stable offset 0
+
+    api::ThreadHandle th = rt.attach();
+    atomically(th, [&](api::Tx& tx) {
+      tx.write(balance, tx.read(balance) + 50);
+      // Fires only after the fsync covering this commit: when this runs,
+      // the deposit has survived any crash.
+      tx.on_commit([] { std::puts("deposit durable"); });
+    });
+
+    rt.snapshot();  // compact: one heap image replaces the whole log
+  }
+  {
+    api::Runtime rt(api::RuntimeOptions{}.with_log_dir(dir.string()));
+    assert(rt.recovery_info()->snapshot_loaded);
+    assert(rt.durable_region()->slot<long>(0).unsafe_read() == 50);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace api_durability
+
 int main() {
   readme_quickstart::run();
   api_typed::run();
@@ -218,6 +259,7 @@ int main() {
   api_retry_for::run();
   api_stats_latency::run();
   obs_tracing::run();
+  api_durability::run();
   std::puts("docs snippets OK");
   return 0;
 }

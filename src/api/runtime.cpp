@@ -37,6 +37,7 @@ struct Runtime::Impl {
   // Exactly one backend is live, selected by opts.backend.
   std::unique_ptr<stm::TinyBackend> tiny;
   std::unique_ptr<stm::SwissBackend> swiss;
+  std::unique_ptr<durable::DurableBackend> durable;
   std::unique_ptr<core::Scheduler> sched;
   runtime::AdaptiveScheduler* adaptive = nullptr;  // view into sched
 
@@ -49,15 +50,29 @@ struct Runtime::Impl {
   std::vector<bool> tid_used;
   std::vector<std::unique_ptr<stm::TxRunner<stm::TinyTx>>> tiny_runners;
   std::vector<std::unique_ptr<stm::TxRunner<stm::SwissTx>>> swiss_runners;
+  std::vector<std::unique_ptr<stm::TxRunner<durable::DurableTx>>>
+      durable_runners;
   // One observability recorder per tid, created with the tid's runner and
   // wired into it (histograms always on; trace ring only when opts.trace).
   // Never resized after construction -- stats()/trace_json() walk it while
   // other slots attach.
   std::vector<std::unique_ptr<obs::ThreadRecorder>> recorders;
 
+  /// The one place the live backend is branched on for cold-path plumbing:
+  /// apply `f` to the concrete backend (the members used -- stats, wait
+  /// table, clock -- are shape-identical across backends, so a generic
+  /// lambda covers all three).
+  template <typename F>
+  decltype(auto) visit_backend(F&& f) const {
+    if (tiny != nullptr) return f(*tiny);
+    if (swiss != nullptr) return f(*swiss);
+    return f(*durable);
+  }
+
   const stm::WriteOracle& oracle() const {
-    return tiny != nullptr ? static_cast<const stm::WriteOracle&>(*tiny)
-                           : static_cast<const stm::WriteOracle&>(*swiss);
+    return visit_backend([](const auto& b) -> const stm::WriteOracle& {
+      return b;
+    });
   }
 };
 
@@ -76,6 +91,9 @@ Runtime::Runtime(RuntimeOptions opts) : impl_(std::make_unique<Impl>()) {
       break;
     case core::BackendKind::kSwiss:
       im.swiss = std::make_unique<stm::SwissBackend>(scfg);
+      break;
+    case core::BackendKind::kDurable:
+      im.durable = std::make_unique<durable::DurableBackend>(o.durable, scfg);
       break;
   }
 
@@ -113,7 +131,8 @@ Runtime::Runtime(RuntimeOptions opts) : impl_(std::make_unique<Impl>()) {
 
   im.tid_used.assign(o.max_threads, false);
   if (im.tiny != nullptr) im.tiny_runners.resize(o.max_threads);
-  else im.swiss_runners.resize(o.max_threads);
+  else if (im.swiss != nullptr) im.swiss_runners.resize(o.max_threads);
+  else im.durable_runners.resize(o.max_threads);
   im.recorders.resize(o.max_threads);
 }
 
@@ -138,11 +157,17 @@ int Runtime::attach_tid() {
         im.tiny_runners[t] = std::make_unique<stm::TxRunner<stm::TinyTx>>(
             im.tiny->tx(tid), im.sched.get(), &im.opts.retry,
             im.recorders[t].get());
-    } else {
+    } else if (im.swiss != nullptr) {
       if (im.swiss_runners[t] == nullptr)
         im.swiss_runners[t] = std::make_unique<stm::TxRunner<stm::SwissTx>>(
             im.swiss->tx(tid), im.sched.get(), &im.opts.retry,
             im.recorders[t].get());
+    } else {
+      if (im.durable_runners[t] == nullptr)
+        im.durable_runners[t] =
+            std::make_unique<stm::TxRunner<durable::DurableTx>>(
+                im.durable->tx(tid), im.sched.get(), &im.opts.retry,
+                im.recorders[t].get());
     }
     return tid;
   }
@@ -205,8 +230,10 @@ void Runtime::run_erased(int tid, BodyFn fn, void* ctx) {
   const auto t = static_cast<std::size_t>(tid);
   if (im.tiny != nullptr) {
     run_on(*im.tiny_runners[t], fn, ctx);
-  } else {
+  } else if (im.swiss != nullptr) {
     run_on(*im.swiss_runners[t], fn, ctx);
+  } else {
+    run_on(*im.durable_runners[t], fn, ctx);
   }
 }
 
@@ -227,13 +254,31 @@ core::Scheduler* Runtime::scheduler() { return impl_->sched.get(); }
 runtime::AdaptiveScheduler* Runtime::adaptive() { return impl_->adaptive; }
 
 stm::ThreadStats Runtime::aggregate_stats() const {
-  return impl_->tiny != nullptr ? impl_->tiny->aggregate_stats()
-                                : impl_->swiss->aggregate_stats();
+  return impl_->visit_backend([](const auto& b) { return b.aggregate_stats(); });
 }
 
 void Runtime::reset_stats() {
-  if (impl_->tiny != nullptr) impl_->tiny->reset_stats();
-  else impl_->swiss->reset_stats();
+  impl_->visit_backend([](auto& b) { b.reset_stats(); });
+}
+
+std::uint64_t Runtime::snapshot() {
+  if (impl_->durable == nullptr)
+    throw std::logic_error(
+        "Runtime::snapshot(): backend '" + std::string(backend_name()) +
+        "' is volatile; snapshots need BackendKind::kDurable");
+  return impl_->durable->snapshot();
+}
+
+const durable::RecoveryInfo* Runtime::recovery_info() const {
+  return impl_->durable != nullptr ? &impl_->durable->recovery() : nullptr;
+}
+
+durable::Region* Runtime::durable_region() {
+  return impl_->durable != nullptr ? &impl_->durable->region() : nullptr;
+}
+
+std::string Runtime::durable_dir() const {
+  return impl_->durable != nullptr ? impl_->durable->dir() : std::string{};
 }
 
 RuntimeStats Runtime::stats() const {
@@ -242,8 +287,8 @@ RuntimeStats Runtime::stats() const {
   s.backend = backend_name();
   s.scheduler = scheduler_name();
 
-  const auto per_tid = im.tiny != nullptr ? im.tiny->per_thread_stats()
-                                          : im.swiss->per_thread_stats();
+  const auto per_tid =
+      im.visit_backend([](const auto& b) { return b.per_thread_stats(); });
   for (const auto& [tid, ts] : per_tid) {
     s.attempts += ts.attempts;
     s.commits += ts.commits;
@@ -279,10 +324,29 @@ RuntimeStats Runtime::stats() const {
   }
 
   {
-    const stm::WaitTable& wt = im.tiny != nullptr ? im.tiny->wait_table()
-                                                  : im.swiss->wait_table();
+    const stm::WaitTable& wt = im.visit_backend(
+        [](const auto& b) -> const stm::WaitTable& { return b.wait_table(); });
     s.retry_notifies = wt.notifies();
     s.retry_wakeups = wt.wakeups();
+  }
+
+  if (im.durable != nullptr) {
+    s.durable.present = true;
+    const auto& log = im.durable->changelog();
+    const durable::ChangelogCounters c = log.counters();
+    s.durable.log_records = c.records;
+    s.durable.log_bytes = c.bytes;
+    s.durable.batches = c.batches;
+    s.durable.fsyncs = c.fsyncs;
+    s.durable.max_batch_records = c.max_batch_records;
+    const auto [hist, acks] = im.durable->ack_histogram();
+    s.durable.ack = hist;
+    s.durable.acks = acks;
+    s.durable.log_failed = log.failed();
+    const auto& rec = im.durable->recovery();
+    s.durable.recovered_snapshot = rec.snapshot_loaded;
+    s.durable.recovered_records = rec.replayed_records;
+    s.durable.recovered_torn_tail = rec.torn_tail;
   }
 
   if (im.sched != nullptr) {
@@ -435,6 +499,22 @@ RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
   adaptive.switches += o.adaptive.switches;
   for (std::size_t i = 0; i < adaptive.residency_windows.size(); ++i)
     adaptive.residency_windows[i] += o.adaptive.residency_windows[i];
+
+  durable.present = durable.present || o.durable.present;
+  durable.log_records += o.durable.log_records;
+  durable.log_bytes += o.durable.log_bytes;
+  durable.batches += o.durable.batches;
+  durable.fsyncs += o.durable.fsyncs;
+  durable.max_batch_records =
+      std::max(durable.max_batch_records, o.durable.max_batch_records);
+  durable.acks += o.durable.acks;
+  durable.ack.merge(o.durable.ack);
+  durable.log_failed = durable.log_failed || o.durable.log_failed;
+  durable.recovered_snapshot =
+      durable.recovered_snapshot || o.durable.recovered_snapshot;
+  durable.recovered_records += o.durable.recovered_records;
+  durable.recovered_torn_tail =
+      durable.recovered_torn_tail || o.durable.recovered_torn_tail;
   return *this;
 }
 
@@ -506,6 +586,25 @@ std::string RuntimeStats::to_json() const {
          << "\":" << adaptive.residency_windows[i];
     }
     os << "}}";
+  }
+  if (durable.present) {
+    os << ",\"durable\":{\"log_records\":" << durable.log_records
+       << ",\"log_bytes\":" << durable.log_bytes
+       << ",\"batches\":" << durable.batches << ",\"fsyncs\":" << durable.fsyncs
+       << ",\"max_batch_records\":" << durable.max_batch_records
+       << ",\"acks\":" << durable.acks
+       << ",\"log_failed\":" << (durable.log_failed ? "true" : "false")
+       << ",\"recovered_snapshot\":"
+       << (durable.recovered_snapshot ? "true" : "false")
+       << ",\"recovered_records\":" << durable.recovered_records
+       << ",\"recovered_torn_tail\":"
+       << (durable.recovered_torn_tail ? "true" : "false")
+       << ",\"ack\":{\"count\":" << durable.ack.total()
+       << ",\"mean_ns\":" << durable.ack.mean()
+       << ",\"p50_ns\":" << durable.ack.value_at_quantile(0.50)
+       << ",\"p99_ns\":" << durable.ack.value_at_quantile(0.99)
+       << ",\"p999_ns\":" << durable.ack.value_at_quantile(0.999)
+       << ",\"max_ns\":" << durable.ack.max_value() << "}}";
   }
   os << "}";
   return os.str();

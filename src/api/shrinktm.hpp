@@ -32,8 +32,9 @@
 // pair of concrete descriptor pointers, so load/store compile to one
 // predictable branch plus a direct (non-virtual) call into the backend, and
 // the user body is invoked through a single function pointer per attempt.
-// Adding a third backend means: extend core::BackendKind, add one descriptor
-// pointer + dispatch arm here, and one runner vector in runtime.cpp.
+// Adding a backend means: extend core::BackendKind, add one descriptor
+// pointer + dispatch arm in api/tx.hpp, and one runner vector in runtime.cpp
+// -- exactly how the durable backend (src/durable/, DESIGN.md §9) landed.
 #pragma once
 
 #include <concepts>
@@ -50,6 +51,8 @@
 #include "api/tx.hpp"
 #include "core/factory.hpp"
 #include "core/shrink.hpp"
+#include "durable/backend.hpp"
+#include "durable/options.hpp"
 #include "runtime/adaptive.hpp"
 #include "stm/config.hpp"
 #include "stm/retry.hpp"
@@ -69,6 +72,23 @@ using TxRetryExhausted = stm::TxRetryExhausted;
 /// code normally never touches it -- call tx.retry(), compose with
 /// or_else -- but custom combinators may catch and rethrow it.
 using TxRetryRequested = stm::TxRetryRequested;
+/// Durable backend: raised when a commit cannot be made durable (fsync or
+/// write failure, injected or real) -- fail-stop, never silent loss.  See
+/// stm/word.hpp and docs/DURABILITY.md.
+using TxDurabilityError = stm::TxDurabilityError;
+/// Durable backend vocabulary, re-exported so user code never spells the
+/// durable layer: ack semantics, options, fault injection, recovery report,
+/// and the offset-addressed durable heap.
+using SyncMode = durable::SyncMode;
+using DurableOptions = durable::DurableOptions;
+using FaultPlan = durable::FaultPlan;
+using FaultPoint = durable::FaultPoint;
+using FaultAction = durable::FaultAction;
+using FaultSpec = durable::FaultSpec;
+using RecoveryInfo = durable::RecoveryInfo;
+using Region = durable::Region;
+template <typename T>
+using Slot = durable::Slot<T>;
 
 /// Per-thread transaction tracing (the optional half of src/obs; the
 /// latency histograms are always on).  When enabled, every attach()ed tid
@@ -118,10 +138,15 @@ struct RuntimeOptions {
   RetryPolicy retry;
   /// Transaction tracing (off by default; see TraceOptions).
   TraceOptions trace;
+  /// Durable-backend tuning, consumed when backend == kDurable: log
+  /// directory (empty = ephemeral temp dir), region size, group-commit
+  /// interval, sync mode, fault plan.  Ignored by the volatile backends.
+  DurableOptions durable;
 
-  /// Select the STM backend (kTiny | kSwiss).
+  /// Select the STM backend (kTiny | kSwiss | kDurable).
   RuntimeOptions& with_backend(core::BackendKind k) { backend = k; return *this; }
-  /// Select the backend by name ("tiny" | "swiss"), e.g. from a CLI flag.
+  /// Select the backend by name ("tiny" | "swiss" | "durable"), e.g. from a
+  /// CLI flag.
   RuntimeOptions& with_backend(const std::string& name) {
     backend = core::parse_backend_kind(name);
     return *this;
@@ -172,6 +197,33 @@ struct RuntimeOptions {
     trace.ring_capacity = events;
     return *this;
   }
+  /// Replace the durable-backend sub-config wholesale (selects kDurable).
+  RuntimeOptions& with_durable(const DurableOptions& cfg) {
+    backend = core::BackendKind::kDurable;
+    durable = cfg;
+    return *this;
+  }
+  /// Durable backend persisting under `dir` (created / recovered from).
+  RuntimeOptions& with_log_dir(std::string dir) {
+    backend = core::BackendKind::kDurable;
+    durable.dir = std::move(dir);
+    return *this;
+  }
+  /// Group-commit linger in microseconds (durable backend).
+  RuntimeOptions& with_group_commit_interval_us(std::uint32_t us) {
+    durable.group_commit_interval_us = us;
+    return *this;
+  }
+  /// Durability acknowledgment semantics (durable backend; see SyncMode).
+  RuntimeOptions& with_sync_mode(SyncMode m) {
+    durable.sync = m;
+    return *this;
+  }
+  /// Arm a fault plan on the durable backend (crash/EIO injection).
+  RuntimeOptions& with_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    durable.fault = std::move(plan);
+    return *this;
+  }
 };
 
 class ThreadHandle;
@@ -207,7 +259,8 @@ class Runtime {
   core::BackendKind backend_kind() const;
   /// The scheduler kind this runtime was built with.
   core::SchedulerKind scheduler_kind() const;
-  /// Short backend name ("tiny" / "swiss") for labels and artifacts.
+  /// Short backend name ("tiny" / "swiss" / "durable") for labels and
+  /// artifacts.
   const char* backend_name() const;
   /// Short scheduler name ("base" / "shrink" / ... / "adaptive").
   const char* scheduler_name() const;
@@ -240,6 +293,25 @@ class Runtime {
   std::string trace_json() const;
   /// Write trace_json() to `path`; false on I/O failure.
   bool dump_trace(const std::string& path) const;
+
+  // ---- durability surface (kDurable only) ----
+
+  /// Write a consistent image of the durable region and truncate the
+  /// changelog (commits are excluded for the copy's duration).  Returns the
+  /// clock value the image is consistent with.  Throws std::logic_error on
+  /// a volatile backend; api::TxDurabilityError on IO failure -- in which
+  /// case the log was NOT truncated and no durability was lost.
+  std::uint64_t snapshot();
+  /// What cold start recovered (snapshot + replayed log prefix); nullptr on
+  /// volatile backends.  See durable::RecoveryInfo.
+  const RecoveryInfo* recovery_info() const;
+  /// The durable word arena for offset-stable state (nullptr on volatile
+  /// backends).  Lay out durable data as Region::slot<T>(offset) views.
+  Region* durable_region();
+  /// The directory holding changelog + snapshot ("" on volatile backends).
+  /// For ephemeral-mode runtimes this is the temp dir that will be removed
+  /// at destruction.
+  std::string durable_dir() const;
 
  private:
   friend class ThreadHandle;

@@ -21,11 +21,12 @@
 
 #include "obs/histograms.hpp"
 #include "stm/stats.hpp"
+#include "util/stats.hpp"
 
 namespace shrinktm::api {
 
 struct RuntimeStats {
-  std::string backend;    ///< "tiny" / "swiss"
+  std::string backend;    ///< "tiny" / "swiss" / "durable"
   std::string scheduler;  ///< "base" / "shrink" / ... / "adaptive"
 
   // ---- transaction outcome totals (summed over threads) ----
@@ -91,6 +92,26 @@ struct RuntimeStats {
     /// timeline (regime-at-window granularity).
     std::array<std::uint64_t, 4> residency_windows{};
   } adaptive;
+
+  /// Durable-backend view; `present` only when backend == "durable".
+  /// Group-commit amortization reads directly off these: fsyncs << acks
+  /// under load, and `ack` is the client-visible durability latency
+  /// (commit-to-fsync wait, ns).
+  struct Durable {
+    bool present = false;
+    std::uint64_t log_records = 0;     ///< redo records appended
+    std::uint64_t log_bytes = 0;       ///< bytes written to the changelog
+    std::uint64_t batches = 0;         ///< group-commit write batches
+    std::uint64_t fsyncs = 0;          ///< fsync(2) calls
+    std::uint64_t max_batch_records = 0;
+    std::uint64_t acks = 0;            ///< commits acknowledged durable
+    util::HdrHistogram ack;            ///< ack-wait latency (ns)
+    bool log_failed = false;           ///< changelog poisoned (fail-stop)
+    // Cold-start recovery of this runtime (durable::RecoveryInfo excerpt).
+    bool recovered_snapshot = false;
+    std::uint64_t recovered_records = 0;
+    bool recovered_torn_tail = false;
+  } durable;
 
   /// attempts == commits + aborts + cancels + retry_waits (exact at
   /// quiescence): every started attempt ends exactly one way -- committed,

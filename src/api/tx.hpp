@@ -1,6 +1,6 @@
 // api::Tx -- the backend-agnostic view of an in-flight transaction attempt.
 //
-// Thin: two descriptor pointers (exactly one non-null) plus the runner's
+// Thin: three descriptor pointers (exactly one non-null) plus the runner's
 // deferred-action list.  Every accessor is one branch on the tag and a
 // direct (non-virtual) call into the concrete descriptor, so the read/write
 // hot path compiles to the same code as driving the backend directly; the
@@ -26,6 +26,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "durable/backend.hpp"
 #include "stm/actions.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
@@ -42,11 +43,15 @@ class Tx {
   // (Defined before first use: deduced return types must be visible.)
   template <typename F>
   decltype(auto) dispatch(F&& f) {
-    return tiny_ != nullptr ? f(*tiny_) : f(*swiss_);
+    if (tiny_ != nullptr) return f(*tiny_);
+    if (swiss_ != nullptr) return f(*swiss_);
+    return f(*durable_);
   }
   template <typename F>
   decltype(auto) dispatch(F&& f) const {
-    return tiny_ != nullptr ? f(*tiny_) : f(*swiss_);
+    if (tiny_ != nullptr) return f(*tiny_);
+    if (swiss_ != nullptr) return f(*swiss_);
+    return f(*durable_);
   }
 
  public:
@@ -54,9 +59,11 @@ class Tx {
   /// deferred-action list; a null actions pointer (bare descriptor views in
   /// erasure-boundary tests) rejects on_commit/on_abort registration.
   explicit Tx(stm::TinyTx& tx, stm::TxActions* actions = nullptr)
-      : tiny_(&tx), swiss_(nullptr), actions_(actions) {}
+      : tiny_(&tx), swiss_(nullptr), durable_(nullptr), actions_(actions) {}
   explicit Tx(stm::SwissTx& tx, stm::TxActions* actions = nullptr)
-      : tiny_(nullptr), swiss_(&tx), actions_(actions) {}
+      : tiny_(nullptr), swiss_(&tx), durable_(nullptr), actions_(actions) {}
+  explicit Tx(durable::DurableTx& tx, stm::TxActions* actions = nullptr)
+      : tiny_(nullptr), swiss_(nullptr), durable_(&tx), actions_(actions) {}
 
   // ---- typed accessors (the user-facing surface) ----
 
@@ -195,6 +202,7 @@ class Tx {
 
   stm::TinyTx* tiny_;
   stm::SwissTx* swiss_;
+  durable::DurableTx* durable_;
   stm::TxActions* actions_;
 };
 

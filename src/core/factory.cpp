@@ -51,6 +51,7 @@ const char* backend_kind_name(BackendKind kind) {
   switch (kind) {
     case BackendKind::kTiny: return "tiny";
     case BackendKind::kSwiss: return "swiss";
+    case BackendKind::kDurable: return "durable";
   }
   return "?";
 }
@@ -59,13 +60,14 @@ BackendKind parse_backend_kind(const std::string& name) {
   const std::string n = to_lower(name);
   if (n == "tiny") return BackendKind::kTiny;
   if (n == "swiss") return BackendKind::kSwiss;
+  if (n == "durable") return BackendKind::kDurable;
   throw std::invalid_argument("unknown backend: " + name +
-                              " (valid: tiny, swiss)");
+                              " (valid: tiny, swiss, durable)");
 }
 
 util::WaitPolicy native_wait_policy(BackendKind kind) {
-  return kind == BackendKind::kTiny ? util::WaitPolicy::kBusy
-                                    : util::WaitPolicy::kPreemptive;
+  return kind == BackendKind::kSwiss ? util::WaitPolicy::kPreemptive
+                                     : util::WaitPolicy::kBusy;
 }
 
 const char* wait_policy_name(util::WaitPolicy wait) {

@@ -31,20 +31,22 @@ SchedulerKind parse_scheduler_kind(const std::string& name);
 /// layer (not src/stm/) so command-line parsing and the api facade share one
 /// vocabulary without the core headers depending on concrete backend types.
 enum class BackendKind {
-  kTiny,   ///< TinySTM-style: eager locking, suicide CM, busy waiting
-  kSwiss,  ///< SwissTM-style: two-phase CM, preemptive waiting
+  kTiny,     ///< TinySTM-style: eager locking, suicide CM, busy waiting
+  kSwiss,    ///< SwissTM-style: two-phase CM, preemptive waiting
+  kDurable,  ///< tiny concurrency control + group-commit redo changelog
 };
 
 const char* backend_kind_name(BackendKind kind);
 
-/// Parse "tiny" / "swiss" (case-insensitive); throws std::invalid_argument
-/// listing the valid kinds otherwise.
+/// Parse "tiny" / "swiss" / "durable" (case-insensitive); throws
+/// std::invalid_argument enumerating the valid kinds otherwise.
 BackendKind parse_backend_kind(const std::string& name);
 
 /// The backend's native waiting flavour, matching the paper's
 /// configurations: tiny (TinySTM 0.9.5) busy-waits, swiss (SwissTM §4.1)
-/// waits preemptively.  Single source of truth for the api::Runtime default
-/// and every bench's --wait fallback.
+/// waits preemptively; durable inherits tiny's concurrency control and its
+/// busy waiting.  Single source of truth for the api::Runtime default and
+/// every bench's --wait fallback.
 util::WaitPolicy native_wait_policy(BackendKind kind);
 
 const char* wait_policy_name(util::WaitPolicy wait);

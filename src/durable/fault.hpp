@@ -1,0 +1,208 @@
+// Deterministic fault injection for the durable backend.
+//
+// A FaultPlan is a set of (crash point, action, hit count) triples armed on a
+// runtime before any transaction runs.  Every dangerous step of the changelog
+// and snapshot machinery calls check(point); when the point's cumulative hit
+// counter reaches an armed spec's trigger, the spec fires exactly once:
+//
+//   kCrash      -- std::_Exit(kCrashExitCode): the process dies on the spot,
+//                  no destructors, no flush.  Because group commit batches
+//                  records in user space, everything not yet written+fsynced
+//                  genuinely vanishes -- this is the honest crash model the
+//                  recovery tests need, not a simulation of one.
+//   kEIO        -- the step reports EIO as if the kernel had; the changelog
+//                  goes fail-stop and commits raise stm::TxDurabilityError.
+//   kShortWrite -- the batch write persists only a prefix (then the process
+//                  exits as kCrash): manufactures a real torn tail for the
+//                  CRC scan to find and truncate at recovery.
+//
+// Determinism: points are hit in program order per site and triggers are hit
+// counts, so a single-threaded workload replays identically; multi-threaded
+// workloads vary in WHICH transaction is in flight at the trigger, which is
+// exactly the variation the crash matrix wants from its seeds.
+//
+// Env form (picked up when no plan is supplied programmatically):
+//   SHRINKTM_FAULT="fsync.before:crash:3,append.after:eio:1"
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace shrinktm::durable {
+
+/// Named sites the durability machinery passes through.  Order here is the
+/// parse/name table order; kNumPoints terminates it.
+enum class FaultPoint : std::uint8_t {
+  kAppendBefore = 0,         ///< committer, before enqueueing its redo record
+  kAppendAfter,              ///< committer, record enqueued but not durable
+  kWriteBefore,              ///< writer thread, before write(2) of a batch
+  kWriteAfter,               ///< writer thread, batch written, not yet synced
+  kFsyncBefore,              ///< writer thread, before fsync(2)
+  kFsyncAfter,               ///< writer thread, after fsync, before acks
+  kSnapshotBeforeRename,     ///< tmp image written+synced, not yet visible
+  kSnapshotAfterRename,      ///< image visible, log not yet truncated
+  kTruncateBefore,           ///< before ftruncate of the changelog
+  kTruncateAfter,            ///< log truncated, dir not yet synced
+  kNumPoints,
+};
+
+inline constexpr std::size_t kNumFaultPoints =
+    static_cast<std::size_t>(FaultPoint::kNumPoints);
+
+inline const char* fault_point_name(FaultPoint p) {
+  static constexpr const char* kNames[kNumFaultPoints] = {
+      "append.before",          "append.after",  "write.before",
+      "write.after",            "fsync.before",  "fsync.after",
+      "snapshot.before_rename", "snapshot.after_rename",
+      "truncate.before",        "truncate.after",
+  };
+  return kNames[static_cast<std::size_t>(p)];
+}
+
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kCrash,       ///< std::_Exit(kCrashExitCode) at the point
+  kEIO,         ///< the step fails with a synthetic EIO
+  kShortWrite,  ///< write only a prefix of the batch, then exit as kCrash
+};
+
+inline const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kCrash: return "crash";
+    case FaultAction::kEIO: return "eio";
+    case FaultAction::kShortWrite: return "short_write";
+  }
+  return "?";
+}
+
+/// One armed fault: fire `action` the `hit`-th time `point` is reached
+/// (1-based; hit = 3 means the first two passes are unharmed).
+struct FaultSpec {
+  FaultPoint point = FaultPoint::kNumPoints;
+  FaultAction action = FaultAction::kNone;
+  std::uint64_t hit = 1;
+};
+
+inline FaultPoint parse_fault_point(const std::string& name) {
+  for (std::size_t i = 0; i < kNumFaultPoints; ++i) {
+    if (name == fault_point_name(static_cast<FaultPoint>(i)))
+      return static_cast<FaultPoint>(i);
+  }
+  throw std::invalid_argument("unknown fault point: " + name);
+}
+
+inline FaultAction parse_fault_action(const std::string& name) {
+  if (name == "crash") return FaultAction::kCrash;
+  if (name == "eio") return FaultAction::kEIO;
+  if (name == "short_write") return FaultAction::kShortWrite;
+  throw std::invalid_argument(
+      "unknown fault action: " + name + " (valid: crash, eio, short_write)");
+}
+
+/// Thread-safe: committers and the log-writer thread hit points concurrently.
+/// Each point keeps an atomic pass counter; a spec consumes itself (fires at
+/// most once) so a surviving process is not re-faulted on the same trigger.
+class FaultPlan {
+ public:
+  /// Exit code the kCrash/kShortWrite actions die with; the crash harness
+  /// uses it to tell an injected crash from an accidental one.
+  static constexpr int kCrashExitCode = 42;
+
+  FaultPlan() = default;
+
+  void arm(FaultSpec spec) {
+    if (spec.point == FaultPoint::kNumPoints ||
+        spec.action == FaultAction::kNone || spec.hit == 0) {
+      throw std::invalid_argument("malformed FaultSpec");
+    }
+    auto& armed = specs_.emplace_back();
+    armed.point = spec.point;
+    armed.hit = spec.hit;
+    armed.action.store(spec.action, std::memory_order_relaxed);
+  }
+
+  bool armed() const { return !specs_.empty(); }
+
+  /// Record one pass through `point`.  Returns the action the caller must
+  /// apply (kEIO / kShortWrite), or kNone.  kCrash never returns.
+  FaultAction check(FaultPoint point) {
+    if (specs_.empty()) return FaultAction::kNone;
+    const std::uint64_t pass =
+        counts_[static_cast<std::size_t>(point)].fetch_add(
+            1, std::memory_order_acq_rel) +
+        1;
+    for (auto& spec : specs_) {
+      if (spec.point != point || pass != spec.hit) continue;
+      // Exchange so concurrent passes (committers + writer thread) fire the
+      // spec at most once.
+      const FaultAction a =
+          spec.action.exchange(FaultAction::kNone, std::memory_order_acq_rel);
+      if (a == FaultAction::kNone) continue;
+      if (a == FaultAction::kCrash) std::_Exit(kCrashExitCode);
+      return a;
+    }
+    return FaultAction::kNone;
+  }
+
+  /// Times `point` has been passed so far (testing/observability).
+  std::uint64_t passes(FaultPoint point) const {
+    return counts_[static_cast<std::size_t>(point)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Parse "point:action[:hit][,point:action[:hit]]...".
+  static std::shared_ptr<FaultPlan> parse(const std::string& text) {
+    auto plan = std::make_shared<FaultPlan>();
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find(',', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string item = text.substr(start, end - start);
+      start = end + 1;
+      if (item.empty()) continue;
+      const std::size_t c1 = item.find(':');
+      if (c1 == std::string::npos)
+        throw std::invalid_argument("malformed fault spec: " + item);
+      const std::size_t c2 = item.find(':', c1 + 1);
+      FaultSpec spec;
+      spec.point = parse_fault_point(item.substr(0, c1));
+      spec.action = parse_fault_action(
+          item.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                      : c2 - c1 - 1));
+      if (c2 != std::string::npos)
+        spec.hit = std::stoull(item.substr(c2 + 1));
+      plan->arm(spec);
+    }
+    return plan;
+  }
+
+  /// Plan from $SHRINKTM_FAULT, or an empty (never-firing) plan.
+  static std::shared_ptr<FaultPlan> from_env() {
+    const char* env = std::getenv("SHRINKTM_FAULT");
+    if (env == nullptr || *env == '\0') return std::make_shared<FaultPlan>();
+    return parse(env);
+  }
+
+ private:
+  /// Armed form of FaultSpec: the action is atomic because committer threads
+  /// and the log-writer thread pass through points concurrently.  deque so
+  /// growth never moves elements (atomics are not movable).
+  struct ArmedSpec {
+    FaultPoint point = FaultPoint::kNumPoints;
+    std::atomic<FaultAction> action{FaultAction::kNone};
+    std::uint64_t hit = 1;
+  };
+
+  std::array<std::atomic<std::uint64_t>, kNumFaultPoints> counts_{};
+  std::deque<ArmedSpec> specs_;
+};
+
+}  // namespace shrinktm::durable

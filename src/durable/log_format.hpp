@@ -1,0 +1,101 @@
+// On-disk format of the durable backend's changelog and snapshot files.
+//
+// Changelog (`changelog.shtm`):
+//
+//   [LogFileHeader]
+//   [RecordHeader][RedoWord]*count   -- one per committed write transaction
+//   [RecordHeader][RedoWord]*count
+//   ...
+//
+// Every record carries a CRC32 over {count, commit_ts, payload} so recovery
+// can tell a torn/partial tail write (crash mid-batch) from valid data: the
+// scan stops at the first record whose header is short, whose payload is
+// short, or whose CRC mismatches, and truncates the file there.  commit_ts
+// is the transaction's global-clock write version; records of transactions
+// that touched a common word appear in commit order (the enqueue happens
+// while the committer still holds its write locks), so replaying the log in
+// file order reproduces exactly the committed prefix.
+//
+// Snapshot (`snapshot.shtm`): a SnapshotHeader followed by the raw region
+// words, CRC-protected the same way, written tmp + fsync + rename so a crash
+// mid-snapshot leaves the previous one intact.  `last_ts` is the clock value
+// the image is consistent with: recovery loads the image and replays only
+// log records with commit_ts > last_ts.
+//
+// The format is host-endian and word-sized (recovery on the machine that
+// crashed, not a portable interchange format).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace shrinktm::durable {
+
+inline constexpr std::uint64_t kLogMagic = 0x31474F4C4D544853ull;   // "SHTMLOG1"
+inline constexpr std::uint64_t kSnapMagic = 0x31504E534D544853ull;  // "SHTMSNP1"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the same polynomial zlib uses.
+/// Table built once; chainable via `seed` for multi-buffer checksums.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  static const auto table = [] {
+    struct Table {
+      std::uint32_t e[256];
+    } t;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t.e[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i)
+    c = table.e[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+struct LogFileHeader {
+  std::uint64_t magic = kLogMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(LogFileHeader) == 16);
+
+/// One word written by a committed transaction: region offset (in words) and
+/// the committed value.
+struct RedoWord {
+  std::uint64_t offset;
+  std::uint64_t value;
+};
+static_assert(sizeof(RedoWord) == 16);
+
+struct RecordHeader {
+  std::uint32_t crc = 0;    ///< crc32 over {count, commit_ts, payload}
+  std::uint32_t count = 0;  ///< RedoWords following this header
+  std::uint64_t commit_ts = 0;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+/// CRC of a record given its header fields and payload.
+inline std::uint32_t record_crc(std::uint32_t count, std::uint64_t commit_ts,
+                                const RedoWord* words) {
+  std::uint32_t c = crc32(&count, sizeof(count));
+  c = crc32(&commit_ts, sizeof(commit_ts), c);
+  return crc32(words, std::size_t{count} * sizeof(RedoWord), c);
+}
+
+struct SnapshotHeader {
+  std::uint64_t magic = kSnapMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t crc = 0;       ///< crc32 over the region payload
+  std::uint64_t words = 0;     ///< region size in words
+  std::uint64_t last_ts = 0;   ///< clock value the image is consistent with
+};
+static_assert(sizeof(SnapshotHeader) == 32);
+
+}  // namespace shrinktm::durable

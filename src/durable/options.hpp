@@ -1,0 +1,72 @@
+// User-facing configuration of the durable backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace shrinktm::durable {
+
+class FaultPlan;
+
+/// What a commit waits for before it is acknowledged (on_commit fired).
+enum class SyncMode : std::uint8_t {
+  /// Group commit (default): the committer blocks until the fsync covering
+  /// its record completes.  on_commit is a real durability acknowledgment.
+  kGroupCommit = 0,
+  /// Records are enqueued and fsynced in the background but commits do not
+  /// wait.  on_commit means "committed in memory, durable soon"; a crash can
+  /// lose the un-synced suffix.  For throughput comparison.
+  kAsync,
+  /// No fsync at all: the OS page cache is the only persistence.  Purely a
+  /// bench baseline for what fsync costs.
+  kNone,
+};
+
+inline const char* sync_mode_name(SyncMode m) {
+  switch (m) {
+    case SyncMode::kGroupCommit: return "group";
+    case SyncMode::kAsync: return "async";
+    case SyncMode::kNone: return "none";
+  }
+  return "?";
+}
+
+inline SyncMode parse_sync_mode(const std::string& name) {
+  if (name == "group") return SyncMode::kGroupCommit;
+  if (name == "async") return SyncMode::kAsync;
+  if (name == "none") return SyncMode::kNone;
+  throw std::invalid_argument("unknown sync mode: " + name +
+                              " (valid: group, async, none)");
+}
+
+struct DurableOptions {
+  /// Directory holding changelog.shtm + snapshot.shtm.  Created if missing;
+  /// an existing directory is recovered from.  Empty = ephemeral mode: a
+  /// fresh temp directory is created and removed with the Runtime, so
+  /// `--backend durable` works out of the box in every bench (the durability
+  /// machinery runs for real, the data just has Runtime lifetime).
+  std::string dir;
+
+  /// Durable arena size in words (Region).  Default 1 MiW = 8 MiB.
+  std::size_t region_words = std::size_t{1} << 20;
+
+  /// Bounded wait the log-writer thread lingers after the first record of a
+  /// batch arrives, letting concurrent committers pile on so one fsync
+  /// covers them all.  0 = sync every record immediately.
+  std::uint32_t group_commit_interval_us = 100;
+
+  /// Records per batch after which the writer stops lingering and syncs.
+  std::size_t max_batch_records = 4096;
+
+  /// Ack semantics (see SyncMode).
+  SyncMode sync = SyncMode::kGroupCommit;
+
+  /// Fault plan for crash/error injection; null = FaultPlan::from_env()
+  /// (armed only if $SHRINKTM_FAULT is set).
+  std::shared_ptr<FaultPlan> fault;
+};
+
+}  // namespace shrinktm::durable

@@ -1,0 +1,110 @@
+// The durable heap: a fixed arena of words with stable offsets.
+//
+// Raw pointers are meaningless across a restart, so durable state cannot
+// live at arbitrary heap addresses the way TVar storage does.  The durable
+// backend instead owns one Region -- a flat, zero-initialised word arena --
+// and logs writes as (offset, value) pairs.  Recovery rebuilds the arena and
+// replays offsets; user code addresses durable state by offset (or via the
+// typed Slot<T> view) and lays out its own structures inside the arena.
+//
+// Writes OUTSIDE the region are permitted on the durable backend and run
+// with full transactional semantics, but are volatile: they are not logged
+// and do not survive a restart.  This keeps ordinary containers and
+// scratch TVars usable inside durable transactions; docs/DURABILITY.md
+// spells out the contract.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "stm/word.hpp"
+
+namespace shrinktm::durable {
+
+/// Typed view of one region word, mirroring txstruct::TVar's accessor shape
+/// but over external (region-owned) storage so the address survives restart.
+template <typename T>
+class Slot {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    sizeof(T) <= sizeof(stm::Word),
+                "Slot<T> requires a trivially copyable, word-sized T");
+
+ public:
+  Slot() = default;
+  explicit Slot(stm::Word* w) : w_(w) {}
+
+  template <typename TxT>
+  T read(TxT& tx) const {
+    return from_word(tx.load(w_));
+  }
+
+  template <typename TxT>
+  void write(TxT& tx, T v) const {
+    tx.store(w_, to_word(v));
+  }
+
+  /// Non-transactional peek/poke: single-threaded setup and checkers only.
+  T unsafe_read() const { return from_word(*w_); }
+  void unsafe_write(T v) const { *w_ = to_word(v); }
+
+  stm::Word* address() const { return w_; }
+
+ private:
+  static stm::Word to_word(T v) {
+    stm::Word w = 0;
+    std::memcpy(&w, &v, sizeof(T));
+    return w;
+  }
+  static T from_word(stm::Word w) {
+    T v;
+    std::memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+
+  stm::Word* w_ = nullptr;
+};
+
+/// The arena.  Offsets are in words; the base address is stable for the
+/// lifetime of the owning backend but NOT across restarts -- only offsets
+/// are.  contains()/offset_of() are how the commit path decides whether a
+/// written word is durable (logged) or volatile (skipped).
+class Region {
+ public:
+  explicit Region(std::size_t words) : words_(words, 0) {}
+
+  std::size_t size() const { return words_.size(); }
+  std::size_t bytes() const { return words_.size() * sizeof(stm::Word); }
+
+  stm::Word* base() { return words_.data(); }
+  const stm::Word* base() const { return words_.data(); }
+
+  stm::Word* word(std::size_t offset) {
+    assert(offset < words_.size());
+    return words_.data() + offset;
+  }
+
+  bool contains(const void* p) const {
+    return p >= static_cast<const void*>(words_.data()) &&
+           p < static_cast<const void*>(words_.data() + words_.size());
+  }
+
+  std::size_t offset_of(const void* p) const {
+    assert(contains(p));
+    return static_cast<std::size_t>(static_cast<const stm::Word*>(p) -
+                                    words_.data());
+  }
+
+  template <typename T>
+  Slot<T> slot(std::size_t offset) {
+    return Slot<T>(word(offset));
+  }
+
+ private:
+  std::vector<stm::Word> words_;
+};
+
+}  // namespace shrinktm::durable

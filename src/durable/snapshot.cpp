@@ -1,0 +1,130 @@
+#include "durable/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "durable/log_format.hpp"
+
+namespace shrinktm::durable {
+
+namespace {
+
+std::string errno_string(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+bool write_fully(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string write_snapshot(const std::string& path, const Region& region,
+                           std::uint64_t last_ts, FaultPlan& fault) {
+  const std::string tmp = path + ".tmp";
+
+  SnapshotHeader hdr;
+  hdr.words = region.size();
+  hdr.last_ts = last_ts;
+  hdr.crc = crc32(region.base(), region.bytes());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return errno_string("open(snapshot tmp)");
+  const bool wrote = write_fully(fd, &hdr, sizeof(hdr)) &&
+                     write_fully(fd, region.base(), region.bytes()) &&
+                     ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote) {
+    ::unlink(tmp.c_str());
+    return errno_string("write(snapshot tmp)");
+  }
+
+  // Crash here loses only the tmp file: the previous snapshot (if any) is
+  // still the one the directory names.
+  if (fault.check(FaultPoint::kSnapshotBeforeRename) == FaultAction::kEIO) {
+    ::unlink(tmp.c_str());
+    return "injected EIO on snapshot rename";
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return errno_string("rename(snapshot)");
+  }
+  // Make the rename itself durable before the caller truncates the log --
+  // otherwise a crash could lose the directory entry AND the log records
+  // the image was meant to replace.
+  const int dfd = ::open(dirname_of(path).c_str(),
+                         O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  if (fault.check(FaultPoint::kSnapshotAfterRename) == FaultAction::kEIO)
+    return "injected EIO after snapshot rename";
+  return {};
+}
+
+SnapshotLoad load_snapshot(const std::string& path, Region& region) {
+  SnapshotLoad r;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return r;
+  SnapshotHeader hdr;
+  if (!read_exact(fd, &hdr, sizeof(hdr)) || hdr.magic != kSnapMagic ||
+      hdr.version != kFormatVersion || hdr.words != region.size()) {
+    r.corrupt = true;
+    ::close(fd);
+    return r;
+  }
+  std::vector<stm::Word> image(hdr.words);
+  if (!read_exact(fd, image.data(), hdr.words * sizeof(stm::Word)) ||
+      crc32(image.data(), hdr.words * sizeof(stm::Word)) != hdr.crc) {
+    r.corrupt = true;
+    ::close(fd);
+    return r;
+  }
+  ::close(fd);
+  std::memcpy(region.base(), image.data(), hdr.words * sizeof(stm::Word));
+  r.loaded = true;
+  r.last_ts = hdr.last_ts;
+  return r;
+}
+
+}  // namespace shrinktm::durable

@@ -1,0 +1,38 @@
+// Snapshot = one consistent image of the Region + the clock value it is
+// consistent with, written crash-safely (tmp file + fsync + rename +
+// directory fsync) so at every instant the directory holds either the old
+// valid snapshot or the new one, never a half-written hybrid.  After a
+// successful snapshot the changelog's contents are redundant and the backend
+// truncates it; recovery loads the image and replays only records with
+// commit_ts > the image's last_ts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "durable/fault.hpp"
+#include "durable/region.hpp"
+
+namespace shrinktm::durable {
+
+/// Write `region` as `path` with consistency timestamp `last_ts`.  The
+/// caller must hold the backend's snapshot gate exclusively (no concurrent
+/// commits).  Fires the snapshot fault points.  Returns an empty string on
+/// success, else the failure reason.
+std::string write_snapshot(const std::string& path, const Region& region,
+                           std::uint64_t last_ts, FaultPlan& fault);
+
+struct SnapshotLoad {
+  bool loaded = false;     ///< a valid snapshot was found and applied
+  bool corrupt = false;    ///< a file existed but failed validation
+  std::uint64_t last_ts = 0;
+};
+
+/// Load `path` into `region` if it exists and validates (magic, version,
+/// size, CRC).  A missing file loads as {false, false, 0}; a corrupt one is
+/// reported but ignored (the region stays zeroed -- with the crash-safe
+/// write protocol a corrupt snapshot can only be pre-protocol damage).
+SnapshotLoad load_snapshot(const std::string& path, Region& region);
+
+}  // namespace shrinktm::durable

@@ -18,6 +18,17 @@ class GlobalClock {
   /// Returns the new (post-increment) timestamp for a committing writer.
   std::uint64_t tick() { return time_.fetch_add(1, std::memory_order_acq_rel) + 1; }
 
+  /// Raise the clock to at least `t`.  Recovery seeding only (the durable
+  /// backend replays a changelog whose records carry commit timestamps, and
+  /// new commits must stay monotone past the recovered prefix); called
+  /// before any transaction runs, never concurrently with tick().
+  void advance_to(std::uint64_t t) {
+    std::uint64_t cur = time_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !time_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
  private:
   alignas(util::kCacheLine) std::atomic<std::uint64_t> time_{0};
 };

@@ -37,6 +37,11 @@ struct StmConfig {
   /// tickets before sleeping in the kernel; keeps fast producer/consumer
   /// handoffs off the futex path.
   unsigned retry_spin_pauses = 256;
+
+  /// Force the WaitTable onto the portable condvar sleep path even where a
+  /// futex is available (Linux).  The condvar path is what every non-Linux
+  /// build runs; this knob lets tests and experiments exercise it anywhere.
+  bool retry_force_condvar = false;
 };
 
 }  // namespace shrinktm::stm

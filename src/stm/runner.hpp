@@ -137,6 +137,17 @@ class TxRunner {
           backoff_.pause();
         }
         continue;
+      } catch (const TxDurabilityError&) {
+        // Durable backend, fail-stop: the changelog is poisoned.  The
+        // descriptor throws this either at commit entry, before any memory
+        // effect (still active -- cancel it), or from the post-write-back
+        // durability wait when the covering fsync failed (already idle).
+        // Either way the commit was never acknowledged: on_abort fires,
+        // on_commit does not, and the error propagates to the caller.
+        if (tx_.in_tx()) cancel();
+        backoff_.reset();
+        actions_.fire_abort();
+        throw;
       } catch (...) {
         // User exception: cancel the transaction and let it propagate.
         if (tx_.in_tx()) cancel();
@@ -146,7 +157,10 @@ class TxRunner {
       }
       // Committed.  Scheduler bookkeeping, then the deferred actions --
       // outside the catch blocks above, so nothing they throw re-enters
-      // the retry loop.
+      // the retry loop.  On a durable backend under group commit,
+      // tx_.commit() returns only after the fsync covering this
+      // transaction, so fire_commit() below is the post-durability ack:
+      // on_commit actions never observe a commit that a crash could undo.
       if (rec_ != nullptr) rec_->commit();
       if (sched_ != nullptr) sched_->on_commit(tx_.tid());
       backoff_.reset();

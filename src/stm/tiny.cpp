@@ -23,7 +23,8 @@ TinyBackend::TinyBackend(StmConfig cfg)
       log2_orecs_(cfg.log2_orecs),
       orec_mask_((std::uint64_t{1} << cfg.log2_orecs) - 1),
       orecs_(std::size_t{1} << cfg.log2_orecs),
-      wait_table_(WaitTableConfig{cfg.log2_wait_buckets, cfg.retry_spin_pauses}),
+      wait_table_(WaitTableConfig{cfg.log2_wait_buckets, cfg.retry_spin_pauses,
+                                  cfg.retry_force_condvar}),
       descs_(cfg.max_threads) {}
 
 TinyBackend::~TinyBackend() = default;

@@ -45,15 +45,15 @@
 #include "util/hash.hpp"
 #include "util/spin.hpp"
 
+#include <condition_variable>
+#include <mutex>
+
 #if defined(__linux__)
 #include <linux/futex.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
 #include <climits>
-#else
-#include <condition_variable>
-#include <mutex>
 #endif
 
 namespace shrinktm::stm {
@@ -68,6 +68,10 @@ struct WaitTableConfig {
   /// tickets before sleeping in the kernel; covers produce-quickly cycles
   /// without any syscall.
   unsigned spin_pauses = 256;
+  /// Use the portable condvar sleep path even where a futex is available.
+  /// Off Linux the condvar path is the only one; this knob makes it
+  /// testable everywhere (StmConfig::retry_force_condvar).
+  bool force_condvar = false;
 };
 
 /// One wakeup table per backend instance, shared by all its transactions.
@@ -85,6 +89,7 @@ class WaitTable {
   explicit WaitTable(WaitTableConfig cfg = {})
       : mask_((std::size_t{1} << cfg.log2_buckets) - 1),
         spin_pauses_(cfg.spin_pauses),
+        use_futex_(kHaveFutex && !cfg.force_condvar),
         buckets_(std::size_t{1} << cfg.log2_buckets) {}
 
   WaitTable(const WaitTable&) = delete;
@@ -112,16 +117,16 @@ class WaitTable {
   /// changed -- the thundering herd is bounded by the waiter count).
   void publish() {
     notifies_.fetch_add(1, std::memory_order_relaxed);
-#if defined(__linux__)
-    epoch_.fetch_add(1, std::memory_order_release);
-    futex_wake_all();
-#else
-    {
-      std::lock_guard<std::mutex> g(mu_);
+    if (use_futex_) {
       epoch_.fetch_add(1, std::memory_order_release);
+      futex_wake_all();
+    } else {
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        epoch_.fetch_add(1, std::memory_order_release);
+      }
+      cv_.notify_all();
     }
-    cv_.notify_all();
-#endif
   }
 
   // ---- waiter side ----
@@ -186,44 +191,46 @@ class WaitTable {
       }
       util::cpu_relax();
     }
-#if defined(__linux__)
-    for (;;) {
-      const std::uint32_t e = epoch_.load(std::memory_order_acquire);
-      if (changed(tickets)) break;
-      if (timed) {
-        const auto left = deadline - std::chrono::steady_clock::now();
-        if (left <= std::chrono::nanoseconds::zero()) {
-          if (!changed(tickets)) r.timed_out = true;
+    if (use_futex_) {
+      for (;;) {
+        const std::uint32_t e = epoch_.load(std::memory_order_acquire);
+        if (changed(tickets)) break;
+        if (timed) {
+          const auto left = deadline - std::chrono::steady_clock::now();
+          if (left <= std::chrono::nanoseconds::zero()) {
+            if (!changed(tickets)) r.timed_out = true;
+            break;
+          }
+          r.slept = true;
+          struct timespec ts;
+          const auto ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(left)
+                  .count();
+          ts.tv_sec = static_cast<time_t>(ns / 1000000000);
+          ts.tv_nsec = static_cast<long>(ns % 1000000000);
+          futex_wait(e, &ts);  // EAGAIN if epoch_ moved, ETIMEDOUT on expiry
+        } else {
+          r.slept = true;
+          futex_wait(e, nullptr);  // returns immediately if epoch_ moved
+        }
+      }
+    } else {
+      std::unique_lock<std::mutex> lk(mu_);
+      while (!changed(tickets)) {
+        if (timed && std::chrono::steady_clock::now() >= deadline) {
+          r.timed_out = true;
           break;
         }
+        const std::uint32_t e = epoch_.load(std::memory_order_acquire);
         r.slept = true;
-        struct timespec ts;
-        const auto ns =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(left).count();
-        ts.tv_sec = static_cast<time_t>(ns / 1000000000);
-        ts.tv_nsec = static_cast<long>(ns % 1000000000);
-        futex_wait(e, &ts);  // EAGAIN if epoch_ moved, ETIMEDOUT on expiry
-      } else {
-        r.slept = true;
-        futex_wait(e, nullptr);  // returns immediately if epoch_ already != e
+        auto moved = [&] {
+          return epoch_.load(std::memory_order_acquire) != e ||
+                 changed(tickets);
+        };
+        if (timed) cv_.wait_until(lk, deadline, moved);
+        else cv_.wait(lk, moved);
       }
     }
-#else
-    std::unique_lock<std::mutex> lk(mu_);
-    while (!changed(tickets)) {
-      if (timed && std::chrono::steady_clock::now() >= deadline) {
-        r.timed_out = true;
-        break;
-      }
-      const std::uint32_t e = epoch_.load(std::memory_order_acquire);
-      r.slept = true;
-      auto moved = [&] {
-        return epoch_.load(std::memory_order_acquire) != e || changed(tickets);
-      };
-      if (timed) cv_.wait_until(lk, deadline, moved);
-      else cv_.wait(lk, moved);
-    }
-#endif
     if (!r.timed_out) wakeups_.fetch_add(1, std::memory_order_relaxed);
     return r;
   }
@@ -261,6 +268,7 @@ class WaitTable {
   }
 
 #if defined(__linux__)
+  static constexpr bool kHaveFutex = true;
   /// @param ts relative timeout, null = wait forever (FUTEX_WAIT semantics).
   void futex_wait(std::uint32_t expected, const struct timespec* ts) {
     ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
@@ -270,10 +278,15 @@ class WaitTable {
     ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
               FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
   }
+#else
+  static constexpr bool kHaveFutex = false;
+  void futex_wait(std::uint32_t, const struct timespec*) {}
+  void futex_wake_all() {}
 #endif
 
   const std::size_t mask_;
   const unsigned spin_pauses_;
+  const bool use_futex_;
   std::vector<Bucket> buckets_;
 
   /// Table epoch: the one word sleepers block on.  32-bit because futex
@@ -284,10 +297,10 @@ class WaitTable {
   std::atomic<std::uint64_t> notifies_{0};
   std::atomic<std::uint64_t> wakeups_{0};
 
-#if !defined(__linux__)
+  // Condvar sleep path: the only one off Linux, opt-in via force_condvar on
+  // Linux (unused but cheap when the futex path is active).
   std::mutex mu_;
   std::condition_variable cv_;
-#endif
 };
 
 }  // namespace shrinktm::stm

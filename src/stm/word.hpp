@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <exception>
+#include <stdexcept>
+#include <string>
 
 namespace shrinktm::stm {
 
@@ -68,6 +70,29 @@ class TxRetryRequested : public std::exception {
 
  private:
   std::int64_t timeout_ns_ = -1;
+};
+
+/// Durability failure (durable backend only): the changelog could not make a
+/// commit durable -- an fsync or write failed, injected or real.  Fail-stop
+/// by design: the error carries the first failure's reason, the log is
+/// poisoned, and every subsequent durable commit raises it again, so a
+/// durability loss is always loud, never silent.  Thrown from commit() (the
+/// in-memory effects of the failing transaction may already be visible to
+/// other threads of THIS process, but were never acknowledged as durable; the
+/// runner fires on_abort, not on_commit).  Defined at the stm layer so
+/// TxRunner can name it without depending on src/durable.
+class TxDurabilityError : public std::runtime_error {
+ public:
+  TxDurabilityError(int tid, const std::string& reason)
+      : std::runtime_error("durability failure (tid " + std::to_string(tid) +
+                           "): " + reason),
+        tid_(tid) {}
+
+  /// Thread slot whose commit observed the failure.
+  int tid() const { return tid_; }
+
+ private:
+  int tid_;
 };
 
 }  // namespace shrinktm::stm

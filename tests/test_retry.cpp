@@ -335,5 +335,122 @@ TEST(Retry, ProducerConsumerNoLostWakeupsUnderContention) {
   }
 }
 
+// ----------------------------------------------- tx.retry_for edge cases
+//
+// Zero and negative bounds, and the condvar WaitTable fallback -- across
+// ALL backends (the durable backend owns its own wait table too; its flag
+// lives in a TVar, which is transactional-but-volatile there).
+
+constexpr core::BackendKind kAllBackends[] = {core::BackendKind::kTiny,
+                                              core::BackendKind::kSwiss,
+                                              core::BackendKind::kDurable};
+
+TEST(RetryFor, ZeroDurationExpiresImmediately) {
+  for (auto backend : kAllBackends) {
+    SCOPED_TRACE(core::backend_kind_name(backend));
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> flag{0};
+    api::ThreadHandle th = rt.attach();
+    // A zero bound is a valid "check once, then give up" idiom: the park
+    // must report expiry immediately rather than sleeping forever or
+    // spinning -- the re-executed body sees timed_out() and bails.
+    const bool got = atomically(th, [&](api::Tx& tx) {
+      if (tx.read(flag) != 0) return true;
+      if (tx.timed_out()) return false;
+      tx.retry_for(std::chrono::milliseconds(0));
+    });
+    EXPECT_FALSE(got);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved())
+        << s.attempts << " != " << s.commits << "+" << s.aborts << "+"
+        << s.cancels << "+" << s.retry_waits;
+    EXPECT_EQ(s.retry_waits, 1u);
+    EXPECT_GE(s.retry_timeouts, 1u);
+  }
+}
+
+TEST(RetryFor, NegativeDurationIsTreatedAsZero) {
+  for (auto backend : kAllBackends) {
+    SCOPED_TRACE(core::backend_kind_name(backend));
+    api::Runtime rt(api::RuntimeOptions{}.with_backend(backend));
+    api::TVar<std::int64_t> flag{0};
+    api::ThreadHandle th = rt.attach();
+    const bool got = atomically(th, [&](api::Tx& tx) {
+      if (tx.read(flag) != 0) return true;
+      if (tx.timed_out()) return false;
+      tx.retry_for(std::chrono::milliseconds(-5));  // clamped, not UB
+    });
+    EXPECT_FALSE(got);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_GE(s.retry_timeouts, 1u);
+  }
+}
+
+TEST(RetryFor, CondvarFallbackTimedParkExpires) {
+  // Force the portable condvar WaitTable path (the futex path is the Linux
+  // default, so the fallback only gets coverage when asked for).
+  for (auto backend : kAllBackends) {
+    SCOPED_TRACE(core::backend_kind_name(backend));
+    api::RuntimeOptions opts;
+    opts.with_backend(backend);
+    opts.stm.retry_force_condvar = true;
+    api::Runtime rt(opts);
+    api::TVar<std::int64_t> flag{0};
+    api::ThreadHandle th = rt.attach();
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool got = atomically(th, [&](api::Tx& tx) {
+      if (tx.read(flag) != 0) return true;
+      if (tx.timed_out()) return false;
+      tx.retry_for(std::chrono::milliseconds(30));
+    });
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_FALSE(got);
+    // The bound expired (no producer), and the park actually blocked for
+    // roughly the requested window rather than returning on the spot.
+    EXPECT_GE(waited, std::chrono::milliseconds(20));
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_GE(s.retry_timeouts, 1u);
+    EXPECT_GE(s.retry_sleeps, 1u);
+    EXPECT_GT(s.retry_wait_ns, 0u);
+  }
+}
+
+TEST(RetryFor, CondvarFallbackBlockingHandoffWakes) {
+  for (auto backend : kAllBackends) {
+    SCOPED_TRACE(core::backend_kind_name(backend));
+    api::RuntimeOptions opts;
+    opts.with_backend(backend);
+    opts.stm.retry_force_condvar = true;
+    api::Runtime rt(opts);
+    api::TVar<std::int64_t> flag{0};
+
+    std::int64_t seen = -1;
+    std::thread consumer([&] {
+      api::ThreadHandle th = rt.attach();
+      seen = atomically(th, [&](api::Tx& tx) {
+        const auto v = tx.read(flag);
+        if (v == 0) tx.retry();  // untimed park on the condvar path
+        return v;
+      });
+    });
+
+    sleep_ms(50);  // past the spin budget: the consumer is in the condvar
+    {
+      api::ThreadHandle th = rt.attach();
+      atomically(th, [&](api::Tx& tx) { tx.write(flag, 7); });
+    }
+    consumer.join();
+    EXPECT_EQ(seen, 7);
+    const api::RuntimeStats s = rt.stats();
+    EXPECT_TRUE(s.conserved());
+    EXPECT_GE(s.retry_waits, 1u);
+    EXPECT_GE(s.retry_sleeps, 1u);  // the 50ms head start reached the kernel
+    EXPECT_GE(s.retry_notifies, 1u);
+    EXPECT_GE(s.retry_wakeups, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace shrinktm

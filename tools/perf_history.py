@@ -155,12 +155,24 @@ def append_history(history_path, record):
     os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)
     if os.path.exists(history_path):
         with open(history_path, encoding="utf-8") as f:
-            for line in f:
+            for lineno, line in enumerate(f, 1):
+                if not line.strip():
+                    continue
                 try:
                     old = json.loads(line)
-                except json.JSONDecodeError:
+                except json.JSONDecodeError as e:
+                    # A truncated write (crashed CI run, disk-full) must not
+                    # take the whole history pipeline down with it.
+                    print(f"WARNING: {history_path}:{lineno}: skipping "
+                          f"corrupt history line: {e}", file=sys.stderr)
+                    continue
+                if not isinstance(old, dict):
+                    print(f"WARNING: {history_path}:{lineno}: skipping "
+                          f"non-object history line", file=sys.stderr)
                     continue
                 stamp = old.get("stamp") or {}
+                if not isinstance(stamp, dict):
+                    stamp = {}
                 if (stamp.get("commit"), stamp.get("utc")) == key:
                     print(f"history: run {key} already recorded, not appending")
                     return False
@@ -174,14 +186,21 @@ def read_history(history_path):
     runs = []
     if os.path.exists(history_path):
         with open(history_path, encoding="utf-8") as f:
-            for line in f:
+            for lineno, line in enumerate(f, 1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    runs.append(json.loads(line))
-                except json.JSONDecodeError:
-                    pass
+                    run = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"WARNING: {history_path}:{lineno}: skipping "
+                          f"corrupt history line: {e}", file=sys.stderr)
+                    continue
+                if not isinstance(run, dict):
+                    print(f"WARNING: {history_path}:{lineno}: skipping "
+                          f"non-object history line", file=sys.stderr)
+                    continue
+                runs.append(run)
     return runs
 
 
