@@ -1,0 +1,337 @@
+// Changelog-shipping replication bench: leader commit load vs. follower
+// apply throughput and end-to-end lag.
+//
+//   --tiny                  CI smoke: one small cell, ~50 ms
+//   --phase leader|follower two-process protocol (see below); default "both"
+//   --dir PATH              the shared durable directory for --phase
+//
+// Default (both-in-one-process) mode, per cell: a durable leader Runtime
+// runs N transfer threads plus one probe thread that commits
+// steady_clock-now-ns into a region slot; an in-process api::ReplicaRuntime
+// follows the same directory with lag_probe_offset on that slot, so the
+// follower's lag histogram measures true commit-to-visible latency.  After
+// the window the bench barriers on wait_until(leader.commit_ts()) and
+// verifies money conservation THROUGH A FOLLOWER TRANSACTION -- the
+// replica's prefix-consistent snapshot must balance exactly.
+//
+// Two-process mode is the CI replica-smoke job: `--phase leader --dir D`
+// runs the workload and commits a done marker strictly after every transfer
+// record; `--phase follower --dir D` (concurrently or after) tails D until
+// the marker is visible, checks conservation, prints CONVERGED.
+//
+// Artifact: BENCH_fig_replica.json, series "replica" with leader tx/s,
+// apply records/s and lag p50/p99/p999 -- tools/perf_history.py charts the
+// lag p99 trend.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace shrinktm;
+
+constexpr std::size_t kAccounts = 256;
+constexpr std::int64_t kInitialBalance = 1000;
+constexpr std::size_t kProbeSlot = kAccounts;       // leader lag probe
+constexpr std::size_t kMarkerSlot = kAccounts + 1;  // two-process done flag
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fund the accounts and zero the marker, one leader transaction each.
+void fund(api::Runtime& rt) {
+  api::ThreadHandle th = rt.attach();
+  for (std::size_t a = 0; a < kAccounts; ++a) {
+    auto acct = rt.durable_region()->slot<std::int64_t>(a);
+    atomically(th, [&](api::Tx& tx) { tx.write(acct, kInitialBalance); });
+  }
+  auto marker = rt.durable_region()->slot<std::int64_t>(kMarkerSlot);
+  atomically(th, [&](api::Tx& tx) { tx.write(marker, 0); });
+  rt.reset_stats();
+}
+
+/// Run `threads` transfer workers + 1 probe writer for `duration_ms`.
+/// Returns committed transfers.
+std::int64_t drive_leader(api::Runtime& rt, int threads, int duration_ms,
+                          std::uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> transfers{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      api::ThreadHandle th = rt.attach();
+      std::uint64_t rng =
+          seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(t + 1);
+      std::int64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t from = xorshift(rng) % kAccounts;
+        std::size_t to = xorshift(rng) % kAccounts;
+        if (to == from) to = (to + 1) % kAccounts;
+        auto src = rt.durable_region()->slot<std::int64_t>(from);
+        auto dst = rt.durable_region()->slot<std::int64_t>(to);
+        atomically(th, [&](api::Tx& tx) {
+          tx.write(src, tx.read(src) - 1);
+          tx.write(dst, tx.read(dst) + 1);
+        });
+        ++local;
+      }
+      transfers.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  workers.emplace_back([&] {
+    // The probe: each commit carries "now" so the follower can measure
+    // commit-to-visible latency end to end.
+    api::ThreadHandle th = rt.attach();
+    auto probe = rt.durable_region()->slot<std::int64_t>(kProbeSlot);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t now = steady_now_ns();
+      atomically(th, [&](api::Tx& tx) { tx.write(probe, now); });
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  return transfers.load();
+}
+
+std::int64_t follower_sum(api::ReplicaRuntime& follower) {
+  api::ReplicaHandle fh = follower.attach();
+  return atomically(fh, [&](api::Tx& tx) {
+    std::int64_t sum = 0;
+    for (std::size_t a = 0; a < kAccounts; ++a)
+      sum += tx.read(follower.region().slot<std::int64_t>(a));
+    return sum;
+  });
+}
+
+struct CellResult {
+  double leader_tx_s = 0;
+  double apply_records_s = 0;
+  double lag_p50_us = 0;
+  double lag_p99_us = 0;
+  double lag_p999_us = 0;
+  double rebuilds = 0;
+};
+
+CellResult run_cell(const bench::BenchArgs& args, int threads, int run,
+                    bench::BenchReporter& rep) {
+  char tmpl[] = "/tmp/shrinktm_fig_replica_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::cerr << "mkdtemp failed\n";
+    std::exit(1);
+  }
+  const std::string dir = tmpl;
+  CellResult r;
+  {
+    api::Runtime rt(api::RuntimeOptions{}
+                        .with_log_dir(dir)
+                        .with_seed(args.seed + static_cast<std::uint64_t>(run)));
+    fund(rt);
+
+    api::ReplicaOptions ropts;
+    ropts.dir = dir;
+    ropts.lag_probe_offset = kProbeSlot;
+    api::ReplicaRuntime follower(ropts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t transfers = drive_leader(
+        rt, threads, args.duration_ms,
+        args.seed + static_cast<std::uint64_t>(run * (threads + 1)));
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Read-your-writes barrier, then conservation through the follower.
+    if (!follower.wait_until(rt.commit_ts(), std::chrono::seconds(30))) {
+      std::cerr << "REPLICA BARRIER TIMEOUT: applied_ts="
+                << follower.applied_ts() << " ticket=" << rt.commit_ts()
+                << "\n";
+      std::exit(1);
+    }
+    const std::int64_t sum = follower_sum(follower);
+    if (sum != static_cast<std::int64_t>(kAccounts) * kInitialBalance) {
+      std::cerr << "REPLICA CONSERVATION VIOLATION: follower sum " << sum
+                << " != " << kAccounts * kInitialBalance << "\n";
+      std::exit(1);
+    }
+
+    const api::RuntimeStats s = rt.stats();
+    if (!s.conserved()) {
+      std::cerr << "STATS CONSERVATION VIOLATION\n";
+      std::exit(1);
+    }
+    rep.add_runtime_stats(s);
+
+    const api::ReplicaStats fs = follower.stats();
+    r.leader_tx_s = static_cast<double>(transfers) / secs;
+    r.apply_records_s = static_cast<double>(fs.records) / secs;
+    r.lag_p50_us = static_cast<double>(fs.lag_ns.value_at_quantile(0.50)) / 1e3;
+    r.lag_p99_us = static_cast<double>(fs.lag_ns.value_at_quantile(0.99)) / 1e3;
+    r.lag_p999_us =
+        static_cast<double>(fs.lag_ns.value_at_quantile(0.999)) / 1e3;
+    r.rebuilds = static_cast<double>(fs.rebuilds);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return r;
+}
+
+// ---- two-process protocol (CI replica-smoke) ----
+
+int run_leader_phase(const bench::BenchArgs& args, const std::string& dir,
+                     int threads) {
+  api::Runtime rt(
+      api::RuntimeOptions{}.with_log_dir(dir).with_seed(args.seed));
+  fund(rt);
+  const std::int64_t transfers =
+      drive_leader(rt, threads, args.duration_ms, args.seed);
+  // The done marker commits strictly AFTER every transfer record (workers
+  // are joined): a follower that sees it has the complete workload.
+  api::ThreadHandle th = rt.attach();
+  auto marker = rt.durable_region()->slot<std::int64_t>(kMarkerSlot);
+  atomically(th, [&](api::Tx& tx) { tx.write(marker, 1); });
+  std::cout << "LEADER_DONE transfers=" << transfers
+            << " commit_ts=" << rt.commit_ts() << "\n";
+  return 0;
+}
+
+int run_follower_phase(const std::string& dir) {
+  api::ReplicaOptions ropts;
+  ropts.dir = dir;
+  api::ReplicaRuntime follower(ropts);
+  api::ReplicaHandle fh = follower.attach();
+  auto marker = follower.region().slot<std::int64_t>(kMarkerSlot);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (atomically(fh, [&](api::Tx& tx) { return tx.read(marker); }) != 1) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::cerr << "FOLLOWER TIMEOUT waiting for leader done marker "
+                << "(applied_ts=" << follower.applied_ts() << ")\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::int64_t sum = [&] {
+    return atomically(fh, [&](api::Tx& tx) {
+      std::int64_t s = 0;
+      for (std::size_t a = 0; a < kAccounts; ++a)
+        s += tx.read(follower.region().slot<std::int64_t>(a));
+      return s;
+    });
+  }();
+  if (sum != static_cast<std::int64_t>(kAccounts) * kInitialBalance) {
+    std::cerr << "FOLLOWER CONSERVATION VIOLATION: sum " << sum << "\n";
+    return 1;
+  }
+  const api::ReplicaStats fs = follower.stats();
+  std::cout << "CONVERGED sum=" << sum << " applied_ts=" << fs.applied_ts
+            << " records=" << fs.records << " rebuilds=" << fs.rebuilds
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shrinktm;
+  using namespace shrinktm::bench;
+
+  // Strip this bench's custom flags before the shared parser (which rejects
+  // unknown flags): --tiny, --phase, --dir.
+  bool tiny = false;
+  std::string phase = "both";
+  std::string dir;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tiny") {
+      tiny = true;
+    } else if (a == "--phase" && i + 1 < argc) {
+      phase = argv[++i];
+    } else if (a == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  BenchArgs args = parse_args(static_cast<int>(filtered.size()),
+                              filtered.data(), {1, 2, 4}, {1, 2, 4, 8, 16});
+  if (tiny) {
+    args.threads = {2};
+    args.duration_ms = 50;
+    args.runs = 1;
+  }
+
+  if (phase == "leader") {
+    if (dir.empty()) {
+      std::cerr << "--phase leader requires --dir\n";
+      return 2;
+    }
+    return run_leader_phase(args, dir, args.threads.front());
+  }
+  if (phase == "follower") {
+    if (dir.empty()) {
+      std::cerr << "--phase follower requires --dir\n";
+      return 2;
+    }
+    return run_follower_phase(dir);
+  }
+  if (phase != "both") {
+    std::cerr << "unknown --phase " << phase << " (leader|follower|both)\n";
+    return 2;
+  }
+
+  BenchReporter rep("fig_replica", args);
+  std::cout << "fig_replica: leader commit load vs follower apply throughput "
+               "and lag\n";
+  util::TextTable t({"threads", "leader tx/s", "apply rec/s", "lag p50 us",
+                     "lag p99 us", "lag p999 us", "rebuilds"});
+  for (const int threads : args.threads) {
+    util::OnlineStats thr;
+    CellResult last;
+    for (int run = 0; run < args.runs; ++run) {
+      last = run_cell(args, threads, run, rep);
+      thr.add(last.leader_tx_s);
+    }
+    t.row();
+    t.cell(threads);
+    t.cell(thr.mean(), 0);
+    t.cell(last.apply_records_s, 0);
+    t.cell(last.lag_p50_us, 1);
+    t.cell(last.lag_p99_us, 1);
+    t.cell(last.lag_p999_us, 1);
+    t.cell(last.rebuilds, 0);
+    rep.add("replica", {{"threads", static_cast<double>(threads)},
+                        {"leader_tx_s", thr.mean()},
+                        {"apply_records_s", last.apply_records_s},
+                        {"lag_p50_us", last.lag_p50_us},
+                        {"lag_p99_us", last.lag_p99_us},
+                        {"lag_p999_us", last.lag_p999_us},
+                        {"rebuilds", last.rebuilds}});
+  }
+  t.print(std::cout);
+  rep.write();
+  return 0;
+}

@@ -251,6 +251,53 @@ void run() {
 
 }  // namespace api_durability
 
+// ------------------------------- docs/REPLICATION.md "Quickstart" section
+namespace replication_quickstart {
+
+void run() {
+  // The docs use a fixed application path ("ledger/"); the compiled mirror
+  // uses a scratch directory so repeated CI runs start cold.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "shrinktm-docs-replica";
+  std::filesystem::remove_all(dir);
+
+  {
+    // Leader: any durable runtime (docs/DURABILITY.md).
+    api::Runtime leader(api::RuntimeOptions{}.with_log_dir(dir.string()));
+    auto balance = leader.durable_region()->slot<long>(0);
+
+    api::ThreadHandle th = leader.attach();
+    atomically(th, [&](api::Tx& tx) { tx.write(balance, 50); });  // acked
+
+    // Follower: opens the SAME directory strictly read-only.
+    api::ReplicaRuntime follower(dir.string());
+    const bool caught_up =
+        follower.wait_until(leader.commit_ts(), std::chrono::seconds(10));
+    assert(caught_up);
+
+    const long seen = follower.run([&](api::Tx& tx) {
+      return tx.read(follower.region().slot<long>(0));
+    });
+    assert(seen == 50);
+
+    // Writes through a follower transaction are refused, not ignored.
+    bool threw = false;
+    try {
+      follower.run([&](api::Tx& tx) {
+        auto fslot = follower.region().slot<long>(0);
+        tx.write(fslot, 1);
+      });
+    } catch (const api::TxReadOnlyError&) {
+      threw = true;
+    }
+    assert(threw);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace replication_quickstart
+
 int main() {
   readme_quickstart::run();
   api_typed::run();
@@ -260,6 +307,7 @@ int main() {
   api_stats_latency::run();
   obs_tracing::run();
   api_durability::run();
+  replication_quickstart::run();
   std::puts("docs snippets OK");
   return 0;
 }

@@ -1,0 +1,129 @@
+// ReplicaRuntime internals: tid bookkeeping and the follower retry loop.
+//
+// The loop is TxRunner minus everything a read-only transaction cannot need:
+// no scheduler (nothing to serialise -- readers never conflict), no
+// RetryPolicy (there are no contention aborts to bound; explicit restarts
+// loop like the leader's default retry-forever), no recorder.  What remains
+// is the attempt discipline: run the body under a shared hold of the read
+// gate, fire deferred actions exactly once, park tx.retry() until the
+// applier publishes new leader state.
+#include "api/replica.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace shrinktm::api {
+
+namespace {
+/// Process-unique ids for the implicit-handle cache (same scheme as
+/// Runtime's: ids are never reused, stale thread-local entries stay inert).
+std::atomic<std::uint64_t> next_replica_id{1};
+}  // namespace
+
+ReplicaRuntime::ReplicaRuntime(ReplicaOptions opts)
+    : fr_(std::make_unique<replica::FollowerRuntime>(std::move(opts))),
+      id_(next_replica_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+ReplicaRuntime::ReplicaRuntime(std::string log_dir)
+    : ReplicaRuntime([&] {
+        ReplicaOptions o;
+        o.dir = std::move(log_dir);
+        return o;
+      }()) {}
+
+ReplicaRuntime::~ReplicaRuntime() = default;
+
+std::uint64_t ReplicaRuntime::applied_ts() const { return fr_->applied_ts(); }
+ReplicaLag ReplicaRuntime::lag() const { return fr_->lag(); }
+bool ReplicaRuntime::wait_until(std::uint64_t ts, std::int64_t timeout_ns) {
+  return fr_->wait_until(ts, timeout_ns);
+}
+ReplicaStats ReplicaRuntime::stats() const { return fr_->stats(); }
+durable::Region& ReplicaRuntime::region() { return fr_->region(); }
+const ReplicaOptions& ReplicaRuntime::options() const {
+  return fr_->options();
+}
+
+int ReplicaRuntime::attach_tid() { return fr_->attach_tid(); }
+void ReplicaRuntime::detach_tid(int tid) { fr_->detach_tid(tid); }
+
+int ReplicaRuntime::implicit_tid() {
+  thread_local std::uint64_t fast_id = 0;
+  thread_local int fast_tid = -1;
+  thread_local std::vector<std::pair<std::uint64_t, int>> rest;
+  if (fast_id == id_) return fast_tid;
+  for (auto& [rid, rtid] : rest) {
+    if (rid != id_) continue;
+    std::swap(rid, fast_id);
+    std::swap(rtid, fast_tid);
+    return fast_tid;
+  }
+  const int tid = attach_tid();
+  if (fast_id != 0) rest.emplace_back(fast_id, fast_tid);
+  fast_id = id_;
+  fast_tid = tid;
+  return tid;
+}
+
+void ReplicaRuntime::run_erased(int tid, BodyFn fn, void* ctx) {
+  replica::FollowerRuntime& fr = *fr_;
+  auto& slot = fr.slot(tid);
+
+  if (slot.in_body) {
+    // Flat nesting: join the live attempt (same snapshot -- the gate is
+    // already held by this very thread -- same deferred actions).
+    Tx view(slot.tx, &slot.actions);
+    fn(ctx, view);
+    return;
+  }
+
+  slot.tx.set_retry_timed_out(false);
+  for (;;) {
+    ++slot.attempts;
+    // Version BEFORE the attempt: an apply landing while the body runs
+    // bumps past v0 and makes any subsequent retry-park return immediately
+    // -- no lost wakeup between gate release and park.
+    const std::uint64_t v0 = fr.apply_version();
+    try {
+      {
+        std::shared_lock gate(fr.read_gate());
+        slot.in_body = true;
+        Tx view(slot.tx, &slot.actions);
+        fn(ctx, view);
+        slot.in_body = false;
+      }
+      ++slot.commits;
+      slot.actions.fire_commit();
+      return;
+    } catch (const stm::TxRetryRequested& rr) {
+      // The gate was released by the unwind; park without it (holding it
+      // would deadlock the applier, the only thing that can wake us).
+      slot.in_body = false;
+      ++slot.retry_waits;
+      slot.actions.discard();
+      const bool progressed = fr.park_until_apply(v0, rr.timeout_ns());
+      if (!progressed) {
+        slot.tx.set_retry_timed_out(true);
+        ++slot.retry_timeouts;
+      }
+      continue;
+    } catch (const stm::TxConflict&) {
+      // Only tx.restart() raises this here (followers have no contention
+      // aborts); re-execute against the newest applied state.
+      slot.in_body = false;
+      ++slot.restarts;
+      slot.actions.discard();
+      continue;
+    } catch (...) {
+      // User exception (including TxReadOnlyError): definitive rollback.
+      slot.in_body = false;
+      ++slot.cancels;
+      slot.actions.fire_abort();
+      throw;
+    }
+  }
+}
+
+}  // namespace shrinktm::api

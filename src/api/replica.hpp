@@ -1,0 +1,219 @@
+// api::ReplicaRuntime -- the facade over a read-only follower.
+//
+// A ReplicaRuntime opens a leader's durable directory (the same `dir` a
+// kDurable Runtime logs to -- same process or another one on the same host)
+// and materialises a live replica: a background thread tails the changelog
+// and applies committed records into the follower's own Region, so follower
+// transactions always read a prefix-consistent snapshot of the leader's
+// history at some applied timestamp.  docs/REPLICATION.md is the contract.
+//
+// The transaction surface deliberately mirrors Runtime: attach() ->
+// ReplicaHandle, atomically(handle, body), flat nesting, on_commit/on_abort,
+// tx.retry()/retry_for() (parks until the applier publishes new state --
+// i.e. until a LEADER commit arrives), or_else composition.  The one
+// difference is writes: tx.write()/tx_alloc()/tx_free() raise
+// api::TxReadOnlyError.  Read-your-writes across the two runtimes:
+//
+//   leader.run([&](api::Tx& tx) { tx.write(slot, v); });  // acked commit
+//   follower.wait_until(leader.commit_ts(), 1s);          // barrier
+//   follower.run([&](api::Tx& tx) { return tx.read(slot); });  // sees v
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "api/tx.hpp"
+#include "replica/follower.hpp"
+#include "replica/options.hpp"
+#include "replica/stats.hpp"
+
+namespace shrinktm::api {
+
+/// Follower vocabulary, re-exported so user code never spells the replica
+/// layer.
+using ReplicaOptions = replica::ReplicaOptions;
+using ReplicaStats = replica::ReplicaStats;
+using ReplicaLag = replica::ReplicaLag;
+/// Raised by any write attempted through a follower transaction.
+using TxReadOnlyError = stm::TxReadOnlyError;
+
+class ReplicaHandle;
+
+class ReplicaRuntime {
+ public:
+  /// Bootstraps the follower synchronously from opts.dir (snapshot image +
+  /// changelog) and starts the apply thread.  See replica::FollowerRuntime.
+  explicit ReplicaRuntime(ReplicaOptions opts);
+  /// Convenience: follow `log_dir` with default options.
+  explicit ReplicaRuntime(std::string log_dir);
+  ~ReplicaRuntime();
+
+  ReplicaRuntime(const ReplicaRuntime&) = delete;
+  ReplicaRuntime& operator=(const ReplicaRuntime&) = delete;
+
+  /// Claim the lowest free tid; released when the handle is destroyed.
+  ReplicaHandle attach();
+
+  /// Run `body` on this thread's implicit handle (attached on first use,
+  /// cached per (thread, replica-runtime) -- Runtime::run's contract).
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run(Body&& body) {
+    return run_with_tid(implicit_tid(), body);
+  }
+
+  // ---- replication surface ----
+
+  /// Max leader commit timestamp applied so far.  May retreat when the
+  /// follower rebuilds after a leader crash discarded speculative
+  /// (never-acknowledged) records -- acknowledged commits never vanish.
+  std::uint64_t applied_ts() const;
+
+  /// Current staleness: unapplied changelog bytes + the newest end-to-end
+  /// probe sample (ReplicaOptions::lag_probe_offset).
+  ReplicaLag lag() const;
+
+  /// Read-your-writes barrier: block until every leader commit acknowledged
+  /// before this call is applied AND applied_ts() >= ts, or `timeout`
+  /// elapses (false).  Use ts = leader Runtime::commit_ts() taken after the
+  /// acked commit; see replica::FollowerRuntime::wait_until for the exact
+  /// two-drain guarantee.
+  bool wait_until(std::uint64_t ts, std::int64_t timeout_ns);
+  template <typename Rep, typename Period>
+  bool wait_until(std::uint64_t ts,
+                  std::chrono::duration<Rep, Period> timeout) {
+    return wait_until(
+        ts, static_cast<std::int64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(timeout)
+                    .count()));
+  }
+
+  /// Follower counters + lag/apply histograms (replica/stats.hpp).
+  ReplicaStats stats() const;
+
+  /// The follower's own region copy.  Offsets match the leader's; lay out
+  /// reads with Region::slot<T>(offset) exactly as on the leader.
+  durable::Region& region();
+
+  const ReplicaOptions& options() const;
+
+ private:
+  friend class ReplicaHandle;
+
+  using BodyFn = void (*)(void* ctx, Tx& tx);
+
+  int attach_tid();
+  void detach_tid(int tid);
+  int implicit_tid();
+  /// The follower retry loop (replica.cpp): one attempt per iteration under
+  /// a shared hold of the read gate; tx.retry() parks until the applier
+  /// publishes past the version seen before the attempt.
+  void run_erased(int tid, BodyFn fn, void* ctx);
+
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run_with_tid(int tid, Body& body) {
+    using B = std::remove_reference_t<Body>;
+    using R = std::invoke_result_t<Body&, Tx&>;
+    if constexpr (std::is_void_v<R>) {
+      run_erased(
+          tid, [](void* c, Tx& tx) { (*static_cast<B*>(c))(tx); }, &body);
+    } else {
+      static_assert(!std::is_reference_v<R>,
+                    "atomically() bodies must return by value");
+      struct Ctx {
+        B* body;
+        std::optional<R>* out;
+      };
+      std::optional<R> out;
+      Ctx ctx{&body, &out};
+      run_erased(
+          tid,
+          [](void* c, Tx& tx) {
+            auto* cc = static_cast<Ctx*>(c);
+            cc->out->emplace((*cc->body)(tx));
+          },
+          &ctx);
+      return std::move(*out);
+    }
+  }
+
+  std::unique_ptr<replica::FollowerRuntime> fr_;
+  std::uint64_t id_;  ///< process-unique, for the implicit-handle cache
+};
+
+/// RAII claim on one follower tid; mirrors ThreadHandle.
+class ReplicaHandle {
+ public:
+  ReplicaHandle() = default;
+  ReplicaHandle(ReplicaHandle&& o) noexcept : rt_(o.rt_), tid_(o.tid_) {
+    o.rt_ = nullptr;
+    o.tid_ = -1;
+  }
+  ReplicaHandle& operator=(ReplicaHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      rt_ = o.rt_;
+      tid_ = o.tid_;
+      o.rt_ = nullptr;
+      o.tid_ = -1;
+    }
+    return *this;
+  }
+  ~ReplicaHandle() { release(); }
+
+  ReplicaHandle(const ReplicaHandle&) = delete;
+  ReplicaHandle& operator=(const ReplicaHandle&) = delete;
+
+  bool attached() const { return rt_ != nullptr; }
+  int tid() const { return tid_; }
+  ReplicaRuntime& runtime() const { return *rt_; }
+
+  template <typename Body>
+    requires std::invocable<Body&, Tx&>
+  auto run(Body&& body) {
+    return rt_->run_with_tid(tid_, body);
+  }
+
+ private:
+  friend class ReplicaRuntime;
+  ReplicaHandle(ReplicaRuntime* rt, int tid) : rt_(rt), tid_(tid) {}
+
+  void release() {
+    if (rt_ != nullptr) {
+      rt_->detach_tid(tid_);
+      rt_ = nullptr;
+      tid_ = -1;
+    }
+  }
+
+  ReplicaRuntime* rt_ = nullptr;
+  int tid_ = -1;
+};
+
+inline ReplicaHandle ReplicaRuntime::attach() {
+  return ReplicaHandle(this, attach_tid());
+}
+
+/// Run `body` as one read-only transaction on the follower, observing a
+/// prefix-consistent snapshot.  Same composability as the leader-side
+/// atomically(): flat nesting, retry/or_else, deferred actions.
+template <typename Body>
+  requires std::invocable<Body&, Tx&>
+auto atomically(ReplicaHandle& th, Body&& body) {
+  return th.run(std::forward<Body>(body));
+}
+
+/// Convenience overload on the replica runtime's implicit per-thread handle.
+template <typename Body>
+  requires std::invocable<Body&, Tx&>
+auto atomically(ReplicaRuntime& rt, Body&& body) {
+  return rt.run(std::forward<Body>(body));
+}
+
+}  // namespace shrinktm::api

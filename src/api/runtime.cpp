@@ -281,6 +281,18 @@ std::string Runtime::durable_dir() const {
   return impl_->durable != nullptr ? impl_->durable->dir() : std::string{};
 }
 
+std::uint64_t Runtime::commit_ts() const {
+  if (impl_->durable == nullptr)
+    throw std::logic_error(
+        "Runtime::commit_ts(): backend '" + std::string(backend_name()) +
+        "' has no changelog; follower tickets need BackendKind::kDurable");
+  // Recovered records predate this Changelog instance's counter; fold the
+  // recovered high-water mark in so a ticket taken right after a restart
+  // still covers the pre-crash history.
+  return std::max(impl_->durable->changelog().max_appended_ts(),
+                  impl_->durable->recovery().last_ts);
+}
+
 RuntimeStats Runtime::stats() const {
   const Impl& im = *impl_;
   RuntimeStats s;
@@ -343,6 +355,7 @@ RuntimeStats Runtime::stats() const {
     s.durable.ack = hist;
     s.durable.acks = acks;
     s.durable.log_failed = log.failed();
+    s.durable.auto_snapshots = im.durable->auto_snapshots();
     const auto& rec = im.durable->recovery();
     s.durable.recovered_snapshot = rec.snapshot_loaded;
     s.durable.recovered_records = rec.replayed_records;
@@ -510,6 +523,7 @@ RuntimeStats& RuntimeStats::operator+=(const RuntimeStats& o) {
   durable.acks += o.durable.acks;
   durable.ack.merge(o.durable.ack);
   durable.log_failed = durable.log_failed || o.durable.log_failed;
+  durable.auto_snapshots += o.durable.auto_snapshots;
   durable.recovered_snapshot =
       durable.recovered_snapshot || o.durable.recovered_snapshot;
   durable.recovered_records += o.durable.recovered_records;
@@ -594,6 +608,7 @@ std::string RuntimeStats::to_json() const {
        << ",\"max_batch_records\":" << durable.max_batch_records
        << ",\"acks\":" << durable.acks
        << ",\"log_failed\":" << (durable.log_failed ? "true" : "false")
+       << ",\"auto_snapshots\":" << durable.auto_snapshots
        << ",\"recovered_snapshot\":"
        << (durable.recovered_snapshot ? "true" : "false")
        << ",\"recovered_records\":" << durable.recovered_records

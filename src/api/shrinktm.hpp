@@ -46,6 +46,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "api/replica.hpp"
 #include "api/shared.hpp"
 #include "api/stats.hpp"
 #include "api/tx.hpp"
@@ -224,6 +225,13 @@ struct RuntimeOptions {
     durable.fault = std::move(plan);
     return *this;
   }
+  /// Auto-snapshot cadence (durable backend): snapshot whenever the
+  /// changelog exceeds `bytes`, bounding recovery replay and replica
+  /// catch-up.  0 disables (explicit Runtime::snapshot() only).
+  RuntimeOptions& with_snapshot_every_bytes(std::uint64_t bytes) {
+    durable.snapshot_every_bytes = bytes;
+    return *this;
+  }
 };
 
 class ThreadHandle;
@@ -312,6 +320,15 @@ class Runtime {
   /// For ephemeral-mode runtimes this is the temp dir that will be removed
   /// at destruction.
   std::string durable_dir() const;
+
+  /// Read-your-writes ticket for followers: the newest commit timestamp
+  /// present in the changelog (including records recovered at cold start).
+  /// Taken after an acknowledged commit, it is >= that commit's timestamp,
+  /// and -- because it names a record that really exists -- a follower's
+  /// wait_until(ticket) completes within ~2 poll intervals instead of
+  /// waiting on a clock value no record may ever carry.  Throws
+  /// std::logic_error on a volatile backend.
+  std::uint64_t commit_ts() const;
 
  private:
   friend class ThreadHandle;

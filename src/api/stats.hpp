@@ -107,6 +107,7 @@ struct RuntimeStats {
     std::uint64_t acks = 0;            ///< commits acknowledged durable
     util::HdrHistogram ack;            ///< ack-wait latency (ns)
     bool log_failed = false;           ///< changelog poisoned (fail-stop)
+    std::uint64_t auto_snapshots = 0;  ///< cadence-triggered snapshots
     // Cold-start recovery of this runtime (durable::RecoveryInfo excerpt).
     bool recovered_snapshot = false;
     std::uint64_t recovered_records = 0;

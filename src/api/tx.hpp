@@ -1,6 +1,6 @@
 // api::Tx -- the backend-agnostic view of an in-flight transaction attempt.
 //
-// Thin: three descriptor pointers (exactly one non-null) plus the runner's
+// Thin: four descriptor pointers (exactly one non-null) plus the runner's
 // deferred-action list.  Every accessor is one branch on the tag and a
 // direct (non-virtual) call into the concrete descriptor, so the read/write
 // hot path compiles to the same code as driving the backend directly; the
@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "durable/backend.hpp"
+#include "replica/tx.hpp"
 #include "stm/actions.hpp"
 #include "stm/swiss.hpp"
 #include "stm/tiny.hpp"
@@ -45,13 +46,15 @@ class Tx {
   decltype(auto) dispatch(F&& f) {
     if (tiny_ != nullptr) return f(*tiny_);
     if (swiss_ != nullptr) return f(*swiss_);
-    return f(*durable_);
+    if (durable_ != nullptr) return f(*durable_);
+    return f(*replica_);
   }
   template <typename F>
   decltype(auto) dispatch(F&& f) const {
     if (tiny_ != nullptr) return f(*tiny_);
     if (swiss_ != nullptr) return f(*swiss_);
-    return f(*durable_);
+    if (durable_ != nullptr) return f(*durable_);
+    return f(*replica_);
   }
 
  public:
@@ -59,11 +62,19 @@ class Tx {
   /// deferred-action list; a null actions pointer (bare descriptor views in
   /// erasure-boundary tests) rejects on_commit/on_abort registration.
   explicit Tx(stm::TinyTx& tx, stm::TxActions* actions = nullptr)
-      : tiny_(&tx), swiss_(nullptr), durable_(nullptr), actions_(actions) {}
+      : tiny_(&tx), swiss_(nullptr), durable_(nullptr), replica_(nullptr),
+        actions_(actions) {}
   explicit Tx(stm::SwissTx& tx, stm::TxActions* actions = nullptr)
-      : tiny_(nullptr), swiss_(&tx), durable_(nullptr), actions_(actions) {}
+      : tiny_(nullptr), swiss_(&tx), durable_(nullptr), replica_(nullptr),
+        actions_(actions) {}
   explicit Tx(durable::DurableTx& tx, stm::TxActions* actions = nullptr)
-      : tiny_(nullptr), swiss_(nullptr), durable_(&tx), actions_(actions) {}
+      : tiny_(nullptr), swiss_(nullptr), durable_(&tx), replica_(nullptr),
+        actions_(actions) {}
+  /// Read-only view over a follower descriptor (api::ReplicaRuntime):
+  /// store/tx_alloc/tx_free raise stm::TxReadOnlyError.
+  explicit Tx(replica::ReplicaTx& tx, stm::TxActions* actions = nullptr)
+      : tiny_(nullptr), swiss_(nullptr), durable_(nullptr), replica_(&tx),
+        actions_(actions) {}
 
   // ---- typed accessors (the user-facing surface) ----
 
@@ -180,9 +191,9 @@ class Tx {
   /// User-requested restart of the current attempt.
   [[noreturn]] void restart() {
     dispatch([](auto& t) { t.restart(); });
-    // Both backends' restart() throw TxConflict; if one ever stops being
-    // [[noreturn]] this fails loudly instead of dispatching into a null
-    // descriptor.
+    // Every descriptor's restart() throws TxConflict; if one ever stops
+    // being [[noreturn]] this fails loudly instead of dispatching into a
+    // null descriptor.
     std::abort();
   }
 
@@ -203,6 +214,7 @@ class Tx {
   stm::TinyTx* tiny_;
   stm::SwissTx* swiss_;
   durable::DurableTx* durable_;
+  replica::ReplicaTx* replica_;
   stm::TxActions* actions_;
 };
 

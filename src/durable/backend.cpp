@@ -12,8 +12,9 @@
 namespace shrinktm::durable {
 
 namespace {
-constexpr const char* kLogFile = "changelog.shtm";
-constexpr const char* kSnapFile = "snapshot.shtm";
+// Shared with recovery and the replica tailer (durable/log_format.hpp).
+constexpr const char* kLogFile = kLogFileName;
+constexpr const char* kSnapFile = kSnapFileName;
 }  // namespace
 
 DurableBackend::DurableBackend(DurableOptions opts, stm::StmConfig cfg)
@@ -53,9 +54,19 @@ DurableBackend::DurableBackend(DurableOptions opts, stm::StmConfig cfg)
   lcfg.max_batch_records = opts_.max_batch_records;
   lcfg.fsync = opts_.sync != SyncMode::kNone;
   changelog_ = std::make_unique<Changelog>(std::move(lcfg), fault_);
+  if (opts_.snapshot_every_bytes > 0)
+    auto_snap_thread_ = std::thread([this] { auto_snapshot_loop(); });
 }
 
 DurableBackend::~DurableBackend() {
+  if (auto_snap_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> g(auto_snap_mu_);
+      auto_snap_stop_ = true;
+    }
+    auto_snap_cv_.notify_all();
+    auto_snap_thread_.join();
+  }
   changelog_.reset();  // join the writer thread before anything else dies
   if (ephemeral_) {
     std::error_code ec;
@@ -156,6 +167,29 @@ std::uint64_t DurableBackend::snapshot() {
     throw stm::TxDurabilityError(-1, changelog_->failure_reason());
   snapshot_ts_ = ts;
   return ts;
+}
+
+void DurableBackend::auto_snapshot_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(auto_snap_mu_);
+      auto_snap_cv_.wait_for(lk, std::chrono::milliseconds(10),
+                             [&] { return auto_snap_stop_; });
+      if (auto_snap_stop_) return;
+    }
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(dir_ + "/" + kLogFile, ec);
+    if (ec || size < opts_.snapshot_every_bytes) continue;
+    try {
+      snapshot();
+      auto_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const stm::TxDurabilityError&) {
+      // Fail-stop: the log is poisoned (commits are already failing loudly)
+      // or the image write failed with the log intact.  Either way, stop
+      // the cadence; the last durable snapshot stays valid.
+      return;
+    }
+  }
 }
 
 std::pair<util::HdrHistogram, std::uint64_t> DurableBackend::ack_histogram()

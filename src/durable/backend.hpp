@@ -32,12 +32,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -139,12 +141,19 @@ class DurableBackend final : public stm::WriteOracle {
   /// acknowledgment wait) and total acknowledged commits.
   std::pair<util::HdrHistogram, std::uint64_t> ack_histogram() const;
 
+  /// Snapshots taken by the auto-cadence thread
+  /// (DurableOptions::snapshot_every_bytes).
+  std::uint64_t auto_snapshots() const {
+    return auto_snapshots_.load(std::memory_order_relaxed);
+  }
+
   static constexpr bool kBackendHasKill = false;
 
  private:
   friend class DurableTx;
 
   void recover();
+  void auto_snapshot_loop();
 
   stm::StmConfig cfg_;
   DurableOptions opts_;
@@ -166,6 +175,16 @@ class DurableBackend final : public stm::WriteOracle {
   /// the region and truncating the log.
   std::shared_mutex commit_gate_;
   std::uint64_t snapshot_ts_ = 0;  ///< ts of the newest on-disk image
+
+  // Auto-snapshot cadence (opts_.snapshot_every_bytes > 0): a dedicated
+  // thread polls the log size and calls snapshot() past the threshold.  It
+  // cannot run on the group-commit writer (snapshot() flushes, which waits
+  // on that writer) nor inside commit() (the gate is held shared there).
+  std::thread auto_snap_thread_;
+  std::mutex auto_snap_mu_;
+  std::condition_variable auto_snap_cv_;
+  bool auto_snap_stop_ = false;
+  std::atomic<std::uint64_t> auto_snapshots_{0};
 
   mutable std::mutex reg_mutex_;
   std::vector<std::unique_ptr<DurableTx>> descs_;

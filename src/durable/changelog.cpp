@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "durable/log_reader.hpp"
 #include "stm/word.hpp"
 
 namespace shrinktm::durable {
@@ -32,22 +33,6 @@ bool write_fully(int fd, const unsigned char* p, std::size_t n) {
     n -= static_cast<std::size_t>(w);
   }
   return true;
-}
-
-/// read(2) until `n` bytes or EOF; returns bytes read (-1 on error).
-ssize_t read_fully(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<unsigned char*>(buf);
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, p + got, n - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (r == 0) break;
-    got += static_cast<std::size_t>(r);
-  }
-  return static_cast<ssize_t>(got);
 }
 
 std::string dirname_of(const std::string& path) {
@@ -111,6 +96,7 @@ std::uint64_t Changelog::append(std::span<const RedoWord> words,
 
   std::lock_guard<std::mutex> g(mu_);
   const std::uint64_t seq = ++appended_seq_;
+  if (commit_ts > max_appended_ts_) max_appended_ts_ = commit_ts;
   if (failed_) return seq;  // dropped; wait_durable(seq) will throw
   const auto* h = reinterpret_cast<const unsigned char*>(&hdr);
   pending_.insert(pending_.end(), h, h + sizeof(hdr));
@@ -167,6 +153,11 @@ std::string Changelog::failure_reason() const {
 ChangelogCounters Changelog::counters() const {
   std::lock_guard<std::mutex> g(mu_);
   return counters_;
+}
+
+std::uint64_t Changelog::max_appended_ts() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return max_appended_ts_;
 }
 
 void Changelog::writer_loop() {
@@ -244,51 +235,29 @@ Changelog::ScanResult Changelog::replay(
     const std::string& path, std::uint64_t min_ts_exclusive,
     const std::function<void(std::uint64_t, const RedoWord*, std::size_t)>&
         apply) {
+  // One iterator serves recovery, the replica tailer and the format tests;
+  // this wrapper maps its statuses onto the recovery vocabulary: a missing,
+  // empty or cleanly-ended file is not torn, anything else trailing is.
   ScanResult r;
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return r;  // no log: scans as empty
-  LogFileHeader hdr;
-  const ssize_t got = read_fully(fd, &hdr, sizeof(hdr));
-  if (got != sizeof(hdr) || hdr.magic != kLogMagic ||
-      hdr.version != kFormatVersion) {
-    // Unreadable header (torn creation): the whole file is invalid.
-    r.torn = got != 0;
-    ::close(fd);
+  LogReader reader(LogReader::Config{path, /*buffer_bytes=*/std::size_t{64} *
+                                               1024});
+  for (;;) {
+    LogReader::Record rec;
+    const LogReader::Status st = reader.next(rec);
+    if (st == LogReader::Status::kRecord) {
+      ++r.records;
+      r.last_ts = std::max(r.last_ts, rec.commit_ts);
+      if (rec.commit_ts > min_ts_exclusive) {
+        ++r.replayed;
+        apply(rec.commit_ts, rec.words, rec.count);
+      }
+      continue;
+    }
+    r.torn = st == LogReader::Status::kPartial ||
+             st == LogReader::Status::kBadHeader;
+    r.valid_bytes = reader.offset();
     return r;
   }
-  r.valid_bytes = sizeof(hdr);
-  std::vector<RedoWord> payload;
-  for (;;) {
-    RecordHeader rec;
-    const ssize_t n = read_fully(fd, &rec, sizeof(rec));
-    if (n == 0) break;  // clean end
-    if (n != sizeof(rec)) {
-      r.torn = true;
-      break;
-    }
-    // A corrupt count could demand gigabytes; anything outsized is torn.
-    if (rec.count > (1u << 24)) {
-      r.torn = true;
-      break;
-    }
-    payload.resize(rec.count);
-    const std::size_t want = std::size_t{rec.count} * sizeof(RedoWord);
-    if (read_fully(fd, payload.data(), want) !=
-            static_cast<ssize_t>(want) ||
-        record_crc(rec.count, rec.commit_ts, payload.data()) != rec.crc) {
-      r.torn = true;
-      break;
-    }
-    ++r.records;
-    r.last_ts = std::max(r.last_ts, rec.commit_ts);
-    if (rec.commit_ts > min_ts_exclusive) {
-      ++r.replayed;
-      apply(rec.commit_ts, payload.data(), payload.size());
-    }
-    r.valid_bytes += sizeof(rec) + want;
-  }
-  ::close(fd);
-  return r;
 }
 
 bool Changelog::truncate_to(const std::string& path,

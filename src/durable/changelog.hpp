@@ -91,6 +91,13 @@ class Changelog {
 
   ChangelogCounters counters() const;
 
+  /// Max commit_ts ever append()ed to this log (0 before the first record).
+  /// This is a timestamp that genuinely exists in the file, which makes it
+  /// the correct read-your-writes ticket for replica::wait_until -- unlike
+  /// the raw clock, which ticks on validation aborts that never produce a
+  /// record and would leave a follower waiting for a phantom.
+  std::uint64_t max_appended_ts() const;
+
   // ---- cold-file recovery helpers ----
 
   struct ScanResult {
@@ -132,6 +139,7 @@ class Changelog {
   std::uint64_t pending_records_ = 0;
   std::uint64_t appended_seq_ = 0;
   std::uint64_t durable_seq_ = 0;
+  std::uint64_t max_appended_ts_ = 0;
   bool failed_ = false;
   std::string fail_reason_;
   bool stop_ = false;

@@ -36,6 +36,12 @@ inline constexpr std::uint64_t kLogMagic = 0x31474F4C4D544853ull;   // "SHTMLOG1
 inline constexpr std::uint64_t kSnapMagic = 0x31504E534D544853ull;  // "SHTMSNP1"
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// File names inside a durable directory.  Shared by the backend (writer),
+/// recovery, and the replica tailer (a read-only consumer in another
+/// process).
+inline constexpr const char* kLogFileName = "changelog.shtm";
+inline constexpr const char* kSnapFileName = "snapshot.shtm";
+
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the same polynomial zlib uses.
 /// Table built once; chainable via `seed` for multi-buffer checksums.
 inline std::uint32_t crc32(const void* data, std::size_t len,

@@ -1,0 +1,127 @@
+#include "durable/log_reader.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace shrinktm::durable {
+
+namespace {
+
+/// pread until `n` bytes or EOF; returns bytes read (-1 on error).
+ssize_t pread_fully(int fd, void* buf, std::size_t n, std::uint64_t off) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r =
+        ::pread(fd, p + got, n - got, static_cast<off_t>(off + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+LogReader::LogReader(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.buffer_bytes < sizeof(RecordHeader))
+    cfg_.buffer_bytes = sizeof(RecordHeader);
+}
+
+LogReader::~LogReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool LogReader::ensure_open() {
+  if (fd_ >= 0) return true;
+  fd_ = ::open(cfg_.path.c_str(), O_RDONLY | O_CLOEXEC);
+  return fd_ >= 0;
+}
+
+std::size_t LogReader::fill(std::size_t n) {
+  const std::size_t have = buf_len_ - buf_pos_;
+  if (have >= n) return have;
+  // Compact the unconsumed tail to the front, then top up with one pread.
+  if (buf_pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + buf_pos_, have);
+    buf_pos_ = 0;
+    buf_len_ = have;
+  }
+  if (buf_.size() < n) buf_.resize(n);
+  if (buf_.size() < cfg_.buffer_bytes) buf_.resize(cfg_.buffer_bytes);
+  const ssize_t got = pread_fully(fd_, buf_.data() + buf_len_,
+                                  buf_.size() - buf_len_, offset_ + buf_len_);
+  if (got > 0) buf_len_ += static_cast<std::size_t>(got);
+  return buf_len_;
+}
+
+LogReader::Status LogReader::next(Record& out) {
+  if (!ensure_open()) return Status::kNoFile;
+  if (!header_ok_) {
+    LogFileHeader hdr;
+    const ssize_t got = pread_fully(fd_, &hdr, sizeof(hdr), 0);
+    if (got == 0) return Status::kEnd;  // created but not yet headered
+    if (got != sizeof(hdr) || hdr.magic != kLogMagic ||
+        hdr.version != kFormatVersion)
+      return Status::kBadHeader;
+    header_ok_ = true;
+    offset_ = sizeof(hdr);
+  }
+  // Drop on non-consuming exit so the next call re-reads the file: the
+  // writer may have completed a record that was mid-append this time.
+  const auto stop = [this](Status s) {
+    buf_pos_ = 0;
+    buf_len_ = 0;
+    return s;
+  };
+  if (fill(sizeof(RecordHeader)) == 0) return stop(Status::kEnd);
+  if (buf_len_ - buf_pos_ < sizeof(RecordHeader)) return stop(Status::kPartial);
+  RecordHeader rec;
+  std::memcpy(&rec, buf_.data() + buf_pos_, sizeof(rec));
+  // A corrupt count could demand gigabytes; anything outsized is torn.
+  if (rec.count > (1u << 24)) return stop(Status::kPartial);
+  const std::size_t payload = std::size_t{rec.count} * sizeof(RedoWord);
+  const std::size_t want = sizeof(rec) + payload;
+  if (fill(want) < want) return stop(Status::kPartial);
+  const auto* words =
+      reinterpret_cast<const RedoWord*>(buf_.data() + buf_pos_ + sizeof(rec));
+  if (record_crc(rec.count, rec.commit_ts, words) != rec.crc)
+    return stop(Status::kPartial);
+  out.commit_ts = rec.commit_ts;
+  out.words = words;
+  out.count = rec.count;
+  out.offset = offset_;
+  buf_pos_ += want;
+  offset_ += want;
+  return Status::kRecord;
+}
+
+bool LogReader::shrank() const {
+  if (fd_ < 0) return false;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return false;
+  return static_cast<std::uint64_t>(st.st_size) < offset_;
+}
+
+void LogReader::rewind() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  header_ok_ = false;
+  offset_ = 0;
+  buf_pos_ = 0;
+  buf_len_ = 0;
+}
+
+bool LogReader::read_at(std::uint64_t off, void* buf, std::size_t len) const {
+  if (fd_ < 0) return false;
+  return pread_fully(fd_, buf, len, off) == static_cast<ssize_t>(len);
+}
+
+}  // namespace shrinktm::durable

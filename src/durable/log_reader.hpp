@@ -1,0 +1,100 @@
+// LogReader: the one CRC/torn-tail record iterator over a changelog file.
+//
+// Three consumers share it: cold-start recovery (Changelog::replay), the
+// replica tailer (src/replica/tailer.hpp), and the format tests.  The reader
+// is incremental -- next() yields one verified record at a time past an
+// internal cursor -- so a tailer can poll a file that a live leader is still
+// appending to, and it is buffered (pread into a grow-on-demand buffer) so
+// records spanning a read-buffer boundary are reassembled transparently.
+//
+// The tail of a live or crashed log is never trusted: next() stops at the
+// first short header, outsized count, short payload or CRC mismatch and
+// reports kPartial without consuming anything.  A recovery caller treats
+// kPartial as a torn tail to truncate; a tailer treats it as an in-flight
+// append and polls again -- the unconsumed bytes are dropped from the buffer
+// so the next call re-reads them fresh from the file, where the leader may
+// have completed the record by then.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durable/log_format.hpp"
+
+namespace shrinktm::durable {
+
+class LogReader {
+ public:
+  struct Config {
+    std::string path;
+    /// Initial pread granularity; grown automatically when one record is
+    /// larger.  Tests shrink it to force records across refill boundaries.
+    std::size_t buffer_bytes = std::size_t{64} * 1024;
+  };
+
+  enum class Status {
+    kRecord,     ///< `out` holds one verified record; the cursor advanced
+    kEnd,        ///< clean end: the cursor sits exactly at end-of-file
+    kPartial,    ///< trailing bytes do not (yet) form a valid record
+    kNoFile,     ///< the file does not exist (or cannot be opened)
+    kBadHeader,  ///< the file exists but its LogFileHeader is short/invalid
+  };
+
+  /// One verified record.  `words` points into the reader's buffer and is
+  /// valid only until the next call on this reader.
+  struct Record {
+    std::uint64_t commit_ts = 0;
+    const RedoWord* words = nullptr;
+    std::uint32_t count = 0;
+    std::uint64_t offset = 0;  ///< file offset of this record's RecordHeader
+  };
+
+  explicit LogReader(Config cfg);
+  ~LogReader();
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Advance past the next record if one fully and validly exists.  Only
+  /// kRecord consumes; every other status leaves the cursor in place (and
+  /// drops buffered lookahead, so the next call re-reads the file).
+  Status next(Record& out);
+
+  /// File offset of the first unconsumed byte (0 until the LogFileHeader
+  /// validates, then sizeof(LogFileHeader) + all consumed records).
+  std::uint64_t offset() const { return offset_; }
+
+  /// Whether the file is currently SMALLER than offset() -- the unmistakable
+  /// sign that the writer truncated it (snapshot or torn-tail recovery)
+  /// since we consumed that prefix.  false when the file cannot be stat'ed.
+  bool shrank() const;
+
+  /// Forget all progress: the next next() revalidates the header and scans
+  /// from the top.  Reopens the file (a truncate keeps the inode, but a
+  /// rebuild should not depend on that).
+  void rewind();
+
+  /// pread `len` bytes at absolute offset `off`; true only if all `len`
+  /// arrived.  For cursor-independent spot checks (the tailer re-verifies
+  /// the last applied record's header to detect a rewritten log).
+  bool read_at(std::uint64_t off, void* buf, std::size_t len) const;
+
+ private:
+  bool ensure_open();
+  /// Make >= n bytes available at the cursor; returns bytes available
+  /// (may be < n at end of data).
+  std::size_t fill(std::size_t n);
+
+  Config cfg_;
+  int fd_ = -1;
+  bool header_ok_ = false;
+  std::uint64_t offset_ = 0;  ///< file offset of first unconsumed byte
+
+  std::vector<unsigned char> buf_;
+  std::size_t buf_pos_ = 0;  ///< cursor within buf_
+  std::size_t buf_len_ = 0;  ///< valid bytes in buf_
+};
+
+}  // namespace shrinktm::durable

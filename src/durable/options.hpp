@@ -64,6 +64,15 @@ struct DurableOptions {
   /// Ack semantics (see SyncMode).
   SyncMode sync = SyncMode::kGroupCommit;
 
+  /// Auto-snapshot cadence: when nonzero, a background thread calls
+  /// snapshot() whenever changelog.shtm exceeds this many bytes, bounding
+  /// recovery replay length (and replica catch-up) by roughly this much log
+  /// plus one in-flight batch.  0 (default) = snapshots only on explicit
+  /// Runtime::snapshot() calls.  A failed auto-snapshot is fail-stop like
+  /// any durability error: the failure is recorded and the cadence stops
+  /// (the log itself is poisoned in every failure mode that matters).
+  std::uint64_t snapshot_every_bytes = 0;
+
   /// Fault plan for crash/error injection; null = FaultPlan::from_env()
   /// (armed only if $SHRINKTM_FAULT is set).
   std::shared_ptr<FaultPlan> fault;

@@ -1,0 +1,150 @@
+// Applier: the follower's Region plus the synchronisation that makes reads
+// of it prefix-consistent.
+//
+// One writer (the tailer, driven by FollowerRuntime's apply thread) and many
+// readers (follower transactions) share the Region through a shared_mutex
+// read gate: the writer applies a bounded batch of whole redo records under
+// an exclusive hold, readers run whole transactions under shared holds.
+// Since each record is a complete committed leader transaction and batches
+// are applied in file order, every shared hold observes exactly "the leader's
+// region after some causally-closed prefix of its changelog" -- never a torn
+// transaction.
+//
+// Progress is published through two relaxed counters waiters can block on:
+//
+//   applied_ts -- max commit timestamp applied so far.  Retreats only on a
+//     rebuild (leader crash discarded unacknowledged records the follower
+//     had speculatively applied from the page cache; acknowledged commits
+//     are fsynced and always survive).
+//   drains     -- completed catch-up passes (tailer consumed the changelog
+//     through to EOF/torn-tail).  Two full drains after a call guarantee
+//     every record the leader had appended before the call is applied,
+//     which is what wait_until()'s read-your-writes barrier counts.
+//
+// version bumps on every publish/reset and drives the retry-park of
+// follower transactions (wake whenever new state might satisfy the body;
+// idle drains wake wait_until but leave parked retries asleep).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+
+#include "durable/log_format.hpp"
+#include "durable/region.hpp"
+
+namespace shrinktm::replica {
+
+class Applier {
+ public:
+  explicit Applier(std::size_t region_words) : region_(region_words) {}
+
+  Applier(const Applier&) = delete;
+  Applier& operator=(const Applier&) = delete;
+
+  durable::Region& region() { return region_; }
+  const durable::Region& region() const { return region_; }
+
+  /// The read gate.  Readers: shared for the span of one transaction
+  /// attempt.  The tailer: exclusive per applied batch / rebuild.
+  std::shared_mutex& gate() { return gate_; }
+
+  std::uint64_t applied_ts() const {
+    return applied_ts_.load(std::memory_order_acquire);
+  }
+  std::uint64_t drains() const {
+    return drains_.load(std::memory_order_acquire);
+  }
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // ---- tailer side (gate held exclusively) ----
+
+  /// Store one record's words into the region; offsets beyond the region
+  /// (leader/follower size mismatch) are dropped, counted by the caller.
+  /// Plain stores: the exclusive gate is the happens-before edge to readers.
+  std::size_t apply(const durable::RedoWord* words, std::size_t count) {
+    std::size_t dropped = 0;
+    stm::Word* base = region_.base();
+    const std::size_t n = region_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (words[i].offset >= n) {
+        ++dropped;
+        continue;
+      }
+      base[words[i].offset] = static_cast<stm::Word>(words[i].value);
+    }
+    return dropped;
+  }
+
+  /// Wipe the region for a rebuild (snapshot reload + full rescan follows).
+  void clear() { std::memset(region_.base(), 0, region_.bytes()); }
+
+  /// Raise applied_ts to `ts` (monotone) and wake waiters.
+  void publish(std::uint64_t ts) {
+    std::uint64_t cur = applied_ts_.load(std::memory_order_relaxed);
+    applied_ts_.store(std::max(cur, ts), std::memory_order_release);
+    bump();
+  }
+
+  /// Rebuild landed: applied_ts may legitimately retreat (see file comment).
+  void reset(std::uint64_t ts) {
+    applied_ts_.store(ts, std::memory_order_release);
+    bump();
+  }
+
+  /// A catch-up pass consumed the changelog through to its current end.
+  /// Wakes waiters (wait_until counts drains) but does NOT bump version:
+  /// an idle drain is not new state, and bumping would turn every parked
+  /// tx.retry() into a poll-interval spin (and make retry_for timeouts
+  /// depend on the apply thread stalling past the deadline).
+  void note_drain() {
+    {
+      std::lock_guard lk(wait_mu_);
+      drains_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    wait_cv_.notify_all();
+  }
+
+  // ---- waiter side ----
+
+  /// Block until pred() (which must read only this Applier's counters) holds
+  /// or `timeout_ns` elapses; negative timeout = wait forever.  Returns the
+  /// final pred() value.
+  template <typename Pred>
+  bool wait(Pred pred, std::int64_t timeout_ns) {
+    std::unique_lock lk(wait_mu_);
+    if (timeout_ns < 0) {
+      wait_cv_.wait(lk, pred);
+      return true;
+    }
+    return wait_cv_.wait_for(lk, std::chrono::nanoseconds(timeout_ns), pred);
+  }
+
+ private:
+  void bump() {
+    {
+      // Empty critical section: pairs the counter stores with waiters'
+      // pred() evaluation under wait_mu_ so no wakeup is lost.
+      std::lock_guard lk(wait_mu_);
+      version_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    wait_cv_.notify_all();
+  }
+
+  durable::Region region_;
+  std::shared_mutex gate_;
+  std::atomic<std::uint64_t> applied_ts_{0};
+  std::atomic<std::uint64_t> drains_{0};
+  std::atomic<std::uint64_t> version_{0};
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace shrinktm::replica

@@ -1,0 +1,198 @@
+#include "replica/follower.hpp"
+
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "stm/raw.hpp"
+
+namespace shrinktm::replica {
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+FollowerRuntime::FollowerRuntime(ReplicaOptions opts)
+    : opts_(std::move(opts)), applier_(opts_.region_words), tailer_(opts_) {
+  if (opts_.dir.empty())
+    throw std::invalid_argument(
+        "replica::FollowerRuntime: ReplicaOptions::dir must name the "
+        "leader's durable directory");
+  // Synchronous bootstrap: one full catch-up pass before any reader or the
+  // background thread exists, so a fresh follower never serves a pre-
+  // bootstrap (all-zero) region unless the leader's directory is empty too.
+  tailer_.poll(applier_);
+  applier_.note_drain();
+  apply_thread_ = std::thread([this] { apply_loop(); });
+}
+
+FollowerRuntime::~FollowerRuntime() {
+  {
+    std::lock_guard lk(stop_mu_);
+    stop_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  // Wake anything parked in park_until_apply/wait_until so user threads can
+  // unwind (destroying a follower under live readers is still a user error,
+  // but hanging them forever helps nobody).
+  applier_.publish(applier_.applied_ts());
+  if (apply_thread_.joinable()) apply_thread_.join();
+}
+
+void FollowerRuntime::apply_loop() {
+  for (;;) {
+    {
+      std::unique_lock lk(stop_mu_);
+      if (stop_) return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t applied = tailer_.poll(applier_);
+    if (applied > 0) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      std::lock_guard lk(hist_mu_);
+      apply_hist_.add(static_cast<std::uint64_t>(ns));
+    }
+    sample_probe();
+    applier_.note_drain();
+    std::unique_lock lk(stop_mu_);
+    stop_cv_.wait_for(lk, std::chrono::microseconds(opts_.poll_interval_us),
+                      [this] { return stop_; });
+    if (stop_) return;
+  }
+}
+
+void FollowerRuntime::sample_probe() {
+  if (opts_.lag_probe_offset >= applier_.region().size()) return;
+  const stm::Word v =
+      stm::raw_load(applier_.region().word(opts_.lag_probe_offset));
+  if (v == 0 || v == last_probe_value_) return;
+  last_probe_value_ = v;
+  const std::int64_t lag = steady_now_ns() - static_cast<std::int64_t>(v);
+  if (lag < 0) return;  // clocks raced; drop the sample
+  std::lock_guard lk(hist_mu_);
+  lag_hist_.add(static_cast<std::uint64_t>(lag));
+  last_probe_lag_ns_ = lag;
+}
+
+ReplicaLag FollowerRuntime::lag() const {
+  ReplicaLag l;
+  l.bytes = tailer_.lag_bytes();
+  std::lock_guard lk(hist_mu_);
+  l.probe_ns = last_probe_lag_ns_;
+  return l;
+}
+
+bool FollowerRuntime::wait_until(std::uint64_t ts, std::int64_t timeout_ns) {
+  const std::uint64_t d0 = applier_.drains();
+  return applier_.wait(
+      [&] {
+        return applier_.drains() >= d0 + 2 && applier_.applied_ts() >= ts;
+      },
+      timeout_ns);
+}
+
+bool FollowerRuntime::park_until_apply(std::uint64_t seen_version,
+                                       std::int64_t timeout_ns) {
+  return applier_.wait(
+      [&] {
+        return applier_.version() != seen_version ||
+               stopping_.load(std::memory_order_acquire);
+      },
+      timeout_ns);
+}
+
+int FollowerRuntime::attach_tid() {
+  std::lock_guard lk(tid_mutex_);
+  if (tid_used_.empty()) tid_used_.assign(opts_.max_threads, false);
+  if (slots_.empty()) slots_.resize(opts_.max_threads);
+  for (std::size_t t = 0; t < tid_used_.size(); ++t) {
+    if (tid_used_[t]) continue;
+    tid_used_[t] = true;
+    if (slots_[t] == nullptr)
+      slots_[t] = std::make_unique<TidSlot>(static_cast<int>(t));
+    return static_cast<int>(t);
+  }
+  throw std::runtime_error(
+      "replica::FollowerRuntime: out of thread slots (" +
+      std::to_string(opts_.max_threads) + ")");
+}
+
+void FollowerRuntime::detach_tid(int tid) {
+  std::lock_guard lk(tid_mutex_);
+  tid_used_[static_cast<std::size_t>(tid)] = false;
+}
+
+ReplicaStats FollowerRuntime::stats() const {
+  ReplicaStats s;
+  s.applied_ts = applier_.applied_ts();
+  s.lag_bytes = tailer_.lag_bytes();
+  s.drains = applier_.drains();
+  s.batches = tailer_.batches();
+  s.records = tailer_.records_applied();
+  s.rebuilds = tailer_.rebuilds();
+  s.snapshot_loads = tailer_.snapshot_loads();
+  s.truncations = tailer_.truncations();
+  s.dropped_words = tailer_.dropped_words();
+  {
+    std::lock_guard lk(hist_mu_);
+    s.apply_ns = apply_hist_;
+    s.lag_ns = lag_hist_;
+    s.lag_probe_ns = last_probe_lag_ns_;
+  }
+  {
+    std::lock_guard lk(tid_mutex_);
+    for (const auto& sp : slots_) {
+      if (sp == nullptr) continue;
+      s.attempts += sp->attempts;
+      s.commits += sp->commits;
+      s.restarts += sp->restarts;
+      s.retry_waits += sp->retry_waits;
+      s.retry_timeouts += sp->retry_timeouts;
+      s.cancels += sp->cancels;
+      s.reads += sp->tx.reads();
+    }
+  }
+  return s;
+}
+
+std::string ReplicaStats::to_json() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  auto digest = [&os](const char* name, const util::HdrHistogram& h) {
+    os << "\"" << name << "\":{\"count\":" << h.total()
+       << ",\"mean_ns\":" << h.mean()
+       << ",\"p50_ns\":" << h.value_at_quantile(0.50)
+       << ",\"p99_ns\":" << h.value_at_quantile(0.99)
+       << ",\"p999_ns\":" << h.value_at_quantile(0.999)
+       << ",\"max_ns\":" << h.max_value() << "}";
+  };
+  os << "{\"applied_ts\":" << applied_ts << ",\"lag_bytes\":" << lag_bytes
+     << ",\"lag_probe_ns\":" << lag_probe_ns << ",\"drains\":" << drains
+     << ",\"batches\":" << batches << ",\"records\":" << records
+     << ",\"rebuilds\":" << rebuilds << ",\"snapshot_loads\":" << snapshot_loads
+     << ",\"truncations\":" << truncations
+     << ",\"dropped_words\":" << dropped_words << ",\"attempts\":" << attempts
+     << ",\"commits\":" << commits << ",\"restarts\":" << restarts
+     << ",\"retry_waits\":" << retry_waits
+     << ",\"retry_timeouts\":" << retry_timeouts << ",\"cancels\":" << cancels
+     << ",\"conserved\":"
+     << (attempts == commits + restarts + retry_waits + cancels ? "true"
+                                                                : "false")
+     << ",\"reads\":" << reads << ",";
+  digest("apply", apply_ns);
+  os << ",";
+  digest("lag", lag_ns);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace shrinktm::replica

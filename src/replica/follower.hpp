@@ -1,0 +1,137 @@
+// FollowerRuntime: a live read-only replica of a leader's durable directory.
+//
+// Construction bootstraps the follower synchronously (snapshot image + full
+// changelog scan), then a dedicated apply thread keeps it live: every
+// poll_interval_us it runs one ChangelogTailer catch-up pass, samples the
+// lag probe, and publishes a drain.  Follower transactions (ReplicaTx) read
+// the region under the Applier's shared gate and therefore always observe a
+// prefix-consistent snapshot of the leader's history; docs/REPLICATION.md
+// states the exact guarantees.
+//
+// This class is the mechanism layer: thread slots, the park/wake plumbing
+// for tx.retry(), the wait_until() barrier, and stats.  The user-facing
+// transaction loop lives in api::ReplicaRuntime (src/api/replica.hpp), which
+// drives it through attach_tid()/slot()/read_gate().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "replica/applier.hpp"
+#include "replica/options.hpp"
+#include "replica/stats.hpp"
+#include "replica/tailer.hpp"
+#include "replica/tx.hpp"
+#include "stm/actions.hpp"
+#include "stm/word.hpp"
+#include "util/stats.hpp"
+
+namespace shrinktm::replica {
+
+/// How far behind the leader this follower currently is.
+struct ReplicaLag {
+  std::uint64_t bytes = 0;    ///< changelog bytes appended, not yet applied
+  std::int64_t probe_ns = -1; ///< newest end-to-end probe sample; -1 = none
+};
+
+class FollowerRuntime {
+ public:
+  /// Opens opts.dir read-only and bootstraps synchronously: when the
+  /// constructor returns, the follower reflects everything the changelog
+  /// held at some point during construction.  Throws std::invalid_argument
+  /// on an empty dir.
+  explicit FollowerRuntime(ReplicaOptions opts);
+  ~FollowerRuntime();
+
+  FollowerRuntime(const FollowerRuntime&) = delete;
+  FollowerRuntime& operator=(const FollowerRuntime&) = delete;
+
+  const ReplicaOptions& options() const { return opts_; }
+  durable::Region& region() { return applier_.region(); }
+
+  /// Max leader commit timestamp applied (may retreat across a rebuild --
+  /// see tailer.hpp).
+  std::uint64_t applied_ts() const { return applier_.applied_ts(); }
+
+  ReplicaLag lag() const;
+
+  /// Read-your-writes barrier.  Blocks until BOTH hold, or `timeout_ns`
+  /// (negative = forever) elapses:
+  ///
+  ///   (a) two full catch-up drains completed after this call -- which
+  ///       guarantees every record the leader had appended (in particular,
+  ///       every commit it had acknowledged) before the call is applied;
+  ///   (b) applied_ts() >= ts.
+  ///
+  /// With ts from Runtime::commit_ts() -- the newest timestamp actually in
+  /// the leader's changelog -- (b) is satisfied by the same drains, so the
+  /// barrier completes in ~2 poll intervals.  An arbitrary ts ahead of the
+  /// leader's log waits for a future commit and may time out.
+  bool wait_until(std::uint64_t ts, std::int64_t timeout_ns);
+
+  ReplicaStats stats() const;
+
+  // ---- transaction plumbing (driven by api::ReplicaRuntime) ----
+
+  /// Per-tid state.  A slot is single-driver while claimed (same contract
+  /// as the leader's descriptors); stats() reads the counters racily.
+  struct TidSlot {
+    explicit TidSlot(int tid) : tx(tid) {}
+    ReplicaTx tx;
+    stm::TxActions actions;
+    bool in_body = false;  ///< flat nesting: a body is on this tid's stack
+    std::uint64_t attempts = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t retry_waits = 0;
+    std::uint64_t retry_timeouts = 0;
+    std::uint64_t cancels = 0;
+  };
+
+  int attach_tid();
+  void detach_tid(int tid);
+  TidSlot& slot(int tid) { return *slots_[static_cast<std::size_t>(tid)]; }
+
+  std::shared_mutex& read_gate() { return applier_.gate(); }
+  std::uint64_t apply_version() const { return applier_.version(); }
+
+  /// Park a retrying transaction until the applier publishes anything past
+  /// `seen_version` (captured BEFORE the attempt ran, so an apply during
+  /// the attempt wakes immediately -- no lost wakeup).  Returns false on
+  /// timeout.  Wakes spuriously on shutdown; the caller's re-execution
+  /// handles it.
+  bool park_until_apply(std::uint64_t seen_version, std::int64_t timeout_ns);
+
+ private:
+  void apply_loop();
+  void sample_probe();
+
+  ReplicaOptions opts_;
+  Applier applier_;
+  ChangelogTailer tailer_;
+
+  // Probe + latency state: written by the apply thread, read by stats()/lag().
+  mutable std::mutex hist_mu_;
+  util::HdrHistogram apply_hist_;
+  util::HdrHistogram lag_hist_;
+  std::int64_t last_probe_lag_ns_ = -1;
+  stm::Word last_probe_value_ = 0;  ///< apply thread only
+
+  mutable std::mutex tid_mutex_;
+  std::vector<bool> tid_used_;
+  std::vector<std::unique_ptr<TidSlot>> slots_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread apply_thread_;
+};
+
+}  // namespace shrinktm::replica

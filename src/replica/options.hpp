@@ -1,0 +1,44 @@
+// Configuration of a read-only follower runtime (src/replica/).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace shrinktm::replica {
+
+struct ReplicaOptions {
+  /// The LEADER's durable directory (changelog.shtm + snapshot.shtm).  The
+  /// follower opens it strictly read-only; leader and follower may be
+  /// different processes on the same host.  Required.
+  std::string dir;
+
+  /// Follower region size in words.  Must equal the leader's
+  /// DurableOptions::region_words: the snapshot image is validated against
+  /// it, and redo offsets beyond it are dropped.
+  std::size_t region_words = std::size_t{1} << 20;
+
+  /// Pause between catch-up polls of the changelog.  Lag under steady load
+  /// is roughly one poll interval plus the leader's group-commit linger.
+  std::uint32_t poll_interval_us = 200;
+
+  /// Records applied per exclusive hold of the read gate: bounds how long a
+  /// catch-up pass can stall follower readers.
+  std::size_t max_batch_records = 4096;
+
+  /// LogReader pread granularity (grown automatically for larger records).
+  std::size_t read_buffer_bytes = std::size_t{64} * 1024;
+
+  /// Region word carrying the leader's lag probe: a writer on the leader
+  /// periodically stores CLOCK_MONOTONIC nanoseconds into this slot, and the
+  /// applier records (now - value) into the lag histogram after each drain
+  /// that changed it -- true end-to-end replication lag, valid because
+  /// std::chrono::steady_clock is machine-wide.  Default: no probe.
+  std::size_t lag_probe_offset = std::numeric_limits<std::size_t>::max();
+
+  /// Thread-slot capacity of the follower (attach() throws once exhausted).
+  std::size_t max_threads = 128;
+};
+
+}  // namespace shrinktm::replica

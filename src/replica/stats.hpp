@@ -1,0 +1,44 @@
+// Observable state of a follower runtime, exposed through
+// api::ReplicaRuntime::stats() and embedded in bench JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace shrinktm::replica {
+
+struct ReplicaStats {
+  // Replication position.
+  std::uint64_t applied_ts = 0;  ///< max leader commit timestamp applied
+  std::uint64_t lag_bytes = 0;   ///< changelog bytes appended, not yet applied
+  std::int64_t lag_probe_ns = -1;  ///< newest probe sample; -1 = no probe yet
+
+  // Apply machinery.
+  std::uint64_t drains = 0;    ///< catch-up passes completed
+  std::uint64_t batches = 0;   ///< exclusive-gate apply batches
+  std::uint64_t records = 0;   ///< leader commit records applied
+  std::uint64_t rebuilds = 0;  ///< re-bootstraps after leader snapshot/crash
+  std::uint64_t snapshot_loads = 0;  ///< snapshot images loaded
+  std::uint64_t truncations = 0;     ///< log-shrink events observed
+  std::uint64_t dropped_words = 0;   ///< redo offsets beyond the region
+
+  // Follower transactions.  Conservation:
+  //   attempts == commits + restarts + retry_waits + cancels.
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t restarts = 0;  ///< explicit tx.restart() re-executions
+  std::uint64_t retry_waits = 0;
+  std::uint64_t retry_timeouts = 0;
+  std::uint64_t cancels = 0;  ///< attempts unwound by a user exception
+  std::uint64_t reads = 0;
+
+  util::HdrHistogram apply_ns;  ///< per-pass apply latency (passes with work)
+  util::HdrHistogram lag_ns;    ///< end-to-end lag probe samples
+
+  /// Same hand-rolled JSON convention as api::RuntimeStats::to_json.
+  std::string to_json() const;
+};
+
+}  // namespace shrinktm::replica

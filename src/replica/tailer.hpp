@@ -1,0 +1,117 @@
+// ChangelogTailer: incremental consumer of a live leader's changelog.
+//
+// Each poll() is one catch-up pass: verify the log we have been consuming is
+// still the log on disk, then gather whole CRC-verified records past the
+// cursor and hand them to the Applier in bounded batches (file I/O outside
+// the read gate, pure memory stores inside it).
+//
+// The hard part is that the leader rewrites the file under us, legally, in
+// two ways:
+//
+//   snapshot: flush + write image + ftruncate the log back to its header.
+//     The file SHRINKS below our cursor -- reader.shrank() catches it.
+//   crash + recovery: the OS page cache let us read appended records the
+//     leader never fsynced; the crash discards them and the reborn leader
+//     appends DIFFERENT records at the same offsets, same file size.
+//     shrank() is blind to this, so the tailer keeps a memo of the last
+//     applied record -- its file offset and full RecordHeader -- and
+//     re-verifies it by pread before every pass.  Any mismatch means the
+//     bytes we applied are no longer the bytes on disk.
+//
+// Either way the response is the same REBUILD: under one exclusive gate
+// hold, zero the region, load the leader's snapshot image, rescan the log
+// from the top applying records with commit_ts > the image's timestamp.
+// Acknowledged leader commits are fsynced before the ack, so they survive
+// both rewrites (in the log or folded into the image) -- a rebuild can only
+// shed speculative, never-acknowledged state.  applied_ts may retreat
+// accordingly; Applier::reset publishes that honestly.
+//
+// Bootstrap is the same rebuild with no memo.  A TOCTOU window exists
+// between the memo check and the batch reads (one poll wide); the per-record
+// CRC plus the next pass's memo check bound the exposure to transiently
+// reading torn bytes, which the CRC rejects.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durable/log_format.hpp"
+#include "durable/log_reader.hpp"
+#include "replica/applier.hpp"
+#include "replica/options.hpp"
+
+namespace shrinktm::replica {
+
+class ChangelogTailer {
+ public:
+  explicit ChangelogTailer(const ReplicaOptions& opts);
+
+  ChangelogTailer(const ChangelogTailer&) = delete;
+  ChangelogTailer& operator=(const ChangelogTailer&) = delete;
+
+  /// One catch-up pass (see file comment).  Returns records applied.  The
+  /// caller owns pacing and must call Applier::note_drain() after each pass;
+  /// only the apply thread may call this.
+  std::size_t poll(Applier& applier);
+
+  // Cumulative counters, readable from any thread (relaxed).
+  std::uint64_t records_applied() const { return rel(records_applied_); }
+  std::uint64_t batches() const { return rel(batches_); }
+  std::uint64_t rebuilds() const { return rel(rebuilds_); }
+  std::uint64_t snapshot_loads() const { return rel(snapshot_loads_); }
+  std::uint64_t truncations() const { return rel(truncations_); }
+  std::uint64_t dropped_words() const { return rel(dropped_words_); }
+
+  /// Changelog bytes appended but not yet applied (file size minus consumed
+  /// cursor, clamped; 0 when the file is missing or mid-rebuild).
+  std::uint64_t lag_bytes() const;
+
+ private:
+  struct Memo {
+    std::uint64_t offset = 0;
+    durable::RecordHeader header{};
+  };
+
+  static std::uint64_t rel(const std::atomic<std::uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  }
+
+  /// Has the on-disk log diverged from the prefix we applied?
+  bool diverged();
+  /// Zero + snapshot + full rescan, one exclusive gate hold.
+  void rebuild(Applier& applier);
+  void remember(const durable::LogReader::Record& rec);
+
+  std::string log_path_;
+  std::string snap_path_;
+  std::size_t max_batch_records_;
+  durable::LogReader reader_;
+
+  bool bootstrapped_ = false;
+  bool have_memo_ = false;
+  Memo memo_;
+
+  // Gather buffers reused across polls (records reference reader_'s buffer
+  // only until the next next(), so words are copied out before the gate).
+  struct GatheredRecord {
+    std::uint64_t commit_ts;
+    std::uint64_t offset;
+    std::uint32_t count;
+    std::size_t word_index;  ///< start within batch_words_
+  };
+  std::vector<GatheredRecord> batch_recs_;
+  std::vector<durable::RedoWord> batch_words_;
+
+  std::atomic<std::uint64_t> consumed_{0};  ///< reader_.offset() after a pass
+  std::atomic<std::uint64_t> records_applied_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<std::uint64_t> snapshot_loads_{0};
+  std::atomic<std::uint64_t> truncations_{0};
+  std::atomic<std::uint64_t> dropped_words_{0};
+};
+
+}  // namespace shrinktm::replica

@@ -1,0 +1,65 @@
+// ReplicaTx: the follower's transaction descriptor.
+//
+// A follower transaction is a pure reader over the replica Region.  It needs
+// none of the STM machinery -- no orecs, no read-set validation, no snapshot
+// extension -- because the FollowerRuntime's read gate (a shared_mutex)
+// already serialises it against the only writer in the process: the applier
+// thread, which takes the gate exclusively per batch.  Every attempt
+// therefore observes a frozen, prefix-consistent image of the leader's
+// region at some applied timestamp, by construction.
+//
+// What remains of the descriptor is the api::Tx dispatch surface: raw
+// acquire loads, loud rejection of every mutating verb (stm::TxReadOnlyError
+// -- a follower that silently accepted writes would diverge from the
+// leader), explicit restart, and the sticky retry-timeout flag the run loop
+// maintains across parked attempts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "stm/raw.hpp"
+#include "stm/word.hpp"
+
+namespace shrinktm::replica {
+
+class ReplicaTx {
+ public:
+  explicit ReplicaTx(int tid) : tid_(tid) {}
+
+  ReplicaTx(const ReplicaTx&) = delete;
+  ReplicaTx& operator=(const ReplicaTx&) = delete;
+
+  /// Plain acquire load; consistency comes from the read gate, not from
+  /// per-word versions.
+  stm::Word load(const stm::Word* addr) {
+    ++reads_;
+    return stm::raw_load(addr);
+  }
+
+  [[noreturn]] void store(stm::Word*, stm::Word) {
+    throw stm::TxReadOnlyError(tid_);
+  }
+  [[noreturn]] void* tx_alloc(std::size_t) { throw stm::TxReadOnlyError(tid_); }
+  [[noreturn]] void tx_free(void*) { throw stm::TxReadOnlyError(tid_); }
+
+  /// User-requested restart: unwind to the run loop, re-execute the body.
+  [[noreturn]] void restart() {
+    throw stm::TxConflict(stm::AbortReason::kExplicit, tid_);
+  }
+
+  int tid() const { return tid_; }
+
+  bool retry_timed_out() const { return retry_timed_out_; }
+  void set_retry_timed_out(bool v) { retry_timed_out_ = v; }
+
+  /// Transactional loads issued through this descriptor (lifetime total).
+  std::uint64_t reads() const { return reads_; }
+
+ private:
+  const int tid_;
+  bool retry_timed_out_ = false;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace shrinktm::replica

@@ -72,6 +72,27 @@ class TxRetryRequested : public std::exception {
   std::int64_t timeout_ns_ = -1;
 };
 
+/// A write attempted on a read-only runtime (replica follower).  Follower
+/// transactions observe a prefix-consistent snapshot of the leader's durable
+/// region but own none of it: store/tx_alloc/tx_free raise this instead of
+/// silently diverging from the leader.  A user error, not a conflict -- the
+/// runner cancels the attempt (no retry) and the exception reaches the
+/// atomically() caller.
+class TxReadOnlyError : public std::logic_error {
+ public:
+  explicit TxReadOnlyError(int tid)
+      : std::logic_error("read-only replica (tid " + std::to_string(tid) +
+                         "): followers cannot write; run the transaction on "
+                         "the leader runtime"),
+        tid_(tid) {}
+
+  /// Thread slot whose transaction attempted the write.
+  int tid() const { return tid_; }
+
+ private:
+  int tid_;
+};
+
 /// Durability failure (durable backend only): the changelog could not make a
 /// commit durable -- an fsync or write failed, injected or real.  Fail-stop
 /// by design: the error carries the first failure's reason, the log is

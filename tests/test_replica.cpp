@@ -1,0 +1,479 @@
+// Changelog-shipping replication properties (src/replica/,
+// api::ReplicaRuntime).
+//
+// The contract under test (docs/REPLICATION.md):
+//
+//   visibility  -- every commit the leader ACKNOWLEDGED becomes visible on a
+//                  follower within bounded lag (here: a generous wall-clock
+//                  deadline on a quiesced log);
+//   consistency -- every follower transaction reads a prefix-consistent
+//                  snapshot: the shared counter always equals the sum of the
+//                  per-thread sequence slots, exactly the recovery atomicity
+//                  invariant applied continuously;
+//   crash       -- followers survive the PR-7 leader crash matrix: a leader
+//                  killed at any durability fault point, then reborn (its
+//                  recovery may truncate a torn tail under the live
+//                  follower), never desyncs the follower;
+//   catch-up    -- a stale/new follower bootstraps across leader snapshots
+//                  and the mid-tail log truncation snapshot() performs;
+//   read-only   -- follower writes raise api::TxReadOnlyError;
+//   blocking    -- tx.retry() on a follower parks until a LEADER commit is
+//                  applied (composable blocking across processes' worth of
+//                  state, same semantics as the leader runtime).
+//
+// Fork discipline (the TSan job runs this binary): every fork() happens
+// while the parent has no live Runtime or ReplicaRuntime -- i.e. no threads
+// -- matching test_recovery.cpp.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+
+namespace shrinktm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kThreads = 4;
+// Region layout (shared with test_recovery): slot 0 = shared op counter;
+// slots 1..kThreads = child per-thread seqs; slot kThreads+1 = parent seq
+// after a leader rebirth; slot 10 = blocking-test flag.
+constexpr std::size_t kParentSlot = kThreads + 1;
+constexpr std::size_t kSeqSlots = kThreads + 2;  // 0..kParentSlot inclusive
+constexpr std::size_t kFlagSlot = 10;
+
+struct TempDir {
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "shrinktm-rep-XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr)
+      throw std::runtime_error("mkdtemp failed");
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+api::RuntimeOptions durable_opts(const std::string& dir) {
+  api::RuntimeOptions o;
+  o.with_log_dir(dir);
+  return o;
+}
+
+bool stats_conserved(const api::ReplicaStats& s) {
+  return s.attempts == s.commits + s.restarts + s.retry_waits + s.cancels;
+}
+
+// ------------------------------------------------------------ child side
+
+/// kThreads threads, `ops` transactions each: every transaction increments
+/// the shared counter and the thread's seq slot, and acks "tid seq" to the
+/// O_APPEND file from on_commit (fires post-fsync on the durable backend).
+bool run_phase(api::Runtime& rt, int ack_fd, int ops) {
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      api::ThreadHandle th = rt.attach();
+      auto shared = rt.durable_region()->slot<std::int64_t>(0);
+      auto mine = rt.durable_region()->slot<std::int64_t>(
+          static_cast<std::size_t>(t) + 1);
+      for (int i = 0; i < ops && !failed.load(std::memory_order_relaxed);
+           ++i) {
+        try {
+          atomically(th, [&](api::Tx& tx) {
+            tx.write(shared, tx.read(shared) + 1);
+            const std::int64_t seq = tx.read(mine) + 1;
+            tx.write(mine, seq);
+            tx.on_commit([ack_fd, t, seq] {
+              char line[48];
+              const int n = std::snprintf(line, sizeof line, "%d %lld\n", t,
+                                          static_cast<long long>(seq));
+              if (::write(ack_fd, line, static_cast<std::size_t>(n)) != n)
+                std::_Exit(99);
+            });
+          });
+        } catch (const api::TxDurabilityError&) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return !failed.load();
+}
+
+/// Child body after fork(): workload halves around a mid-run snapshot()
+/// (which is what routes execution through the snapshot/truncate fault
+/// points).  0 = clean; 43 = fail-stop durability error; the armed crash
+/// _Exit(42)s inside the library.
+int run_child(const std::string& dir, const std::string& ack_path,
+              std::shared_ptr<api::FaultPlan> plan, int ops_per_thread) {
+  const int ack_fd =
+      ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) return 98;
+  int rc = 0;
+  try {
+    api::DurableOptions dopts;
+    dopts.dir = dir;
+    dopts.fault = std::move(plan);
+    api::Runtime rt(api::RuntimeOptions{}.with_durable(dopts));
+    if (!run_phase(rt, ack_fd, ops_per_thread / 2)) {
+      rc = 43;
+    } else {
+      try {
+        rt.snapshot();
+      } catch (const api::TxDurabilityError&) {
+        rc = 43;
+      }
+      if (rc == 0 &&
+          !run_phase(rt, ack_fd, ops_per_thread - ops_per_thread / 2))
+        rc = 43;
+    }
+  } catch (const api::TxDurabilityError&) {
+    rc = 43;
+  }
+  ::close(ack_fd);
+  return rc;
+}
+
+int fork_workload(const std::string& dir, const std::string& ack_path,
+                  const api::FaultSpec* spec, int ops_per_thread) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    std::shared_ptr<api::FaultPlan> plan;
+    if (spec != nullptr) {
+      plan = std::make_shared<api::FaultPlan>();
+      plan->arm(*spec);
+    }
+    std::_Exit(run_child(dir, ack_path, std::move(plan), ops_per_thread));
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child did not exit normally";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// ----------------------------------------------------------- parent side
+
+std::array<std::int64_t, kThreads> read_acked(const std::string& ack_path) {
+  std::array<std::int64_t, kThreads> max_acked{};
+  std::ifstream in(ack_path);
+  int tid = -1;
+  long long seq = 0;
+  while (in >> tid >> seq) {
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, kThreads);
+    max_acked[static_cast<std::size_t>(tid)] =
+        std::max(max_acked[static_cast<std::size_t>(tid)],
+                 static_cast<std::int64_t>(seq));
+  }
+  return max_acked;
+}
+
+struct View {
+  std::int64_t shared = 0;
+  std::array<std::int64_t, kSeqSlots> seq{};  // seq[0] unused
+};
+
+/// One follower transaction over every slot: by prefix consistency this is
+/// an atomic sample of the replicated history.
+View read_view(api::ReplicaHandle& fh, api::ReplicaRuntime& follower) {
+  return atomically(fh, [&](api::Tx& tx) {
+    View v;
+    v.shared = tx.read(follower.region().slot<std::int64_t>(0));
+    for (std::size_t s = 1; s < kSeqSlots; ++s)
+      v.seq[s] = tx.read(follower.region().slot<std::int64_t>(s));
+    return v;
+  });
+}
+
+std::int64_t seq_sum(const View& v) {
+  return std::accumulate(v.seq.begin(), v.seq.end(), std::int64_t{0});
+}
+
+/// Polls the follower until `pred(view)` holds; every sampled view must be
+/// internally consistent (shared == sum of seqs) along the way.
+template <typename Pred>
+bool poll_until(api::ReplicaHandle& fh, api::ReplicaRuntime& follower,
+                Pred pred, std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    const View v = read_view(fh, follower);
+    EXPECT_EQ(v.shared, seq_sum(v))
+        << "follower exposed a non-prefix-consistent snapshot";
+    if (pred(v)) return true;
+    if (std::chrono::steady_clock::now() > until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// ------------------------------------------------------------- the tests
+
+TEST(Replica, FollowerSeesAckedCommitsWithBoundedLag) {
+  TempDir dir;
+  const std::string acks = dir.path + "/acks.txt";
+  constexpr int kOps = 48;
+  // Fork FIRST (parent threadless), then follow while nothing else runs in
+  // this process -- the follower tails a file another process wrote.
+  const int rc = fork_workload(dir.path, acks, nullptr, kOps);
+  EXPECT_EQ(rc, 0);
+
+  api::ReplicaRuntime follower(dir.path);
+  api::ReplicaHandle fh = follower.attach();
+  const auto acked = read_acked(acks);
+  ASSERT_TRUE(poll_until(
+      fh, follower,
+      [&](const View& v) {
+        for (int t = 0; t < kThreads; ++t)
+          if (v.seq[static_cast<std::size_t>(t) + 1] <
+              acked[static_cast<std::size_t>(t)])
+            return false;
+        return true;
+      },
+      std::chrono::seconds(30)))
+      << "acked leader commits not visible on the follower within bound";
+
+  // Clean run: every op committed, so the converged view is total.
+  const View v = read_view(fh, follower);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(v.seq[static_cast<std::size_t>(t) + 1], kOps);
+  EXPECT_EQ(v.shared, std::int64_t{kThreads} * kOps);
+
+  const api::ReplicaStats s = follower.stats();
+  EXPECT_GT(s.records, 0u);
+  EXPECT_GT(s.applied_ts, 0u);
+  EXPECT_EQ(s.dropped_words, 0u);
+  EXPECT_TRUE(stats_conserved(s));
+  // The child's mid-run snapshot survived: bootstrap loaded its image.
+  EXPECT_GE(s.snapshot_loads, 1u);
+}
+
+TEST(Replica, WritesThrowOnFollower) {
+  TempDir dir;
+  api::Runtime leader(durable_opts(dir.path));
+  auto lslot = leader.durable_region()->slot<std::int64_t>(0);
+  atomically(leader, [&](api::Tx& tx) { tx.write(lslot, 5); });
+
+  api::ReplicaRuntime follower(dir.path);
+  api::ReplicaHandle fh = follower.attach();
+  auto fslot = follower.region().slot<std::int64_t>(0);
+  EXPECT_THROW(
+      atomically(fh, [&](api::Tx& tx) { tx.write(fslot, 9); }),
+      api::TxReadOnlyError);
+  EXPECT_THROW(
+      atomically(fh, [&](api::Tx& tx) { (void)tx.tx_alloc(64); }),
+      api::TxReadOnlyError);
+
+  // The poisoned attempts were cancels, not commits; reads still work.
+  const std::int64_t v = atomically(fh, [&](api::Tx& tx) {
+    return tx.read(follower.region().slot<std::int64_t>(0));
+  });
+  EXPECT_EQ(v, 5);
+  const api::ReplicaStats s = follower.stats();
+  EXPECT_EQ(s.cancels, 2u);
+  EXPECT_TRUE(stats_conserved(s));
+}
+
+TEST(Replica, ReadYourWritesBarrier) {
+  TempDir dir;
+  api::Runtime leader(durable_opts(dir.path));
+  api::ReplicaRuntime follower(dir.path);
+
+  auto slot = leader.durable_region()->slot<std::int64_t>(3);
+  for (std::int64_t i = 1; i <= 20; ++i) {
+    atomically(leader, [&](api::Tx& tx) { tx.write(slot, i); });
+    // The acked commit is in the log; its timestamp is <= commit_ts().
+    const std::uint64_t ts = leader.commit_ts();
+    ASSERT_TRUE(follower.wait_until(ts, std::chrono::seconds(10)))
+        << "read-your-writes barrier timed out at i=" << i;
+    EXPECT_GE(follower.applied_ts(), ts);
+    const std::int64_t got = atomically(follower, [&](api::Tx& tx) {
+      return tx.read(follower.region().slot<std::int64_t>(3));
+    });
+    EXPECT_EQ(got, i);
+  }
+  const api::ReplicaLag lag = follower.lag();
+  EXPECT_EQ(lag.bytes, 0u);  // barrier passed on a quiesced leader
+}
+
+TEST(Replica, RetryParksUntilLeaderCommitArrives) {
+  TempDir dir;
+  api::Runtime leader(durable_opts(dir.path));
+  auto flag = leader.durable_region()->slot<std::int64_t>(kFlagSlot);
+  atomically(leader, [&](api::Tx& tx) { tx.write(flag, 0); });
+
+  api::ReplicaRuntime follower(dir.path);
+  std::thread waiter([&] {
+    api::ReplicaHandle fh = follower.attach();
+    const std::int64_t v = atomically(fh, [&](api::Tx& tx) {
+      const std::int64_t f =
+          tx.read(follower.region().slot<std::int64_t>(kFlagSlot));
+      if (f == 0) tx.retry();  // park until the applier publishes
+      return f;
+    });
+    EXPECT_EQ(v, 7);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  atomically(leader, [&](api::Tx& tx) { tx.write(flag, 7); });
+  waiter.join();
+  const api::ReplicaStats s = follower.stats();
+  EXPECT_GE(s.retry_waits, 1u);
+  EXPECT_TRUE(stats_conserved(s));
+
+  // Bounded park on a flag nobody sets: retry_for expires, the sticky
+  // timed-out flag routes the re-execution to the fallback path.
+  api::ReplicaHandle fh = follower.attach();
+  const std::int64_t fallback = atomically(fh, [&](api::Tx& tx) {
+    const std::int64_t f =
+        tx.read(follower.region().slot<std::int64_t>(kFlagSlot + 1));
+    if (f == 0 && !tx.timed_out())
+      tx.retry_for(std::chrono::milliseconds(30));
+    return f == 0 ? std::int64_t{-1} : f;
+  });
+  EXPECT_EQ(fallback, -1);
+  EXPECT_GE(follower.stats().retry_timeouts, 1u);
+}
+
+TEST(Replica, FollowerSurvivesLeaderCrashMatrix) {
+  constexpr api::FaultPoint kPoints[] = {
+      api::FaultPoint::kAppendBefore,       api::FaultPoint::kAppendAfter,
+      api::FaultPoint::kWriteBefore,        api::FaultPoint::kWriteAfter,
+      api::FaultPoint::kFsyncBefore,        api::FaultPoint::kFsyncAfter,
+      api::FaultPoint::kSnapshotBeforeRename,
+      api::FaultPoint::kSnapshotAfterRename,
+      api::FaultPoint::kTruncateBefore,     api::FaultPoint::kTruncateAfter,
+  };
+  static_assert(std::size(kPoints) == durable::kNumFaultPoints);
+
+  for (const api::FaultPoint point : kPoints) {
+    SCOPED_TRACE(std::string("point=") + durable::fault_point_name(point));
+    TempDir dir;
+    const std::string acks = dir.path + "/acks.txt";
+    const bool log_path_point =
+        point < api::FaultPoint::kSnapshotBeforeRename;
+    const api::FaultSpec spec{point, api::FaultAction::kCrash,
+                              log_path_point ? 9u : 1u};
+
+    // 1. Leader crashes at the armed point (parent is threadless here).
+    const int rc = fork_workload(dir.path, acks, &spec, 40);
+    EXPECT_EQ(rc, durable::FaultPlan::kCrashExitCode);
+
+    // 2. Follow the crashed directory: the follower applies the readable
+    //    prefix (a torn tail is simply not applied yet).
+    api::ReplicaRuntime follower(dir.path);
+    api::ReplicaHandle fh = follower.attach();
+
+    // 3. Leader rebirth IN THIS PROCESS while the follower is live.  Its
+    //    recovery may repair a torn tail by truncating the changelog under
+    //    the follower's feet -- the shrink/divergence detector must rebuild,
+    //    never desync.
+    constexpr int kParentOps = 16;
+    {
+      api::Runtime leader(durable_opts(dir.path));
+      api::ThreadHandle th = leader.attach();
+      auto shared = leader.durable_region()->slot<std::int64_t>(0);
+      auto mine = leader.durable_region()->slot<std::int64_t>(kParentSlot);
+      for (int i = 0; i < kParentOps; ++i) {
+        atomically(th, [&](api::Tx& tx) {
+          tx.write(shared, tx.read(shared) + 1);
+          tx.write(mine, tx.read(mine) + 1);
+        });
+      }
+      ASSERT_TRUE(
+          follower.wait_until(leader.commit_ts(), std::chrono::seconds(30)))
+          << "follower failed to converge on the reborn leader";
+    }
+
+    // 4. Every commit acked by EITHER generation is visible, and every
+    //    sampled view stayed prefix-consistent (checked inside poll_until).
+    const auto acked = read_acked(acks);
+    ASSERT_TRUE(poll_until(
+        fh, follower,
+        [&](const View& v) {
+          if (v.seq[kParentSlot] != kParentOps) return false;
+          for (int t = 0; t < kThreads; ++t)
+            if (v.seq[static_cast<std::size_t>(t) + 1] <
+                acked[static_cast<std::size_t>(t)])
+              return false;
+          return true;
+        },
+        std::chrono::seconds(30)))
+        << "acked commits lost on the follower after leader crash+rebirth";
+    EXPECT_TRUE(stats_conserved(follower.stats()));
+    // Both runtimes die before the next iteration's fork (TSan discipline).
+  }
+}
+
+TEST(Replica, StaleFollowerCatchesUpAcrossSnapshotAndTruncate) {
+  TempDir dir;
+  api::Runtime leader(durable_opts(dir.path));
+  auto a = leader.durable_region()->slot<std::int64_t>(1);
+  auto b = leader.durable_region()->slot<std::int64_t>(2);
+
+  for (int i = 0; i < 32; ++i)
+    atomically(leader, [&](api::Tx& tx) { tx.write(a, tx.read(a) + 1); });
+  // Snapshot + truncate: the pre-snapshot history now exists only as the
+  // image; a NEW follower must bootstrap from it, not the (empty) log.
+  leader.snapshot();
+  for (int i = 0; i < 8; ++i)
+    atomically(leader, [&](api::Tx& tx) { tx.write(b, tx.read(b) + 1); });
+
+  api::ReplicaRuntime follower(dir.path);
+  ASSERT_TRUE(follower.wait_until(leader.commit_ts(), std::chrono::seconds(30)));
+  {
+    const auto [va, vb] = atomically(follower, [&](api::Tx& tx) {
+      return std::pair{tx.read(follower.region().slot<std::int64_t>(1)),
+                       tx.read(follower.region().slot<std::int64_t>(2))};
+    });
+    EXPECT_EQ(va, 32);
+    EXPECT_EQ(vb, 8);
+  }
+  EXPECT_GE(follower.stats().snapshot_loads, 1u);
+
+  // Now truncate mid-tail UNDER the live follower: it must observe the
+  // shrink, reload the new image, and keep serving consistent reads.
+  for (int i = 0; i < 8; ++i)
+    atomically(leader, [&](api::Tx& tx) { tx.write(a, tx.read(a) + 1); });
+  leader.snapshot();
+  for (int i = 0; i < 8; ++i)
+    atomically(leader, [&](api::Tx& tx) { tx.write(b, tx.read(b) + 1); });
+  ASSERT_TRUE(follower.wait_until(leader.commit_ts(), std::chrono::seconds(30)));
+  {
+    const auto [va, vb] = atomically(follower, [&](api::Tx& tx) {
+      return std::pair{tx.read(follower.region().slot<std::int64_t>(1)),
+                       tx.read(follower.region().slot<std::int64_t>(2))};
+    });
+    EXPECT_EQ(va, 40);
+    EXPECT_EQ(vb, 16);
+  }
+  const api::ReplicaStats s = follower.stats();
+  EXPECT_GE(s.truncations, 1u) << "live truncation was not observed";
+  EXPECT_GE(s.rebuilds, 1u);
+  EXPECT_GE(s.snapshot_loads, 2u);
+  EXPECT_TRUE(stats_conserved(s));
+}
+
+}  // namespace
+}  // namespace shrinktm

@@ -44,7 +44,15 @@ CHARTED = [
     ("micro_primitives", "predictor_speedup",
      "Predictor speedup (legacy / blocked)",
      "micro_primitives summary.predictor_speedup_legacy_over_blocked"),
+    ("fig_replica", "lag_p99_us",
+     "Replica lag p99 (us)",
+     "fig_replica worst cell: leader-commit-to-follower-visible probe p99"),
 ]
+
+# Per-series point fields whose run-mean is recorded per bench and charted
+# dynamically (one small multiple per (bench, series)).  "throughput" covers
+# the classic figure benches; the replica fields cover fig_replica.
+SERIES_MEANS = ("throughput", "leader_tx_s", "apply_records_s")
 
 
 def load_artifact(path):
@@ -84,11 +92,19 @@ def extract_metrics(doc):
         if isinstance(spd, (int, float)) and spd > 0:
             m["predictor_speedup"] = spd
     for series in doc.get("series") or []:
-        pts = [p.get("throughput") for p in series.get("points") or []
-               if isinstance(p.get("throughput"), (int, float))]
-        if pts:
-            m[f"throughput_mean[{series.get('name', '?')}]"] = \
-                sum(pts) / len(pts)
+        points = series.get("points") or []
+        for key in SERIES_MEANS:
+            pts = [p.get(key) for p in points
+                   if isinstance(p.get(key), (int, float))]
+            if pts:
+                m[f"{key}_mean[{series.get('name', '?')}]"] = \
+                    sum(pts) / len(pts)
+        # Replica staleness headline: the WORST cell's lag p99, so scaling
+        # the thread sweep never flatters the trend.
+        lags = [p.get("lag_p99_us") for p in points
+                if isinstance(p.get("lag_p99_us"), (int, float))]
+        if lags:
+            m["lag_p99_us"] = max(m.get("lag_p99_us", 0.0), max(lags))
     rs = doc.get("runtime_stats")
     if isinstance(rs, dict):
         attempts = rs.get("attempts") or 0
@@ -428,6 +444,27 @@ function drawChart(parent, title, desc, pts) {
 const charts = document.getElementById('charts');
 CHARTED.forEach(([bench, key, title, desc]) =>
   drawChart(charts, title, desc, metricSeries(bench, key)));
+
+// Per-bench throughput small multiples: one chart per (bench, series-mean)
+// metric present anywhere in the history, discovered dynamically so a new
+// bench or series shows up without touching this template.
+const staticKeys = new Set(CHARTED.map(([b, k]) => b + ' ' + k));
+const dynamic = new Map();
+HISTORY.forEach(run => {
+  Object.entries(run.benches || {}).forEach(([bench, metrics]) => {
+    Object.keys(metrics).forEach(k => {
+      const mm = k.match(/^(throughput|leader_tx_s|apply_records_s)_mean\[(.*)\]$/);
+      if (mm && !staticKeys.has(bench + ' ' + k))
+        dynamic.set(bench + ' ' + k, [bench, k, mm[1], mm[2]]);
+    });
+  });
+});
+[...dynamic.keys()].sort().forEach(id => {
+  const [bench, key, field, series] = dynamic.get(id);
+  drawChart(charts, bench + ' — ' + series + ' ' + field,
+            'mean ' + field + ' over the "' + series + '" points of each run',
+            metricSeries(bench, key));
+});
 
 // Table view: every metric of every run, so nothing depends on the charts.
 const tableDiv = document.getElementById('table');
