@@ -1,0 +1,221 @@
+// Server-shaped macro-workload: the open-loop KV/ledger service bench.
+//
+// Not a figure from the paper -- the workload its schedulers were built
+// for: heavy open-loop traffic (per-class Poisson/uniform arrivals, due
+// times fixed in advance so coordinated omission is measured, not hidden)
+// from N client threads over a millions-of-accounts ledger, through three
+// phases:
+//
+//   read-mostly -- zipfian point reads dominate; light transfer traffic
+//   write-burst -- transfers and batches slam a handful of hot accounts:
+//                  the contrived contention spike that drives the adaptive
+//                  classifier to PATHOLOGICAL
+//   long-scan   -- metronome (uniform-arrival) range scans over the
+//                  cooled-down keyspace
+//
+// Each cell runs TWICE on a fresh runtime + ledger: admission OFF (the
+// baseline: every arrival served, backlog be damned) and admission ON
+// (arrivals shed while Runtime::regime() reports pathological).  Both land
+// in one BENCH_fig_service_<backend>.json as "<mode>/<phase>/<class>"
+// series with per-op-class p50/p99/p999 service AND sojourn latency plus
+// shed counts -- the artifact shows what refusing work buys the p999.
+//
+// The bench exits nonzero if either conservation identity breaks: ledger
+// balance (transfers/batches are net-zero) or the runtime's
+// attempts == commits + aborts + cancels + retry_waits.
+//
+// Flags: the common set (bench/common.hpp).  --threads = client-fleet
+// sizes; --duration-ms = PER-PHASE duration; --runs is ignored (latency
+// percentiles want one long run, not averaged reruns).
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/service.hpp"
+#include "service/zipf.hpp"
+#include "util/table.hpp"
+
+using namespace shrinktm;
+
+namespace {
+
+service::ServiceSpec make_spec(std::size_t accounts, int clients,
+                               std::uint64_t seed, int phase_ms,
+                               bool admission) {
+  using service::ArrivalKind;
+  using service::OpClass;
+  service::ServiceSpec spec;
+  spec.accounts = accounts;
+  spec.clients = clients;
+  spec.seed = seed;
+  spec.admission = admission;
+
+  auto cls = [](service::PhaseSpec& p, OpClass c, double hz,
+                ArrivalKind k = ArrivalKind::kPoisson) {
+    p.rate_hz[static_cast<std::size_t>(c)] = hz;
+    p.arrival[static_cast<std::size_t>(c)] = k;
+  };
+
+  service::PhaseSpec read_mostly;
+  read_mostly.name = "read-mostly";
+  read_mostly.duration_ms = static_cast<std::uint64_t>(phase_ms);
+  read_mostly.theta = 0.8;
+  cls(read_mostly, OpClass::kPointRead, 3000);
+  cls(read_mostly, OpClass::kTransfer, 400);
+  cls(read_mostly, OpClass::kBatch, 50);
+  cls(read_mostly, OpClass::kScan, 10, ArrivalKind::kUniform);
+  cls(read_mostly, OpClass::kConsume, 200);
+
+  // The burst combines a 2-account hot set with tx_yields: every hot write
+  // transaction dwells mid-flight while holding its eager lock, so writers
+  // genuinely overlap and the conflict storm shows up as aborts/serializes
+  // instead of invisible microsecond spin-waits (the adaptive_regimes.cpp
+  // trick).  The offered rate then exceeds what the serialized hot set can
+  // absorb, clients run their backlog closed-loop, and the classifier sees
+  // the pathological spike admission control exists for.  Scans ride over
+  // the hot range (see run_service) and lose validation against the fire.
+  service::PhaseSpec write_burst;
+  write_burst.name = "write-burst";
+  write_burst.duration_ms = static_cast<std::uint64_t>(phase_ms);
+  write_burst.theta = 0.95;
+  write_burst.hot_keys = 2;  // the whole write load lands on 2 accounts
+  write_burst.tx_yields = 1;
+  cls(write_burst, OpClass::kPointRead, 500);
+  cls(write_burst, OpClass::kTransfer, 12000);
+  cls(write_burst, OpClass::kBatch, 1500);
+  cls(write_burst, OpClass::kScan, 200, ArrivalKind::kUniform);
+  cls(write_burst, OpClass::kConsume, 400);
+
+  service::PhaseSpec long_scan;
+  long_scan.name = "long-scan";
+  long_scan.duration_ms = static_cast<std::uint64_t>(phase_ms);
+  long_scan.theta = 0.6;
+  cls(long_scan, OpClass::kPointRead, 1000);
+  cls(long_scan, OpClass::kTransfer, 200);
+  cls(long_scan, OpClass::kScan, 150, ArrivalKind::kUniform);
+  cls(long_scan, OpClass::kConsume, 100);
+
+  spec.phases = {read_mostly, write_burst, long_scan};
+  return spec;
+}
+
+api::RuntimeOptions make_opts(core::BackendKind backend, std::size_t accounts,
+                              std::uint64_t seed) {
+  api::RuntimeOptions opts;
+  opts.with_backend(backend)
+      .with_scheduler(core::SchedulerKind::kAdaptive)
+      .with_seed(seed);
+  // Short windows + fast sampler: the classifier must react inside a
+  // 100ms-scale burst.  min_samples and flush_every are lowered so even the
+  // admission controller's 1-in-8 half-open probe trickle populates windows
+  // -- the de-escalation path out of a shed phase depends on it.
+  opts.adaptive.window_ms = 4.0;
+  opts.adaptive.sampler_interval_ms = 2.0;
+  opts.adaptive.telemetry_flush_every = 1;
+  opts.adaptive.thresholds.min_samples = 4;
+  if (backend == core::BackendKind::kDurable)
+    opts.durable.region_words = accounts;  // ledger occupies offsets [0, n)
+  return opts;
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, {8}, {8, 16});
+  const core::BackendKind backend = args.backend_or(core::BackendKind::kTiny);
+  const std::size_t accounts = args.full ? (std::size_t{1} << 22)
+                                         : (std::size_t{1} << 21);
+  bench::BenchReporter reporter("fig_service", args, backend);
+  bool ok = true;
+
+  for (const int clients : args.threads) {
+    for (const bool admission : {false, true}) {
+      const char* mode = admission ? "admission-on" : "admission-off";
+      api::Runtime rt(make_opts(backend, accounts, args.seed));
+      // Durable runs keep the ledger inside the redo-logged region so every
+      // transfer pays the group-commit ack it would in production.
+      std::unique_ptr<service::Ledger> ledger;
+      if (backend == core::BackendKind::kDurable)
+        ledger = std::make_unique<service::Ledger>(*rt.durable_region(),
+                                                   accounts, 1000);
+      else
+        ledger = std::make_unique<service::Ledger>(accounts, 1000);
+
+      const service::ServiceSpec spec =
+          make_spec(accounts, clients, args.seed, args.duration_ms, admission);
+      const service::ServiceReport rep = service::run_service(rt, *ledger, spec);
+      const api::RuntimeStats stats = rt.stats();
+      reporter.add_runtime_stats(stats);
+
+      std::cout << "\n== " << rt.backend_name() << " / " << mode << " / "
+                << clients << " clients ==\n";
+      util::TextTable table({"phase", "class", "done", "shed", "p99 svc us",
+                             "p50 soj us", "p99 soj us", "p999 soj us"});
+      for (std::size_t pi = 0; pi < rep.phases.size(); ++pi) {
+        const auto& rows = rep.phases[pi];
+        const double phase_s =
+            static_cast<double>(spec.phases[pi].duration_ns()) / 1e9;
+        for (std::size_t c = 0; c < rows.size(); ++c) {
+          const obs::TaggedLatency& r = rows[c];
+          if (r.completed == 0 && r.shed == 0) continue;
+          reporter.add(
+              std::string(mode) + "/" + rep.phase_names[pi] + "/" + rows.tag(c),
+              {{"threads", static_cast<double>(clients)},
+               {"completed", static_cast<double>(r.completed)},
+               {"shed", static_cast<double>(r.shed)},
+               {"throughput", static_cast<double>(r.completed) / phase_s},
+               {"p50_service_us", us(r.service.value_at_quantile(0.5))},
+               {"p99_service_us", us(r.service.value_at_quantile(0.99))},
+               {"p999_service_us", us(r.service.value_at_quantile(0.999))},
+               {"p50_sojourn_us", us(r.sojourn.value_at_quantile(0.5))},
+               {"p99_sojourn_us", us(r.sojourn.value_at_quantile(0.99))},
+               {"p999_sojourn_us", us(r.sojourn.value_at_quantile(0.999))},
+               {"mean_sojourn_us", r.sojourn.mean() / 1e3}});
+          table.row()
+              .cell(rep.phase_names[pi])
+              .cell(rows.tag(c))
+              .cell(r.completed)
+              .cell(r.shed)
+              .cell(us(r.service.value_at_quantile(0.99)))
+              .cell(us(r.sojourn.value_at_quantile(0.5)))
+              .cell(us(r.sojourn.value_at_quantile(0.99)))
+              .cell(us(r.sojourn.value_at_quantile(0.999)));
+        }
+      }
+      table.print(std::cout);
+
+      const bool conserved = rep.balance_conserved() && stats.conserved();
+      reporter.add(std::string(mode) + "/summary",
+                   {{"threads", static_cast<double>(clients)},
+                    {"total_shed", static_cast<double>(rep.total_shed())},
+                    {"backlog_abandoned",
+                     static_cast<double>(rep.backlog_abandoned)},
+                    {"tokens_dropped", static_cast<double>(rep.tokens_dropped)},
+                    {"balance_delta", static_cast<double>(rep.balance_after -
+                                                          rep.balance_before)},
+                    {"conserved", conserved ? 1.0 : 0.0}});
+      std::cout << "abort ratio "
+                << static_cast<int>(stats.abort_ratio() * 100)
+                << "%, shed " << rep.total_shed() << ", abandoned "
+                << rep.backlog_abandoned << ", tokens dropped "
+                << rep.tokens_dropped << ", regime at end "
+                << rt.regime_name() << ", balance "
+                << (rep.balance_conserved() ? "conserved" : "VIOLATED")
+                << ", runtime stats "
+                << (stats.conserved() ? "conserved" : "VIOLATED") << "\n";
+      if (!conserved) ok = false;
+    }
+  }
+
+  reporter.write();
+  if (!ok) {
+    std::cerr << "CONSERVATION FAILED\n";
+    return 1;
+  }
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "api/shrinktm.hpp"
+#include "service/service.hpp"
 #include "txstruct/bounded_queue.hpp"
 
 using namespace shrinktm;
@@ -298,6 +299,38 @@ void run() {
 
 }  // namespace replication_quickstart
 
+// --------------------------------- docs/SERVICE.md "Quickstart" section
+namespace service_quickstart {
+
+void run() {
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_scheduler(core::SchedulerKind::kAdaptive));
+  service::Ledger ledger(1 << 12, 1000);  // 4096 accounts, 1000 each
+
+  service::ServiceSpec spec;
+  spec.accounts = 1 << 12;
+  spec.clients = 2;
+  spec.scan_len = 64;
+  service::PhaseSpec phase;
+  phase.name = "warm";
+  phase.duration_ms = 20;
+  // Arrivals/second per client, indexed by OpClass:
+  // {point_read, transfer, batch, scan, consume}
+  phase.rate_hz = {2000, 500, 100, 50, 100};
+  spec.phases = {phase};
+
+  const service::ServiceReport rep = service::run_service(rt, ledger, spec);
+  const obs::TaggedLatency& reads =
+      rep.phases[0][static_cast<std::size_t>(service::OpClass::kPointRead)];
+  std::printf("point reads: %llu done, p99 sojourn %llu ns\n",
+              static_cast<unsigned long long>(reads.completed),
+              static_cast<unsigned long long>(
+                  reads.sojourn.value_at_quantile(0.99)));
+  assert(rep.balance_conserved() && rt.stats().conserved());
+}
+
+}  // namespace service_quickstart
+
 int main() {
   readme_quickstart::run();
   api_typed::run();
@@ -308,6 +341,7 @@ int main() {
   obs_tracing::run();
   api_durability::run();
   replication_quickstart::run();
+  service_quickstart::run();
   std::puts("docs snippets OK");
   return 0;
 }

@@ -253,6 +253,17 @@ std::size_t Runtime::max_threads() const { return impl_->opts.max_threads; }
 core::Scheduler* Runtime::scheduler() { return impl_->sched.get(); }
 runtime::AdaptiveScheduler* Runtime::adaptive() { return impl_->adaptive; }
 
+runtime::Regime Runtime::regime() const {
+  // Non-adaptive schedulers never report pathological pressure: admission
+  // control layered on this hook stays open under them by construction.
+  return impl_->adaptive != nullptr ? impl_->adaptive->regime()
+                                    : runtime::Regime::kLow;
+}
+
+const char* Runtime::regime_name() const {
+  return runtime::regime_name(regime());
+}
+
 stm::ThreadStats Runtime::aggregate_stats() const {
   return impl_->visit_backend([](const auto& b) { return b.aggregate_stats(); });
 }

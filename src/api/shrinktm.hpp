@@ -282,6 +282,16 @@ class Runtime {
   /// The owned scheduler as AdaptiveScheduler; nullptr for other kinds.
   runtime::AdaptiveScheduler* adaptive();
 
+  /// Narrow regime-query hook for service-layer feedback loops (admission
+  /// control: shed or defer new arrivals while the classifier reports
+  /// kPathological).  Under the adaptive scheduler this is the classifier's
+  /// current contention regime -- one relaxed atomic load, safe to poll per
+  /// arrival from any thread; every other scheduler reports kLow (they
+  /// never claim pathological pressure, so admission stays open).
+  runtime::Regime regime() const;
+  /// regime() as a short stable name ("low" ... "pathological").
+  const char* regime_name() const;
+
   /// Raw backend counter totals (prefer stats() for the full snapshot).
   stm::ThreadStats aggregate_stats() const;
   /// Zero all per-thread counters (between measurement phases).

@@ -17,6 +17,7 @@ ShrinkScheduler::ThreadState& ShrinkScheduler::state(int tid) {
 
 void ShrinkScheduler::before_start(int tid) {
   ThreadState& ts = state(tid);
+  ts.last_decision = 0;
   if (ts.succ_rate < cfg_.succ_threshold) {
     // Serialization affinity: engage the prediction scheme with probability
     // proportional to the number of threads already serialized.
@@ -24,6 +25,7 @@ void ShrinkScheduler::before_start(int tid) {
     const std::uint64_t wc = wait_count_.load(std::memory_order_relaxed);
     if (!cfg_.use_affinity || r <= wc + cfg_.affinity_bootstrap) {
       stats_.prediction_uses.add(1);
+      ts.last_decision |= kDecisionPredictionUsed;
       bool conflict_predicted = false;
       if (cfg_.use_read_prediction) {
         for (const void* addr : ts.pred.predicted_reads().items()) {
@@ -44,6 +46,7 @@ void ShrinkScheduler::before_start(int tid) {
       if (conflict_predicted) {
         stats_.prediction_hits.add(1);
         stats_.waits.add(1);
+        ts.last_decision |= kDecisionPredictionHit | kDecisionSerialized;
         // Count ourselves as waiting *before* blocking, so concurrent
         // affinity draws see the rising contention.
         wait_count_.fetch_add(1, std::memory_order_acq_rel);

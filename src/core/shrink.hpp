@@ -87,6 +87,14 @@ class ShrinkScheduler final : public Scheduler {
     return t != nullptr && t->owns_global;
   }
 
+  /// Full verdict of the last before_start: whether the prediction scheme
+  /// was consulted (affinity draw won), whether it found a locked address,
+  /// and whether the attempt runs serialized as a result.
+  std::uint32_t last_decision(int tid) const override {
+    const auto& t = threads_[tid];
+    return t != nullptr ? t->last_decision : 0;
+  }
+
   /// Success rate of `tid`, or the optimistic initial rate if the thread
   /// never registered (threads register lazily on their first hook call, so
   /// observers may probe unseen tids -- cf. the guard in read_hook_active).
@@ -116,6 +124,7 @@ class ShrinkScheduler final : public Scheduler {
     double succ_rate = 1.0;  // optimistic start: Shrink inert until aborts
     bool owns_global = false;
     bool track_reads = true;  // refreshed each before_start
+    std::uint32_t last_decision = 0;  // kDecision* bits, reset each attempt
     PredictionTracker pred;
     util::Xoshiro256 rng;
   };

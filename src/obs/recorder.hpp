@@ -99,6 +99,20 @@ class ThreadRecorder {
     }
   }
 
+  /// Scheduler admission verdict for the attempt just opened by
+  /// attempt_start (bits mirror stm::SchedulerHooks::kDecision*).  Trace
+  /// ring only -- the serialized-residency histogram already covers the
+  /// always-on half.  Callers gate on tracing() so the virtual
+  /// last_decision() query is never paid when tracing is off.
+  void sched_decision(std::uint32_t bits) {
+    if (ring_ != nullptr && bits != 0)
+      ring_->push({attempt_start_ns_, 0, EventKind::kSchedDecision, 0,
+                   static_cast<std::int16_t>(bits), -1});
+  }
+
+  /// Whether the optional trace ring is live (RuntimeOptions::trace).
+  bool tracing() const { return ring_ != nullptr; }
+
   // ---- snapshots (quiescent, or racy-but-benign) ----
 
   const LatencyHistograms& latency() const { return hist_; }

@@ -1,0 +1,84 @@
+// Tagged latency histograms: per-op-class percentile tracking for layers
+// that speak in application vocabulary rather than transaction outcomes.
+//
+// LatencyHistograms (histograms.hpp) classifies by how an *attempt* ended
+// (commit, abort-gap, park, serialized); a service layer instead needs
+// latency keyed by what the *operation* was (point-read, transfer, scan,
+// ...), and open-loop measurement needs two clocks per operation:
+//
+//   service  -- execution start -> completion: what the op cost once it ran
+//   sojourn  -- scheduled arrival -> completion: what the CLIENT saw,
+//               including every nanosecond the op queued behind a backlog.
+//               Percentiles over sojourn are coordinated-omission-proof;
+//               percentiles over service alone hide overload entirely.
+//
+// A TaggedHistogramSet is a fixed vocabulary of tag names bound at
+// construction (op classes, endpoint names, tenant tiers) with one
+// TaggedLatency row per tag.  Rows are recorded by exactly one thread and
+// merged afterwards (same single-writer-then-merge discipline as
+// ThreadRecorder's histograms), so recording is unsynchronized.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace shrinktm::obs {
+
+/// One tag's latency row.  All histogram values are nanoseconds.
+struct TaggedLatency {
+  util::HdrHistogram service;  ///< execution start -> completion
+  util::HdrHistogram sojourn;  ///< scheduled arrival -> completion
+  std::uint64_t completed = 0; ///< operations that ran to completion
+  /// Arrivals refused by admission control.  Shed ops contribute no latency
+  /// sample -- the refusal IS the datum, reported as a count next to the
+  /// percentiles so a controller cannot flatter p999 invisibly.
+  std::uint64_t shed = 0;
+
+  void record(std::uint64_t service_ns, std::uint64_t sojourn_ns) {
+    service.add(service_ns);
+    sojourn.add(sojourn_ns);
+    ++completed;
+  }
+
+  TaggedLatency& operator+=(const TaggedLatency& o) {
+    service.merge(o.service);
+    sojourn.merge(o.sojourn);
+    completed += o.completed;
+    shed += o.shed;
+    return *this;
+  }
+};
+
+/// A fixed set of tag names with one TaggedLatency row each.  Tags are
+/// indexed positionally (callers typically hold an enum whose values are the
+/// indices); merging requires identically-shaped sets.
+class TaggedHistogramSet {
+ public:
+  TaggedHistogramSet() = default;
+  explicit TaggedHistogramSet(std::vector<std::string> tags)
+      : tags_(std::move(tags)), rows_(tags_.size()) {}
+
+  std::size_t size() const { return rows_.size(); }
+  const std::string& tag(std::size_t i) const { return tags_[i]; }
+
+  TaggedLatency& operator[](std::size_t i) { return rows_[i]; }
+  const TaggedLatency& operator[](std::size_t i) const { return rows_[i]; }
+
+  /// Merge a same-vocabulary set (per-thread -> aggregate).
+  TaggedHistogramSet& operator+=(const TaggedHistogramSet& o) {
+    assert(rows_.size() == o.rows_.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i] += o.rows_[i];
+    return *this;
+  }
+
+ private:
+  std::vector<std::string> tags_;
+  std::vector<TaggedLatency> rows_;
+};
+
+}  // namespace shrinktm::obs

@@ -31,6 +31,8 @@ enum class EventKind : std::uint8_t {
   kSerEnter = 5,      ///< attempt entered serialized mode
   kSerExit = 6,       ///< serialized attempt ended
   kPolicySwitch = 7,  ///< adaptive policy switch (synthesized at dump time)
+  kSchedDecision = 8, ///< scheduler admission verdict (a = decision bits,
+                      ///< mirroring stm::SchedulerHooks::kDecision*)
 };
 
 const char* event_kind_name(EventKind k);

@@ -18,6 +18,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kSerEnter: return "serialized-enter";
     case EventKind::kSerExit: return "serialized-exit";
     case EventKind::kPolicySwitch: return "policy-switch";
+    case EventKind::kSchedDecision: return "sched-decision";
   }
   return "?";
 }
@@ -83,6 +84,13 @@ void emit_event(std::ostringstream& os, bool& first, const TraceEvent& e,
   if (e.kind == EventKind::kRetryPark) {
     arg("slept", (e.flags & kFlagSlept) ? "true" : "false", false);
     arg("timed_out", (e.flags & kFlagTimedOut) ? "true" : "false", false);
+  }
+  if (e.kind == EventKind::kSchedDecision) {
+    // Bit values mirror stm::SchedulerHooks::kDecision* (obs cannot include
+    // stm -- it depends only on util; test_obs pins the mapping).
+    arg("serialized", (e.a & 0x1) ? "true" : "false", false);
+    arg("prediction_used", (e.a & 0x2) ? "true" : "false", false);
+    arg("prediction_hit", (e.a & 0x4) ? "true" : "false", false);
   }
   os << "}}";
   first = false;

@@ -158,6 +158,22 @@ void AdaptiveScheduler::on_abort(int tid, std::span<void* const> write_addrs,
   if (p != nullptr) p->on_abort(tid, write_addrs, enemy_tid);
 }
 
+void AdaptiveScheduler::on_retry_block(int tid) {
+  // tx.retry() park: the wakeup path's contribution to the regime signal.
+  // Like an abort, a park is published flush-first (the thread is about to
+  // sleep for an unbounded time, so anything left in the batch would go
+  // stale) and unbatched.  Unlike a cancel, a park DOES feed the window:
+  // an attempt that abandoned itself for missing state is demand the
+  // system failed to serve this window -- see
+  // WindowAggregate::contention_pressure() for how it escalates the regime.
+  batch_[static_cast<std::size_t>(tid)].value.flush(hub_.ring(tid));
+  hub_.record(tid, EventType::kRetryPark);
+  // The pinned policy still releases its per-attempt state (serialization
+  // locks especially -- a sleeper holding one would deadlock its waker).
+  core::Scheduler* p = pinned(tid);
+  if (p != nullptr && p != base_.get()) p->on_retry_block(tid);
+}
+
 void AdaptiveScheduler::on_cancel(int tid) {
   // User cancel: no telemetry event -- a cancelled attempt is neither a
   // commit nor a conflict, so it must not move the abort ratio or the
@@ -182,6 +198,11 @@ std::uint64_t AdaptiveScheduler::wait_count() const {
 bool AdaptiveScheduler::serialized_now(int tid) const {
   core::Scheduler* p = pinned(tid);
   return p != nullptr && p->serialized_now(tid);
+}
+
+std::uint32_t AdaptiveScheduler::last_decision(int tid) const {
+  core::Scheduler* p = pinned(tid);
+  return p != nullptr ? p->last_decision(tid) : 0;
 }
 
 // ------------------------------------------------------------ control plane
@@ -210,6 +231,7 @@ bool AdaptiveScheduler::tick(bool force) {
   s.commits = win.commits;
   s.aborts = win.aborts;
   s.serializes = win.serializes;
+  s.parks = win.parks;
   s.dropped = win.dropped;
   s.wait_count = win.wait_count;
   s.abort_ratio = win.abort_ratio();

@@ -100,7 +100,7 @@ struct PolicySwitch {
 struct WindowSummary {
   std::uint64_t index;
   double seconds;
-  std::uint64_t starts, commits, aborts, serializes, dropped, wait_count;
+  std::uint64_t starts, commits, aborts, serializes, parks, dropped, wait_count;
   double abort_ratio;
   double pressure;  ///< classifier input, see contention_pressure()
   double throughput;
@@ -124,6 +124,7 @@ class AdaptiveScheduler final : public core::Scheduler {
   void on_abort(int tid, std::span<void* const> write_addrs,
                 int enemy_tid) override;
   void on_cancel(int tid) override;
+  void on_retry_block(int tid) override;
   bool wants_read_hook() const override { return true; }
   /// Backends cache this once at set_scheduler: it must be true whenever an
   /// inner Shrink could consume on_write (accuracy instrumentation).
@@ -134,6 +135,7 @@ class AdaptiveScheduler final : public core::Scheduler {
   bool read_hook_active(int tid) const override;
   std::uint64_t wait_count() const override;
   bool serialized_now(int tid) const override;
+  std::uint32_t last_decision(int tid) const override;
 
   // ---- control plane ----
   /// Drain telemetry; on window close classify and maybe swap the policy.

@@ -27,7 +27,8 @@ inline std::string to_json(const WindowAggregate& w) {
   std::ostringstream os;
   os << "{\"window_seconds\":" << w.window_seconds << ",\"starts\":" << w.starts
      << ",\"commits\":" << w.commits << ",\"aborts\":" << w.aborts
-     << ",\"serializes\":" << w.serializes << ",\"dropped\":" << w.dropped
+     << ",\"serializes\":" << w.serializes << ",\"parks\":" << w.parks
+     << ",\"dropped\":" << w.dropped
      << ",\"wait_count\":" << w.wait_count
      << ",\"abort_ratio\":" << w.abort_ratio()
      << ",\"pressure\":" << w.contention_pressure()
@@ -55,6 +56,7 @@ inline std::string to_json(const WindowSummary& s) {
   os << "{\"index\":" << s.index << ",\"seconds\":" << s.seconds
      << ",\"starts\":" << s.starts << ",\"commits\":" << s.commits
      << ",\"aborts\":" << s.aborts << ",\"serializes\":" << s.serializes
+     << ",\"parks\":" << s.parks
      << ",\"dropped\":" << s.dropped << ",\"wait_count\":" << s.wait_count
      << ",\"abort_ratio\":" << s.abort_ratio << ",\"pressure\":" << s.pressure
      << ",\"throughput\":" << s.throughput

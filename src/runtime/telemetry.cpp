@@ -66,6 +66,9 @@ bool TelemetrySampler::poll(WindowAggregate* out, bool force,
         case EventType::kSerialize:
           acc_.serializes += e.count;
           break;
+        case EventType::kRetryPark:
+          acc_.parks += e.count;
+          break;
       }
     });
     acc_.dropped += r.dropped;

@@ -2,7 +2,7 @@
 //
 // The adaptive runtime needs to observe the workload without perturbing it.
 // Each thread owns a single-producer ring of packed 64-bit events
-// (start/commit/abort/serialize, coarse timestamp, enemy tid); the producer
+// (start/commit/abort/serialize/park, coarse timestamp, enemy tid); the producer
 // never blocks and overwrites the oldest entries when the sampler falls
 // behind.  A sampler (background thread or an explicit tick) drains all
 // rings into a WindowAggregate -- commit throughput, abort ratio, serialize
@@ -39,7 +39,10 @@ enum class EventType : std::uint8_t {
   kCommit = 1,     ///< attempt committed
   kAbort = 2,      ///< attempt aborted (aux = enemy tid + 1, 0 unknown)
   kSerialize = 3,  ///< attempt runs under the scheduler's global lock
+  kRetryPark = 4,  ///< attempt abandoned itself via tx.retry() and parked
 };
+
+inline constexpr std::size_t kNumEventTypes = 5;
 
 /// Coarse timestamp: TSC (or steady_clock ns) >> 14 -- a few microseconds of
 /// granularity, one instruction on x86.  Only the low 26 bits travel in the
@@ -66,20 +69,20 @@ struct Event {
 };
 
 // Packed layout (64 bits):
-//   [1:0]    type
-//   [17:2]   aux: for kAbort, enemy tid + 1 (0 = none/unknown);
+//   [2:0]    type
+//   [18:3]   aux: for kAbort, enemy tid + 1 (0 = none/unknown);
 //            otherwise a batched event count (0 and 1 both mean one event)
-//   [43:18]  coarse timestamp (low 26 bits)
-//   [63:44]  sequence (low 20 bits) -- drain-time lap detection
-inline constexpr std::uint64_t kEventSeqBits = 20;
+//   [44:19]  coarse timestamp (low 26 bits)
+//   [63:45]  sequence (low 19 bits) -- drain-time lap detection
+inline constexpr std::uint64_t kEventSeqBits = 19;
 inline constexpr std::uint64_t kEventSeqMask = (1ULL << kEventSeqBits) - 1;
 
 /// Single source of truth for the packed layout; `aux` is the raw 16-bit
 /// field (enemy tid + 1 for aborts, batched count otherwise).
 inline std::uint64_t pack_aux_event(EventType t, std::uint64_t aux,
                                     std::uint64_t ts, std::uint64_t seq) {
-  return static_cast<std::uint64_t>(t) | ((aux & 0xffffULL) << 2) |
-         ((ts & 0x3ffffffULL) << 18) | ((seq & kEventSeqMask) << 44);
+  return static_cast<std::uint64_t>(t) | ((aux & 0xffffULL) << 3) |
+         ((ts & 0x3ffffffULL) << 19) | ((seq & kEventSeqMask) << 45);
 }
 
 inline std::uint64_t pack_event(EventType t, int enemy_tid, std::uint64_t ts,
@@ -91,8 +94,8 @@ inline std::uint64_t pack_event(EventType t, int enemy_tid, std::uint64_t ts,
 
 inline Event unpack_event(std::uint64_t v) {
   Event e;
-  e.type = static_cast<EventType>(v & 0x3u);
-  const auto aux = (v >> 2) & 0xffffULL;
+  e.type = static_cast<EventType>(v & 0x7u);
+  const auto aux = (v >> 3) & 0xffffULL;
   if (e.type == EventType::kAbort) {
     e.enemy_tid = aux == 0 ? -1 : static_cast<int>(aux - 1);
     e.count = 1;
@@ -100,11 +103,11 @@ inline Event unpack_event(std::uint64_t v) {
     e.enemy_tid = -1;
     e.count = aux == 0 ? 1 : static_cast<std::uint32_t>(aux);
   }
-  e.coarse_ts = (v >> 18) & 0x3ffffffULL;
+  e.coarse_ts = (v >> 19) & 0x3ffffffULL;
   return e;
 }
 
-inline std::uint64_t packed_seq(std::uint64_t v) { return v >> 44; }
+inline std::uint64_t packed_seq(std::uint64_t v) { return v >> 45; }
 
 /// Single-producer single-consumer overwrite-oldest ring of packed events.
 /// The producer is the owning worker thread; the consumer is the sampler.
@@ -259,7 +262,7 @@ class TelemetryBatch {
   /// asserted empty by construction (add() is never called with it).
   void flush(EventRing& ring) {
     if (pending_ == 0) return;
-    for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t t = 0; t < kNumEventTypes; ++t) {
       if (counts_[t] == 0) continue;
       ring.push_count(static_cast<EventType>(t), counts_[t]);
       counts_[t] = 0;
@@ -268,7 +271,7 @@ class TelemetryBatch {
   }
 
  private:
-  std::uint32_t counts_[4] = {0, 0, 0, 0};
+  std::uint32_t counts_[kNumEventTypes] = {};
   std::uint32_t pending_ = 0;
   std::uint32_t flush_every_;
 };
@@ -280,6 +283,7 @@ struct WindowAggregate {
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
   std::uint64_t serializes = 0;
+  std::uint64_t parks = 0;       ///< attempts abandoned by tx.retry()
   std::uint64_t dropped = 0;     ///< ring entries lost to overwrite
   std::uint64_t wait_count = 0;  ///< scheduler wait_count at window close
   std::vector<std::uint64_t> commits_by_tid;
@@ -297,7 +301,11 @@ struct WindowAggregate {
     return window_seconds > 0.0 ? static_cast<double>(commits) / window_seconds
                                 : 0.0;
   }
-  std::uint64_t samples() const { return commits + aborts; }
+  /// Finished attempts this window.  Parks count: a tx.retry() park is an
+  /// attempt that ran, found the state it needed missing, and abandoned
+  /// itself -- signal, not silence (min_samples gating would otherwise
+  /// classify a blocking-heavy window as "no data").
+  std::uint64_t samples() const { return commits + aborts + parks; }
   /// Conflict pressure the *workload* exerts, independent of how well the
   /// active policy copes: a serialized commit is a conflict the scheduler
   /// prevented, so it counts like an abort.  Classifying on raw abort_ratio
@@ -305,11 +313,17 @@ struct WindowAggregate {
   /// itself and oscillate.  The serialize term is capped at the commit
   /// count so an attempt that serialized AND still aborted is not counted
   /// twice, and the result is clamped to [0, 1].
+  ///
+  /// Parks weigh in like aborts: an attempt that had to abandon itself and
+  /// sleep is capacity the workload demanded and did not get.  A
+  /// blocking-heavy window therefore escalates the regime (and, one layer
+  /// up, trips admission control) exactly like an abort storm -- which is
+  /// the point: both mean arrivals are outpacing useful commits.
   double contention_pressure() const {
     const auto total = samples();
     if (total == 0) return 0.0;
     const auto serialized_commits = serializes < commits ? serializes : commits;
-    const double p = static_cast<double>(aborts + serialized_commits) /
+    const double p = static_cast<double>(aborts + serialized_commits + parks) /
                      static_cast<double>(total);
     return p < 1.0 ? p : 1.0;
   }

@@ -1,0 +1,147 @@
+// Admission control: the first scheduler->service feedback loop.
+//
+// The adaptive runtime already protects ITSELF from pathological contention
+// (serialize, shrink aggressively), but a scheduler cannot refuse work --
+// only the layer that owns the front door can.  This controller closes the
+// loop around Runtime::regime() (one relaxed atomic load per arrival) as a
+// circuit breaker with three door states:
+//
+//   kOpen     -- every arrival admitted; the first kPathological verdict
+//                trips the breaker
+//   kShedding -- every arrival refused for cooldown_ms.  Refusals are ~ns,
+//                so a backlogged client drains its schedule instantly and
+//                caught-up clients shed in real time -- the backlog that
+//                open-loop arrivals would pile onto the saturated runtime
+//                is bounded at the door instead of in the sojourn tail
+//   kProbing  -- 1-in-probe_every admitted for probe_ms, then the regime is
+//                consulted: still pathological -> back to kShedding, else
+//                -> kOpen
+//
+// The probing leg exists because the classifier FREEZES without traffic:
+// RegimeClassifier::update() keeps its verdict when a window holds fewer
+// than min_samples events, so a fully shut door would starve it of evidence
+// and read "pathological" forever.  The time-boxed trickle repopulates
+// windows long enough for an honest de-escalation (size probe_ms >=
+// confirm_down windows), while the cooldown leg bounds how much expensive
+// probe traffic a genuinely overloaded runtime absorbs per cycle.
+//
+// Decisions are lock-free (door state + leg deadline packed in one atomic
+// word); shed totals are per-class relaxed counters (exact after clients
+// join).  The regime and clock sources are std::functions so unit tests can
+// script both without building a pathological runtime or sleeping.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "api/shrinktm.hpp"
+#include "runtime/regime.hpp"
+#include "service/workload.hpp"
+
+namespace shrinktm::service {
+
+/// Breaker tuning.  Defaults suit 100ms-scale phases with ~4ms classifier
+/// windows; probe_ms must cover confirm_down windows plus sampler latency
+/// or the door can never reopen.
+struct AdmissionConfig {
+  std::uint64_t cooldown_ms = 20;  ///< full-shed leg after a trip
+  std::uint64_t probe_ms = 16;     ///< half-open leg feeding the classifier
+  std::uint64_t probe_every = 8;   ///< 1-in-N arrivals admitted while probing
+};
+
+class AdmissionController {
+ public:
+  using RegimeFn = std::function<runtime::Regime()>;
+  using NowFn = std::function<std::int64_t()>;  // monotonic ns
+
+  /// Controller over a live runtime's classifier.  `enabled` = false keeps
+  /// the no-admission baseline on the exact same code path (the poll still
+  /// happens; only the verdict is forced open).
+  AdmissionController(const api::Runtime& rt, bool enabled,
+                      AdmissionConfig cfg = {})
+      : AdmissionController([&rt] { return rt.regime(); }, enabled, cfg) {}
+
+  /// Controller over scripted regime/clock sources (tests).
+  AdmissionController(RegimeFn regime, bool enabled, AdmissionConfig cfg = {},
+                      NowFn now = steady_now)
+      : regime_(std::move(regime)), now_(std::move(now)), cfg_(cfg),
+        enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Decide one arrival of class `c`: true = admit, false = shed (counted).
+  bool admit(OpClass c) {
+    const bool pathological =
+        regime_() == runtime::Regime::kPathological;
+    if (!enabled_) return true;
+    for (;;) {
+      std::uint64_t cur = door_.load(std::memory_order_acquire);
+      const Door d = static_cast<Door>(cur & 3);
+      if (d == Door::kOpen) {
+        if (!pathological) return true;
+        door_.compare_exchange_weak(
+            cur, pack(Door::kShedding, now_() + ms_to_ns(cfg_.cooldown_ms)),
+            std::memory_order_acq_rel);
+        continue;  // re-read the door we (or a racer) just tripped
+      }
+      const std::int64_t deadline = static_cast<std::int64_t>(cur >> 2);
+      if (now_() < deadline) {
+        if (d == Door::kProbing &&
+            probe_.fetch_add(1, std::memory_order_relaxed) %
+                    cfg_.probe_every == 0)
+          return true;
+        shed_[static_cast<std::size_t>(c)].fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+      }
+      // Leg expired: shedding hands off to probing; probing renders the
+      // verdict its trickle bought.
+      const std::uint64_t next =
+          d == Door::kShedding
+              ? pack(Door::kProbing, now_() + ms_to_ns(cfg_.probe_ms))
+          : pathological
+              ? pack(Door::kShedding, now_() + ms_to_ns(cfg_.cooldown_ms))
+              : pack(Door::kOpen, 0);
+      door_.compare_exchange_weak(cur, next, std::memory_order_acq_rel);
+    }
+  }
+
+  std::uint64_t shed(OpClass c) const {
+    return shed_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_shed() const {
+    std::uint64_t t = 0;
+    for (const auto& s : shed_) t += s.load(std::memory_order_relaxed);
+    return t;
+  }
+
+ private:
+  enum class Door : std::uint64_t { kOpen = 0, kShedding = 1, kProbing = 2 };
+
+  static std::int64_t steady_now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  static std::uint64_t ms_to_ns(std::uint64_t ms) { return ms * 1'000'000ULL; }
+  /// Door state and its leg deadline travel in one word so a trip and its
+  /// cooldown horizon are indivisible (62 bits of ns outlast any uptime).
+  static std::uint64_t pack(Door d, std::int64_t deadline_ns) {
+    return (static_cast<std::uint64_t>(deadline_ns) << 2) |
+           static_cast<std::uint64_t>(d);
+  }
+
+  RegimeFn regime_;
+  NowFn now_;
+  AdmissionConfig cfg_;
+  bool enabled_;
+  std::atomic<std::uint64_t> door_{0};  // pack(kOpen, 0)
+  std::atomic<std::uint64_t> probe_{0};
+  std::array<std::atomic<std::uint64_t>, kNumOpClasses> shed_{};
+};
+
+}  // namespace shrinktm::service

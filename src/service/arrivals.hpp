@@ -1,0 +1,72 @@
+// Open-loop arrival schedules.
+//
+// A closed-loop client issues its next request when the previous one
+// finishes, so an overloaded server conveniently slows its own load down
+// and the tail disappears from the numbers (coordinated omission).  An
+// open-loop client decides WHEN each request is due independently of how
+// the server is doing: the schedule is a monotone sequence of arrival
+// offsets fixed up front by (kind, rate, seed), and a request that finds
+// the client behind schedule still keeps its original due time -- the
+// backlog it queued through is charged to its sojourn latency.
+//
+//   kPoisson -- exponential inter-arrival gaps (memoryless, the classic
+//               open-system model; bursts happen naturally)
+//   kUniform -- fixed 1/rate gaps (a metronome; isolates queueing effects
+//               from arrival burstiness)
+//
+// Determinism contract: the offset sequence is a pure function of
+// (kind, rate_hz, seed); tests replay it exactly.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace shrinktm::service {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,
+  kUniform = 1,
+};
+
+inline const char* arrival_kind_name(ArrivalKind k) {
+  return k == ArrivalKind::kPoisson ? "poisson" : "uniform";
+}
+
+/// One op class's arrival clock.  next_gap_ns() draws the next
+/// inter-arrival gap; the caller accumulates gaps into absolute due times
+/// from its phase epoch.  rate_hz == 0 means the class is inactive.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(ArrivalKind kind, double rate_hz, std::uint64_t seed)
+      : kind_(kind), rate_hz_(rate_hz), rng_(seed) {
+    assert(rate_hz_ >= 0.0);
+  }
+
+  bool active() const { return rate_hz_ > 0.0; }
+  double rate_hz() const { return rate_hz_; }
+
+  /// The next inter-arrival gap in nanoseconds (>= 1ns, so due times are
+  /// strictly monotone even at absurd rates).
+  std::uint64_t next_gap_ns() {
+    assert(active());
+    const double mean_ns = 1e9 / rate_hz_;
+    double gap = mean_ns;
+    if (kind_ == ArrivalKind::kPoisson) {
+      // Inverse-CDF exponential draw; 1 - U keeps the argument in (0, 1]
+      // (next_double() is in [0, 1)), so log() never sees zero.
+      gap = -std::log(1.0 - rng_.next_double()) * mean_ns;
+    }
+    const auto ns = static_cast<std::uint64_t>(gap);
+    return ns == 0 ? 1 : ns;
+  }
+
+ private:
+  ArrivalKind kind_;
+  double rate_hz_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace shrinktm::service

@@ -1,0 +1,177 @@
+// The in-memory KV/ledger behind the service layer.
+//
+// State is a flat array of integer account balances plus a bounded audit
+// queue.  Two storage modes behind one op surface:
+//
+//   volatile -- balances live in a vector of api::TVar words (tiny/swiss
+//               backends, or durable when persistence isn't wanted)
+//   durable  -- balances live at offsets [0, n) of the runtime's durable
+//               Region, so every transfer is redo-logged and survives a
+//               crash; the op code is identical (Slot and TVar share the
+//               accessor shape)
+//
+// Every mutating op is conservation-preserving by construction: transfers
+// move value, batches apply a net-zero rotation, scans and point reads are
+// pure.  total() over a quiescent ledger therefore never changes -- the
+// invariant the bench artifact asserts.
+//
+// The audit queue gives the workload real blocking-retry traffic: transfers
+// publish an audit token (try_push -- producers never block; a full queue
+// drops the token and reports it), consumers pop with a bounded park
+// (tx.retry_for), so an idle queue parks consumers on the wakeup table and
+// every transfer burst wakes them -- the park/wakeup signal the adaptive
+// classifier now folds into its regime decision.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "txstruct/bounded_queue.hpp"
+
+namespace shrinktm::service {
+
+class Ledger {
+ public:
+  static constexpr std::size_t kQueueCapacity = 1024;
+
+  /// Volatile ledger: `n` accounts, each starting at `initial`.
+  Ledger(std::size_t n, std::int64_t initial)
+      : volatile_(n), initial_(initial) {
+    for (auto& a : volatile_) a.unsafe_write(initial);
+  }
+
+  /// Durable ledger: accounts occupy region offsets [0, n).  The caller
+  /// sizes the region (RuntimeOptions.durable.region_words >= n) and calls
+  /// this AFTER recovery, only re-initializing a cold (all-zero) region.
+  Ledger(api::Region& region, std::size_t n, std::int64_t initial)
+      : region_(&region), region_n_(n), initial_(initial) {
+    assert(region.size() >= n);
+    bool cold = true;
+    for (std::size_t i = 0; cold && i < n; ++i)
+      cold = region.slot<std::int64_t>(i).unsafe_read() == 0;
+    if (cold)
+      for (std::size_t i = 0; i < n; ++i)
+        region.slot<std::int64_t>(i).unsafe_write(initial);
+  }
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  std::size_t size() const {
+    return region_ != nullptr ? region_n_ : volatile_.size();
+  }
+  std::int64_t initial_balance() const { return initial_; }
+
+  /// kPointRead: one account's balance.
+  std::int64_t point_read(api::ThreadHandle& th, std::uint64_t key) {
+    return api::atomically(
+        th, [&](api::Tx& tx) { return read_acct(tx, key % size()); });
+  }
+
+  /// kTransfer: move `amount` from -> to and publish an audit token.  A
+  /// full audit queue drops the token (counted, never blocking the mover).
+  /// `yields` > 0 lengthens the transaction mid-flight while it holds its
+  /// eager write lock (PhaseSpec::tx_yields -- the contrived overload dwell).
+  void transfer(api::ThreadHandle& th, std::uint64_t from, std::uint64_t to,
+                std::int64_t amount, std::uint32_t yields = 0) {
+    const std::uint64_t f = from % size(), t = to % size();
+    const bool published = api::atomically(th, [&](api::Tx& tx) {
+      write_acct(tx, f, read_acct(tx, f) - amount);
+      for (std::uint32_t y = 0; y < yields; ++y) std::this_thread::yield();
+      write_acct(tx, t, read_acct(tx, t) + amount);
+      return audit_.try_push(tx, static_cast<std::int64_t>(f));
+    });
+    if (!published) tokens_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// kBatch: one transaction over `n` keys applying a net-zero rotation
+  /// (+1 to every key but the last, which absorbs -(n-1)).  Returns the
+  /// batch's balance sum (data dependence the optimizer can't elide).
+  std::int64_t batch_rmw(api::ThreadHandle& th, const std::uint64_t* keys,
+                         std::size_t n, std::uint32_t yields = 0) {
+    assert(n >= 1);
+    return api::atomically(th, [&](api::Tx& tx) {
+      std::int64_t sum = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t k = keys[i] % size();
+        const std::int64_t v = read_acct(tx, k);
+        sum += v;
+        const std::int64_t delta =
+            i + 1 == n ? -(static_cast<std::int64_t>(n) - 1) : 1;
+        write_acct(tx, k, v + delta);
+        if (i == 0)
+          for (std::uint32_t y = 0; y < yields; ++y) std::this_thread::yield();
+      }
+      return sum;
+    });
+  }
+
+  /// kScan: read-only sum over `len` consecutive accounts (wrapping).
+  std::int64_t scan_sum(api::ThreadHandle& th, std::uint64_t start,
+                        std::size_t len) {
+    return api::atomically(th, [&](api::Tx& tx) {
+      std::int64_t sum = 0;
+      for (std::size_t i = 0; i < len; ++i)
+        sum += read_acct(tx, (start + i) % size());
+      return sum;
+    });
+  }
+
+  /// kConsume: pop one audit token, parking (tx.retry_for) up to `timeout`
+  /// while the queue is empty.  False = the bound expired empty-handed.
+  bool consume(api::ThreadHandle& th, std::chrono::microseconds timeout) {
+    return api::atomically(th, [&](api::Tx& tx) -> bool {
+      if (audit_.try_pop(tx)) return true;
+      if (tx.timed_out()) return false;
+      tx.retry_for(timeout);
+    });
+  }
+
+  /// Audit tokens dropped on a full queue (producers never block).
+  std::uint64_t tokens_dropped() const {
+    return tokens_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Total balance over all accounts.  Non-transactional: call quiescent
+  /// (before clients start / after they join) -- exactly when the
+  /// conservation identity is exact.
+  std::int64_t unsafe_total() const {
+    std::int64_t sum = 0;
+    if (region_ != nullptr) {
+      for (std::size_t i = 0; i < region_n_; ++i)
+        sum += region_->slot<std::int64_t>(i).unsafe_read();
+    } else {
+      for (const auto& a : volatile_) sum += a.unsafe_read();
+    }
+    return sum;
+  }
+
+ private:
+  std::int64_t read_acct(api::Tx& tx, std::uint64_t i) {
+    return region_ != nullptr ? region_->slot<std::int64_t>(i).read(tx)
+                              : volatile_[i].read(tx);
+  }
+  void write_acct(api::Tx& tx, std::uint64_t i, std::int64_t v) {
+    if (region_ != nullptr)
+      region_->slot<std::int64_t>(i).write(tx, v);
+    else
+      volatile_[i].write(tx, v);
+  }
+
+  std::vector<api::TVar<std::int64_t>> volatile_;
+  api::Region* region_ = nullptr;
+  std::size_t region_n_ = 0;
+  std::int64_t initial_;
+  /// Audit tokens are scratch state in both modes: on the durable backend
+  /// the queue's TVars fall outside the region, so they are transactional
+  /// but unlogged (the documented volatile-write contract).
+  txs::TxBoundedQueue<std::int64_t, kQueueCapacity> audit_;
+  std::atomic<std::uint64_t> tokens_dropped_{0};
+};
+
+}  // namespace shrinktm::service

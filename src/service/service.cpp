@@ -1,0 +1,207 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "service/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace shrinktm::service {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kPointRead: return "point_read";
+    case OpClass::kTransfer: return "transfer";
+    case OpClass::kBatch: return "batch";
+    case OpClass::kScan: return "scan";
+    case OpClass::kConsume: return "consume";
+  }
+  return "?";
+}
+
+obs::TaggedHistogramSet make_op_class_set() {
+  std::vector<std::string> tags;
+  tags.reserve(kNumOpClasses);
+  for (std::size_t c = 0; c < kNumOpClasses; ++c)
+    tags.emplace_back(op_class_name(static_cast<OpClass>(c)));
+  return obs::TaggedHistogramSet(std::move(tags));
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Independent deterministic stream per (client, phase, role).
+std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t client,
+                       std::uint64_t phase, std::uint64_t role) {
+  return util::SplitMix64(seed ^ (client << 40) ^ (phase << 20) ^ role).next();
+}
+
+std::int64_t now_ns(Clock::time_point epoch) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+/// Pace to the schedule: sleep (coarse) then spin (precise) until `due`.
+/// Returns immediately when already late -- lateness belongs to sojourn.
+void wait_until(Clock::time_point epoch, std::uint64_t due_ns) {
+  const auto target = epoch + std::chrono::nanoseconds(due_ns);
+  auto now = Clock::now();
+  if (now >= target) return;
+  if (target - now > std::chrono::microseconds(300))
+    std::this_thread::sleep_for(target - now - std::chrono::microseconds(200));
+  while (Clock::now() < target) std::this_thread::yield();
+}
+
+struct ClientResult {
+  std::vector<obs::TaggedHistogramSet> phases;
+  std::uint64_t abandoned = 0;
+};
+
+void client_loop(api::Runtime& rt, Ledger& ledger, const ServiceSpec& spec,
+                 AdmissionController& adm, const std::vector<double>& zetan,
+                 Clock::time_point epoch, int ci, ClientResult& out) {
+  api::ThreadHandle th = rt.attach();
+  util::Xoshiro256 rng(sub_seed(spec.seed, static_cast<std::uint64_t>(ci),
+                                0xff, 0));
+  std::vector<std::uint64_t> batch_keys(std::max<std::size_t>(spec.batch_size, 1));
+  std::int64_t acc = 0;  // fold read results so no op can be elided
+
+  for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    const PhaseSpec& ph = spec.phases[pi];
+    const std::uint64_t p_start = phase_offset_ns(spec, pi);
+    const std::uint64_t p_end = p_start + ph.duration_ns();
+    // Backlog abandon horizon: one extra phase-duration of grace.
+    const std::uint64_t abandon_at = p_end + ph.duration_ns();
+    ZipfGenerator keys(
+        spec.accounts, ph.theta,
+        sub_seed(spec.seed, static_cast<std::uint64_t>(ci), pi, 1),
+        zetan[pi]);
+    std::array<std::optional<ArrivalSchedule>, kNumOpClasses> sched;
+    std::array<std::uint64_t, kNumOpClasses> due;
+    due.fill(~std::uint64_t{0});
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      if (ph.rate_hz[c] <= 0.0) continue;
+      sched[c].emplace(
+          ph.arrival[c], ph.rate_hz[c],
+          sub_seed(spec.seed, static_cast<std::uint64_t>(ci), pi, 2 + c));
+      due[c] = p_start + sched[c]->next_gap_ns();
+    }
+    obs::TaggedHistogramSet& rows = out.phases[pi];
+
+    for (;;) {
+      const std::size_t c = static_cast<std::size_t>(
+          std::min_element(due.begin(), due.end()) - due.begin());
+      const std::uint64_t d = due[c];
+      if (d >= p_end) break;  // this phase's schedule is exhausted
+      due[c] = d + sched[c]->next_gap_ns();
+      if (static_cast<std::uint64_t>(std::max<std::int64_t>(now_ns(epoch), 0)) >=
+          abandon_at) {
+        ++out.abandoned;  // hopelessly late: drop, keep draining the schedule
+        continue;
+      }
+      wait_until(epoch, d);
+      obs::TaggedLatency& row = rows[c];
+      if (!adm.admit(static_cast<OpClass>(c))) {
+        ++row.shed;
+        continue;
+      }
+      const std::int64_t e0 = now_ns(epoch);
+      switch (static_cast<OpClass>(c)) {
+        case OpClass::kPointRead:
+          acc += ledger.point_read(th, keys.next_key());
+          break;
+        case OpClass::kTransfer: {
+          const bool hot = ph.hot_keys > 0;
+          const std::uint64_t from =
+              hot ? rng.next_below(ph.hot_keys) : keys.next_key();
+          const std::uint64_t to =
+              hot ? rng.next_below(ph.hot_keys) : keys.next_key();
+          ledger.transfer(th, from, to, 1, hot ? ph.tx_yields : 0);
+          break;
+        }
+        case OpClass::kBatch: {
+          const bool hot = ph.hot_keys > 0;
+          for (auto& k : batch_keys)
+            k = hot ? rng.next_below(ph.hot_keys) : keys.next_key();
+          acc += ledger.batch_rmw(th, batch_keys.data(), batch_keys.size(),
+                                  hot ? ph.tx_yields : 0);
+          break;
+        }
+        case OpClass::kScan:
+          // Hotspot phases pin scans over the hot range, so every scan
+          // must validate against the write fire (and mostly loses).
+          acc += ledger.scan_sum(
+              th, ph.hot_keys > 0 ? 0 : rng.next_below(spec.accounts),
+              spec.scan_len);
+          break;
+        case OpClass::kConsume:
+          acc += ledger.consume(
+              th, std::chrono::microseconds(spec.consume_timeout_us));
+          break;
+      }
+      const std::int64_t e1 = now_ns(epoch);
+      row.record(static_cast<std::uint64_t>(std::max<std::int64_t>(e1 - e0, 0)),
+                 static_cast<std::uint64_t>(std::max<std::int64_t>(
+                     e1 - static_cast<std::int64_t>(d), 0)));
+    }
+  }
+  // Publish the fold so the reads above stay observable side effects.
+  static std::atomic<std::int64_t> sink;
+  sink.store(acc, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ServiceReport run_service(api::Runtime& rt, Ledger& ledger,
+                          const ServiceSpec& spec) {
+  ServiceReport rep;
+  rep.balance_before = ledger.unsafe_total();
+  for (const auto& ph : spec.phases) rep.phase_names.push_back(ph.name);
+
+  // One zeta per phase, deduped by theta (the O(n) sum dominates setup for
+  // million-account ledgers; phases reuse thetas freely).
+  std::vector<double> zetan(spec.phases.size());
+  for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    zetan[pi] = -1.0;
+    for (std::size_t k = 0; k < pi; ++k)
+      if (spec.phases[k].theta == spec.phases[pi].theta) zetan[pi] = zetan[k];
+    if (zetan[pi] < 0.0)
+      zetan[pi] = compute_zeta(spec.accounts, spec.phases[pi].theta);
+  }
+
+  AdmissionController adm(rt, spec.admission);
+  std::vector<ClientResult> locals(static_cast<std::size_t>(spec.clients));
+  for (auto& l : locals)
+    for (std::size_t pi = 0; pi < spec.phases.size(); ++pi)
+      l.phases.push_back(make_op_class_set());
+
+  // Shared epoch slightly in the future so every client sees phase 0 start
+  // on its schedule, not mid-ramp.
+  const Clock::time_point epoch = Clock::now() + std::chrono::milliseconds(2);
+  std::vector<std::thread> threads;
+  threads.reserve(locals.size());
+  for (int ci = 0; ci < spec.clients; ++ci)
+    threads.emplace_back([&, ci] {
+      client_loop(rt, ledger, spec, adm, zetan, epoch, ci,
+                  locals[static_cast<std::size_t>(ci)]);
+    });
+  for (auto& t : threads) t.join();
+
+  for (std::size_t pi = 0; pi < spec.phases.size(); ++pi) {
+    rep.phases.push_back(make_op_class_set());
+    for (const auto& l : locals) rep.phases[pi] += l.phases[pi];
+  }
+  for (std::size_t c = 0; c < kNumOpClasses; ++c)
+    rep.shed[c] = adm.shed(static_cast<OpClass>(c));
+  for (const auto& l : locals) rep.backlog_abandoned += l.abandoned;
+  rep.tokens_dropped = ledger.tokens_dropped();
+  rep.balance_after = ledger.unsafe_total();
+  return rep;
+}
+
+}  // namespace shrinktm::service

@@ -1,0 +1,69 @@
+// run_service(): the open-loop client fleet driving a Ledger over an
+// api::Runtime.
+//
+// N client threads share one arrival epoch; each runs every phase of the
+// spec, drawing per-class due times from its private ArrivalSchedules and
+// keys from its private ZipfGenerator (all seeded from spec.seed, so a run
+// is replayable).  A client that falls behind keeps serving arrivals at
+// their ORIGINAL due times -- the backlog shows up as sojourn latency, the
+// open-loop honesty this layer exists to provide.  Two escape valves keep a
+// saturated run bounded and measured instead of wedged:
+//
+//   admission -- spec.admission sheds arrivals while the adaptive
+//                classifier reports PATHOLOGICAL (counted per class)
+//   abandon   -- arrivals still queued one full phase-duration past their
+//                phase's end are dropped and counted (backlog_abandoned),
+//                so a hopeless backlog can't leak into later phases'
+//                percentiles
+//
+// The report carries one TaggedHistogramSet per phase (tags = op classes,
+// service + sojourn ns), shed/abandon/drop counters, and the balance
+// totals for the conservation check.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tagged.hpp"
+#include "service/admission.hpp"
+#include "service/ledger.hpp"
+#include "service/workload.hpp"
+
+namespace shrinktm::service {
+
+/// A TaggedHistogramSet whose tags are the op-class names, indexed by
+/// OpClass value.
+obs::TaggedHistogramSet make_op_class_set();
+
+struct ServiceReport {
+  std::vector<std::string> phase_names;
+  /// Per-phase op-class latency rows (merged over clients); tags and
+  /// indices follow OpClass.
+  std::vector<obs::TaggedHistogramSet> phases;
+  /// Arrivals shed by admission control, per class, whole run.
+  std::array<std::uint64_t, kNumOpClasses> shed{};
+  std::uint64_t total_shed() const {
+    std::uint64_t t = 0;
+    for (auto s : shed) t += s;
+    return t;
+  }
+  /// Arrivals dropped by the backlog abandon valve (see file comment).
+  std::uint64_t backlog_abandoned = 0;
+  /// Audit tokens dropped on a full queue by transfers.
+  std::uint64_t tokens_dropped = 0;
+  std::int64_t balance_before = 0;
+  std::int64_t balance_after = 0;
+  /// The ledger-level conservation identity (the runtime-level one,
+  /// attempts == commits + aborts + cancels + retry_waits, comes from
+  /// Runtime::stats().conserved()).
+  bool balance_conserved() const { return balance_before == balance_after; }
+};
+
+/// Run the spec's phases to completion over `rt` and `ledger`.  Blocking:
+/// returns once every client joined (so balances and stats are quiescent).
+ServiceReport run_service(api::Runtime& rt, Ledger& ledger,
+                          const ServiceSpec& spec);
+
+}  // namespace shrinktm::service

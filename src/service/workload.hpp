@@ -1,0 +1,107 @@
+// The service workload vocabulary: op classes, phases, and the spec that
+// drives run_service().
+//
+// A workload is a sequence of PHASES (read-mostly, write-burst, long-scan,
+// ...), each giving every OP CLASS an independent open-loop arrival rate
+// plus the key-popularity skew in force.  Phase boundaries are fixed
+// offsets from the run's start -- all clients switch phases on the shared
+// clock, not on their private progress, so a client buried in backlog still
+// experiences the burst ending on time (and its sojourn tail records what
+// the backlog cost).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/arrivals.hpp"
+
+namespace shrinktm::service {
+
+/// The typed op vocabulary of the KV/ledger service.
+enum class OpClass : std::uint8_t {
+  kPointRead = 0,  ///< read one account's balance
+  kTransfer = 1,   ///< read-modify-write: move amount between two accounts
+  kBatch = 2,      ///< multi-key read-modify-write (net-zero over the batch)
+  kScan = 3,       ///< long read-only range sum
+  kConsume = 4,    ///< blocking pop from the audit queue (tx.retry_for)
+};
+inline constexpr std::size_t kNumOpClasses = 5;
+
+const char* op_class_name(OpClass c);
+
+/// One phase of the workload.  Rates are per CLIENT thread, so total
+/// offered load scales with the client count (as fleet size scales a
+/// server's load).
+struct PhaseSpec {
+  std::string name;
+  std::uint64_t duration_ms = 100;
+  /// Offered arrivals per second per client, indexed by OpClass; 0 = class
+  /// inactive this phase.
+  std::array<double, kNumOpClasses> rate_hz{};
+  /// Arrival process per class (default: Poisson everywhere).
+  std::array<ArrivalKind, kNumOpClasses> arrival{};
+  /// Key-popularity skew for zipfian key draws, in (0, 1).
+  double theta = 0.8;
+  /// Hotspot override: when > 0, transfer and batch keys are drawn
+  /// uniformly from accounts [0, hot_keys) instead of the zipfian keyspace
+  /// -- the contrived contention spike that drives the classifier to
+  /// PATHOLOGICAL and engages admission control.
+  std::uint64_t hot_keys = 0;
+  /// Yields inside each hot transfer/batch transaction while it holds its
+  /// eager write locks, modelling write transactions that outlive their
+  /// timeslice (the paper's overloaded scenario).  Without this,
+  /// microsecond hot-key transactions resolve by spin-waiting instead of
+  /// aborting and the classifier never sees the conflict storm -- the same
+  /// trick bench/adaptive_regimes.cpp uses for its pathological regime.
+  /// Only applied when hot_keys > 0.
+  std::uint32_t tx_yields = 0;
+
+  std::uint64_t duration_ns() const { return duration_ms * 1'000'000ULL; }
+};
+
+/// The full run recipe consumed by run_service().
+struct ServiceSpec {
+  std::size_t accounts = 1u << 20;    ///< ledger size (keyspace)
+  std::int64_t initial_balance = 1000;
+  int clients = 4;                    ///< open-loop client threads
+  std::uint64_t seed = 42;            ///< master seed (keys + arrivals)
+  std::size_t batch_size = 8;         ///< keys touched per kBatch op
+  std::size_t scan_len = 1024;        ///< accounts summed per kScan op
+  /// Bound on a kConsume park (tx.retry_for); an expired bound completes
+  /// the op empty-handed rather than wedging an open-loop client.
+  std::uint64_t consume_timeout_us = 500;
+  /// Shed arrivals while Runtime::regime() reports kPathological.
+  bool admission = false;
+  std::vector<PhaseSpec> phases;
+
+  std::uint64_t total_duration_ns() const {
+    std::uint64_t t = 0;
+    for (const auto& p : phases) t += p.duration_ns();
+    return t;
+  }
+};
+
+/// Start offset of phase `i` from the run epoch (ns).
+inline std::uint64_t phase_offset_ns(const ServiceSpec& spec, std::size_t i) {
+  std::uint64_t t = 0;
+  for (std::size_t k = 0; k < i && k < spec.phases.size(); ++k)
+    t += spec.phases[k].duration_ns();
+  return t;
+}
+
+/// Which phase is in force at `elapsed_ns` since the run epoch; returns
+/// spec.phases.size() once the schedule is exhausted.  Boundaries are
+/// half-open: phase i covers [offset_i, offset_i + duration_i).
+inline std::size_t phase_at(const ServiceSpec& spec, std::uint64_t elapsed_ns) {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+    t += spec.phases[i].duration_ns();
+    if (elapsed_ns < t) return i;
+  }
+  return spec.phases.size();
+}
+
+}  // namespace shrinktm::service

@@ -1,0 +1,92 @@
+// Deterministic zipfian key generator over a large keyspace.
+//
+// The service layer models "millions of users, a few of them hot": key
+// popularity follows a zipfian distribution with skew parameter theta in
+// (0, 1), sampled with the closed-form rejection-free method of Gray et al.
+// ("Quickly generating billion-record synthetic databases", SIGMOD 1994) --
+// the same sampler YCSB standardized on.  Two views of the draw:
+//
+//   next_rank()  -- the popularity rank itself (0 = hottest).  Ranks
+//                   cluster at small values; use when the test wants the
+//                   distribution's shape directly.
+//   next_key()   -- the rank scrambled through a SplitMix64 finalizer and
+//                   folded into [0, n).  Hot keys end up scattered across
+//                   the whole keyspace (as real hot users are), so range
+//                   scans and hot points don't accidentally collide.
+//
+// Determinism contract: the sequence is a pure function of (n, theta,
+// seed).  Construction is O(n) -- the zeta normalization sum -- so callers
+// fanning out many generators over the same (n, theta) should compute
+// zeta once (compute_zeta) and reuse it via the precomputed-zeta
+// constructor.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace shrinktm::service {
+
+/// The zipfian normalization constant zeta(n, theta) = sum_{i=1..n} 1/i^theta.
+inline double compute_zeta(std::uint64_t n, double theta) {
+  double z = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    z += 1.0 / std::pow(static_cast<double>(i), theta);
+  return z;
+}
+
+class ZipfGenerator {
+ public:
+  /// O(n) construction (computes zeta).  theta must be in (0, 1).
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : ZipfGenerator(n, theta, seed, compute_zeta(n, theta)) {}
+
+  /// O(1) construction from a precomputed compute_zeta(n, theta).
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed,
+                double zetan)
+      : n_(n), theta_(theta), zetan_(zetan), rng_(seed),
+        salt_(util::SplitMix64(seed ^ 0x7a1f5eedc0ffee42ULL).next()) {
+    assert(n_ >= 1);
+    assert(theta_ > 0.0 && theta_ < 1.0);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = compute_zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Zipf-distributed popularity rank in [0, n); 0 is the hottest.
+  std::uint64_t next_rank() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;  // guard fp round-up at u ~ 1
+  }
+
+  /// next_rank() scrambled into a stable pseudo-random position in [0, n):
+  /// the hot set is spread over the keyspace, fixed per (seed).
+  std::uint64_t next_key() { return scramble(next_rank()); }
+
+  /// The key a given rank maps to (exposed so tests can find the hot keys).
+  std::uint64_t scramble(std::uint64_t rank) const {
+    return util::SplitMix64(rank ^ salt_).next() % n_;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  util::Xoshiro256 rng_;
+  std::uint64_t salt_;
+};
+
+}  // namespace shrinktm::service

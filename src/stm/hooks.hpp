@@ -83,6 +83,21 @@ class SchedulerHooks {
   /// the attempt and hold nothing during it (SerializerScheduler) correctly
   /// report false.
   virtual bool serialized_now(int /*tid*/) const { return false; }
+
+  /// Bit-flag verdict of the admission decision before_start just took for
+  /// `tid`'s current attempt (same validity window and same-thread contract
+  /// as serialized_now).  The trace recorder renders these as
+  /// "sched-decision" events; obs/trace_writer.cpp mirrors the bit values.
+  /// The default derives the one universally observable bit; schedulers
+  /// with a predictor (Shrink) override with the richer verdict.
+  virtual std::uint32_t last_decision(int tid) const {
+    return serialized_now(tid) ? kDecisionSerialized : 0;
+  }
+
+  /// last_decision() bits.
+  static constexpr std::uint32_t kDecisionSerialized = 1u << 0;
+  static constexpr std::uint32_t kDecisionPredictionUsed = 1u << 1;
+  static constexpr std::uint32_t kDecisionPredictionHit = 1u << 2;
 };
 
 /// "Visible writes" oracle (paper §3: Shrink can be integrated with any TM

@@ -66,9 +66,15 @@ class TxRunner {
       ++attempt;
       if (sched_ != nullptr) sched_->before_start(tx_.tid());
       tx_.start();
-      if (rec_ != nullptr)
+      if (rec_ != nullptr) {
         rec_->attempt_start(sched_ != nullptr &&
                             sched_->serialized_now(tx_.tid()));
+        // Scheduler verdicts (prediction consulted/hit, serialization) land
+        // in the trace as instants; the tracing() gate keeps the virtual
+        // query off the histogram-only fast path.
+        if (sched_ != nullptr && rec_->tracing())
+          rec_->sched_decision(sched_->last_decision(tx_.tid()));
+      }
       // The committed result is held outside the try so the commit actions
       // can run AFTER it: an exception escaping an action must reach the
       // caller as-is, not be mistaken for an attempt failure (a TxConflict

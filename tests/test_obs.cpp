@@ -22,6 +22,7 @@
 #include "api/shrinktm.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_writer.hpp"
+#include "stm/hooks.hpp"
 #include "util/stats.hpp"
 
 namespace shrinktm {
@@ -244,6 +245,33 @@ TEST(TraceRing, KeepsFirstNAndCountsDropsExactly) {
   for (std::size_t i = 0; i < kCap; ++i) EXPECT_EQ(ring[i].ts_ns, i);
 }
 
+TEST(Trace, SchedDecisionEventsRenderVerdictBits) {
+  // The obs layer cannot include stm, so trace_writer hardcodes the bit
+  // positions of stm::SchedulerHooks::kDecision*; this test pins the two
+  // sides together.
+  obs::ThreadRecorder rec(/*tid=*/3, /*trace_capacity=*/16);
+  rec.attempt_start(/*serialized=*/true);
+  rec.sched_decision(stm::SchedulerHooks::kDecisionSerialized |
+                     stm::SchedulerHooks::kDecisionPredictionUsed |
+                     stm::SchedulerHooks::kDecisionPredictionHit);
+  rec.commit();
+  rec.attempt_start(/*serialized=*/false);
+  rec.sched_decision(0);  // no verdict: no event, keeps calm traces small
+  rec.commit();
+
+  obs::TraceDump dump;
+  dump.threads = {&rec};
+  const std::string json = obs::chrome_trace_json(dump);
+  ASSERT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"sched-decision\""), std::string::npos);
+  EXPECT_NE(json.find("\"serialized\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"prediction_used\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"prediction_hit\":true"), std::string::npos);
+  // Exactly one decision instant: the zero-verdict call recorded nothing.
+  EXPECT_EQ(json.find("sched-decision", json.find("sched-decision") + 1),
+            std::string::npos);
+}
+
 // ------------------------------------------------- tracing through the api
 
 TEST(Trace, DisabledRuntimeEmitsValidEmptyTrace) {
@@ -290,6 +318,28 @@ TEST(Trace, RecordsLifecycleOnBothBackends) {
       EXPECT_NE(json.find("\"name\":\"abort("), std::string::npos);
     }
   }
+}
+
+TEST(Trace, SchedulerDecisionsVisibleInRuntimeTraceJson) {
+  // Force the predictor to be consulted on every attempt (threshold above
+  // the optimistic initial success rate, affinity coin off) so the decision
+  // stream is deterministic.
+  core::ShrinkConfig shrink;
+  shrink.succ_threshold = 1.5;
+  shrink.use_affinity = false;
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kTiny)
+                      .with_scheduler(core::SchedulerKind::kShrink)
+                      .with_shrink(shrink)
+                      .with_trace_capacity(1024));
+  api::TVar<std::int64_t> x{0};
+  api::ThreadHandle th = rt.attach();
+  for (int i = 0; i < 10; ++i)
+    atomically(th, [&](api::Tx& tx) { tx.write(x, tx.read(x) + 1); });
+  const std::string json = rt.trace_json();
+  ASSERT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"sched-decision\""), std::string::npos);
+  EXPECT_NE(json.find("\"prediction_used\":true"), std::string::npos);
 }
 
 TEST(Trace, DumpTraceWritesLoadableFileForCi) {

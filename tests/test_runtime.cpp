@@ -41,6 +41,15 @@ TEST(EventRing, PackUnpackRoundTrips) {
   const Event none =
       runtime::unpack_event(runtime::pack_event(EventType::kCommit, -1, 0, 0));
   EXPECT_EQ(none.enemy_tid, -1);
+  // The fifth event type (retry park) needs the widened 3-bit type field;
+  // it round-trips with full timestamp and sequence fidelity.
+  const auto pv =
+      runtime::pack_event(EventType::kRetryPark, -1, 0x3ffffff, 511);
+  const Event park = runtime::unpack_event(pv);
+  EXPECT_EQ(park.type, EventType::kRetryPark);
+  EXPECT_EQ(park.coarse_ts, 0x3ffffffu);
+  EXPECT_EQ(park.count, 1u);
+  EXPECT_EQ(runtime::packed_seq(pv), 511u);
 }
 
 TEST(EventRing, DrainReturnsEverythingWhenNotFull) {
@@ -135,6 +144,22 @@ TEST(WindowAggregate, PressureNeverDoubleCountsNorExceedsOne) {
   EXPECT_DOUBLE_EQ(w.contention_pressure(), 14.0 / 20.0);
 }
 
+TEST(WindowAggregate, ParksCountAsPressureAndAsSamples) {
+  // A retry park is demand the system failed to serve: it raises pressure
+  // like an abort and counts toward min_samples (a blocking-heavy window is
+  // signal, not silence).
+  WindowAggregate w;
+  w.commits = 30;
+  w.parks = 70;
+  EXPECT_EQ(w.samples(), 100u);
+  EXPECT_DOUBLE_EQ(w.contention_pressure(), 0.70);
+  // All-park window: full pressure, not division by zero.
+  WindowAggregate p;
+  p.parks = 50;
+  EXPECT_EQ(p.samples(), 50u);
+  EXPECT_DOUBLE_EQ(p.contention_pressure(), 1.0);
+}
+
 TEST(TelemetrySampler, AggregatesWindowsAcrossThreads) {
   TelemetryHub hub(/*max_threads=*/8, /*log2_slots=*/8);
   hub.stamp(0);
@@ -144,6 +169,7 @@ TEST(TelemetrySampler, AggregatesWindowsAcrossThreads) {
   for (int i = 0; i < 20; ++i) hub.record(1, EventType::kCommit);
   for (int i = 0; i < 5; ++i) hub.record(1, EventType::kSerialize);
   for (int i = 0; i < 3; ++i) hub.record(1, EventType::kStart);
+  for (int i = 0; i < 4; ++i) hub.record(1, EventType::kRetryPark);
 
   TelemetrySampler sampler(hub, /*window_seconds=*/3600.0);
   WindowAggregate w;
@@ -152,12 +178,13 @@ TEST(TelemetrySampler, AggregatesWindowsAcrossThreads) {
   EXPECT_EQ(w.aborts, 10u);
   EXPECT_EQ(w.serializes, 5u);
   EXPECT_EQ(w.starts, 3u);
+  EXPECT_EQ(w.parks, 4u);
   EXPECT_EQ(w.commits_by_tid[0], 30u);
   EXPECT_EQ(w.commits_by_tid[1], 20u);
   EXPECT_EQ(w.aborts_by_tid[0], 10u);
   EXPECT_EQ(w.active_threads(), 2);
   EXPECT_NEAR(w.abort_ratio(), 10.0 / 60.0, 1e-12);
-  EXPECT_NEAR(w.contention_pressure(), 15.0 / 60.0, 1e-12);
+  EXPECT_NEAR(w.contention_pressure(), 19.0 / 64.0, 1e-12);
   int victim = -1, enemy = -1;
   EXPECT_EQ(w.hottest_conflict(&victim, &enemy), 10u);
   EXPECT_EQ(victim, 0);
@@ -268,6 +295,23 @@ class AdaptiveSwitchingTest : public ::testing::Test {
     sched_->tick(/*force=*/true);
   }
 
+  /// A blocking-heavy window: `parks` attempts abandon themselves via
+  /// tx.retry() (before_start then on_retry_block, the runner's sequence)
+  /// alongside `commits` successful ones.
+  void blocking_window(int commits, int parks, int nthreads = 4) {
+    for (int i = 0; i < commits; ++i) {
+      const int tid = i % nthreads;
+      sched_->before_start(tid);
+      sched_->on_commit(tid);
+    }
+    for (int i = 0; i < parks; ++i) {
+      const int tid = i % nthreads;
+      sched_->before_start(tid);
+      sched_->on_retry_block(tid);
+    }
+    sched_->tick(/*force=*/true);
+  }
+
   stm::TinyBackend backend_;
   std::unique_ptr<runtime::AdaptiveScheduler> sched_;
 };
@@ -314,6 +358,32 @@ TEST_F(AdaptiveSwitchingTest, SwitchesToShrinkOnAbortSpikeAndBack) {
   const std::string json = runtime::to_json(*sched_);
   EXPECT_NE(json.find("\"scheduler\":\"adaptive\""), std::string::npos);
   EXPECT_NE(json.find("\"to\":\"pathological\""), std::string::npos);
+}
+
+TEST_F(AdaptiveSwitchingTest, ParksShiftTheRegimeUnderBlockingHeavyLoad) {
+  // Consumers outrunning producers: almost every attempt parks on
+  // tx.retry().  Hardly any aborts ever happen, so before the park feed the
+  // classifier saw a near-empty, all-commit window and stayed on base; with
+  // parks flowing from the wakeup path into the telemetry window the regime
+  // escalates like an abort storm would.
+  for (int i = 0; i < 3; ++i) blocking_window(100, 3);
+  EXPECT_EQ(sched_->regime(), Regime::kLow);  // a few parks: still calm
+
+  blocking_window(10, 90);
+  blocking_window(10, 90);
+  EXPECT_EQ(sched_->regime(), Regime::kPathological)
+      << "park events did not move the classifier";
+  EXPECT_EQ(sched_->policy_label(), "shrink-aggressive");
+
+  // The window history and export both carry the park counts.
+  const auto wins = sched_->recent_windows();
+  ASSERT_FALSE(wins.empty());
+  EXPECT_EQ(wins.back().parks, 90u);
+  EXPECT_NE(runtime::to_json(*sched_).find("\"parks\":90"), std::string::npos);
+
+  // Wakeups resume committing: the regime relaxes (confirm_down = 3).
+  for (int i = 0; i < 4; ++i) blocking_window(100, 0);
+  EXPECT_EQ(sched_->regime(), Regime::kLow);
 }
 
 TEST_F(AdaptiveSwitchingTest, InnerShrinkReceivesHooksAfterSwitch) {

@@ -1,0 +1,277 @@
+// Service-layer tests: zipfian key generator determinism and shape, arrival
+// pacing, phase boundary arithmetic, the admission circuit breaker against
+// scripted regime/clock sources, ledger op conservation (volatile and
+// durable storage), and a miniature end-to-end run_service().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "api/shrinktm.hpp"
+#include "service/admission.hpp"
+#include "service/arrivals.hpp"
+#include "service/ledger.hpp"
+#include "service/service.hpp"
+#include "service/workload.hpp"
+#include "service/zipf.hpp"
+
+namespace shrinktm {
+namespace {
+
+using service::AdmissionConfig;
+using service::AdmissionController;
+using service::ArrivalKind;
+using service::ArrivalSchedule;
+using service::OpClass;
+using service::PhaseSpec;
+using service::ServiceSpec;
+using service::ZipfGenerator;
+
+// ------------------------------------------------------------------ zipf
+
+TEST(Zipf, SameSeedSameStreamDifferentSeedDiverges) {
+  ZipfGenerator a(100000, 0.9, 7), b(100000, 0.9, 7), c(100000, 0.9, 8);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto ka = a.next_key();
+    EXPECT_EQ(ka, b.next_key());
+    diverged |= ka != c.next_key();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Zipf, RanksStayInRangeAndFavorTheHead) {
+  const std::size_t n = 10000;
+  ZipfGenerator g(n, 0.9, 42);
+  std::uint64_t head = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const auto r = g.next_rank();
+    ASSERT_LT(r, n);
+    if (r < n / 100) ++head;  // top 1% of ranks
+  }
+  // theta=0.9 puts far more than a uniform 1% of mass on the top 1%.
+  EXPECT_GT(head, static_cast<std::uint64_t>(draws) / 4);
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  const std::size_t n = 10000;
+  auto head_mass = [&](double theta) {
+    ZipfGenerator g(n, theta, 42);
+    std::uint64_t head = 0;
+    for (int i = 0; i < 20000; ++i)
+      if (g.next_rank() < n / 100) ++head;
+    return head;
+  };
+  EXPECT_GT(head_mass(0.95), head_mass(0.5));
+}
+
+TEST(Zipf, ScramblingSpreadsHotRanksAcrossTheKeyspace) {
+  // next_key() must not leave the popular ranks clustered at low indices:
+  // with 2M accounts the hot keys should land all over the keyspace.
+  const std::size_t n = 1 << 21;
+  ZipfGenerator g(n, 0.9, 42);
+  std::uint64_t above_half = 0;
+  for (int i = 0; i < 4000; ++i)
+    if (g.next_key() >= n / 2) ++above_half;
+  EXPECT_GT(above_half, 1000u);  // roughly half, never near zero
+}
+
+// -------------------------------------------------------------- arrivals
+
+TEST(Arrivals, UniformIsAnExactMetronome) {
+  ArrivalSchedule s(ArrivalKind::kUniform, 1000.0, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.next_gap_ns(), 1'000'000u);
+}
+
+TEST(Arrivals, PoissonIsDeterministicWithMeanNearTheRate) {
+  ArrivalSchedule a(ArrivalKind::kPoisson, 10000.0, 11);
+  ArrivalSchedule b(ArrivalKind::kPoisson, 10000.0, 11);
+  double sum = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const auto g = a.next_gap_ns();
+    EXPECT_EQ(g, b.next_gap_ns());
+    EXPECT_GE(g, 1u);
+    sum += static_cast<double>(g);
+  }
+  const double mean = sum / draws;   // expect 1e9/10000 = 100us
+  EXPECT_GT(mean, 95'000.0);
+  EXPECT_LT(mean, 105'000.0);
+}
+
+// ---------------------------------------------------------------- phases
+
+ServiceSpec three_phase_spec() {
+  ServiceSpec spec;
+  PhaseSpec a, b, c;
+  a.duration_ms = 10;
+  b.duration_ms = 20;
+  c.duration_ms = 5;
+  spec.phases = {a, b, c};
+  return spec;
+}
+
+TEST(Phases, OffsetsAndTotalAgree) {
+  const ServiceSpec spec = three_phase_spec();
+  EXPECT_EQ(service::phase_offset_ns(spec, 0), 0u);
+  EXPECT_EQ(service::phase_offset_ns(spec, 1), 10'000'000u);
+  EXPECT_EQ(service::phase_offset_ns(spec, 2), 30'000'000u);
+  EXPECT_EQ(spec.total_duration_ns(), 35'000'000u);
+}
+
+TEST(Phases, LookupIsHalfOpenAndExhausts) {
+  const ServiceSpec spec = three_phase_spec();
+  EXPECT_EQ(service::phase_at(spec, 0), 0u);
+  EXPECT_EQ(service::phase_at(spec, 9'999'999), 0u);
+  EXPECT_EQ(service::phase_at(spec, 10'000'000), 1u);
+  EXPECT_EQ(service::phase_at(spec, 29'999'999), 1u);
+  EXPECT_EQ(service::phase_at(spec, 30'000'000), 2u);
+  EXPECT_EQ(service::phase_at(spec, 35'000'000), spec.phases.size());
+}
+
+// ------------------------------------------------------------- admission
+
+/// Breaker harness with scripted regime and clock: no runtime, no sleeping.
+struct BreakerRig {
+  runtime::Regime regime = runtime::Regime::kLow;
+  std::int64_t now_ns = 0;
+  AdmissionConfig cfg{/*cooldown_ms=*/20, /*probe_ms=*/16, /*probe_every=*/4};
+  AdmissionController ctl;
+
+  explicit BreakerRig(bool enabled)
+      : ctl([this] { return regime; }, enabled, cfg,
+            [this] { return now_ns; }) {}
+};
+
+TEST(Admission, DisabledBaselineNeverSheds) {
+  BreakerRig rig(false);
+  rig.regime = runtime::Regime::kPathological;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rig.ctl.admit(OpClass::kTransfer));
+  EXPECT_EQ(rig.ctl.total_shed(), 0u);
+}
+
+TEST(Admission, CalmRegimesAdmitEverything) {
+  BreakerRig rig(true);
+  for (auto r : {runtime::Regime::kLow, runtime::Regime::kModerate,
+                 runtime::Regime::kHigh}) {
+    rig.regime = r;
+    EXPECT_TRUE(rig.ctl.admit(OpClass::kScan));
+  }
+  EXPECT_EQ(rig.ctl.total_shed(), 0u);
+}
+
+TEST(Admission, PathologicalTripsAndShedsThroughTheCooldown) {
+  BreakerRig rig(true);
+  rig.regime = runtime::Regime::kPathological;
+  // The tripping arrival itself is shed, as is everything in the cooldown.
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kTransfer));
+  rig.now_ns = 19'000'000;  // still inside cooldown_ms = 20
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kBatch));
+  EXPECT_EQ(rig.ctl.shed(OpClass::kTransfer), 1u);
+  EXPECT_EQ(rig.ctl.shed(OpClass::kBatch), 1u);
+  // Even a calm regime read cannot reopen mid-cooldown: the breaker owns
+  // the door until its probe leg has gathered fresh evidence.
+  rig.regime = runtime::Regime::kLow;
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kPointRead));
+}
+
+TEST(Admission, ProbeLegAdmitsATrickleThenReopensOnACalmVerdict) {
+  BreakerRig rig(true);
+  rig.regime = runtime::Regime::kPathological;
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kTransfer));  // trip at t=0
+  rig.now_ns = 21'000'000;                          // cooldown expired
+  rig.regime = runtime::Regime::kLow;               // storm has passed
+  int admitted = 0;
+  for (int i = 0; i < 16; ++i)
+    if (rig.ctl.admit(OpClass::kPointRead)) ++admitted;
+  EXPECT_EQ(admitted, 4);  // 1-in-probe_every(=4) of 16
+  rig.now_ns = 21'000'000 + 17'000'000;  // probe leg (16ms) expired
+  EXPECT_TRUE(rig.ctl.admit(OpClass::kPointRead));  // verdict: reopen
+  EXPECT_TRUE(rig.ctl.admit(OpClass::kTransfer));   // stays open
+}
+
+TEST(Admission, ProbeVerdictStillPathologicalGoesBackToShedding) {
+  BreakerRig rig(true);
+  rig.regime = runtime::Regime::kPathological;
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kTransfer));  // trip at t=0
+  rig.now_ns = 21'000'000;                          // -> probing
+  EXPECT_TRUE(rig.ctl.admit(OpClass::kTransfer));   // first probe admitted
+  rig.now_ns = 21'000'000 + 17'000'000;             // probe leg expired
+  // Verdict: still pathological -> a fresh cooldown, everything shed.
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kTransfer));
+  rig.now_ns += 10'000'000;  // mid-cooldown
+  EXPECT_FALSE(rig.ctl.admit(OpClass::kScan));
+}
+
+// ---------------------------------------------------------------- ledger
+
+TEST(Ledger, VolatileOpsConserveTheTotal) {
+  api::Runtime rt(api::RuntimeOptions{}.with_backend(core::BackendKind::kTiny));
+  service::Ledger ledger(256, 100);
+  const std::int64_t before = ledger.unsafe_total();
+  auto th = rt.attach();
+  ledger.transfer(th, 3, 200, 17);
+  std::uint64_t keys[4] = {1, 5, 9, 13};
+  ledger.batch_rmw(th, keys, 4);
+  EXPECT_EQ(ledger.point_read(th, 3), 83);
+  EXPECT_EQ(ledger.unsafe_total(), before);
+  // One audit token from the transfer: consume pops it, a second consume
+  // times out empty-handed instead of wedging.
+  EXPECT_TRUE(ledger.consume(th, std::chrono::microseconds(100)));
+  EXPECT_FALSE(ledger.consume(th, std::chrono::microseconds(100)));
+}
+
+TEST(Ledger, DurableRegionStorageConservesAndInitializesOnce) {
+  api::RuntimeOptions opts;
+  opts.with_backend(core::BackendKind::kDurable);
+  opts.durable.region_words = 512;
+  api::Runtime rt(opts);
+  service::Ledger ledger(*rt.durable_region(), 512, 100);
+  EXPECT_EQ(ledger.unsafe_total(), 512 * 100);
+  auto th = rt.attach();
+  ledger.transfer(th, 0, 511, 25);
+  EXPECT_EQ(ledger.point_read(th, 0), 75);
+  EXPECT_EQ(ledger.unsafe_total(), 512 * 100);
+  // A second ledger over the same (now warm) region must adopt the state,
+  // not re-initialize it.
+  service::Ledger again(*rt.durable_region(), 512, 100);
+  EXPECT_EQ(again.point_read(th, 0), 75);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(RunService, MiniatureRunServesEveryClassAndConserves) {
+  api::Runtime rt(api::RuntimeOptions{}
+                      .with_backend(core::BackendKind::kTiny)
+                      .with_scheduler(core::SchedulerKind::kAdaptive));
+  service::Ledger ledger(4096, 1000);
+
+  ServiceSpec spec;
+  spec.accounts = 4096;
+  spec.clients = 2;
+  spec.seed = 99;
+  spec.scan_len = 128;
+  PhaseSpec warm;
+  warm.name = "warm";
+  warm.duration_ms = 30;
+  warm.rate_hz = {2000, 500, 100, 50, 200};
+  spec.phases = {warm};
+
+  const service::ServiceReport rep = service::run_service(rt, ledger, spec);
+  ASSERT_EQ(rep.phases.size(), 1u);
+  ASSERT_EQ(rep.phase_names[0], "warm");
+  for (std::size_t c = 0; c < service::kNumOpClasses; ++c) {
+    EXPECT_GT(rep.phases[0][c].completed, 0u)
+        << service::op_class_name(static_cast<OpClass>(c));
+    EXPECT_GT(rep.phases[0][c].sojourn.total(), 0u);
+  }
+  EXPECT_EQ(rep.total_shed(), 0u);  // admission disabled by default
+  EXPECT_TRUE(rep.balance_conserved());
+  EXPECT_TRUE(rt.stats().conserved());
+}
+
+}  // namespace
+}  // namespace shrinktm

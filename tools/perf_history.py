@@ -51,7 +51,10 @@ CHARTED = [
 
 # Per-series point fields whose run-mean is recorded per bench and charted
 # dynamically (one small multiple per (bench, series)).  "throughput" covers
-# the classic figure benches; the replica fields cover fig_replica.
+# the classic figure benches; the replica fields cover fig_replica.  Series
+# with "/" in the name are fig_service's <mode>/<phase>/<class> grid and are
+# handled by the service-specific extraction below instead -- folding ~25
+# series into the generic throughput small-multiples would bury the page.
 SERIES_MEANS = ("throughput", "leader_tx_s", "apply_records_s")
 
 
@@ -92,13 +95,28 @@ def extract_metrics(doc):
         if isinstance(spd, (int, float)) and spd > 0:
             m["predictor_speedup"] = spd
     for series in doc.get("series") or []:
+        name = series.get("name", "?")
         points = series.get("points") or []
-        for key in SERIES_MEANS:
-            pts = [p.get(key) for p in points
-                   if isinstance(p.get(key), (int, float))]
-            if pts:
-                m[f"{key}_mean[{series.get('name', '?')}]"] = \
-                    sum(pts) / len(pts)
+        if "/" not in name:
+            for key in SERIES_MEANS:
+                pts = [p.get(key) for p in points
+                       if isinstance(p.get(key), (int, float))]
+                if pts:
+                    m[f"{key}_mean[{name}]"] = sum(pts) / len(pts)
+        # Service-bench headline: per-op-class p99 sojourn through the
+        # contrived write-burst (worst cell over the client sweep, both
+        # admission modes -- the pair is the bench's whole point) plus the
+        # per-mode shed totals from the summary series.
+        if "/write-burst/" in name:
+            p99s = [p.get("p99_sojourn_us") for p in points
+                    if isinstance(p.get("p99_sojourn_us"), (int, float))]
+            if p99s:
+                m[f"p99_sojourn_us[{name}]"] = max(p99s)
+        if name.endswith("/summary"):
+            sheds = [p.get("total_shed") for p in points
+                     if isinstance(p.get("total_shed"), (int, float))]
+            if sheds:
+                m[f"shed_total[{name.removesuffix('/summary')}]"] = max(sheds)
         # Replica staleness headline: the WORST cell's lag p99, so scaling
         # the thread sweep never flatters the trend.
         lags = [p.get("lag_p99_us") for p in points
@@ -453,7 +471,8 @@ const dynamic = new Map();
 HISTORY.forEach(run => {
   Object.entries(run.benches || {}).forEach(([bench, metrics]) => {
     Object.keys(metrics).forEach(k => {
-      const mm = k.match(/^(throughput|leader_tx_s|apply_records_s)_mean\[(.*)\]$/);
+      const mm = k.match(/^(throughput|leader_tx_s|apply_records_s)_mean\[(.*)\]$/) ||
+                 k.match(/^(p99_sojourn_us|shed_total)\[(.*)\]$/);
       if (mm && !staticKeys.has(bench + ' ' + k))
         dynamic.set(bench + ' ' + k, [bench, k, mm[1], mm[2]]);
     });
@@ -461,8 +480,9 @@ HISTORY.forEach(run => {
 });
 [...dynamic.keys()].sort().forEach(id => {
   const [bench, key, field, series] = dynamic.get(id);
+  const agg = key.includes('_mean[') ? 'mean' : 'worst cell';
   drawChart(charts, bench + ' — ' + series + ' ' + field,
-            'mean ' + field + ' over the "' + series + '" points of each run',
+            agg + ' ' + field + ' over the "' + series + '" points of each run',
             metricSeries(bench, key));
 });
 
