@@ -4,6 +4,11 @@
 //   --tiny                  CI smoke: one small cell, ~50 ms
 //   --phase leader|follower two-process protocol (see below); default "both"
 //   --dir PATH              the shared durable directory for --phase
+//   --transport file|tcp|both  how the follower reaches the leader: pread
+//                           the shared directory ("file", the original
+//                           mode), or tail a replica::ShipServer over
+//                           localhost TCP ("tcp").  Default "both" for the
+//                           in-process matrix, "file" for --phase.
 //
 // Default (both-in-one-process) mode, per cell: a durable leader Runtime
 // runs N transfer threads plus one probe thread that commits
@@ -19,14 +24,15 @@
 // record; `--phase follower --dir D` (concurrently or after) tails D until
 // the marker is visible, checks conservation, prints CONVERGED.
 //
-// Artifact: BENCH_fig_replica.json, series "replica" with leader tx/s,
-// apply records/s and lag p50/p99/p999 -- tools/perf_history.py charts the
-// lag p99 trend.
+// Artifact: BENCH_fig_replica.json, series "replica" (file transport) and
+// "replica_tcp" (TCP transport) with leader tx/s, apply records/s and lag
+// p50/p99/p999 -- tools/perf_history.py charts the lag p99 trends.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -34,6 +40,7 @@
 
 #include "api/shrinktm.hpp"
 #include "bench/common.hpp"
+#include "replica/ship_server.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -135,7 +142,7 @@ struct CellResult {
 };
 
 CellResult run_cell(const bench::BenchArgs& args, int threads, int run,
-                    bench::BenchReporter& rep) {
+                    const std::string& transport, bench::BenchReporter& rep) {
   char tmpl[] = "/tmp/shrinktm_fig_replica_XXXXXX";
   if (::mkdtemp(tmpl) == nullptr) {
     std::cerr << "mkdtemp failed\n";
@@ -149,8 +156,17 @@ CellResult run_cell(const bench::BenchArgs& args, int threads, int run,
                         .with_seed(args.seed + static_cast<std::uint64_t>(run)));
     fund(rt);
 
+    // In tcp mode the follower never touches the directory: it tails a
+    // ShipServer over localhost, exactly as a cross-host follower would.
+    std::unique_ptr<replica::ShipServer> ship;
     api::ReplicaOptions ropts;
-    ropts.dir = dir;
+    if (transport == "tcp") {
+      ship = std::make_unique<replica::ShipServer>(
+          replica::ShipServer::Config{dir, 0, nullptr});
+      ropts.endpoint = ship->endpoint();
+    } else {
+      ropts.dir = dir;
+    }
     ropts.lag_probe_offset = kProbeSlot;
     api::ReplicaRuntime follower(ropts);
 
@@ -184,6 +200,11 @@ CellResult run_cell(const bench::BenchArgs& args, int threads, int run,
     rep.add_runtime_stats(s);
 
     const api::ReplicaStats fs = follower.stats();
+    if (fs.transport != transport) {
+      std::cerr << "TRANSPORT MISMATCH: follower ran \"" << fs.transport
+                << "\", cell wanted \"" << transport << "\"\n";
+      std::exit(1);
+    }
     r.leader_tx_s = static_cast<double>(transfers) / secs;
     r.apply_records_s = static_cast<double>(fs.records) / secs;
     r.lag_p50_us = static_cast<double>(fs.lag_ns.value_at_quantile(0.50)) / 1e3;
@@ -200,9 +221,23 @@ CellResult run_cell(const bench::BenchArgs& args, int threads, int run,
 // ---- two-process protocol (CI replica-smoke) ----
 
 int run_leader_phase(const bench::BenchArgs& args, const std::string& dir,
-                     int threads) {
+                     int threads, const std::string& transport) {
   api::Runtime rt(
       api::RuntimeOptions{}.with_log_dir(dir).with_seed(args.seed));
+
+  // In tcp mode the leader also runs the ship server and publishes its
+  // ephemeral port through dir/endpoint.txt (tmp+rename so the follower
+  // never reads a half-written file) -- the same indirection a reborn
+  // leader on a new port would use.
+  std::unique_ptr<replica::ShipServer> ship;
+  if (transport == "tcp") {
+    ship = std::make_unique<replica::ShipServer>(
+        replica::ShipServer::Config{dir, 0, nullptr});
+    const std::string tmp = dir + "/endpoint.txt.tmp";
+    std::ofstream(tmp) << ship->endpoint() << "\n";
+    std::filesystem::rename(tmp, dir + "/endpoint.txt");
+  }
+
   fund(rt);
   const std::int64_t transfers =
       drive_leader(rt, threads, args.duration_ms, args.seed);
@@ -213,12 +248,30 @@ int run_leader_phase(const bench::BenchArgs& args, const std::string& dir,
   atomically(th, [&](api::Tx& tx) { tx.write(marker, 1); });
   std::cout << "LEADER_DONE transfers=" << transfers
             << " commit_ts=" << rt.commit_ts() << "\n";
+
+  if (ship != nullptr) {
+    // A file follower reads the directory after we exit; a TCP follower
+    // needs the server alive until it has converged.  Linger until it
+    // signals via dir/follower.done (bounded, so CI can't hang).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!std::filesystem::exists(dir + "/follower.done") &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
   return 0;
 }
 
-int run_follower_phase(const std::string& dir) {
+int run_follower_phase(const std::string& dir, const std::string& transport) {
   api::ReplicaOptions ropts;
-  ropts.dir = dir;
+  if (transport == "tcp") {
+    // Pure network follower: no filesystem access to the leader's data,
+    // only the endpoint file naming its live port.
+    ropts.endpoint = "@" + dir + "/endpoint.txt";
+  } else {
+    ropts.dir = dir;
+  }
   api::ReplicaRuntime follower(ropts);
   api::ReplicaHandle fh = follower.attach();
   auto marker = follower.region().slot<std::int64_t>(kMarkerSlot);
@@ -247,7 +300,9 @@ int run_follower_phase(const std::string& dir) {
   const api::ReplicaStats fs = follower.stats();
   std::cout << "CONVERGED sum=" << sum << " applied_ts=" << fs.applied_ts
             << " records=" << fs.records << " rebuilds=" << fs.rebuilds
-            << "\n";
+            << " transport=" << fs.transport
+            << " reconnects=" << fs.reconnects << "\n";
+  if (transport == "tcp") std::ofstream(dir + "/follower.done") << "ok\n";
   return 0;
 }
 
@@ -262,6 +317,7 @@ int main(int argc, char** argv) {
   bool tiny = false;
   std::string phase = "both";
   std::string dir;
+  std::string transport;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -272,9 +328,20 @@ int main(int argc, char** argv) {
       phase = argv[++i];
     } else if (a == "--dir" && i + 1 < argc) {
       dir = argv[++i];
+    } else if (a == "--transport" && i + 1 < argc) {
+      transport = argv[++i];
     } else {
       filtered.push_back(argv[i]);
     }
+  }
+  if (transport.empty()) transport = phase == "both" ? "both" : "file";
+  if (transport != "file" && transport != "tcp" && transport != "both") {
+    std::cerr << "unknown --transport " << transport << " (file|tcp|both)\n";
+    return 2;
+  }
+  if (transport == "both" && phase != "both") {
+    std::cerr << "--phase " << phase << " needs --transport file or tcp\n";
+    return 2;
   }
   BenchArgs args = parse_args(static_cast<int>(filtered.size()),
                               filtered.data(), {1, 2, 4}, {1, 2, 4, 8, 16});
@@ -289,14 +356,14 @@ int main(int argc, char** argv) {
       std::cerr << "--phase leader requires --dir\n";
       return 2;
     }
-    return run_leader_phase(args, dir, args.threads.front());
+    return run_leader_phase(args, dir, args.threads.front(), transport);
   }
   if (phase == "follower") {
     if (dir.empty()) {
       std::cerr << "--phase follower requires --dir\n";
       return 2;
     }
-    return run_follower_phase(dir);
+    return run_follower_phase(dir, transport);
   }
   if (phase != "both") {
     std::cerr << "unknown --phase " << phase << " (leader|follower|both)\n";
@@ -306,30 +373,40 @@ int main(int argc, char** argv) {
   BenchReporter rep("fig_replica", args);
   std::cout << "fig_replica: leader commit load vs follower apply throughput "
                "and lag\n";
-  util::TextTable t({"threads", "leader tx/s", "apply rec/s", "lag p50 us",
-                     "lag p99 us", "lag p999 us", "rebuilds"});
-  for (const int threads : args.threads) {
-    util::OnlineStats thr;
-    CellResult last;
-    for (int run = 0; run < args.runs; ++run) {
-      last = run_cell(args, threads, run, rep);
-      thr.add(last.leader_tx_s);
+  std::vector<std::string> transports;
+  if (transport == "both") {
+    transports = {"file", "tcp"};
+  } else {
+    transports = {transport};
+  }
+  util::TextTable t({"transport", "threads", "leader tx/s", "apply rec/s",
+                     "lag p50 us", "lag p99 us", "lag p999 us", "rebuilds"});
+  for (const std::string& tr : transports) {
+    for (const int threads : args.threads) {
+      util::OnlineStats thr;
+      CellResult last;
+      for (int run = 0; run < args.runs; ++run) {
+        last = run_cell(args, threads, run, tr, rep);
+        thr.add(last.leader_tx_s);
+      }
+      t.row();
+      t.cell(tr);
+      t.cell(threads);
+      t.cell(thr.mean(), 0);
+      t.cell(last.apply_records_s, 0);
+      t.cell(last.lag_p50_us, 1);
+      t.cell(last.lag_p99_us, 1);
+      t.cell(last.lag_p999_us, 1);
+      t.cell(last.rebuilds, 0);
+      rep.add(tr == "tcp" ? "replica_tcp" : "replica",
+              {{"threads", static_cast<double>(threads)},
+               {"leader_tx_s", thr.mean()},
+               {"apply_records_s", last.apply_records_s},
+               {"lag_p50_us", last.lag_p50_us},
+               {"lag_p99_us", last.lag_p99_us},
+               {"lag_p999_us", last.lag_p999_us},
+               {"rebuilds", last.rebuilds}});
     }
-    t.row();
-    t.cell(threads);
-    t.cell(thr.mean(), 0);
-    t.cell(last.apply_records_s, 0);
-    t.cell(last.lag_p50_us, 1);
-    t.cell(last.lag_p99_us, 1);
-    t.cell(last.lag_p999_us, 1);
-    t.cell(last.rebuilds, 0);
-    rep.add("replica", {{"threads", static_cast<double>(threads)},
-                        {"leader_tx_s", thr.mean()},
-                        {"apply_records_s", last.apply_records_s},
-                        {"lag_p50_us", last.lag_p50_us},
-                        {"lag_p99_us", last.lag_p99_us},
-                        {"lag_p999_us", last.lag_p999_us},
-                        {"rebuilds", last.rebuilds}});
   }
   t.print(std::cout);
   rep.write();

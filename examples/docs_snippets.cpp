@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "api/shrinktm.hpp"
+#include "replica/ship_server.hpp"
 #include "service/service.hpp"
 #include "txstruct/bounded_queue.hpp"
 
@@ -299,6 +300,65 @@ void run() {
 
 }  // namespace replication_quickstart
 
+// --------- docs/REPLICATION.md "Shipping the changelog over TCP" section
+namespace replication_tcp {
+
+void run() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "shrinktm-docs-ship";
+  std::filesystem::remove_all(dir);
+
+  {
+    // Leader: a durable runtime plus a ShipServer over its directory.
+    api::Runtime leader(api::RuntimeOptions{}.with_log_dir(dir.string()));
+    replica::ShipServer ship({.dir = dir.string()});  // ephemeral port
+
+    auto balance = leader.durable_region()->slot<long>(0);
+    api::ThreadHandle th = leader.attach();
+    atomically(th, [&](api::Tx& tx) { tx.write(balance, 50); });  // acked
+
+    // Follower: no filesystem access at all -- everything (snapshot
+    // bootstrap, changelog tail, lag pacing) travels the ship protocol.
+    api::ReplicaOptions ro;
+    ro.endpoint = ship.endpoint();  // "127.0.0.1:<port>"; or "@/path/file"
+    api::ReplicaRuntime follower(ro);
+    const bool caught_up =
+        follower.wait_until(leader.commit_ts(), std::chrono::seconds(10));
+    assert(caught_up);
+
+    const long seen = follower.run([&](api::Tx& tx) {
+      return tx.read(follower.region().slot<long>(0));
+    });
+    assert(seen == 50);
+    assert(follower.stats().transport == "tcp");
+
+    // Promotion: fence the leader (over the wire), drain the tail,
+    // rehydrate a read-write runtime in a fresh directory.  The deposed
+    // leader's next durable write fail-stops -- no split brain.
+    const std::filesystem::path promoted_dir =
+        std::filesystem::temp_directory_path() / "shrinktm-docs-promoted";
+    std::filesystem::remove_all(promoted_dir);
+    auto new_leader = follower.promote({.dir = promoted_dir.string()});
+    const long carried = new_leader->run([&](api::Tx& tx) {
+      return tx.read(new_leader->durable_region()->slot<long>(0));
+    });
+    assert(carried == 50);
+
+    bool fenced = false;
+    try {
+      atomically(th, [&](api::Tx& tx) { tx.write(balance, 99); });
+    } catch (const api::TxDurabilityError&) {
+      fenced = true;
+    }
+    assert(fenced);
+    std::filesystem::remove_all(promoted_dir);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace replication_tcp
+
 // --------------------------------- docs/SERVICE.md "Quickstart" section
 namespace service_quickstart {
 
@@ -341,6 +401,7 @@ int main() {
   obs_tracing::run();
   api_durability::run();
   replication_quickstart::run();
+  replication_tcp::run();
   service_quickstart::run();
   std::puts("docs snippets OK");
   return 0;

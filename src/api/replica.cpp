@@ -9,10 +9,18 @@
 // applier publishes new leader state.
 #include "api/replica.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <mutex>
 #include <shared_mutex>
+#include <stdexcept>
 #include <vector>
+
+#include "api/shrinktm.hpp"
+#include "durable/log_format.hpp"
+#include "durable/snapshot.hpp"
 
 namespace shrinktm::api {
 
@@ -44,6 +52,50 @@ ReplicaStats ReplicaRuntime::stats() const { return fr_->stats(); }
 durable::Region& ReplicaRuntime::region() { return fr_->region(); }
 const ReplicaOptions& ReplicaRuntime::options() const {
   return fr_->options();
+}
+
+std::unique_ptr<Runtime> ReplicaRuntime::promote(const PromoteOptions& opts) {
+  const std::string source_dir = fr_->options().dir;
+  const std::string target = opts.dir.empty() ? source_dir : opts.dir;
+  if (target.empty()) {
+    throw std::invalid_argument(
+        "ReplicaRuntime::promote: a network follower has no local durable "
+        "directory; PromoteOptions::dir must name one");
+  }
+
+  const std::uint64_t epoch =
+      fr_->drain_and_freeze(opts.drain_timeout_ns, opts.fence);
+  if (epoch == 0) {
+    throw std::runtime_error(
+        "ReplicaRuntime::promote: fencing the leader or draining its "
+        "changelog tail did not complete (leader unreachable, or drain "
+        "timed out)");
+  }
+
+  if (target != source_dir) {
+    // Fresh-dir materialisation: the drained region IS the new leader's
+    // state; persist it as the snapshot image and make sure no stale
+    // changelog shadows it.  Recovery then loads the image and replays
+    // nothing, resuming the commit-ts history at applied_ts().
+    ::mkdir(target.c_str(), 0755);
+    ::unlink((target + "/" + durable::kLogFileName).c_str());
+    durable::FaultPlan no_fault;
+    const std::string err = durable::write_snapshot(
+        target + "/" + durable::kSnapFileName, fr_->region(),
+        fr_->applied_ts(), no_fault);
+    if (!err.empty())
+      throw std::runtime_error("ReplicaRuntime::promote: " + err);
+  }
+  // In place (target == source_dir) there is nothing to materialise: the
+  // directory already holds the log + snapshot this follower drained, and
+  // the epoch bump above outranks the deposed leader's claim.  The new
+  // runtime's own construction claims the next epoch on top.
+
+  RuntimeOptions ropts;
+  ropts.backend = core::BackendKind::kDurable;
+  ropts.durable.dir = target;
+  ropts.durable.region_words = fr_->options().region_words;
+  return std::make_unique<Runtime>(std::move(ropts));
 }
 
 int ReplicaRuntime::attach_tid() { return fr_->attach_tid(); }

@@ -43,6 +43,30 @@ using ReplicaLag = replica::ReplicaLag;
 using TxReadOnlyError = stm::TxReadOnlyError;
 
 class ReplicaHandle;
+class Runtime;
+
+/// How ReplicaRuntime::promote() turns this follower into a leader.
+struct PromoteOptions {
+  /// Durable directory for the NEW leader.  Empty = promote in place over
+  /// the directory this follower has been tailing (file-mode followers on
+  /// the leader's host).  A TCP follower has no such directory and must
+  /// name a fresh local one; the drained region is materialised into it as
+  /// a snapshot image before the new runtime opens it.
+  std::string dir;
+
+  /// How long the post-fence tail drain may take before promote() gives up
+  /// (throws).  Negative is not meaningful here; the drain is bounded
+  /// because the fenced leader can no longer append.
+  std::int64_t drain_timeout_ns = std::int64_t{30} * 1'000'000'000;
+
+  /// Bump the old leader's fencing epoch first (through the follower's
+  /// transport: the epoch file for file mode, the kFence op for TCP).
+  /// After the bump the deposed leader's next append/fsync/snapshot
+  /// fail-stops with TxDurabilityError -- no split brain.  Set false only
+  /// when the old leader is known dead AND unreachable (a TCP follower
+  /// whose leader process is gone cannot deliver kFence).
+  bool fence = true;
+};
 
 class ReplicaRuntime {
  public:
@@ -95,6 +119,24 @@ class ReplicaRuntime {
 
   /// Follower counters + lag/apply histograms (replica/stats.hpp).
   ReplicaStats stats() const;
+
+  /// Promote this follower to a read-write leader.  The sequence is:
+  ///
+  ///   1. fence the old leader (unless opts.fence is false) -- its next
+  ///      append or snapshot fail-stops, so the changelog is now static;
+  ///   2. drain: apply every remaining changelog byte, so the follower
+  ///      region holds every record the old leader ever acknowledged;
+  ///   3. materialise: in place (reuse the source directory) or into
+  ///      opts.dir (the drained region written as a snapshot image);
+  ///   4. rehydrate: construct and return a read-write durable Runtime
+  ///      over that directory, resuming the commit-timestamp history.
+  ///
+  /// The follower itself stays alive, frozen at the drained state -- its
+  /// readers keep working, but it applies nothing further; retire it (or
+  /// re-point a new ReplicaRuntime at the returned leader) at leisure.
+  /// Throws std::runtime_error when fencing or the drain fails; the
+  /// follower is then frozen but no new leader exists.
+  std::unique_ptr<Runtime> promote(const PromoteOptions& opts = {});
 
   /// The follower's own region copy.  Offsets match the leader's; lay out
   /// reads with Region::slot<T>(offset) exactly as on the leader.

@@ -47,12 +47,18 @@ DurableBackend::DurableBackend(DurableOptions opts, stm::StmConfig cfg)
                                ": " + ec.message());
     }
   }
+  // Claim the directory's next fencing epoch before any durable write: this
+  // generation of the leader owns a strictly larger token than every
+  // predecessor, and every batch re-checks it (durable/epoch_fence.hpp).
+  fence_ = std::make_unique<EpochFence>(dir_);
+  fence_->claim();
   recover();
   Changelog::Config lcfg;
   lcfg.path = dir_ + "/" + kLogFile;
   lcfg.group_commit_interval_us = opts_.group_commit_interval_us;
   lcfg.max_batch_records = opts_.max_batch_records;
   lcfg.fsync = opts_.sync != SyncMode::kNone;
+  lcfg.fence = fence_.get();
   changelog_ = std::make_unique<Changelog>(std::move(lcfg), fault_);
   if (opts_.snapshot_every_bytes > 0)
     auto_snap_thread_ = std::thread([this] { auto_snapshot_loop(); });
@@ -157,8 +163,20 @@ void DurableBackend::reset_stats() {
 std::uint64_t DurableBackend::snapshot() {
   std::unique_lock<std::shared_mutex> gate(commit_gate_);
   // Everything committed so far must be on disk before we can declare the
-  // image a superset of the log's prefix and truncate it.
+  // image a superset of the log's prefix and truncate it.  Flush BEFORE
+  // taking the fencing lock: the writer thread takes that lock per batch,
+  // so the reverse order would deadlock.
   changelog_->flush(-1);
+  // Hold the fence across {check, image write, truncate}: without it a
+  // promotion landing mid-snapshot would let a deposed leader's truncate
+  // wipe records the NEW leader just appended.
+  const EpochFence::Hold fence_hold = fence_->hold();
+  if (!fence_->still_current_locked()) {
+    throw stm::TxDurabilityError(
+        -1, "fenced: epoch " + std::to_string(fence_->epoch()) +
+                " was superseded; refusing to snapshot a directory this "
+                "leader no longer owns");
+  }
   const std::uint64_t ts = clock_.now();
   const std::string err =
       write_snapshot(dir_ + "/" + kSnapFile, region_, ts, *fault_);

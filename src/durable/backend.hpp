@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "durable/changelog.hpp"
+#include "durable/epoch_fence.hpp"
 #include "durable/options.hpp"
 #include "durable/region.hpp"
 #include "stm/clock.hpp"
@@ -131,6 +132,12 @@ class DurableBackend final : public stm::WriteOracle {
   const RecoveryInfo& recovery() const { return recovery_; }
   Changelog& changelog() { return *changelog_; }
 
+  /// The fencing epoch this backend claimed at open (strictly larger than
+  /// every previous generation of the directory).  Once another claimant
+  /// bumps past it -- promotion -- the next batch write refuses and commits
+  /// fail-stop with stm::TxDurabilityError.
+  std::uint64_t fence_epoch() const { return fence_->epoch(); }
+
   /// Consistent image + log truncation (see file comment).  Returns the
   /// clock value the image is consistent with.  Throws
   /// stm::TxDurabilityError on IO failure (injected or real); the log is
@@ -168,6 +175,7 @@ class DurableBackend final : public stm::WriteOracle {
 
   Region region_;
   std::shared_ptr<FaultPlan> fault_;
+  std::unique_ptr<EpochFence> fence_;
   std::unique_ptr<Changelog> changelog_;
   RecoveryInfo recovery_;
   /// Snapshot gate: commits hold it shared across {tick, validate,

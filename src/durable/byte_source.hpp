@@ -1,0 +1,68 @@
+// ByteSource: positional byte access to a (possibly remote) growing file.
+//
+// LogReader's record iteration logic -- header validation, buffering, CRC
+// checks, torn-tail discipline -- is transport-independent; all it needs is
+// "read N bytes at absolute offset O" plus a size probe.  This interface is
+// that seam.  FileByteSource is the local pread implementation recovery and
+// same-host followers use; replica::ShipClient provides a TCP-backed one
+// (src/replica/net_source.hpp) so a follower can tail a leader on another
+// host through the identical LogReader contract, CRC re-verification
+// included.
+//
+// Contract: sources are single-driver (one thread at a time), like the
+// LogReader that owns them.  read_at() may return fewer bytes than asked
+// (end of data) or -1 (source currently unreachable); the reader treats both
+// as "no more bytes this pass" and re-reads on the next poll, which is
+// exactly the resume-from-offset behaviour a reconnecting transport needs --
+// any bytes dropped with the connection are re-fetched and re-CRC-checked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace shrinktm::durable {
+
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Bind to the file if possible.  Idempotent and sticky: once true, later
+  /// calls are cheap.  false means the file is currently unavailable
+  /// (missing, or the transport cannot reach it); the caller retries later.
+  virtual bool open() = 0;
+
+  /// Read up to `len` bytes at absolute offset `off`.  Returns bytes read
+  /// (0 at end of data) or -1 when the source is unreachable right now.
+  virtual std::int64_t read_at(std::uint64_t off, void* buf,
+                               std::size_t len) = 0;
+
+  /// Current size of the file in bytes, or -1 when it cannot be determined
+  /// (missing file / unreachable transport).
+  virtual std::int64_t size() = 0;
+
+  /// Drop the binding (fd / connection state); the next open() starts
+  /// fresh.  A rebuild must not depend on a stale inode or half-read frame.
+  virtual void reset() = 0;
+};
+
+/// The local-file implementation: pread(2) on an O_RDONLY fd.
+class FileByteSource final : public ByteSource {
+ public:
+  explicit FileByteSource(std::string path);
+  ~FileByteSource() override;
+
+  FileByteSource(const FileByteSource&) = delete;
+  FileByteSource& operator=(const FileByteSource&) = delete;
+
+  bool open() override;
+  std::int64_t read_at(std::uint64_t off, void* buf, std::size_t len) override;
+  std::int64_t size() override;
+  void reset() override;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace shrinktm::durable

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 
 #include "durable/log_reader.hpp"
 #include "stm/word.hpp"
@@ -202,6 +203,18 @@ void Changelog::writer_loop() {
 }
 
 std::string Changelog::write_batch(const std::vector<unsigned char>& batch) {
+  // The fencing window spans the whole {epoch check, write, fsync} triple:
+  // a promoter's epoch bump waits for this batch, and once the bump lands
+  // no later batch can pass the check -- the deposed leader fail-stops.
+  std::optional<EpochFence::Hold> fence_hold;
+  if (cfg_.fence != nullptr) {
+    fence_hold.emplace(cfg_.fence->hold());
+    if (!cfg_.fence->still_current_locked()) {
+      return "fenced: epoch " + std::to_string(cfg_.fence->epoch()) +
+             " was superseded (follower promoted?); this leader must not "
+             "append";
+    }
+  }
   switch (fault_->check(FaultPoint::kWriteBefore)) {
     case FaultAction::kEIO:
       return "injected EIO on changelog write";

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "durable/epoch_fence.hpp"
 #include "durable/fault.hpp"
 #include "durable/log_format.hpp"
 
@@ -49,6 +50,11 @@ class Changelog {
     std::uint32_t group_commit_interval_us = 100;
     std::size_t max_batch_records = 4096;
     bool fsync = true;  ///< false for SyncMode::kNone
+    /// When set (non-owning; the backend owns it), every batch write holds
+    /// the directory's fencing lock and re-checks the epoch first: a batch
+    /// from a deposed leader is refused and poisons the log instead of
+    /// landing after a promotion (see durable/epoch_fence.hpp).
+    EpochFence* fence = nullptr;
   };
 
   /// Opens (creating + writing the file header if empty) and starts the

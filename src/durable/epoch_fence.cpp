@@ -1,0 +1,131 @@
+#include "durable/epoch_fence.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace shrinktm::durable {
+
+namespace {
+
+constexpr std::uint64_t kEpochMagic = 0x31435045'4D544853ull;  // "SHTMEPC1"
+
+struct EpochFileImage {
+  std::uint64_t magic = kEpochMagic;
+  std::uint64_t epoch = 0;
+};
+static_assert(sizeof(EpochFileImage) == 16);
+
+int open_or_throw(const std::string& path, int flags, const char* what) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("EpochFence: open(") + what +
+                             ") failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+std::uint64_t read_epoch_fd(int fd) {
+  EpochFileImage img;
+  std::size_t got = 0;
+  auto* p = reinterpret_cast<unsigned char*>(&img);
+  while (got < sizeof(img)) {
+    const ssize_t r = ::pread(fd, p + got, sizeof(img) - got,
+                              static_cast<off_t>(got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  // Missing, short or foreign contents all read as epoch 0: the next claim
+  // or bump rewrites the file whole, so damage is self-healing.
+  if (got != sizeof(img) || img.magic != kEpochMagic) return 0;
+  return img.epoch;
+}
+
+bool write_epoch_fd(int fd, std::uint64_t epoch) {
+  EpochFileImage img;
+  img.epoch = epoch;
+  const auto* p = reinterpret_cast<const unsigned char*>(&img);
+  std::size_t done = 0;
+  while (done < sizeof(img)) {
+    const ssize_t w =
+        ::pwrite(fd, p + done, sizeof(img) - done, static_cast<off_t>(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return ::fsync(fd) == 0;
+}
+
+void flock_retry(int fd, int op) {
+  while (::flock(fd, op) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+EpochFence::EpochFence(const std::string& dir) {
+  lock_fd_ = open_or_throw(dir + "/" + kLockFileName,
+                           O_RDWR | O_CREAT | O_CLOEXEC, "epoch.lock");
+  epoch_fd_ = open_or_throw(dir + "/" + kEpochFileName,
+                            O_RDWR | O_CREAT | O_CLOEXEC, "epoch.shtm");
+}
+
+EpochFence::~EpochFence() {
+  if (epoch_fd_ >= 0) ::close(epoch_fd_);
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+EpochFence::Hold::Hold(EpochFence* fence) : fence_(fence), lk_(fence->mu_) {
+  flock_retry(fence_->lock_fd_, LOCK_EX);
+}
+
+EpochFence::Hold::~Hold() {
+  if (fence_ != nullptr) flock_retry(fence_->lock_fd_, LOCK_UN);
+}
+
+EpochFence::Hold EpochFence::hold() { return Hold(this); }
+
+std::uint64_t EpochFence::claim() {
+  const Hold h = hold();
+  epoch_ = read_epoch_fd(epoch_fd_) + 1;
+  if (!write_epoch_fd(epoch_fd_, epoch_))
+    throw std::runtime_error("EpochFence: cannot persist claimed epoch");
+  return epoch_;
+}
+
+bool EpochFence::still_current_locked() const {
+  return read_epoch_fd(epoch_fd_) == epoch_;
+}
+
+std::uint64_t EpochFence::bump(const std::string& dir) {
+  EpochFence fence(dir);
+  const Hold h = fence.hold();
+  const std::uint64_t next = read_epoch_fd(fence.epoch_fd_) + 1;
+  if (!write_epoch_fd(fence.epoch_fd_, next))
+    throw std::runtime_error("EpochFence: cannot persist bumped epoch for " +
+                             dir);
+  return next;
+}
+
+std::uint64_t EpochFence::read_epoch(const std::string& dir) {
+  const int fd =
+      ::open((dir + "/" + kEpochFileName).c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return 0;
+  const std::uint64_t e = read_epoch_fd(fd);
+  ::close(fd);
+  return e;
+}
+
+}  // namespace shrinktm::durable

@@ -1,0 +1,102 @@
+// EpochFence: the fencing-token protocol that makes follower promotion safe.
+//
+// Every durable directory carries two extra files:
+//
+//   epoch.shtm -- 16 bytes {magic, epoch}: the generation counter of the
+//                 directory's current legitimate writer.
+//   epoch.lock -- an empty flock(2) target serialising epoch transitions
+//                 against in-flight changelog batches, across processes.
+//
+// Protocol:
+//
+//   * Opening a durable backend CLAIMS the next epoch (stored+1, persisted):
+//     every leader generation -- cold start, recovery, promotion -- owns a
+//     strictly larger token than any predecessor.
+//   * The changelog writer takes the lock around every {epoch check, batch
+//     write, fsync} triple and refuses the batch if the directory's epoch no
+//     longer equals its claim.  A refused batch poisons the log, so the
+//     deposed leader's committers fail-stop with stm::TxDurabilityError --
+//     in wait_durable() for the batch in flight, before any memory effect
+//     for every commit after it.
+//   * A promoter (ReplicaRuntime::promote, or the ship protocol's kFence op
+//     on behalf of a remote follower) BUMPS the epoch under the same lock.
+//     The bump blocks until any in-flight batch completes; after it, no
+//     further batch can land.  What was durably acked before the bump is
+//     exactly what the new leader recovers -- no split-brain, no lost acks.
+//
+// flock serialises across processes but is per open-file-description, so the
+// object adds a process-local mutex: writer thread, snapshot(), and claim()
+// on the same backend exclude each other too.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace shrinktm::durable {
+
+class EpochFence {
+ public:
+  /// Epoch/lock file names inside a durable directory.
+  static constexpr const char* kEpochFileName = "epoch.shtm";
+  static constexpr const char* kLockFileName = "epoch.lock";
+
+  /// Opens (creating if absent) the directory's epoch and lock files.
+  /// Throws std::runtime_error when either cannot be opened.
+  explicit EpochFence(const std::string& dir);
+  ~EpochFence();
+
+  EpochFence(const EpochFence&) = delete;
+  EpochFence& operator=(const EpochFence&) = delete;
+
+  /// RAII hold of the fencing lock: process-local mutex + exclusive flock.
+  class Hold {
+   public:
+    Hold(Hold&& o) noexcept : fence_(o.fence_), lk_(std::move(o.lk_)) {
+      o.fence_ = nullptr;
+    }
+    Hold& operator=(Hold&&) = delete;
+    ~Hold();
+
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+
+   private:
+    friend class EpochFence;
+    explicit Hold(EpochFence* fence);
+    EpochFence* fence_;
+    std::unique_lock<std::mutex> lk_;
+  };
+
+  /// Take the fencing lock (blocks on any concurrent holder, including a
+  /// bump() from another process).
+  Hold hold();
+
+  /// Persist stored+1 as OUR epoch and return it.  Called once at backend
+  /// open.  Throws std::runtime_error if the epoch cannot be persisted.
+  std::uint64_t claim();
+
+  /// The epoch claim() returned (0 before claim()).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Under an existing hold(): does the directory still name our epoch?
+  bool still_current_locked() const;
+
+  /// Depose whoever currently owns `dir`: persist stored+1 under the lock
+  /// and return the new epoch.  Safe from any process; blocks until an
+  /// in-flight batch of the current leader completes.  Throws
+  /// std::runtime_error when the directory cannot be fenced.
+  static std::uint64_t bump(const std::string& dir);
+
+  /// The epoch currently stored in `dir` (0 when the file is missing or was
+  /// never claimed).
+  static std::uint64_t read_epoch(const std::string& dir);
+
+ private:
+  std::mutex mu_;       ///< process-local leg of the lock
+  int lock_fd_ = -1;    ///< flock target (epoch.lock)
+  int epoch_fd_ = -1;   ///< epoch.shtm, O_RDWR
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace shrinktm::durable

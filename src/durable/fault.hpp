@@ -16,6 +16,18 @@
 //                  exits as kCrash): manufactures a real torn tail for the
 //                  CRC scan to find and truncate at recovery.
 //
+// The changelog-shipping transport (src/replica/ship_server.hpp and the
+// follower's ShipClient) adds network points and actions so every failure a
+// socket can produce is injectable with the same determinism:
+//
+//   kDrop            -- close the connection at the point (no response /
+//                       failed request); the peer sees a reset mid-exchange.
+//   kPartialSend     -- transmit only `arg` payload bytes of the response,
+//                       then close: a torn frame for the client to discard.
+//   kDelay           -- sleep `arg` milliseconds at the point (slow link).
+//   kDisconnectAfter -- serve `arg` further payload bytes on this
+//                       connection, then close it (mid-stream partition).
+//
 // Determinism: points are hit in program order per site and triggers are hit
 // counts, so a single-threaded workload replays identically; multi-threaded
 // workloads vary in WHICH transaction is in flight at the trigger, which is
@@ -23,6 +35,8 @@
 //
 // Env form (picked up when no plan is supplied programmatically):
 //   SHRINKTM_FAULT="fsync.before:crash:3,append.after:eio:1"
+// with an optional fourth field carrying the action argument:
+//   SHRINKTM_FAULT="net.response:partial_send:2:7"   (7 payload bytes)
 #pragma once
 
 #include <array>
@@ -50,11 +64,19 @@ enum class FaultPoint : std::uint8_t {
   kSnapshotAfterRename,      ///< image visible, log not yet truncated
   kTruncateBefore,           ///< before ftruncate of the changelog
   kTruncateAfter,            ///< log truncated, dir not yet synced
+  kNetConnect,               ///< ship client, before a (re)connect attempt
+  kNetRequest,               ///< ship client, before sending a request frame
+  kNetResponse,              ///< ship server, before sending a response
   kNumPoints,
 };
 
 inline constexpr std::size_t kNumFaultPoints =
     static_cast<std::size_t>(FaultPoint::kNumPoints);
+
+/// Points up to (excluding) the network ones: the file-durability sites a
+/// single-process crash matrix iterates (tests/test_recovery.cpp).
+inline constexpr std::size_t kNumDurableFaultPoints =
+    static_cast<std::size_t>(FaultPoint::kNetConnect);
 
 inline const char* fault_point_name(FaultPoint p) {
   static constexpr const char* kNames[kNumFaultPoints] = {
@@ -62,6 +84,7 @@ inline const char* fault_point_name(FaultPoint p) {
       "write.after",            "fsync.before",  "fsync.after",
       "snapshot.before_rename", "snapshot.after_rename",
       "truncate.before",        "truncate.after",
+      "net.connect",            "net.request",   "net.response",
   };
   return kNames[static_cast<std::size_t>(p)];
 }
@@ -71,6 +94,10 @@ enum class FaultAction : std::uint8_t {
   kCrash,       ///< std::_Exit(kCrashExitCode) at the point
   kEIO,         ///< the step fails with a synthetic EIO
   kShortWrite,  ///< write only a prefix of the batch, then exit as kCrash
+  kDrop,             ///< transport: close the connection at the point
+  kPartialSend,      ///< transport: send only `arg` payload bytes, then close
+  kDelay,            ///< transport: sleep `arg` milliseconds at the point
+  kDisconnectAfter,  ///< transport: close after `arg` further payload bytes
 };
 
 inline const char* fault_action_name(FaultAction a) {
@@ -79,16 +106,23 @@ inline const char* fault_action_name(FaultAction a) {
     case FaultAction::kCrash: return "crash";
     case FaultAction::kEIO: return "eio";
     case FaultAction::kShortWrite: return "short_write";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kPartialSend: return "partial_send";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kDisconnectAfter: return "disconnect_after";
   }
   return "?";
 }
 
 /// One armed fault: fire `action` the `hit`-th time `point` is reached
-/// (1-based; hit = 3 means the first two passes are unharmed).
+/// (1-based; hit = 3 means the first two passes are unharmed).  `arg` is the
+/// action's parameter where it takes one (payload bytes for kPartialSend /
+/// kDisconnectAfter, milliseconds for kDelay); ignored otherwise.
 struct FaultSpec {
   FaultPoint point = FaultPoint::kNumPoints;
   FaultAction action = FaultAction::kNone;
   std::uint64_t hit = 1;
+  std::uint64_t arg = 0;
 };
 
 inline FaultPoint parse_fault_point(const std::string& name) {
@@ -103,8 +137,14 @@ inline FaultAction parse_fault_action(const std::string& name) {
   if (name == "crash") return FaultAction::kCrash;
   if (name == "eio") return FaultAction::kEIO;
   if (name == "short_write") return FaultAction::kShortWrite;
+  if (name == "drop") return FaultAction::kDrop;
+  if (name == "partial_send") return FaultAction::kPartialSend;
+  if (name == "delay") return FaultAction::kDelay;
+  if (name == "disconnect_after") return FaultAction::kDisconnectAfter;
   throw std::invalid_argument(
-      "unknown fault action: " + name + " (valid: crash, eio, short_write)");
+      "unknown fault action: " + name +
+      " (valid: crash, eio, short_write, drop, partial_send, delay, "
+      "disconnect_after)");
 }
 
 /// Thread-safe: committers and the log-writer thread hit points concurrently.
@@ -126,14 +166,17 @@ class FaultPlan {
     auto& armed = specs_.emplace_back();
     armed.point = spec.point;
     armed.hit = spec.hit;
+    armed.arg = spec.arg;
     armed.action.store(spec.action, std::memory_order_relaxed);
   }
 
   bool armed() const { return !specs_.empty(); }
 
   /// Record one pass through `point`.  Returns the action the caller must
-  /// apply (kEIO / kShortWrite), or kNone.  kCrash never returns.
-  FaultAction check(FaultPoint point) {
+  /// apply (kEIO / kShortWrite / the transport actions), or kNone.  kCrash
+  /// never returns.  When `arg_out` is non-null it receives the fired spec's
+  /// argument (payload bytes / milliseconds).
+  FaultAction check(FaultPoint point, std::uint64_t* arg_out = nullptr) {
     if (specs_.empty()) return FaultAction::kNone;
     const std::uint64_t pass =
         counts_[static_cast<std::size_t>(point)].fetch_add(
@@ -147,6 +190,7 @@ class FaultPlan {
           spec.action.exchange(FaultAction::kNone, std::memory_order_acq_rel);
       if (a == FaultAction::kNone) continue;
       if (a == FaultAction::kCrash) std::_Exit(kCrashExitCode);
+      if (arg_out != nullptr) *arg_out = spec.arg;
       return a;
     }
     return FaultAction::kNone;
@@ -158,7 +202,7 @@ class FaultPlan {
         std::memory_order_relaxed);
   }
 
-  /// Parse "point:action[:hit][,point:action[:hit]]...".
+  /// Parse "point:action[:hit[:arg]][,point:action[:hit[:arg]]]...".
   static std::shared_ptr<FaultPlan> parse(const std::string& text) {
     auto plan = std::make_shared<FaultPlan>();
     std::size_t start = 0;
@@ -177,8 +221,12 @@ class FaultPlan {
       spec.action = parse_fault_action(
           item.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
                                                       : c2 - c1 - 1));
-      if (c2 != std::string::npos)
-        spec.hit = std::stoull(item.substr(c2 + 1));
+      if (c2 != std::string::npos) {
+        const std::size_t c3 = item.find(':', c2 + 1);
+        spec.hit = std::stoull(item.substr(
+            c2 + 1, c3 == std::string::npos ? std::string::npos : c3 - c2 - 1));
+        if (c3 != std::string::npos) spec.arg = std::stoull(item.substr(c3 + 1));
+      }
       plan->arm(spec);
     }
     return plan;
@@ -199,6 +247,7 @@ class FaultPlan {
     FaultPoint point = FaultPoint::kNumPoints;
     std::atomic<FaultAction> action{FaultAction::kNone};
     std::uint64_t hit = 1;
+    std::uint64_t arg = 0;
   };
 
   std::array<std::atomic<std::uint64_t>, kNumFaultPoints> counts_{};

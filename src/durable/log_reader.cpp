@@ -9,15 +9,28 @@
 
 namespace shrinktm::durable {
 
-namespace {
+// ---------------------------------------------------------- FileByteSource
 
-/// pread until `n` bytes or EOF; returns bytes read (-1 on error).
-ssize_t pread_fully(int fd, void* buf, std::size_t n, std::uint64_t off) {
+FileByteSource::FileByteSource(std::string path) : path_(std::move(path)) {}
+
+FileByteSource::~FileByteSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FileByteSource::open() {
+  if (fd_ >= 0) return true;
+  fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  return fd_ >= 0;
+}
+
+std::int64_t FileByteSource::read_at(std::uint64_t off, void* buf,
+                                     std::size_t len) {
+  if (fd_ < 0) return -1;
   auto* p = static_cast<unsigned char*>(buf);
   std::size_t got = 0;
-  while (got < n) {
+  while (got < len) {
     const ssize_t r =
-        ::pread(fd, p + got, n - got, static_cast<off_t>(off + got));
+        ::pread(fd_, p + got, len - got, static_cast<off_t>(off + got));
     if (r < 0) {
       if (errno == EINTR) continue;
       return -1;
@@ -25,48 +38,58 @@ ssize_t pread_fully(int fd, void* buf, std::size_t n, std::uint64_t off) {
     if (r == 0) break;
     got += static_cast<std::size_t>(r);
   }
-  return static_cast<ssize_t>(got);
+  return static_cast<std::int64_t>(got);
 }
 
-}  // namespace
-
-LogReader::LogReader(Config cfg) : cfg_(std::move(cfg)) {
-  if (cfg_.buffer_bytes < sizeof(RecordHeader))
-    cfg_.buffer_bytes = sizeof(RecordHeader);
+std::int64_t FileByteSource::size() {
+  if (fd_ < 0) return -1;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_size);
 }
 
-LogReader::~LogReader() {
+void FileByteSource::reset() {
   if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
 }
 
-bool LogReader::ensure_open() {
-  if (fd_ >= 0) return true;
-  fd_ = ::open(cfg_.path.c_str(), O_RDONLY | O_CLOEXEC);
-  return fd_ >= 0;
+// --------------------------------------------------------------- LogReader
+
+LogReader::LogReader(Config cfg)
+    : LogReader(std::make_unique<FileByteSource>(std::move(cfg.path)),
+                cfg.buffer_bytes) {}
+
+LogReader::LogReader(std::unique_ptr<ByteSource> source,
+                     std::size_t buffer_bytes)
+    : src_(std::move(source)), buffer_bytes_(buffer_bytes) {
+  if (buffer_bytes_ < sizeof(RecordHeader))
+    buffer_bytes_ = sizeof(RecordHeader);
 }
+
+LogReader::~LogReader() = default;
 
 std::size_t LogReader::fill(std::size_t n) {
   const std::size_t have = buf_len_ - buf_pos_;
   if (have >= n) return have;
-  // Compact the unconsumed tail to the front, then top up with one pread.
+  // Compact the unconsumed tail to the front, then top up with one read.
   if (buf_pos_ > 0) {
     std::memmove(buf_.data(), buf_.data() + buf_pos_, have);
     buf_pos_ = 0;
     buf_len_ = have;
   }
   if (buf_.size() < n) buf_.resize(n);
-  if (buf_.size() < cfg_.buffer_bytes) buf_.resize(cfg_.buffer_bytes);
-  const ssize_t got = pread_fully(fd_, buf_.data() + buf_len_,
-                                  buf_.size() - buf_len_, offset_ + buf_len_);
+  if (buf_.size() < buffer_bytes_) buf_.resize(buffer_bytes_);
+  const std::int64_t got = src_->read_at(
+      offset_ + buf_len_, buf_.data() + buf_len_, buf_.size() - buf_len_);
   if (got > 0) buf_len_ += static_cast<std::size_t>(got);
   return buf_len_;
 }
 
 LogReader::Status LogReader::next(Record& out) {
-  if (!ensure_open()) return Status::kNoFile;
+  if (!src_->open()) return Status::kNoFile;
   if (!header_ok_) {
     LogFileHeader hdr;
-    const ssize_t got = pread_fully(fd_, &hdr, sizeof(hdr), 0);
+    const std::int64_t got = src_->read_at(0, &hdr, sizeof(hdr));
     if (got == 0) return Status::kEnd;  // created but not yet headered
     if (got != sizeof(hdr) || hdr.magic != kLogMagic ||
         hdr.version != kFormatVersion)
@@ -74,8 +97,9 @@ LogReader::Status LogReader::next(Record& out) {
     header_ok_ = true;
     offset_ = sizeof(hdr);
   }
-  // Drop on non-consuming exit so the next call re-reads the file: the
-  // writer may have completed a record that was mid-append this time.
+  // Drop on non-consuming exit so the next call re-reads the source: the
+  // writer may have completed a record that was mid-append this time, or a
+  // reconnected transport may now serve the bytes a dead one truncated.
   const auto stop = [this](Status s) {
     buf_pos_ = 0;
     buf_len_ = 0;
@@ -103,25 +127,22 @@ LogReader::Status LogReader::next(Record& out) {
   return Status::kRecord;
 }
 
-bool LogReader::shrank() const {
-  if (fd_ < 0) return false;
-  struct stat st{};
-  if (::fstat(fd_, &st) != 0) return false;
-  return static_cast<std::uint64_t>(st.st_size) < offset_;
+bool LogReader::shrank() {
+  const std::int64_t size = src_->size();
+  if (size < 0) return false;
+  return static_cast<std::uint64_t>(size) < offset_;
 }
 
 void LogReader::rewind() {
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = -1;
+  src_->reset();
   header_ok_ = false;
   offset_ = 0;
   buf_pos_ = 0;
   buf_len_ = 0;
 }
 
-bool LogReader::read_at(std::uint64_t off, void* buf, std::size_t len) const {
-  if (fd_ < 0) return false;
-  return pread_fully(fd_, buf, len, off) == static_cast<ssize_t>(len);
+bool LogReader::read_at(std::uint64_t off, void* buf, std::size_t len) {
+  return src_->read_at(off, buf, len) == static_cast<std::int64_t>(len);
 }
 
 }  // namespace shrinktm::durable

@@ -1,26 +1,37 @@
-// LogReader: the one CRC/torn-tail record iterator over a changelog file.
+// LogReader: the one CRC/torn-tail record iterator over a changelog stream.
 //
 // Three consumers share it: cold-start recovery (Changelog::replay), the
 // replica tailer (src/replica/tailer.hpp), and the format tests.  The reader
 // is incremental -- next() yields one verified record at a time past an
 // internal cursor -- so a tailer can poll a file that a live leader is still
-// appending to, and it is buffered (pread into a grow-on-demand buffer) so
-// records spanning a read-buffer boundary are reassembled transparently.
+// appending to, and it is buffered (positional reads into a grow-on-demand
+// buffer) so records spanning a read-buffer boundary are reassembled
+// transparently.
+//
+// The bytes come through a ByteSource (durable/byte_source.hpp): a local
+// pread fd by default, or a TCP ship connection (replica::ShipClient) so the
+// identical iterator -- same statuses, same CRC discipline, same
+// resume-from-offset cursor -- serves followers on another host.
 //
 // The tail of a live or crashed log is never trusted: next() stops at the
 // first short header, outsized count, short payload or CRC mismatch and
 // reports kPartial without consuming anything.  A recovery caller treats
 // kPartial as a torn tail to truncate; a tailer treats it as an in-flight
 // append and polls again -- the unconsumed bytes are dropped from the buffer
-// so the next call re-reads them fresh from the file, where the leader may
-// have completed the record by then.
+// so the next call re-reads them fresh from the source, where the leader may
+// have completed the record by then.  A transport failure surfaces the same
+// way (short read -> kPartial/kEnd -> lookahead dropped), which is what
+// makes reconnect safe: every byte consumed after a resume was re-read at
+// its absolute offset and re-verified by the record CRC.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "durable/byte_source.hpp"
 #include "durable/log_format.hpp"
 
 namespace shrinktm::durable {
@@ -29,7 +40,7 @@ class LogReader {
  public:
   struct Config {
     std::string path;
-    /// Initial pread granularity; grown automatically when one record is
+    /// Initial read granularity; grown automatically when one record is
     /// larger.  Tests shrink it to force records across refill boundaries.
     std::size_t buffer_bytes = std::size_t{64} * 1024;
   };
@@ -38,7 +49,7 @@ class LogReader {
     kRecord,     ///< `out` holds one verified record; the cursor advanced
     kEnd,        ///< clean end: the cursor sits exactly at end-of-file
     kPartial,    ///< trailing bytes do not (yet) form a valid record
-    kNoFile,     ///< the file does not exist (or cannot be opened)
+    kNoFile,     ///< the file does not exist (or cannot be reached)
     kBadHeader,  ///< the file exists but its LogFileHeader is short/invalid
   };
 
@@ -51,7 +62,10 @@ class LogReader {
     std::uint64_t offset = 0;  ///< file offset of this record's RecordHeader
   };
 
+  /// Local-file reader (FileByteSource over cfg.path).
   explicit LogReader(Config cfg);
+  /// Reader over any ByteSource (e.g. a TCP ship connection).
+  LogReader(std::unique_ptr<ByteSource> source, std::size_t buffer_bytes);
   ~LogReader();
 
   LogReader(const LogReader&) = delete;
@@ -59,7 +73,7 @@ class LogReader {
 
   /// Advance past the next record if one fully and validly exists.  Only
   /// kRecord consumes; every other status leaves the cursor in place (and
-  /// drops buffered lookahead, so the next call re-reads the file).
+  /// drops buffered lookahead, so the next call re-reads the source).
   Status next(Record& out);
 
   /// File offset of the first unconsumed byte (0 until the LogFileHeader
@@ -68,27 +82,26 @@ class LogReader {
 
   /// Whether the file is currently SMALLER than offset() -- the unmistakable
   /// sign that the writer truncated it (snapshot or torn-tail recovery)
-  /// since we consumed that prefix.  false when the file cannot be stat'ed.
-  bool shrank() const;
+  /// since we consumed that prefix.  false when the size cannot be probed.
+  bool shrank();
 
   /// Forget all progress: the next next() revalidates the header and scans
-  /// from the top.  Reopens the file (a truncate keeps the inode, but a
-  /// rebuild should not depend on that).
+  /// from the top.  Resets the source (a truncate keeps the inode, but a
+  /// rebuild should not depend on that -- nor on a live connection).
   void rewind();
 
-  /// pread `len` bytes at absolute offset `off`; true only if all `len`
+  /// Read `len` bytes at absolute offset `off`; true only if all `len`
   /// arrived.  For cursor-independent spot checks (the tailer re-verifies
   /// the last applied record's header to detect a rewritten log).
-  bool read_at(std::uint64_t off, void* buf, std::size_t len) const;
+  bool read_at(std::uint64_t off, void* buf, std::size_t len);
 
  private:
-  bool ensure_open();
   /// Make >= n bytes available at the cursor; returns bytes available
   /// (may be < n at end of data).
   std::size_t fill(std::size_t n);
 
-  Config cfg_;
-  int fd_ = -1;
+  std::unique_ptr<ByteSource> src_;
+  std::size_t buffer_bytes_;
   bool header_ok_ = false;
   std::uint64_t offset_ = 0;  ///< file offset of first unconsumed byte
 

@@ -102,6 +102,30 @@ std::string write_snapshot(const std::string& path, const Region& region,
   return {};
 }
 
+SnapshotLoad load_snapshot_bytes(const void* data, std::size_t len,
+                                 Region& region) {
+  SnapshotLoad r;
+  if (len == 0) return r;
+  SnapshotHeader hdr;
+  if (len < sizeof(hdr)) {
+    r.corrupt = true;
+    return r;
+  }
+  std::memcpy(&hdr, data, sizeof(hdr));
+  const auto* payload = static_cast<const unsigned char*>(data) + sizeof(hdr);
+  const std::size_t payload_len = hdr.words * sizeof(stm::Word);
+  if (hdr.magic != kSnapMagic || hdr.version != kFormatVersion ||
+      hdr.words != region.size() || len < sizeof(hdr) + payload_len ||
+      crc32(payload, payload_len) != hdr.crc) {
+    r.corrupt = true;
+    return r;
+  }
+  std::memcpy(region.base(), payload, payload_len);
+  r.loaded = true;
+  r.last_ts = hdr.last_ts;
+  return r;
+}
+
 SnapshotLoad load_snapshot(const std::string& path, Region& region) {
   SnapshotLoad r;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);

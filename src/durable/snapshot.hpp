@@ -35,4 +35,12 @@ struct SnapshotLoad {
 /// write protocol a corrupt snapshot can only be pre-protocol damage).
 SnapshotLoad load_snapshot(const std::string& path, Region& region);
 
+/// Same validation and apply over an in-memory image (header + payload) --
+/// the TCP ship path fetches the snapshot file as bytes and loads it here.
+/// len == 0 reports a missing snapshot ({false, false, 0}); anything else
+/// that fails validation is corrupt.  A frame torn by the transport fails
+/// the CRC exactly like a torn file would.
+SnapshotLoad load_snapshot_bytes(const void* data, std::size_t len,
+                                 Region& region);
+
 }  // namespace shrinktm::durable

@@ -19,11 +19,14 @@ std::int64_t steady_now_ns() {
 }  // namespace
 
 FollowerRuntime::FollowerRuntime(ReplicaOptions opts)
-    : opts_(std::move(opts)), applier_(opts_.region_words), tailer_(opts_) {
-  if (opts_.dir.empty())
+    : opts_(std::move(opts)),
+      applier_(opts_.region_words),
+      transport_(make_transport(opts_)),
+      tailer_(opts_, *transport_) {
+  if (opts_.dir.empty() && opts_.endpoint.empty())
     throw std::invalid_argument(
-        "replica::FollowerRuntime: ReplicaOptions::dir must name the "
-        "leader's durable directory");
+        "replica::FollowerRuntime: ReplicaOptions must name the leader's "
+        "durable directory (dir) or its ship endpoint");
   // Synchronous bootstrap: one full catch-up pass before any reader or the
   // background thread exists, so a fresh follower never serves a pre-
   // bootstrap (all-zero) region unless the leader's directory is empty too.
@@ -32,21 +35,38 @@ FollowerRuntime::FollowerRuntime(ReplicaOptions opts)
   apply_thread_ = std::thread([this] { apply_loop(); });
 }
 
-FollowerRuntime::~FollowerRuntime() {
+FollowerRuntime::~FollowerRuntime() { stop_apply_thread(true); }
+
+void FollowerRuntime::stop_apply_thread(bool cancel_transport) {
   {
     std::lock_guard lk(stop_mu_);
     stop_ = true;
   }
   stopping_.store(true, std::memory_order_release);
   stop_cv_.notify_all();
-  // Wake anything parked in park_until_apply/wait_until so user threads can
-  // unwind (destroying a follower under live readers is still a user error,
-  // but hanging them forever helps nobody).
+  // At destruction, fail blocked transport ops (a TCP long-poll or
+  // reconnect backoff) promptly, and wake anything parked in
+  // park_until_apply/wait_until so user threads can unwind (destroying a
+  // follower under live readers is still a user error, but hanging them
+  // forever helps nobody).  The promotion drain must NOT cancel: it is
+  // about to drive the same transport itself and a ShipClient cancel is
+  // sticky; it instead waits out at most one capped long-poll (50ms) for
+  // the apply thread to notice the stop flag.
+  if (cancel_transport) transport_->cancel();
   applier_.publish(applier_.applied_ts());
   if (apply_thread_.joinable()) apply_thread_.join();
 }
 
 void FollowerRuntime::apply_loop() {
+  // Pacing: transports with a long-poll facility (TCP kWait) park at the
+  // leader until bytes appear -- lag rides group-commit latency, not the
+  // poll interval.  The file transport reports no such facility and the
+  // loop falls back to interval sleeping, byte-for-byte the original
+  // behaviour.  The wait is capped at 50ms so shutdown stays responsive.
+  const std::uint32_t wait_ms = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(std::max<std::uint64_t>(
+                                  opts_.poll_interval_us / 1000, 1),
+                              50));
   for (;;) {
     {
       std::unique_lock lk(stop_mu_);
@@ -63,11 +83,40 @@ void FollowerRuntime::apply_loop() {
     }
     sample_probe();
     applier_.note_drain();
+    if (transport_->wait_append(wait_ms)) continue;
     std::unique_lock lk(stop_mu_);
     stop_cv_.wait_for(lk, std::chrono::microseconds(opts_.poll_interval_us),
                       [this] { return stop_; });
     if (stop_) return;
   }
+}
+
+std::uint64_t FollowerRuntime::drain_and_freeze(std::int64_t timeout_ns,
+                                                bool fence) {
+  // Stop the apply thread FIRST: the transport client is single-driver, and
+  // from here on that driver is this thread (a fence RPC racing the apply
+  // thread's long-poll would cross their responses).  Then fence: once the
+  // epoch is bumped the deposed leader's next append/fsync fail-stops, so
+  // the changelog is static and the drain below provably terminates at the
+  // tail the fence froze.
+  stop_apply_thread(false);
+  std::uint64_t epoch = 1;
+  if (fence) {
+    epoch = transport_->fence();
+    if (epoch == 0) return 0;
+  }
+  // This thread is now the tailer's single driver.  Drain: keep polling
+  // until a pass applies nothing and no unapplied bytes remain.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout_ns);
+  for (;;) {
+    const std::size_t applied = tailer_.poll(applier_);
+    applier_.note_drain();
+    if (applied == 0 && tailer_.lag_bytes() == 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) return 0;
+  }
+  frozen_.store(true, std::memory_order_release);
+  return epoch;
 }
 
 void FollowerRuntime::sample_probe() {
@@ -142,6 +191,8 @@ ReplicaStats FollowerRuntime::stats() const {
   s.snapshot_loads = tailer_.snapshot_loads();
   s.truncations = tailer_.truncations();
   s.dropped_words = tailer_.dropped_words();
+  s.transport = transport_->kind();
+  s.reconnects = transport_->reconnects();
   {
     std::lock_guard lk(hist_mu_);
     s.apply_ns = apply_hist_;
@@ -180,7 +231,9 @@ std::string ReplicaStats::to_json() const {
      << ",\"batches\":" << batches << ",\"records\":" << records
      << ",\"rebuilds\":" << rebuilds << ",\"snapshot_loads\":" << snapshot_loads
      << ",\"truncations\":" << truncations
-     << ",\"dropped_words\":" << dropped_words << ",\"attempts\":" << attempts
+     << ",\"dropped_words\":" << dropped_words
+     << ",\"transport\":\"" << transport << "\""
+     << ",\"reconnects\":" << reconnects << ",\"attempts\":" << attempts
      << ",\"commits\":" << commits << ",\"restarts\":" << restarts
      << ",\"retry_waits\":" << retry_waits
      << ",\"retry_timeouts\":" << retry_timeouts << ",\"cancels\":" << cancels

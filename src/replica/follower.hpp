@@ -27,6 +27,7 @@
 #include "replica/options.hpp"
 #include "replica/stats.hpp"
 #include "replica/tailer.hpp"
+#include "replica/transport.hpp"
 #include "replica/tx.hpp"
 #include "stm/actions.hpp"
 #include "stm/word.hpp"
@@ -42,10 +43,11 @@ struct ReplicaLag {
 
 class FollowerRuntime {
  public:
-  /// Opens opts.dir read-only and bootstraps synchronously: when the
+  /// Opens the leader read-only (opts.dir on the filesystem, or over TCP
+  /// when opts.endpoint is set) and bootstraps synchronously: when the
   /// constructor returns, the follower reflects everything the changelog
   /// held at some point during construction.  Throws std::invalid_argument
-  /// on an empty dir.
+  /// when neither dir nor endpoint is given.
   explicit FollowerRuntime(ReplicaOptions opts);
   ~FollowerRuntime();
 
@@ -77,21 +79,41 @@ class FollowerRuntime {
 
   ReplicaStats stats() const;
 
+  // ---- promotion (driven by api::ReplicaRuntime::promote) ----
+
+  /// Promotion step 1: fence the leader (when `fence` -- its next append or
+  /// snapshot fail-stops with TxDurabilityError), stop the apply thread,
+  /// then drain every remaining changelog byte from this thread.  Returns
+  /// the new fencing epoch (1 when fencing was skipped) once the tail is
+  /// fully applied, or 0 on fence failure / drain timeout.  After a
+  /// successful return the region is frozen and complete: every record the
+  /// leader ever acknowledged is applied, and nothing can change it again.
+  /// Irreversible; wait_until()/retry parking still wake (shutdown
+  /// semantics).
+  std::uint64_t drain_and_freeze(std::int64_t timeout_ns, bool fence);
+
+  /// Whether drain_and_freeze() completed (the region is final).
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  LogTransport& transport() { return *transport_; }
+
   // ---- transaction plumbing (driven by api::ReplicaRuntime) ----
 
   /// Per-tid state.  A slot is single-driver while claimed (same contract
-  /// as the leader's descriptors); stats() reads the counters racily.
+  /// as the leader's descriptors); the counters are atomic only so stats()
+  /// can be polled from other threads (deadline-based convergence waits)
+  /// without a data race.
   struct TidSlot {
     explicit TidSlot(int tid) : tx(tid) {}
     ReplicaTx tx;
     stm::TxActions actions;
     bool in_body = false;  ///< flat nesting: a body is on this tid's stack
-    std::uint64_t attempts = 0;
-    std::uint64_t commits = 0;
-    std::uint64_t restarts = 0;
-    std::uint64_t retry_waits = 0;
-    std::uint64_t retry_timeouts = 0;
-    std::uint64_t cancels = 0;
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> restarts{0};
+    std::atomic<std::uint64_t> retry_waits{0};
+    std::atomic<std::uint64_t> retry_timeouts{0};
+    std::atomic<std::uint64_t> cancels{0};
   };
 
   int attach_tid();
@@ -111,9 +133,15 @@ class FollowerRuntime {
  private:
   void apply_loop();
   void sample_probe();
+  /// Stop + join the apply thread (idempotent; dtor and drain_and_freeze).
+  /// Stop + join the apply thread.  `cancel_transport` additionally cancels
+  /// the transport client (sticky -- destruction only; the promotion drain
+  /// keeps the client alive to drive it from the promoting thread).
+  void stop_apply_thread(bool cancel_transport);
 
   ReplicaOptions opts_;
   Applier applier_;
+  std::unique_ptr<LogTransport> transport_;  ///< outlives tailer_'s source
   ChangelogTailer tailer_;
 
   // Probe + latency state: written by the apply thread, read by stats()/lag().
@@ -128,6 +156,7 @@ class FollowerRuntime {
   std::vector<std::unique_ptr<TidSlot>> slots_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> frozen_{false};
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
   bool stop_ = false;

@@ -1,0 +1,340 @@
+#include "replica/net_source.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "replica/ship.hpp"
+
+namespace shrinktm::replica {
+
+namespace {
+
+/// Resolve "host:port" (possibly via "@file" indirection) into a sockaddr.
+/// Returns false when the endpoint cannot be parsed right now (missing
+/// portfile, garbage contents) -- treated as one failed connect attempt.
+bool resolve_endpoint(const std::string& endpoint, sockaddr_in& out) {
+  std::string text = endpoint;
+  if (!text.empty() && text[0] == '@') {
+    std::ifstream in(text.substr(1));
+    if (!in) return false;
+    std::getline(in, text);
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == '\r' || text.back() == ' '))
+      text.pop_back();
+  }
+  const std::size_t colon = text.find_last_of(':');
+  if (colon == std::string::npos || colon + 1 >= text.size()) return false;
+  std::string host = text.substr(0, colon);
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  int port = 0;
+  try {
+    port = std::stoi(text.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  if (port <= 0 || port > 65535) return false;
+
+  out = sockaddr_in{};
+  out.sin_family = AF_INET;
+  out.sin_port = htons(static_cast<std::uint16_t>(port));
+  return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
+/// Non-blocking connect with a deadline.  Returns the connected fd or -1.
+int connect_with_timeout(const sockaddr_in& addr, std::uint32_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd p{fd, POLLOUT, 0};
+    rc = ::poll(&p, 1, static_cast<int>(timeout_ms));
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (rc == 1 &&
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) == 0 && err == 0) {
+      rc = 0;
+    } else {
+      rc = -1;
+    }
+  }
+  if (rc != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// recv exactly n bytes before `deadline`, polling in <=100ms slices so a
+/// concurrent cancel() is honoured promptly.
+bool recv_exact(int fd, void* buf, std::size_t n,
+                std::chrono::steady_clock::time_point deadline,
+                const std::atomic<bool>& cancelled) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    if (cancelled.load(std::memory_order_acquire)) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    pollfd pf{fd, POLLIN, 0};
+    const int rc = ::poll(&pf, 1, static_cast<int>(std::min<long long>(
+                                      left, 100)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) continue;  // slice expired; re-check cancel/deadline
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    if (r == 0) return false;  // peer closed mid-frame
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+ShipClient::ShipClient(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.backoff_initial_ms == 0) cfg_.backoff_initial_ms = 1;
+}
+
+ShipClient::~ShipClient() {
+  cancel();
+  drop_connection();
+}
+
+void ShipClient::cancel() { cancelled_.store(true, std::memory_order_release); }
+
+void ShipClient::drop_connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ShipClient::backoff_sleep(std::uint32_t ms) {
+  for (std::uint32_t i = 0; i < ms; ++i) {
+    if (cancelled_.load(std::memory_order_acquire)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return !cancelled_.load(std::memory_order_acquire);
+}
+
+bool ShipClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  if (cfg_.fault != nullptr) {
+    std::uint64_t arg = 0;
+    switch (cfg_.fault->check(durable::FaultPoint::kNetConnect, &arg)) {
+      case durable::FaultAction::kDrop:
+        return false;  // this connect attempt is eaten by the network
+      case durable::FaultAction::kDelay:
+        if (!backoff_sleep(static_cast<std::uint32_t>(arg))) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  sockaddr_in addr;
+  if (!resolve_endpoint(cfg_.endpoint, addr)) return false;
+  fd_ = connect_with_timeout(addr, cfg_.connect_timeout_ms);
+  if (fd_ < 0) return false;
+  if (connected_once_)
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  connected_once_ = true;
+  return true;
+}
+
+ShipClient::OpResult ShipClient::do_op(std::uint32_t op, std::uint64_t a,
+                                       std::uint64_t b, void* payload_buf,
+                                       std::size_t payload_cap,
+                                       std::vector<unsigned char>* payload_vec,
+                                       std::uint32_t extra_wait_ms) {
+  OpResult r;
+  std::uint32_t backoff = cfg_.backoff_initial_ms;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (cancelled_.load(std::memory_order_acquire)) return r;
+    if (attempt > 0) {
+      if (cfg_.max_attempts != 0 && attempt >= cfg_.max_attempts) return r;
+      if (!backoff_sleep(backoff)) return r;
+      backoff = std::min(backoff * 2, cfg_.backoff_max_ms);
+    }
+    if (!ensure_connected()) continue;
+
+    ShipRequest req;
+    req.op = op;
+    req.a = a;
+    req.b = b;
+    if (cfg_.fault != nullptr) {
+      std::uint64_t arg = 0;
+      const auto act = cfg_.fault->check(durable::FaultPoint::kNetRequest,
+                                         &arg);
+      if (act == durable::FaultAction::kDrop) {
+        drop_connection();
+        continue;
+      }
+      if (act == durable::FaultAction::kPartialSend) {
+        send_all(fd_, &req, std::min<std::size_t>(arg, sizeof(req)));
+        drop_connection();
+        continue;
+      }
+      if (act == durable::FaultAction::kDelay) {
+        if (!backoff_sleep(static_cast<std::uint32_t>(arg))) return r;
+      }
+    }
+    if (!send_all(fd_, &req, sizeof(req))) {
+      drop_connection();
+      continue;
+    }
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(cfg_.op_timeout_ms + extra_wait_ms);
+    ShipResponse resp;
+    if (!recv_exact(fd_, &resp, sizeof(resp), deadline, cancelled_) ||
+        resp.magic != kShipMagic) {
+      drop_connection();
+      continue;
+    }
+    if (resp.len > 0) {
+      // The server never sends more than we asked for; a frame that claims
+      // to is protocol damage and the connection is not trusted further.
+      if (payload_vec != nullptr) {
+        payload_vec->resize(resp.len);
+        payload_buf = payload_vec->data();
+        payload_cap = payload_vec->size();
+      }
+      if (payload_buf == nullptr || resp.len > payload_cap ||
+          !recv_exact(fd_, payload_buf, resp.len, deadline, cancelled_)) {
+        drop_connection();
+        continue;
+      }
+    } else if (payload_vec != nullptr) {
+      payload_vec->clear();
+    }
+    r.ok = true;
+    r.status = resp.status;
+    r.aux = resp.aux;
+    r.len = resp.len;
+    return r;
+  }
+}
+
+ShipClient::SizeResult ShipClient::stat() {
+  SizeResult s;
+  const OpResult r = do_op(static_cast<std::uint32_t>(ShipOp::kStat), 0, 0,
+                           nullptr, 0, nullptr, 0);
+  if (!r.ok) return s;
+  s.ok = true;
+  if (r.status == static_cast<std::uint32_t>(ShipStatus::kOk)) {
+    s.exists = true;
+    s.size = r.aux;
+    cached_size_.store(static_cast<std::int64_t>(r.aux),
+                       std::memory_order_relaxed);
+  } else {
+    cached_size_.store(0, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::int64_t ShipClient::read_log(std::uint64_t off, void* buf,
+                                  std::size_t len) {
+  const std::uint64_t want = std::min<std::uint64_t>(len, kShipMaxReadBytes);
+  const OpResult r = do_op(static_cast<std::uint32_t>(ShipOp::kRead), off,
+                           want, buf, len, nullptr, 0);
+  if (!r.ok || r.status != static_cast<std::uint32_t>(ShipStatus::kOk))
+    return -1;
+  return static_cast<std::int64_t>(r.len);
+}
+
+bool ShipClient::fetch_snapshot(std::vector<unsigned char>& out) {
+  const OpResult r = do_op(static_cast<std::uint32_t>(ShipOp::kSnapshot), 0, 0,
+                           nullptr, 0, &out, 0);
+  if (!r.ok) return false;
+  if (r.status != static_cast<std::uint32_t>(ShipStatus::kOk)) out.clear();
+  return r.status == static_cast<std::uint32_t>(ShipStatus::kOk) ||
+         r.status == static_cast<std::uint32_t>(ShipStatus::kNoFile);
+}
+
+std::int64_t ShipClient::wait_append(std::uint64_t known_size,
+                                     std::uint32_t timeout_ms) {
+  const OpResult r = do_op(static_cast<std::uint32_t>(ShipOp::kWait),
+                           known_size, timeout_ms, nullptr, 0, nullptr,
+                           timeout_ms);
+  if (!r.ok || r.status != static_cast<std::uint32_t>(ShipStatus::kOk))
+    return -1;
+  cached_size_.store(static_cast<std::int64_t>(r.aux),
+                     std::memory_order_relaxed);
+  return static_cast<std::int64_t>(r.aux);
+}
+
+std::uint64_t ShipClient::fence() {
+  const OpResult r = do_op(static_cast<std::uint32_t>(ShipOp::kFence), 0, 0,
+                           nullptr, 0, nullptr, 0);
+  if (!r.ok || r.status != static_cast<std::uint32_t>(ShipStatus::kOk))
+    return 0;
+  return r.aux;
+}
+
+// ----------------------------------------------------------- TcpByteSource
+
+bool TcpByteSource::open() {
+  if (opened_) return true;
+  const auto s = client_.stat();
+  opened_ = s.ok && s.exists;
+  return opened_;
+}
+
+std::int64_t TcpByteSource::read_at(std::uint64_t off, void* buf,
+                                    std::size_t len) {
+  return client_.read_log(off, buf, len);
+}
+
+std::int64_t TcpByteSource::size() {
+  const auto s = client_.stat();
+  if (!s.ok || !s.exists) return -1;
+  return static_cast<std::int64_t>(s.size);
+}
+
+void TcpByteSource::reset() {
+  client_.drop_connection();
+  opened_ = false;
+}
+
+}  // namespace shrinktm::replica

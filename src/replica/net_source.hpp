@@ -1,0 +1,162 @@
+// Follower-side endpoint of the changelog-shipping transport.
+//
+// ShipClient speaks the replica/ship.hpp protocol to a leader's ShipServer:
+// one connection, one request/response in flight, automatic reconnect with
+// bounded exponential backoff when the link (or the leader) dies.  Every op
+// retries across reconnects up to a per-op attempt budget, so transient
+// partitions surface to the caller as nothing at all and durable ones as a
+// clean failure the tailer treats as "no bytes this pass" -- the identical
+// shape a missing local file has.
+//
+// Reconnect safety is free by construction: requests are stateless and
+// absolute-offset, so a resumed client just re-asks for the bytes it had not
+// consumed; LogReader's torn-tail discipline (drop lookahead, re-read,
+// re-CRC) already treats a connection cut exactly like an in-flight append.
+//
+// The endpoint may be indirect: "@/path/file" names a file whose contents
+// are "host:port", re-read on every (re)connect attempt.  A reborn leader on
+// a fresh ephemeral port just rewrites the file and followers find it --
+// leader generations change, the follower's configuration does not.
+//
+// Threading: ops are single-driver (the follower's apply thread), matching
+// the ByteSource contract.  cancel() may be called from any thread and makes
+// in-flight and future ops fail promptly (shutdown path).  cached_log_size()
+// is lock-free for stats threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durable/byte_source.hpp"
+#include "durable/fault.hpp"
+
+namespace shrinktm::replica {
+
+class ShipClient {
+ public:
+  struct Config {
+    /// "host:port" (IPv4 dotted quad or "localhost"), or "@/path/file"
+    /// naming a file that holds "host:port" (re-read per connect attempt).
+    std::string endpoint;
+    /// TCP connect deadline per attempt.
+    std::uint32_t connect_timeout_ms = 1000;
+    /// Response deadline per request (extended by a kWait's server-side
+    /// long-poll window).
+    std::uint32_t op_timeout_ms = 2000;
+    /// Reconnect backoff: starts here, doubles per failed attempt...
+    std::uint32_t backoff_initial_ms = 2;
+    /// ...up to this cap.
+    std::uint32_t backoff_max_ms = 200;
+    /// Attempts per op before it fails (0 = retry until cancel()).
+    std::uint32_t max_attempts = 10;
+    /// Client-side fault plan: consulted at FaultPoint::kNetConnect before
+    /// each connect and kNetRequest before each request frame.
+    std::shared_ptr<durable::FaultPlan> fault;
+  };
+
+  explicit ShipClient(Config cfg);
+  ~ShipClient();
+
+  ShipClient(const ShipClient&) = delete;
+  ShipClient& operator=(const ShipClient&) = delete;
+
+  /// Make in-flight and future ops fail promptly (follower shutdown).
+  /// Callable from any thread; irreversible.
+  void cancel();
+
+  /// Result of a kStat probe.
+  struct SizeResult {
+    bool ok = false;       ///< a response arrived (retries not exhausted)
+    bool exists = false;   ///< the leader has a changelog file
+    std::uint64_t size = 0;
+  };
+  /// Probe the leader's changelog size.  Updates cached_log_size().
+  SizeResult stat();
+
+  /// Read up to `len` changelog bytes at absolute offset `off`.  Returns
+  /// bytes received (0 at the leader's end-of-log) or -1 when the leader is
+  /// unreachable / has no log.
+  std::int64_t read_log(std::uint64_t off, void* buf, std::size_t len);
+
+  /// Fetch the leader's whole snapshot image into `out`.  Returns false when
+  /// unreachable; an empty `out` with true means the leader has no snapshot.
+  bool fetch_snapshot(std::vector<unsigned char>& out);
+
+  /// Long-poll: block server-side until the leader's changelog size differs
+  /// from `known_size` or `timeout_ms` elapses.  Returns the size the server
+  /// answered with (updating cached_log_size()), or -1 when unreachable.
+  std::int64_t wait_append(std::uint64_t known_size, std::uint32_t timeout_ms);
+
+  /// Ask the leader to bump its fencing epoch (remote promotion: deposes the
+  /// leader's writer).  Returns the new epoch, or 0 on failure.
+  std::uint64_t fence();
+
+  /// Tear down the current connection; the next op reconnects.  (Rebuilds
+  /// call this through TcpByteSource::reset so they never resume a
+  /// half-read frame.)
+  void drop_connection();
+
+  /// Successful (re)connects beyond the first -- the follower's reconnect
+  /// counter.
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  /// Last changelog size learned from any stat/wait response; -1 before the
+  /// first.  Lock-free: stats threads read lag from here without touching
+  /// the socket.
+  std::int64_t cached_log_size() const {
+    return cached_size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct OpResult {
+    bool ok = false;          ///< a validated response arrived
+    std::uint32_t status = 0; ///< ShipStatus from the server
+    std::uint64_t aux = 0;
+    std::uint64_t len = 0;    ///< payload bytes received
+  };
+
+  /// Run one request to completion across reconnect/backoff.  Payload goes
+  /// into `payload_buf` (capped at `payload_cap`) or grows `payload_vec`;
+  /// pass null for ops without payload interest.
+  OpResult do_op(std::uint32_t op, std::uint64_t a, std::uint64_t b,
+                 void* payload_buf, std::size_t payload_cap,
+                 std::vector<unsigned char>* payload_vec,
+                 std::uint32_t extra_wait_ms);
+  bool ensure_connected();
+  /// Sleep that wakes early on cancel(); returns false when cancelled.
+  bool backoff_sleep(std::uint32_t ms);
+
+  Config cfg_;
+  int fd_ = -1;              ///< driver thread only
+  bool connected_once_ = false;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::int64_t> cached_size_{-1};
+};
+
+/// durable::ByteSource over a ShipClient: plugs a remote leader's changelog
+/// into LogReader unchanged.  Single-driver, like the client it borrows
+/// (which must outlive it -- replica::TcpTransport owns both).
+class TcpByteSource final : public durable::ByteSource {
+ public:
+  explicit TcpByteSource(ShipClient& client) : client_(client) {}
+
+  /// True once the leader reports a changelog file; sticky thereafter.
+  bool open() override;
+  std::int64_t read_at(std::uint64_t off, void* buf, std::size_t len) override;
+  std::int64_t size() override;
+  /// Drops the TCP connection and the sticky open, so a rebuild starts from
+  /// a fresh exchange rather than a half-read frame.
+  void reset() override;
+
+ private:
+  ShipClient& client_;
+  bool opened_ = false;
+};
+
+}  // namespace shrinktm::replica

@@ -4,15 +4,40 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
+
+#include "durable/fault.hpp"
 
 namespace shrinktm::replica {
 
 struct ReplicaOptions {
   /// The LEADER's durable directory (changelog.shtm + snapshot.shtm).  The
   /// follower opens it strictly read-only; leader and follower may be
-  /// different processes on the same host.  Required.
+  /// different processes on the same host.  Required unless `endpoint` is
+  /// set (a TCP follower needs no filesystem access at all).
   std::string dir;
+
+  /// When non-empty, tail the leader over TCP instead of the filesystem:
+  /// "host:port" of its replica::ShipServer, or "@/path/file" naming a file
+  /// whose contents are "host:port" (re-read on every reconnect, so a
+  /// reborn leader on a fresh ephemeral port is found automatically).
+  std::string endpoint;
+
+  // --- TCP transport knobs (ignored in file mode) ---
+
+  /// Connect deadline per attempt.
+  std::uint32_t net_connect_timeout_ms = 1000;
+  /// Response deadline per request.
+  std::uint32_t net_op_timeout_ms = 2000;
+  /// Reconnect backoff cap (starts at ~2ms, doubles up to this).
+  std::uint32_t net_backoff_max_ms = 200;
+  /// Attempts per transport op before it fails as "leader unreachable"
+  /// (0 = retry until shutdown).
+  std::uint32_t net_max_attempts = 10;
+  /// Client-side fault plan (net.connect / net.request points) for the
+  /// partition and crash conformance tests.
+  std::shared_ptr<durable::FaultPlan> net_fault;
 
   /// Follower region size in words.  Must equal the leader's
   /// DurableOptions::region_words: the snapshot image is validated against

@@ -1,0 +1,77 @@
+// The changelog-shipping wire protocol.
+//
+// One leader-side ShipServer serves a durable directory's bytes to follower
+// ShipClients over TCP.  The protocol is deliberately a remote ByteSource:
+// stateless, pull-based, absolute-offset -- the server keeps no per-client
+// cursor, so a reconnecting follower simply resumes by asking for the offset
+// it already consumed, and every byte it applies after a resume went through
+// LogReader's CRC verification again.  Statelessness is what makes the
+// reconnect story trivial to reason about under partitions.
+//
+// Framing: fixed 32-byte request and response headers (host-endian, same
+// scope as the on-disk format -- a replication link between machines of one
+// deployment, not an interchange format), responses followed by `len`
+// payload bytes.
+//
+//   kStat      -> aux = current changelog size in bytes
+//   kRead      -> payload = changelog bytes [a, a+min(b, cap)) (may be short
+//                 or empty at end-of-log)
+//   kSnapshot  -> payload = the whole snapshot.shtm image (kNoFile if none)
+//   kWait      -> long-poll: block until changelog size != a or b ms elapse;
+//                 aux = current size.  This is the live-tail push that lets
+//                 a caught-up follower ride group-commit latency instead of
+//                 polling.
+//   kFence     -> bump the served directory's fencing epoch (deposes the
+//                 leader -- promotion on behalf of a remote follower);
+//                 aux = the new epoch.
+#pragma once
+
+#include <cstdint>
+
+namespace shrinktm::replica {
+
+inline constexpr std::uint64_t kShipMagic = 0x31504948'534D5448ull;  // "HTMSHIP1"
+inline constexpr std::uint32_t kShipVersion = 1;
+
+/// Server-side cap on one kRead payload; clients ask for what their buffer
+/// holds and the cap keeps a single frame from monopolising a connection.
+inline constexpr std::uint64_t kShipMaxReadBytes = std::uint64_t{1} << 20;
+
+enum class ShipOp : std::uint32_t {
+  kStat = 1,
+  kRead = 2,
+  kSnapshot = 3,
+  kWait = 4,
+  kFence = 5,
+};
+
+enum class ShipStatus : std::uint32_t {
+  kOk = 0,
+  kNoFile = 1,      ///< the requested file does not exist (yet)
+  kBadRequest = 2,  ///< magic/version/op mismatch; connection will close
+  kError = 3,       ///< server-side IO failure
+};
+
+/// Request frame.  `a`/`b` are per-op operands: kRead {offset, max bytes},
+/// kWait {known size, timeout ms}; unused otherwise.
+struct ShipRequest {
+  std::uint64_t magic = kShipMagic;
+  std::uint32_t version = kShipVersion;
+  std::uint32_t op = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+static_assert(sizeof(ShipRequest) == 32);
+
+/// Response frame, followed by `len` payload bytes.  `aux` is the per-op
+/// scalar result (sizes, the bumped epoch).
+struct ShipResponse {
+  std::uint64_t magic = kShipMagic;
+  std::uint32_t status = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t len = 0;
+  std::uint64_t aux = 0;
+};
+static_assert(sizeof(ShipResponse) == 32);
+
+}  // namespace shrinktm::replica

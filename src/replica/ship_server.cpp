@@ -1,0 +1,357 @@
+#include "replica/ship_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "durable/epoch_fence.hpp"
+#include "durable/log_format.hpp"
+#include "replica/ship.hpp"
+
+namespace shrinktm::replica {
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+// MSG_NOSIGNAL: a peer that reset mid-send must surface as EPIPE, not kill
+// the process with SIGPIPE.
+bool send_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Size of `path`, or -1 if it does not exist (or cannot be stat'ed).
+std::int64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+/// pread up to `max` bytes at `off` into `out`.  Returns -1 if the file is
+/// missing/unopenable, else the byte count (0 at end-of-file).
+std::int64_t read_file_at(const std::string& path, std::uint64_t off,
+                          std::uint64_t max, std::vector<unsigned char>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return -1;
+  out.resize(max);
+  std::size_t got = 0;
+  while (got < max) {
+    const ssize_t r = ::pread(fd, out.data() + got, max - got,
+                              static_cast<off_t>(off + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return -1;
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+  out.resize(got);
+  return static_cast<std::int64_t>(got);
+}
+
+}  // namespace
+
+ShipServer::ShipServer(Config cfg) : cfg_(std::move(cfg)) {
+  log_path_ = cfg_.dir + "/" + durable::kLogFileName;
+  snap_path_ = cfg_.dir + "/" + durable::kSnapFileName;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("ShipServer: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ShipServer: bind/listen 127.0.0.1:" +
+                             std::to_string(cfg_.port) + ": " + why);
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ShipServer::~ShipServer() { stop(); }
+
+std::string ShipServer::endpoint() const {
+  return "127.0.0.1:" + std::to_string(port_);
+}
+
+void ShipServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Waking a blocked accept(2): on Linux, shutdown() on the listening socket
+  // fails it with EINVAL, which the accept loop treats as "stop".
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  drop_connections();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ShipServer::set_paused(bool paused) {
+  paused_.store(paused, std::memory_order_release);
+}
+
+void ShipServer::drop_connections() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ShipServer::set_delay_us(std::uint64_t us) {
+  delay_us_.store(us, std::memory_order_release);
+}
+
+ShipServer::Counters ShipServer::counters() const {
+  Counters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.dropped = dropped_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ShipServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or broken): serving is over
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    threads_.emplace_back([this, fd] { serve(fd); });
+  }
+}
+
+void ShipServer::serve(int fd) {
+  Conn conn;
+  conn.fd = fd;
+  while (!stopping_.load(std::memory_order_acquire) && handle_one(conn)) {
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+bool ShipServer::handle_one(Conn& conn) {
+  ShipRequest req;
+  if (!read_exact(conn.fd, &req, sizeof(req))) return false;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  ShipResponse resp;
+  std::vector<unsigned char> payload;
+  bool close_after = false;
+
+  if (req.magic != kShipMagic || req.version != kShipVersion) {
+    resp.status = static_cast<std::uint32_t>(ShipStatus::kBadRequest);
+    close_after = true;
+  } else {
+    switch (static_cast<ShipOp>(req.op)) {
+      case ShipOp::kStat: {
+        const std::int64_t sz = file_size(log_path_);
+        if (sz < 0) {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kNoFile);
+        } else {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kOk);
+          resp.aux = static_cast<std::uint64_t>(sz);
+        }
+        break;
+      }
+      case ShipOp::kRead: {
+        const std::uint64_t want = std::min<std::uint64_t>(req.b,
+                                                           kShipMaxReadBytes);
+        const std::int64_t got = read_file_at(log_path_, req.a, want, payload);
+        if (got < 0) {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kNoFile);
+          payload.clear();
+        } else {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kOk);
+          resp.len = static_cast<std::uint64_t>(got);
+        }
+        break;
+      }
+      case ShipOp::kSnapshot: {
+        const std::int64_t sz = file_size(snap_path_);
+        const std::int64_t got =
+            sz < 0 ? -1
+                   : read_file_at(snap_path_, 0,
+                                  static_cast<std::uint64_t>(sz), payload);
+        if (got < 0) {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kNoFile);
+          payload.clear();
+        } else {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kOk);
+          resp.len = static_cast<std::uint64_t>(got);
+        }
+        break;
+      }
+      case ShipOp::kWait: {
+        // Long-poll: answer when the changelog's size differs from the
+        // client's known size `a`, or after `b` milliseconds.  A missing
+        // file counts as size 0 so a pre-first-commit follower parks too.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(req.b);
+        std::uint64_t sz;
+        for (;;) {
+          const std::int64_t raw = file_size(log_path_);
+          sz = raw < 0 ? 0 : static_cast<std::uint64_t>(raw);
+          if (sz != req.a || stopping_.load(std::memory_order_acquire) ||
+              std::chrono::steady_clock::now() >= deadline) {
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        resp.status = static_cast<std::uint32_t>(ShipStatus::kOk);
+        resp.aux = sz;
+        break;
+      }
+      case ShipOp::kFence: {
+        try {
+          resp.aux = durable::EpochFence::bump(cfg_.dir);
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kOk);
+        } catch (const std::exception&) {
+          resp.status = static_cast<std::uint32_t>(ShipStatus::kError);
+        }
+        break;
+      }
+      default:
+        resp.status = static_cast<std::uint32_t>(ShipStatus::kBadRequest);
+        close_after = true;
+        break;
+    }
+  }
+
+  if (!send_response(conn, &resp, payload.data(), payload.size()))
+    return false;
+  return !close_after;
+}
+
+bool ShipServer::send_response(Conn& conn, const void* hdr,
+                               const void* payload,
+                               std::uint64_t payload_len) {
+  // Chaos pause: the link looks partitioned -- hold every response until
+  // unpaused (or the server stops, so teardown is never blocked on chaos).
+  while (paused_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::uint64_t delay = delay_us_.load(std::memory_order_acquire);
+  if (delay != 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+
+  std::uint64_t arg = 0;
+  const durable::FaultAction act =
+      cfg_.fault == nullptr
+          ? durable::FaultAction::kNone
+          : cfg_.fault->check(durable::FaultPoint::kNetResponse, &arg);
+  switch (act) {
+    case durable::FaultAction::kDrop:
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // close without responding: peer sees EOF mid-exchange
+    case durable::FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(arg));
+      break;
+    case durable::FaultAction::kPartialSend: {
+      // Torn frame: full header (so the client commits to reading `len`
+      // payload bytes) but only `arg` of them, then close.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (!send_all(conn.fd, hdr, sizeof(ShipResponse))) return false;
+      send_all(conn.fd, payload,
+               std::min<std::uint64_t>(arg, payload_len));
+      return false;
+    }
+    case durable::FaultAction::kDisconnectAfter:
+      conn.budget_armed = true;
+      conn.budget = arg;
+      break;
+    default:
+      break;
+  }
+
+  if (!send_all(conn.fd, hdr, sizeof(ShipResponse))) return false;
+  std::uint64_t allow = payload_len;
+  if (conn.budget_armed) allow = std::min(allow, conn.budget);
+  if (allow > 0 && !send_all(conn.fd, payload, allow)) return false;
+  if (conn.budget_armed) {
+    conn.budget -= allow;
+    // Mid-stream partition: once the byte budget is spent the connection
+    // dies, possibly having torn this frame (allow < payload_len).
+    if (allow < payload_len || conn.budget == 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace shrinktm::replica

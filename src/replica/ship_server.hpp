@@ -1,0 +1,128 @@
+// Leader-side endpoint of the changelog-shipping transport.
+//
+// A ShipServer is a small TCP daemon bound to 127.0.0.1 that serves one
+// durable directory's bytes -- the changelog, the snapshot image, and the
+// fencing epoch -- to follower ShipClients speaking the protocol in
+// replica/ship.hpp.  It is deliberately dumb: no per-client cursors, no
+// subscriptions, no replication state.  All replication intelligence (resume
+// offsets, CRC verification, divergence detection) lives on the follower,
+// which is what keeps leader crash recovery and follower reconnect
+// orthogonal -- a reborn leader's ShipServer needs no handshake beyond
+// serving the same directory.
+//
+// Concurrency: one accept thread plus one thread per live connection.  The
+// kWait op long-polls server-side (checking the changelog size every
+// millisecond) so a caught-up follower learns of new bytes at group-commit
+// latency without a request storm.
+//
+// Failure injection and chaos: every response passes the owning FaultPlan's
+// net.response point (drop / partial_send / delay / disconnect_after /
+// crash), and the test-facing chaos controls -- set_paused() to hold all
+// responses (a symmetric partition), drop_connections() to reset every live
+// peer, set_delay_us() for a uniformly slow link -- drive the seeded
+// partition schedules in tests/test_net_replica.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "durable/fault.hpp"
+
+namespace shrinktm::replica {
+
+/// Serves a durable directory over TCP to follower ShipClients.  Starts its
+/// accept thread in the constructor; stop() (or the destructor) shuts down
+/// the listener and every live connection and joins all threads.
+class ShipServer {
+ public:
+  struct Config {
+    /// Durable directory to serve (the leader runtime's `dir`).
+    std::string dir;
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+    /// via port()).
+    std::uint16_t port = 0;
+    /// Fault plan consulted at FaultPoint::kNetResponse before every
+    /// response.  Null means no injection.
+    std::shared_ptr<durable::FaultPlan> fault;
+  };
+
+  /// Binds, listens, and starts serving.  Throws std::runtime_error if the
+  /// socket cannot be created or bound.
+  explicit ShipServer(Config cfg);
+  ~ShipServer();
+
+  ShipServer(const ShipServer&) = delete;
+  ShipServer& operator=(const ShipServer&) = delete;
+
+  /// Stop accepting, reset live connections, join all threads.  Idempotent.
+  void stop();
+
+  /// The bound port (resolved when Config::port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// "127.0.0.1:<port>" -- the string a follower's ReplicaOptions::endpoint
+  /// takes.
+  std::string endpoint() const;
+
+  /// Chaos control: while paused, every response (including kWait wakeups)
+  /// is held -- the network looks partitioned although connections stay up.
+  void set_paused(bool paused);
+
+  /// Chaos control: reset every currently-live connection.  Clients see a
+  /// mid-exchange disconnect and must reconnect + resume.
+  void drop_connections();
+
+  /// Chaos control: sleep this long before every response (slow link).
+  void set_delay_us(std::uint64_t us);
+
+  struct Counters {
+    std::uint64_t accepted = 0;  ///< connections accepted since start
+    std::uint64_t requests = 0;  ///< request frames parsed
+    std::uint64_t dropped = 0;   ///< responses suppressed/torn by injection
+  };
+  /// Snapshot of the serving counters (test assertions).
+  Counters counters() const;
+
+ private:
+  /// Per-connection serving state.  `budget` is armed by a
+  /// kDisconnectAfter fault: remaining payload bytes this connection may
+  /// transmit before it is torn down mid-stream.
+  struct Conn {
+    int fd = -1;
+    bool budget_armed = false;
+    std::uint64_t budget = 0;
+  };
+
+  void accept_loop();
+  void serve(int fd);
+  /// Parse and answer one request.  Returns false when the connection is
+  /// done (EOF, error, or injected teardown).
+  bool handle_one(Conn& conn);
+  bool send_response(Conn& conn, const void* hdr, const void* payload,
+                     std::uint64_t payload_len);
+
+  Config cfg_;
+  std::string log_path_;
+  std::string snap_path_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<std::uint64_t> delay_us_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  std::mutex mu_;                    ///< guards conn_fds_ and threads_
+  std::vector<int> conn_fds_;        ///< live connection fds (for teardown)
+  std::vector<std::thread> threads_; ///< per-connection serving threads
+  std::thread accept_thread_;
+};
+
+}  // namespace shrinktm::replica

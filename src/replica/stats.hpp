@@ -24,6 +24,10 @@ struct ReplicaStats {
   std::uint64_t truncations = 0;     ///< log-shrink events observed
   std::uint64_t dropped_words = 0;   ///< redo offsets beyond the region
 
+  // Transport.
+  std::string transport;            ///< "file" or "tcp"
+  std::uint64_t reconnects = 0;     ///< TCP re-establishments (0 for file)
+
   // Follower transactions.  Conservation:
   //   attempts == commits + restarts + retry_waits + cancels.
   std::uint64_t attempts = 0;

@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
-#include <filesystem>
 #include <mutex>
 #include <shared_mutex>
-
-#include "durable/snapshot.hpp"
 
 namespace shrinktm::replica {
 
@@ -14,11 +11,11 @@ namespace {
 using durable::LogReader;
 }  // namespace
 
-ChangelogTailer::ChangelogTailer(const ReplicaOptions& opts)
-    : log_path_(opts.dir + "/" + durable::kLogFileName),
-      snap_path_(opts.dir + "/" + durable::kSnapFileName),
+ChangelogTailer::ChangelogTailer(const ReplicaOptions& opts,
+                                 LogTransport& transport)
+    : transport_(transport),
       max_batch_records_(std::max<std::size_t>(1, opts.max_batch_records)),
-      reader_(LogReader::Config{log_path_, opts.read_buffer_bytes}) {}
+      reader_(transport.make_log_source(), opts.read_buffer_bytes) {}
 
 void ChangelogTailer::remember(const LogReader::Record& rec) {
   memo_.offset = rec.offset;
@@ -44,9 +41,12 @@ void ChangelogTailer::rebuild(Applier& applier) {
   reader_.rewind();
   have_memo_ = false;
 
+  // Over TCP the snapshot fetch below is network I/O inside the gate: a
+  // deliberate tradeoff -- rebuilds are rare and admitting a reader to a
+  // half-built region is never acceptable.
   std::unique_lock gate(applier.gate());
   applier.clear();
-  const auto snap = durable::load_snapshot(snap_path_, applier.region());
+  const auto snap = transport_.load_snapshot(applier.region());
   if (snap.loaded) snapshot_loads_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t applied = snap.last_ts;
 
@@ -119,11 +119,11 @@ std::size_t ChangelogTailer::poll(Applier& applier) {
 }
 
 std::uint64_t ChangelogTailer::lag_bytes() const {
-  std::error_code ec;
-  const auto size = std::filesystem::file_size(log_path_, ec);
-  if (ec) return 0;
+  const std::int64_t size = transport_.log_size();
+  if (size < 0) return 0;
   const auto consumed = consumed_.load(std::memory_order_relaxed);
-  return size > consumed ? size - consumed : 0;
+  const auto usize = static_cast<std::uint64_t>(size);
+  return usize > consumed ? usize - consumed : 0;
 }
 
 }  // namespace shrinktm::replica

@@ -42,12 +42,16 @@
 #include "durable/log_reader.hpp"
 #include "replica/applier.hpp"
 #include "replica/options.hpp"
+#include "replica/transport.hpp"
 
 namespace shrinktm::replica {
 
 class ChangelogTailer {
  public:
-  explicit ChangelogTailer(const ReplicaOptions& opts);
+  /// Tails the leader through `transport` (which must outlive the tailer);
+  /// the log bytes, the snapshot image for rebuilds, and the lag probe all
+  /// go through it, so the tailer itself is transport-agnostic.
+  ChangelogTailer(const ReplicaOptions& opts, LogTransport& transport);
 
   ChangelogTailer(const ChangelogTailer&) = delete;
   ChangelogTailer& operator=(const ChangelogTailer&) = delete;
@@ -65,8 +69,8 @@ class ChangelogTailer {
   std::uint64_t truncations() const { return rel(truncations_); }
   std::uint64_t dropped_words() const { return rel(dropped_words_); }
 
-  /// Changelog bytes appended but not yet applied (file size minus consumed
-  /// cursor, clamped; 0 when the file is missing or mid-rebuild).
+  /// Changelog bytes appended but not yet applied (transport's best-known
+  /// size minus consumed cursor, clamped; 0 when unknown or mid-rebuild).
   std::uint64_t lag_bytes() const;
 
  private:
@@ -85,8 +89,7 @@ class ChangelogTailer {
   void rebuild(Applier& applier);
   void remember(const durable::LogReader::Record& rec);
 
-  std::string log_path_;
-  std::string snap_path_;
+  LogTransport& transport_;
   std::size_t max_batch_records_;
   durable::LogReader reader_;
 

@@ -1,0 +1,105 @@
+#include "replica/transport.hpp"
+
+#include <sys/stat.h>
+
+#include <string>
+#include <vector>
+
+#include "durable/epoch_fence.hpp"
+#include "durable/log_format.hpp"
+#include "replica/net_source.hpp"
+
+namespace shrinktm::replica {
+
+namespace {
+
+class FileTransport final : public LogTransport {
+ public:
+  explicit FileTransport(const ReplicaOptions& opts)
+      : log_path_(opts.dir + "/" + durable::kLogFileName),
+        snap_path_(opts.dir + "/" + durable::kSnapFileName),
+        dir_(opts.dir) {}
+
+  std::unique_ptr<durable::ByteSource> make_log_source() override {
+    return std::make_unique<durable::FileByteSource>(log_path_);
+  }
+
+  durable::SnapshotLoad load_snapshot(durable::Region& region) override {
+    return durable::load_snapshot(snap_path_, region);
+  }
+
+  std::int64_t log_size() override {
+    struct stat st{};
+    if (::stat(log_path_.c_str(), &st) != 0) return -1;
+    return static_cast<std::int64_t>(st.st_size);
+  }
+
+  bool wait_append(std::uint32_t) override { return false; }
+
+  std::uint64_t fence() override { return durable::EpochFence::bump(dir_); }
+
+  std::uint64_t reconnects() const override { return 0; }
+
+  void cancel() override {}
+
+  const char* kind() const override { return "file"; }
+
+ private:
+  std::string log_path_;
+  std::string snap_path_;
+  std::string dir_;
+};
+
+class TcpTransport final : public LogTransport {
+ public:
+  explicit TcpTransport(const ReplicaOptions& opts)
+      : client_([&] {
+          ShipClient::Config c;
+          c.endpoint = opts.endpoint;
+          c.connect_timeout_ms = opts.net_connect_timeout_ms;
+          c.op_timeout_ms = opts.net_op_timeout_ms;
+          c.backoff_max_ms = opts.net_backoff_max_ms;
+          c.max_attempts = opts.net_max_attempts;
+          c.fault = opts.net_fault;
+          return c;
+        }()) {}
+
+  std::unique_ptr<durable::ByteSource> make_log_source() override {
+    return std::make_unique<TcpByteSource>(client_);
+  }
+
+  durable::SnapshotLoad load_snapshot(durable::Region& region) override {
+    std::vector<unsigned char> image;
+    if (!client_.fetch_snapshot(image)) return {};
+    return durable::load_snapshot_bytes(image.data(), image.size(), region);
+  }
+
+  std::int64_t log_size() override { return client_.cached_log_size(); }
+
+  bool wait_append(std::uint32_t timeout_ms) override {
+    const std::int64_t known = client_.cached_log_size();
+    return client_.wait_append(
+               known < 0 ? 0 : static_cast<std::uint64_t>(known),
+               timeout_ms) >= 0;
+  }
+
+  std::uint64_t fence() override { return client_.fence(); }
+
+  std::uint64_t reconnects() const override { return client_.reconnects(); }
+
+  void cancel() override { client_.cancel(); }
+
+  const char* kind() const override { return "tcp"; }
+
+ private:
+  ShipClient client_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogTransport> make_transport(const ReplicaOptions& opts) {
+  if (!opts.endpoint.empty()) return std::make_unique<TcpTransport>(opts);
+  return std::make_unique<FileTransport>(opts);
+}
+
+}  // namespace shrinktm::replica

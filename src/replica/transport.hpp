@@ -1,0 +1,71 @@
+// LogTransport: how a follower reaches its leader's durable bytes.
+//
+// The tailer and FollowerRuntime are transport-agnostic; everything that
+// differs between "same host, shared filesystem" and "across a TCP link" is
+// behind this interface: where LogReader's bytes come from, how the snapshot
+// image is fetched for a rebuild, how lag is measured without blocking, how
+// to park for the next append, and how to fence the leader during promotion.
+//
+//   FileTransport -- the original same-host mode: pread the leader's
+//     directory.  wait_append() is unsupported (the caller falls back to
+//     interval polling, byte-for-byte the pre-transport behaviour).
+//   TcpTransport  -- a ShipClient per follower.  log_size() reads the
+//     client's cached size (lock-free; stats threads never touch the
+//     socket), wait_append() long-polls the server at group-commit latency,
+//     and fence() deposes the remote leader.
+//
+// ReplicaOptions::endpoint selects the mode: empty = file, else TCP.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "durable/byte_source.hpp"
+#include "durable/region.hpp"
+#include "durable/snapshot.hpp"
+#include "replica/options.hpp"
+
+namespace shrinktm::replica {
+
+class LogTransport {
+ public:
+  virtual ~LogTransport() = default;
+
+  /// A fresh ByteSource over the leader's changelog for LogReader to own.
+  /// Call once per reader; the source must not outlive this transport.
+  virtual std::unique_ptr<durable::ByteSource> make_log_source() = 0;
+
+  /// Fetch + validate + apply the leader's snapshot image into `region`
+  /// (rebuild path; the caller holds the gate).  Missing and unreachable
+  /// both load nothing.
+  virtual durable::SnapshotLoad load_snapshot(durable::Region& region) = 0;
+
+  /// Best-known changelog size for lag accounting, or -1 when unknown.
+  /// Cheap and callable from any thread (never a blocking network op).
+  virtual std::int64_t log_size() = 0;
+
+  /// Park until the leader's changelog probably grew, up to `timeout_ms`.
+  /// Returns false when the transport has no such facility (or the wait
+  /// failed) and the caller should pace itself by sleeping.  Apply thread
+  /// only.
+  virtual bool wait_append(std::uint32_t timeout_ms) = 0;
+
+  /// Bump the leader's fencing epoch (promotion: the deposed leader's next
+  /// append or snapshot fail-stops).  Returns the new epoch, 0 on failure.
+  virtual std::uint64_t fence() = 0;
+
+  /// Connection re-establishments so far (always 0 for files).
+  virtual std::uint64_t reconnects() const = 0;
+
+  /// Make blocked and future transport ops fail promptly (shutdown).
+  virtual void cancel() = 0;
+
+  /// "file" or "tcp" -- for stats and bench labels.
+  virtual const char* kind() const = 0;
+};
+
+/// Build the transport ReplicaOptions selects: TcpTransport when
+/// opts.endpoint is set, else FileTransport over opts.dir.
+std::unique_ptr<LogTransport> make_transport(const ReplicaOptions& opts);
+
+}  // namespace shrinktm::replica

@@ -15,6 +15,7 @@
 // maintains across parked attempts.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -31,9 +32,10 @@ class ReplicaTx {
   ReplicaTx& operator=(const ReplicaTx&) = delete;
 
   /// Plain acquire load; consistency comes from the read gate, not from
-  /// per-word versions.
+  /// per-word versions.  The counter is relaxed-atomic only so stats() can
+  /// poll it from other threads (convergence waits) race-free.
   stm::Word load(const stm::Word* addr) {
-    ++reads_;
+    reads_.fetch_add(1, std::memory_order_relaxed);
     return stm::raw_load(addr);
   }
 
@@ -54,12 +56,14 @@ class ReplicaTx {
   void set_retry_timed_out(bool v) { retry_timed_out_ = v; }
 
   /// Transactional loads issued through this descriptor (lifetime total).
-  std::uint64_t reads() const { return reads_; }
+  std::uint64_t reads() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
 
  private:
   const int tid_;
   bool retry_timed_out_ = false;
-  std::uint64_t reads_ = 0;
+  std::atomic<std::uint64_t> reads_{0};
 };
 
 }  // namespace shrinktm::replica

@@ -1,0 +1,220 @@
+// Follower promotion and the fencing-token protocol
+// (durable/epoch_fence.hpp, api::ReplicaRuntime::promote).
+//
+// The contract (docs/REPLICATION.md "Promotion"):
+//
+//   fencing    -- epochs are strictly increasing generation tokens on a
+//                 durable directory; a bump deposes the current writer, whose
+//                 next append/fsync/snapshot fail-stops with
+//                 api::TxDurabilityError BEFORE any memory effect;
+//   promotion  -- promote() = fence, drain the (now static) tail, rehydrate
+//                 a read-write Runtime whose state contains every commit the
+//                 old leader ever acknowledged (read-your-writes across the
+//                 leadership switch);
+//   no split   -- after promotion exactly one runtime can append: the
+//   brain         deposed leader's writes are refused no matter how it races;
+//   re-ship    -- a fresh follower pointed at the promoted leader converges
+//                 to the merged history, including post-promotion commits.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "api/shrinktm.hpp"
+#include "durable/epoch_fence.hpp"
+#include "replica/ship_server.hpp"
+
+namespace shrinktm {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "shrinktm-promo-XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr)
+      throw std::runtime_error("mkdtemp failed");
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+api::RuntimeOptions durable_opts(const std::string& dir) {
+  api::RuntimeOptions o;
+  o.with_log_dir(dir);
+  return o;
+}
+
+TEST(Promotion, EpochFenceTokensAreStrictlyIncreasing) {
+  TempDir dir;
+  EXPECT_EQ(durable::EpochFence::read_epoch(dir.path), 0u);
+
+  durable::EpochFence mine(dir.path);
+  EXPECT_EQ(mine.epoch(), 0u);  // nothing claimed yet
+  EXPECT_EQ(mine.claim(), 1u);
+  EXPECT_EQ(durable::EpochFence::read_epoch(dir.path), 1u);
+  {
+    auto h = mine.hold();
+    EXPECT_TRUE(mine.still_current_locked());
+  }
+
+  // A promoter (any process) deposes us...
+  EXPECT_EQ(durable::EpochFence::bump(dir.path), 2u);
+  {
+    auto h = mine.hold();
+    EXPECT_FALSE(mine.still_current_locked());
+  }
+  // ...and the next generation's claim outranks the bump in turn.
+  durable::EpochFence next(dir.path);
+  EXPECT_EQ(next.claim(), 3u);
+  EXPECT_EQ(durable::EpochFence::read_epoch(dir.path), 3u);
+}
+
+TEST(Promotion, InPlacePromoteFencesLeaderMidTraffic) {
+  TempDir dir;
+  auto leader = std::make_unique<api::Runtime>(durable_opts(dir.path));
+
+  // A committer hammering the old leader straight through the switch: it
+  // must stop with a fail-stop durability error, never a silent lost write.
+  std::atomic<std::int64_t> acked{0};
+  std::atomic<bool> fence_observed{false};
+  std::thread writer([&] {
+    api::ThreadHandle th = leader->attach();
+    auto slot = leader->durable_region()->slot<std::int64_t>(6);
+    try {
+      for (;;) {
+        atomically(th, [&](api::Tx& tx) { tx.write(slot, tx.read(slot) + 1); });
+        acked.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const api::TxDurabilityError&) {
+      fence_observed.store(true);
+    }
+  });
+
+  api::ReplicaRuntime follower(dir.path);
+  // Let real traffic accumulate before pulling the rug.
+  const auto until = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (acked.load(std::memory_order_relaxed) < 50 &&
+         std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(acked.load(), 50) << "leader never got going";
+
+  std::unique_ptr<api::Runtime> promoted = follower.promote();
+  writer.join();
+  EXPECT_TRUE(fence_observed.load())
+      << "the mid-traffic committer was never fenced";
+
+  // Epoch arithmetic: old leader claimed 1, the promotion bumped to 2, the
+  // promoted runtime's own claim took 3.
+  EXPECT_EQ(durable::EpochFence::read_epoch(dir.path), 3u);
+
+  // The deposed leader is fail-stop for every durable verb.
+  {
+    auto slot = leader->durable_region()->slot<std::int64_t>(6);
+    EXPECT_THROW(
+        atomically(*leader, [&](api::Tx& tx) { tx.write(slot, -1); }),
+        api::TxDurabilityError);
+    EXPECT_THROW(leader->snapshot(), api::TxDurabilityError);
+  }
+
+  // Read-your-writes across the switch: everything acked on the old leader
+  // is in the new leader's state.
+  const std::int64_t seen = atomically(*promoted, [&](api::Tx& tx) {
+    return tx.read(promoted->durable_region()->slot<std::int64_t>(6));
+  });
+  EXPECT_GE(seen, acked.load());
+
+  // The frozen follower keeps serving its drained snapshot.
+  const std::int64_t frozen_view = atomically(follower, [&](api::Tx& tx) {
+    return tx.read(follower.region().slot<std::int64_t>(6));
+  });
+  EXPECT_GE(frozen_view, acked.load());
+
+  // The new leader accepts writes, and a SECOND follower re-ships the
+  // merged history from it -- old traffic and new.
+  auto pslot = promoted->durable_region()->slot<std::int64_t>(7);
+  for (std::int64_t i = 1; i <= 10; ++i)
+    atomically(*promoted, [&](api::Tx& tx) { tx.write(pslot, i); });
+  leader.reset();  // retire the deposed generation entirely
+  api::ReplicaRuntime refollower(dir.path);
+  ASSERT_TRUE(
+      refollower.wait_until(promoted->commit_ts(), std::chrono::seconds(30)));
+  const auto [old_hist, new_hist] = atomically(refollower, [&](api::Tx& tx) {
+    return std::pair{tx.read(refollower.region().slot<std::int64_t>(6)),
+                     tx.read(refollower.region().slot<std::int64_t>(7))};
+  });
+  EXPECT_EQ(old_hist, seen);
+  EXPECT_EQ(new_hist, 10);
+}
+
+TEST(Promotion, TcpFollowerPromotesIntoFreshDir) {
+  TempDir src;
+  TempDir scratch;
+  const std::string fresh = scratch.path + "/promoted";
+
+  api::Runtime leader(durable_opts(src.path));
+  replica::ShipServer server({src.path, 0, nullptr});
+  auto lslot = leader.durable_region()->slot<std::int64_t>(8);
+  for (std::int64_t i = 1; i <= 20; ++i)
+    atomically(leader, [&](api::Tx& tx) { tx.write(lslot, i); });
+
+  api::ReplicaOptions ropts;
+  ropts.endpoint = server.endpoint();
+  api::ReplicaRuntime follower(ropts);
+  ASSERT_TRUE(follower.wait_until(leader.commit_ts(), std::chrono::seconds(30)));
+
+  // A network follower has no durable directory; promoting without naming
+  // one is a usage error, not a crash.
+  EXPECT_THROW((void)follower.promote(), std::invalid_argument);
+
+  // The fence travels over the wire (the ship protocol's kFence op): the
+  // remote leader is deposed even though the promoter never touches its
+  // filesystem.
+  api::PromoteOptions po;
+  po.dir = fresh;
+  std::unique_ptr<api::Runtime> promoted = follower.promote(po);
+  EXPECT_THROW(
+      atomically(leader, [&](api::Tx& tx) { tx.write(lslot, -1); }),
+      api::TxDurabilityError);
+
+  // Full drained history materialised into the fresh directory...
+  const std::int64_t seen = atomically(*promoted, [&](api::Tx& tx) {
+    return tx.read(promoted->durable_region()->slot<std::int64_t>(8));
+  });
+  EXPECT_EQ(seen, 20);
+  // ...and the new leader is live: commits land, and a second follower
+  // re-ships from it over its own ShipServer.
+  auto pslot = promoted->durable_region()->slot<std::int64_t>(9);
+  for (std::int64_t i = 1; i <= 5; ++i)
+    atomically(*promoted, [&](api::Tx& tx) { tx.write(pslot, i); });
+  replica::ShipServer promoted_server({fresh, 0, nullptr});
+  api::ReplicaOptions r2;
+  r2.endpoint = promoted_server.endpoint();
+  api::ReplicaRuntime refollower(r2);
+  ASSERT_TRUE(
+      refollower.wait_until(promoted->commit_ts(), std::chrono::seconds(30)));
+  const auto [a, b] = atomically(refollower, [&](api::Tx& tx) {
+    return std::pair{tx.read(refollower.region().slot<std::int64_t>(8)),
+                     tx.read(refollower.region().slot<std::int64_t>(9))};
+  });
+  EXPECT_EQ(a, 20);
+  EXPECT_EQ(b, 5);
+  const api::ReplicaStats s = refollower.stats();
+  EXPECT_EQ(s.transport, "tcp");
+}
+
+}  // namespace
+}  // namespace shrinktm

@@ -240,7 +240,9 @@ TEST(Recovery, CrashMatrixEveryPointTimesFiveSeeds) {
       api::FaultPoint::kSnapshotAfterRename,
       api::FaultPoint::kTruncateBefore,     api::FaultPoint::kTruncateAfter,
   };
-  static_assert(std::size(kPoints) == durable::kNumFaultPoints);
+  // The file-durability sites only; the net.* points are covered by the
+  // over-socket matrix in tests/test_net_replica.cpp.
+  static_assert(std::size(kPoints) == durable::kNumDurableFaultPoints);
 
   for (const api::FaultPoint point : kPoints) {
     // The snapshot/truncate points pass exactly once (one snapshot() per

@@ -335,7 +335,19 @@ TEST(Replica, RetryParksUntilLeaderCommitArrives) {
     });
     EXPECT_EQ(v, 7);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Commit only after the waiter has provably parked (retry_waits is
+  // atomic, so polling stats() from here is race-free).  A fixed sleep
+  // flaked: on a loaded machine 50ms was occasionally not enough for the
+  // waiter thread to reach its first attempt, the commit landed first, and
+  // the body returned 7 without ever parking.
+  const auto park_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (follower.stats().retry_waits == 0 &&
+         std::chrono::steady_clock::now() < park_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(follower.stats().retry_waits, 1u)
+      << "waiter never parked; cannot exercise the wakeup path";
   atomically(leader, [&](api::Tx& tx) { tx.write(flag, 7); });
   waiter.join();
   const api::ReplicaStats s = follower.stats();
@@ -365,7 +377,9 @@ TEST(Replica, FollowerSurvivesLeaderCrashMatrix) {
       api::FaultPoint::kSnapshotAfterRename,
       api::FaultPoint::kTruncateBefore,     api::FaultPoint::kTruncateAfter,
   };
-  static_assert(std::size(kPoints) == durable::kNumFaultPoints);
+  // The file-durability sites only; the net.* points are covered by the
+  // over-socket matrix in tests/test_net_replica.cpp.
+  static_assert(std::size(kPoints) == durable::kNumDurableFaultPoints);
 
   for (const api::FaultPoint point : kPoints) {
     SCOPED_TRACE(std::string("point=") + durable::fault_point_name(point));
